@@ -1,0 +1,110 @@
+//! Criterion benches: one per paper figure (scaled-down experiment run)
+//! plus component micro-benches. The full-size series are printed by
+//! `cargo run --release -p cnp-patsy --bin patsy -- fig2|fig3|fig4|fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cnp_patsy::{run_experiment, ExperimentConfig, Policy};
+use cnp_trace::{preset, SyntheticSprite};
+
+fn fig_experiment(trace: &str, policy: Policy) -> f64 {
+    let mut cfg = ExperimentConfig::new(policy, preset(trace).expect("preset"));
+    cfg.scale = 0.002;
+    cfg.seed = 99;
+    let r = run_experiment(&cfg);
+    r.report.mean_ms()
+}
+
+fn bench_fig2_trace1a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_trace1a");
+    g.sample_size(10);
+    for policy in cnp_patsy::POLICIES {
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| std::hint::black_box(fig_experiment("1a", policy)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig3_trace1b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_trace1b");
+    g.sample_size(10);
+    for policy in [Policy::WriteDelay, Policy::NvramWhole] {
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| std::hint::black_box(fig_experiment("1b", policy)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4_trace5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_trace5");
+    g.sample_size(10);
+    for policy in [Policy::Ups, Policy::WriteDelay] {
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| std::hint::black_box(fig_experiment("5", policy)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig5_means(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_means");
+    g.sample_size(10);
+    for trace in ["2a", "2b"] {
+        g.bench_function(format!("trace{trace}_ups"), |b| {
+            b.iter(|| std::hint::black_box(fig_experiment(trace, Policy::Ups)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    // Trace generation throughput.
+    c.bench_function("sprite_generate_1a_0.01", |b| {
+        b.iter(|| {
+            let mut g = SyntheticSprite::new(cnp_trace::trace_1a(), 3);
+            std::hint::black_box(g.generate(0.01).len())
+        })
+    });
+    // Scheduler context-switch rate.
+    c.bench_function("sim_10k_task_switches", |b| {
+        b.iter(|| {
+            let sim = cnp_sim::Sim::new(1);
+            let h = sim.handle();
+            let h2 = h.clone();
+            h.spawn("switcher", async move {
+                for _ in 0..10_000 {
+                    h2.yield_now().await;
+                }
+            });
+            sim.run();
+            std::hint::black_box(sim.steps())
+        })
+    });
+    // Disk model mechanics.
+    c.bench_function("hp97560_media_access", |b| {
+        use cnp_disk::{DiskModel, DiskPos, Hp97560};
+        let d = Hp97560::new();
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba + 7777) % 2_000_000;
+            std::hint::black_box(d.media_access(
+                cnp_sim::SimTime::from_nanos(lba),
+                DiskPos::HOME,
+                lba,
+                16,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig2_trace1a,
+    bench_fig3_trace1b,
+    bench_fig4_trace5,
+    bench_fig5_means,
+    bench_components
+);
+criterion_main!(figures);

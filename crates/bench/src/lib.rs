@@ -1,0 +1,1 @@
+//! Placeholder module; replaced as implementation lands.

@@ -1,0 +1,748 @@
+//! The block-cache engine: frames, dirty/clean lists, NVRAM accounting.
+//!
+//! "The cache modules are used to administer and maintain a file-system
+//! block cache. It provides interfaces to administer all dirty, non-dirty
+//! and free blocks in lists, and it provides interfaces to allocate
+//! blocks from the cache. Also, when blocks are allocated from a full
+//! cache, it decides which blocks are replaced and flushed." (§2)
+//!
+//! The engine is deliberately *passive* (synchronous): it decides what
+//! must be flushed and the file-system engine above performs the actual
+//! (async) I/O, then reports back. That keeps flushing synchronous or
+//! asynchronous at the caller's choice — the very design lesson of §5.2.
+
+use std::collections::HashMap;
+
+use cnp_sim::{SimDuration, SimTime};
+
+use crate::flush::{CacheQuery, FlushPolicy};
+use crate::key::{BlockKey, FileId};
+use crate::list::FrameList;
+use crate::policy::{AccessMeta, ReplacementPolicy};
+
+/// Maximum per-frame access history kept (for LRU-K).
+const HISTORY: usize = 4;
+
+/// Block lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// Identical to the on-disk copy.
+    Clean,
+    /// Modified in memory since `since`.
+    Dirty {
+        /// When the block first became dirty (age-list key).
+        since: SimTime,
+    },
+    /// A flush is in flight; the block became dirty at `since`.
+    Flushing {
+        /// Dirty-since time carried through the flush.
+        since: SimTime,
+    },
+}
+
+/// One cache frame.
+#[derive(Debug)]
+struct Frame {
+    key: BlockKey,
+    state: BlockState,
+    access_count: u64,
+    history: Vec<SimTime>,
+    /// Real block bytes on-line; `None` for simulated user data.
+    data: Option<Vec<u8>>,
+    /// Re-dirtied while a flush was in flight.
+    redirtied: bool,
+}
+
+/// Cache counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Blocks inserted.
+    pub insertions: u64,
+    /// Clean frames evicted for reuse.
+    pub evictions: u64,
+    /// Clean → dirty transitions.
+    pub dirtied: u64,
+    /// Writes that hit an already-dirty block (coalesced disk writes).
+    pub overwrites: u64,
+    /// Dirty blocks that died in cache (delete/truncate): saved writes.
+    pub absorbed: u64,
+    /// Blocks handed to the flusher.
+    pub flushes: u64,
+    /// Times a writer had to wait for NVRAM space.
+    pub nvram_stalls: u64,
+    /// Times an allocation had to wait for a flush.
+    pub alloc_stalls: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of dirtied blocks that never reached the disk.
+    pub fn absorption_rate(&self) -> f64 {
+        if self.dirtied == 0 {
+            0.0
+        } else {
+            self.absorbed as f64 / self.dirtied as f64
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Block size in bytes (Sprite-era: 4 KB).
+    pub block_size: u32,
+    /// Total cache memory in bytes.
+    pub mem_bytes: u64,
+    /// If set, dirty blocks may only occupy this many bytes (NVRAM).
+    pub nvram_bytes: Option<u64>,
+}
+
+impl CacheConfig {
+    /// Number of frames.
+    pub fn frames(&self) -> usize {
+        (self.mem_bytes / self.block_size as u64) as usize
+    }
+
+    /// NVRAM budget in blocks (`u64::MAX` when unbounded).
+    pub fn nvram_blocks(&self) -> u64 {
+        match self.nvram_bytes {
+            Some(b) => b / self.block_size as u64,
+            None => u64::MAX,
+        }
+    }
+}
+
+/// Outcome of asking for a frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Reserve {
+    /// A frame is reserved for the caller; commit it with data.
+    Frame(u32),
+    /// Nothing clean or free: flush these blocks, then retry.
+    NeedFlush(Vec<BlockKey>),
+}
+
+/// Outcome of dirtying a block under NVRAM accounting.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DirtyOutcome {
+    /// The block is dirty; proceed.
+    Ok,
+    /// NVRAM is full: flush these blocks, then retry.
+    NeedFlush(Vec<BlockKey>),
+}
+
+/// The block cache.
+pub struct BlockCache {
+    cfg: CacheConfig,
+    frames: Vec<Frame>,
+    map: HashMap<BlockKey, u32>,
+    free: Vec<u32>,
+    clean: Box<dyn ReplacementPolicy>,
+    /// Dirty frames in age order (front = oldest). Flushing frames are
+    /// *not* on this list.
+    dirty_age: FrameList,
+    flush_policy: Box<dyn FlushPolicy>,
+    dirty_blocks: u64,
+    /// Dirty + flushing blocks charged against NVRAM.
+    nvram_used: u64,
+    stats: CacheStats,
+}
+
+struct QueryView<'a> {
+    frames: &'a [Frame],
+    dirty_age: &'a FrameList,
+}
+
+impl CacheQuery for QueryView<'_> {
+    fn oldest_dirty(&self) -> Option<(BlockKey, SimTime)> {
+        let f = self.dirty_age.front()?;
+        let frame = &self.frames[f as usize];
+        match frame.state {
+            BlockState::Dirty { since } => Some((frame.key, since)),
+            _ => None,
+        }
+    }
+
+    fn dirty_of_file(&self, file: FileId) -> Vec<BlockKey> {
+        self.dirty_age
+            .iter()
+            .map(|f| &self.frames[f as usize])
+            .filter(|fr| fr.key.file == file)
+            .map(|fr| fr.key)
+            .collect()
+    }
+
+    fn dirty_count(&self) -> usize {
+        self.dirty_age.len()
+    }
+
+    fn oldest_dirty_excluding(&self, excluded: &[BlockKey]) -> Option<(BlockKey, SimTime)> {
+        for f in self.dirty_age.iter() {
+            let frame = &self.frames[f as usize];
+            if excluded.contains(&frame.key) {
+                continue;
+            }
+            if let BlockState::Dirty { since } = frame.state {
+                return Some((frame.key, since));
+            }
+        }
+        None
+    }
+}
+
+impl BlockCache {
+    /// Creates an empty cache.
+    pub fn new(
+        cfg: CacheConfig,
+        clean: Box<dyn ReplacementPolicy>,
+        flush_policy: Box<dyn FlushPolicy>,
+    ) -> Self {
+        let n = cfg.frames();
+        assert!(n > 0, "cache must hold at least one block");
+        let mut free: Vec<u32> = (0..n as u32).collect();
+        free.reverse();
+        let frames = (0..n)
+            .map(|_| Frame {
+                key: BlockKey::new(FileId(u64::MAX), 0),
+                state: BlockState::Clean,
+                access_count: 0,
+                history: Vec::new(),
+                data: None,
+                redirtied: false,
+            })
+            .collect();
+        BlockCache {
+            cfg,
+            frames,
+            map: HashMap::new(),
+            free,
+            clean,
+            dirty_age: FrameList::new(n),
+            flush_policy,
+            dirty_blocks: 0,
+            nvram_used: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Names of the installed policies (replacement, flush).
+    pub fn policy_names(&self) -> (&'static str, &'static str) {
+        (self.clean.name(), self.flush_policy.name())
+    }
+
+    /// Interval at which [`BlockCache::tick`] should be driven, if any.
+    pub fn tick_interval(&self) -> Option<SimDuration> {
+        self.flush_policy.tick_interval()
+    }
+
+    /// Dirty block count (excludes in-flight flushes).
+    pub fn dirty_count(&self) -> usize {
+        self.dirty_age.len()
+    }
+
+    /// Total blocks resident.
+    pub fn resident(&self) -> usize {
+        self.map.len()
+    }
+
+    /// NVRAM occupancy in blocks (dirty + flushing).
+    pub fn nvram_used(&self) -> u64 {
+        self.nvram_used
+    }
+
+    fn record_access(&mut self, frame: u32, now: SimTime) {
+        let f = &mut self.frames[frame as usize];
+        f.access_count += 1;
+        if f.history.len() == HISTORY {
+            f.history.remove(0);
+        }
+        f.history.push(now);
+    }
+
+    /// Looks a block up; a hit refreshes recency and returns the frame.
+    pub fn lookup(&mut self, key: BlockKey, now: SimTime) -> Option<u32> {
+        match self.map.get(&key).copied() {
+            Some(frame) => {
+                self.stats.hits += 1;
+                self.record_access(frame, now);
+                let f = &self.frames[frame as usize];
+                if matches!(f.state, BlockState::Clean) {
+                    // Disjoint field borrows: `clean` vs `frames`.
+                    self.clean.touch(
+                        frame,
+                        AccessMeta { now, count: f.access_count, history: &f.history },
+                    );
+                }
+                Some(frame)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without stats or recency updates.
+    pub fn peek(&self, key: BlockKey) -> Option<u32> {
+        self.map.get(&key).copied()
+    }
+
+    /// Returns the block bytes of a resident frame (None if simulated).
+    pub fn data(&self, frame: u32) -> Option<&[u8]> {
+        self.frames[frame as usize].data.as_deref()
+    }
+
+    /// Mutable block bytes of a resident frame.
+    pub fn data_mut(&mut self, frame: u32) -> Option<&mut Vec<u8>> {
+        self.frames[frame as usize].data.as_mut()
+    }
+
+    /// Replaces the bytes of a resident frame.
+    pub fn set_data(&mut self, frame: u32, data: Option<Vec<u8>>) {
+        self.frames[frame as usize].data = data;
+    }
+
+    /// The key held by a frame.
+    pub fn key_of(&self, frame: u32) -> BlockKey {
+        self.frames[frame as usize].key
+    }
+
+    /// The state of a resident block.
+    pub fn state_of(&self, key: BlockKey) -> Option<BlockState> {
+        self.map.get(&key).map(|&f| self.frames[f as usize].state)
+    }
+
+    /// Reserves a frame for a new block.
+    ///
+    /// Prefers free frames, then evicts a clean victim; if every frame is
+    /// dirty or flushing, returns the flush policy's demand selection.
+    pub fn reserve(&mut self) -> Reserve {
+        if let Some(f) = self.free.pop() {
+            return Reserve::Frame(f);
+        }
+        if let Some(victim) = self.clean.take_victim() {
+            let key = self.frames[victim as usize].key;
+            self.map.remove(&key);
+            self.stats.evictions += 1;
+            return Reserve::Frame(victim);
+        }
+        self.stats.alloc_stalls += 1;
+        let q = QueryView { frames: &self.frames, dirty_age: &self.dirty_age };
+        let picks = self.flush_policy.on_demand(&q);
+        Reserve::NeedFlush(picks)
+    }
+
+    /// Commits a reserved frame as block `key`.
+    ///
+    /// `dirty` blocks are subject to NVRAM limits via
+    /// [`BlockCache::mark_dirty`] — commit clean, then dirty explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is already resident.
+    pub fn commit(&mut self, frame: u32, key: BlockKey, data: Option<Vec<u8>>, now: SimTime) {
+        assert!(!self.map.contains_key(&key), "block {key} already resident");
+        self.frames[frame as usize] = Frame {
+            key,
+            state: BlockState::Clean,
+            access_count: 0,
+            history: Vec::with_capacity(HISTORY),
+            data,
+            redirtied: false,
+        };
+        self.map.insert(key, frame);
+        self.stats.insertions += 1;
+        self.record_access(frame, now);
+        self.clean.insert(frame, AccessMeta { now, count: 1, history: &[now] });
+    }
+
+    /// Returns a reserved frame unused (e.g. the disk read failed).
+    pub fn release_reserved(&mut self, frame: u32) {
+        self.free.push(frame);
+    }
+
+    /// Marks a resident block dirty, enforcing the NVRAM budget.
+    pub fn mark_dirty(&mut self, key: BlockKey, now: SimTime) -> DirtyOutcome {
+        let frame = *self.map.get(&key).expect("mark_dirty on non-resident block");
+        match self.frames[frame as usize].state {
+            BlockState::Dirty { .. } => {
+                self.stats.overwrites += 1;
+                DirtyOutcome::Ok
+            }
+            BlockState::Flushing { since } => {
+                // Re-dirtied under flush: still counted against NVRAM.
+                self.stats.overwrites += 1;
+                self.frames[frame as usize].redirtied = true;
+                let _ = since;
+                DirtyOutcome::Ok
+            }
+            BlockState::Clean => {
+                if self.nvram_used >= self.cfg.nvram_blocks() {
+                    self.stats.nvram_stalls += 1;
+                    let q = QueryView { frames: &self.frames, dirty_age: &self.dirty_age };
+                    let picks = self.flush_policy.on_nvram_full(&q);
+                    return DirtyOutcome::NeedFlush(picks);
+                }
+                self.clean.remove(frame);
+                self.frames[frame as usize].state = BlockState::Dirty { since: now };
+                self.dirty_age.push_back(frame);
+                self.dirty_blocks += 1;
+                self.nvram_used += 1;
+                self.stats.dirtied += 1;
+                DirtyOutcome::Ok
+            }
+        }
+    }
+
+    /// Takes blocks out of the dirty set for flushing.
+    ///
+    /// Returns the keys actually transitioned (already-clean or missing
+    /// keys are skipped — the workload may have raced the policy pick).
+    pub fn begin_flush(&mut self, keys: &[BlockKey]) -> Vec<BlockKey> {
+        let mut out = Vec::with_capacity(keys.len());
+        for &key in keys {
+            let Some(&frame) = self.map.get(&key) else { continue };
+            let BlockState::Dirty { since } = self.frames[frame as usize].state else {
+                continue;
+            };
+            self.frames[frame as usize].state = BlockState::Flushing { since };
+            self.frames[frame as usize].redirtied = false;
+            self.dirty_age.remove(frame);
+            self.dirty_blocks -= 1;
+            self.stats.flushes += 1;
+            out.push(key);
+        }
+        out
+    }
+
+    /// Completes a flush: the block becomes clean (or returns to the
+    /// dirty list if it was re-dirtied mid-flight).
+    pub fn end_flush(&mut self, key: BlockKey, now: SimTime) {
+        let Some(&frame) = self.map.get(&key) else { return };
+        let f = &mut self.frames[frame as usize];
+        let BlockState::Flushing { .. } = f.state else { return };
+        if f.redirtied {
+            f.redirtied = false;
+            f.state = BlockState::Dirty { since: now };
+            self.dirty_age.push_back(frame);
+            self.dirty_blocks += 1;
+            // NVRAM stays charged: the block is still dirty.
+            return;
+        }
+        f.state = BlockState::Clean;
+        self.nvram_used -= 1;
+        let f = &self.frames[frame as usize];
+        self.clean
+            .insert(frame, AccessMeta { now, count: f.access_count, history: &f.history });
+    }
+
+    /// Drops one block (truncate); dirty blocks count as absorbed writes.
+    pub fn remove_block(&mut self, key: BlockKey) {
+        let Some(frame) = self.map.remove(&key) else { return };
+        self.drop_frame(frame);
+    }
+
+    /// Drops every block of `file` (delete); dirty blocks are absorbed.
+    ///
+    /// "Keeping dirty data longer in memory … increases the probability
+    /// that a block is overwritten through truncate and delete calls in
+    /// memory rather than on disk." (§1)
+    pub fn remove_file(&mut self, file: FileId) -> u64 {
+        let keys: Vec<BlockKey> =
+            self.map.keys().filter(|k| k.file == file).copied().collect();
+        let mut absorbed = 0;
+        for key in keys {
+            let was_dirty =
+                matches!(self.state_of(key), Some(BlockState::Dirty { .. }));
+            if was_dirty {
+                absorbed += 1;
+            }
+            self.remove_block(key);
+        }
+        absorbed
+    }
+
+    fn drop_frame(&mut self, frame: u32) {
+        match self.frames[frame as usize].state {
+            BlockState::Clean => {
+                self.clean.remove(frame);
+            }
+            BlockState::Dirty { .. } => {
+                self.dirty_age.remove(frame);
+                self.dirty_blocks -= 1;
+                self.nvram_used -= 1;
+                self.stats.absorbed += 1;
+            }
+            BlockState::Flushing { .. } => {
+                // The in-flight flush still owns the NVRAM charge; its
+                // end_flush will find the block gone and release nothing,
+                // so release here.
+                self.nvram_used -= 1;
+            }
+        }
+        self.frames[frame as usize].state = BlockState::Clean;
+        self.frames[frame as usize].data = None;
+        self.free.push(frame);
+    }
+
+    /// Runs the flush policy's periodic scan; returns blocks to flush.
+    pub fn tick(&mut self, now: SimTime) -> Vec<BlockKey> {
+        let q = QueryView { frames: &self.frames, dirty_age: &self.dirty_age };
+        self.flush_policy.on_tick(&q, now)
+    }
+
+    /// All dirty block keys, oldest first (for sync/unmount).
+    pub fn all_dirty(&self) -> Vec<BlockKey> {
+        self.dirty_age.iter().map(|f| self.frames[f as usize].key).collect()
+    }
+
+    /// Dirty blocks of one file, oldest first.
+    pub fn dirty_of_file(&self, file: FileId) -> Vec<BlockKey> {
+        let q = QueryView { frames: &self.frames, dirty_age: &self.dirty_age };
+        q.dirty_of_file(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flush::{NvramFlush, PeriodicUpdate, WriteSaving};
+    use crate::policy::Lru;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn key(f: u64, b: u64) -> BlockKey {
+        BlockKey::new(FileId(f), b)
+    }
+
+    fn small_cache(frames: u64, nvram_blocks: Option<u64>) -> BlockCache {
+        let cfg = CacheConfig {
+            block_size: 4096,
+            mem_bytes: frames * 4096,
+            nvram_bytes: nvram_blocks.map(|n| n * 4096),
+        };
+        let n = cfg.frames();
+        BlockCache::new(cfg, Box::new(Lru::new(n)), Box::new(WriteSaving::default()))
+    }
+
+    fn insert(c: &mut BlockCache, k: BlockKey, now: SimTime) -> u32 {
+        match c.reserve() {
+            Reserve::Frame(f) => {
+                c.commit(f, k, None, now);
+                f
+            }
+            Reserve::NeedFlush(_) => panic!("unexpected flush need"),
+        }
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = small_cache(4, None);
+        assert!(c.lookup(key(1, 0), t(0)).is_none());
+        insert(&mut c, key(1, 0), t(1));
+        assert!(c.lookup(key(1, 0), t(2)).is_some());
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_follows_lru() {
+        let mut c = small_cache(2, None);
+        insert(&mut c, key(1, 0), t(0));
+        insert(&mut c, key(1, 1), t(1));
+        // Touch block 0 so block 1 is LRU.
+        c.lookup(key(1, 0), t(2));
+        insert(&mut c, key(1, 2), t(3));
+        assert!(c.peek(key(1, 0)).is_some());
+        assert!(c.peek(key(1, 1)).is_none(), "LRU victim should be evicted");
+        assert!(c.peek(key(1, 2)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn all_dirty_blocks_demand_flush() {
+        let mut c = small_cache(2, None);
+        insert(&mut c, key(1, 0), t(0));
+        insert(&mut c, key(2, 0), t(1));
+        assert_eq!(c.mark_dirty(key(1, 0), t(2)), DirtyOutcome::Ok);
+        assert_eq!(c.mark_dirty(key(2, 0), t(3)), DirtyOutcome::Ok);
+        match c.reserve() {
+            Reserve::NeedFlush(picks) => {
+                // WriteSaving partial: oldest dirty block.
+                assert_eq!(picks, vec![key(1, 0)]);
+            }
+            Reserve::Frame(_) => panic!("no clean frame should exist"),
+        }
+        // Flush it and retry.
+        let started = c.begin_flush(&[key(1, 0)]);
+        assert_eq!(started, vec![key(1, 0)]);
+        c.end_flush(key(1, 0), t(4));
+        match c.reserve() {
+            Reserve::Frame(f) => {
+                // The freed frame previously held file1:0 (evicted clean).
+                c.commit(f, key(3, 0), None, t(5));
+            }
+            Reserve::NeedFlush(_) => panic!("clean frame available after flush"),
+        }
+        assert!(c.peek(key(1, 0)).is_none());
+    }
+
+    #[test]
+    fn nvram_budget_enforced() {
+        let mut c = small_cache(8, Some(2));
+        for b in 0..3 {
+            insert(&mut c, key(1, b), t(b));
+        }
+        assert_eq!(c.mark_dirty(key(1, 0), t(10)), DirtyOutcome::Ok);
+        assert_eq!(c.mark_dirty(key(1, 1), t(11)), DirtyOutcome::Ok);
+        // Third dirty exceeds the 2-block NVRAM.
+        match c.mark_dirty(key(1, 2), t(12)) {
+            DirtyOutcome::NeedFlush(picks) => assert_eq!(picks, vec![key(1, 0)]),
+            DirtyOutcome::Ok => panic!("NVRAM limit not enforced"),
+        }
+        assert_eq!(c.stats().nvram_stalls, 1);
+        // Flush oldest; now the third write fits.
+        c.begin_flush(&[key(1, 0)]);
+        c.end_flush(key(1, 0), t(13));
+        assert_eq!(c.mark_dirty(key(1, 2), t(14)), DirtyOutcome::Ok);
+        assert_eq!(c.nvram_used(), 2);
+    }
+
+    #[test]
+    fn delete_absorbs_dirty_blocks() {
+        let mut c = small_cache(8, None);
+        for b in 0..4 {
+            insert(&mut c, key(9, b), t(b));
+            c.mark_dirty(key(9, b), t(b + 10));
+        }
+        insert(&mut c, key(2, 0), t(50));
+        let absorbed = c.remove_file(FileId(9));
+        assert_eq!(absorbed, 4);
+        assert_eq!(c.stats().absorbed, 4);
+        assert_eq!(c.dirty_count(), 0);
+        assert!(c.peek(key(9, 0)).is_none());
+        assert!(c.peek(key(2, 0)).is_some());
+        assert!(c.stats().absorption_rate() > 0.99);
+    }
+
+    #[test]
+    fn overwrite_of_dirty_coalesces() {
+        let mut c = small_cache(4, None);
+        insert(&mut c, key(1, 0), t(0));
+        c.mark_dirty(key(1, 0), t(1));
+        c.mark_dirty(key(1, 0), t(2));
+        c.mark_dirty(key(1, 0), t(3));
+        let s = c.stats();
+        assert_eq!(s.dirtied, 1);
+        assert_eq!(s.overwrites, 2);
+        assert_eq!(c.dirty_count(), 1);
+    }
+
+    #[test]
+    fn redirty_during_flush_stays_dirty() {
+        let mut c = small_cache(4, None);
+        insert(&mut c, key(1, 0), t(0));
+        c.mark_dirty(key(1, 0), t(1));
+        c.begin_flush(&[key(1, 0)]);
+        // Write lands while the flush is in flight.
+        assert_eq!(c.mark_dirty(key(1, 0), t(2)), DirtyOutcome::Ok);
+        c.end_flush(key(1, 0), t(3));
+        assert!(matches!(c.state_of(key(1, 0)), Some(BlockState::Dirty { .. })));
+        assert_eq!(c.dirty_count(), 1);
+    }
+
+    #[test]
+    fn periodic_policy_ticks_old_files() {
+        let cfg = CacheConfig { block_size: 4096, mem_bytes: 8 * 4096, nvram_bytes: None };
+        let n = cfg.frames();
+        let mut c = BlockCache::new(
+            cfg,
+            Box::new(Lru::new(n)),
+            Box::new(PeriodicUpdate::default()),
+        );
+        assert_eq!(c.tick_interval(), Some(SimDuration::from_secs(5)));
+        insert(&mut c, key(1, 0), t(0));
+        c.mark_dirty(key(1, 0), t(0));
+        insert(&mut c, key(2, 0), t(0));
+        c.mark_dirty(key(2, 0), SimTime::from_nanos(20_000_000_000));
+        // At t=31 s only file 1 exceeds 30 s.
+        let picks = c.tick(SimTime::from_nanos(31_000_000_000));
+        assert_eq!(picks, vec![key(1, 0)]);
+        // At t=51 s both are over 30 s: both files picked.
+        let picks = c.tick(SimTime::from_nanos(51_000_000_000));
+        assert_eq!(picks, vec![key(1, 0), key(2, 0)]);
+    }
+
+    #[test]
+    fn nvram_whole_file_policy_selects_file_group() {
+        let cfg =
+            CacheConfig { block_size: 4096, mem_bytes: 8 * 4096, nvram_bytes: Some(3 * 4096) };
+        let n = cfg.frames();
+        let mut c = BlockCache::new(
+            cfg,
+            Box::new(Lru::new(n)),
+            Box::new(NvramFlush { whole_file: true }),
+        );
+        insert(&mut c, key(1, 0), t(0));
+        insert(&mut c, key(1, 1), t(1));
+        insert(&mut c, key(2, 0), t(2));
+        insert(&mut c, key(2, 1), t(3));
+        c.mark_dirty(key(1, 0), t(10));
+        c.mark_dirty(key(2, 0), t(11));
+        c.mark_dirty(key(1, 1), t(12));
+        match c.mark_dirty(key(2, 1), t(13)) {
+            DirtyOutcome::NeedFlush(picks) => {
+                // Whole file of the oldest (file 1), in age order.
+                assert_eq!(picks, vec![key(1, 0), key(1, 1)]);
+            }
+            DirtyOutcome::Ok => panic!("NVRAM should be full"),
+        }
+    }
+
+    #[test]
+    fn begin_flush_skips_clean_and_missing() {
+        let mut c = small_cache(4, None);
+        insert(&mut c, key(1, 0), t(0));
+        let started = c.begin_flush(&[key(1, 0), key(5, 5)]);
+        assert!(started.is_empty());
+    }
+
+    #[test]
+    fn data_round_trip() {
+        let mut c = small_cache(4, None);
+        let f = match c.reserve() {
+            Reserve::Frame(f) => f,
+            _ => unreachable!(),
+        };
+        c.commit(f, key(1, 0), Some(vec![7u8; 4096]), t(0));
+        assert_eq!(c.data(f).unwrap()[0], 7);
+        c.data_mut(f).unwrap()[0] = 9;
+        assert_eq!(c.data(f).unwrap()[0], 9);
+    }
+}

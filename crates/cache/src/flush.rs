@@ -1,0 +1,306 @@
+//! Cache flush (persistency) policies — the subject of the paper's
+//! evaluation (§5.1).
+//!
+//! * [`PeriodicUpdate`] — the Unix SVR4 30-second-update baseline: "a
+//!   derived class that examines the contents of the cache every couple
+//!   of seconds. When it detects that there exists a dirty block older
+//!   than 30 seconds, it flushes the file associated to the oldest
+//!   block." (§2)
+//! * [`WriteSaving`] — the UPS experiment: dirty data stays in (battery-
+//!   backed) RAM and is flushed only when the cache runs out of clean
+//!   blocks.
+//! * [`NvramFlush`] — the NVRAM experiments: dirty data may only live in
+//!   a small NVRAM; when it fills, flush either the single oldest block
+//!   (partial-file) or every dirty block of the oldest block's file
+//!   (whole-file).
+
+use cnp_sim::{SimDuration, SimTime};
+
+use crate::key::{BlockKey, FileId};
+
+/// Read-only view of cache state offered to flush policies.
+pub trait CacheQuery {
+    /// The oldest dirty block (front of the age list), if any.
+    fn oldest_dirty(&self) -> Option<(BlockKey, SimTime)>;
+
+    /// All dirty blocks of `file`, oldest first.
+    fn dirty_of_file(&self, file: FileId) -> Vec<BlockKey>;
+
+    /// Number of dirty blocks.
+    fn dirty_count(&self) -> usize;
+
+    /// Oldest dirty block whose key is not in `excluded`.
+    ///
+    /// The default falls back to [`CacheQuery::oldest_dirty`]; engines
+    /// with an age list override this to keep walking past exclusions.
+    fn oldest_dirty_excluding(&self, excluded: &[BlockKey]) -> Option<(BlockKey, SimTime)> {
+        let (k, t) = self.oldest_dirty()?;
+        if excluded.contains(&k) {
+            None
+        } else {
+            Some((k, t))
+        }
+    }
+}
+
+/// A flush (persistency) policy.
+pub trait FlushPolicy {
+    /// Policy name for configuration and reports.
+    fn name(&self) -> &'static str;
+
+    /// If `Some`, the engine arranges a periodic scan at this interval.
+    fn tick_interval(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// Periodic scan: returns blocks to flush now.
+    fn on_tick(&mut self, _q: &dyn CacheQuery, _now: SimTime) -> Vec<BlockKey> {
+        Vec::new()
+    }
+
+    /// The cache needs a clean frame and has none: pick blocks to flush.
+    fn on_demand(&mut self, q: &dyn CacheQuery) -> Vec<BlockKey>;
+
+    /// A write needs NVRAM space: pick blocks to flush.
+    ///
+    /// Defaults to the demand path (policies without NVRAM semantics).
+    fn on_nvram_full(&mut self, q: &dyn CacheQuery) -> Vec<BlockKey> {
+        self.on_demand(q)
+    }
+}
+
+/// Picks the oldest dirty block, expanded to its whole file if asked.
+fn oldest_selection(q: &dyn CacheQuery, whole_file: bool) -> Vec<BlockKey> {
+    match q.oldest_dirty() {
+        None => Vec::new(),
+        Some((key, _since)) => {
+            if whole_file {
+                q.dirty_of_file(key.file)
+            } else {
+                vec![key]
+            }
+        }
+    }
+}
+
+/// The 30-second-update baseline (the paper's *write-delay* experiment).
+#[derive(Debug, Clone)]
+pub struct PeriodicUpdate {
+    /// Scan cadence ("every couple of seconds").
+    pub scan_every: SimDuration,
+    /// Age at which dirty data must reach the disk (30 s).
+    pub max_age: SimDuration,
+    /// Flush the whole file of the oldest block (paper behaviour) or
+    /// just the block itself.
+    pub whole_file: bool,
+}
+
+impl Default for PeriodicUpdate {
+    fn default() -> Self {
+        PeriodicUpdate {
+            scan_every: SimDuration::from_secs(5),
+            max_age: SimDuration::from_secs(30),
+            whole_file: true,
+        }
+    }
+}
+
+impl FlushPolicy for PeriodicUpdate {
+    fn name(&self) -> &'static str {
+        "write-delay-30s"
+    }
+
+    fn tick_interval(&self) -> Option<SimDuration> {
+        Some(self.scan_every)
+    }
+
+    fn on_tick(&mut self, q: &dyn CacheQuery, now: SimTime) -> Vec<BlockKey> {
+        let mut out = Vec::new();
+        // Flush the file of every dirty block that exceeded max_age.
+        // Walk by repeatedly consulting the oldest entry, collecting file
+        // groups (the query reflects pre-flush state, so guard against
+        // re-collecting the same file).
+        let mut seen_files = Vec::new();
+        loop {
+            let Some((key, since)) = q.oldest_dirty_excluding(&out) else { break };
+            if now.saturating_since(since) < self.max_age {
+                break;
+            }
+            if seen_files.contains(&key.file) {
+                // Same file still oldest: flush the lone block to make
+                // progress (shouldn't happen — dirty_of_file collects all).
+                out.push(key);
+                continue;
+            }
+            seen_files.push(key.file);
+            if self.whole_file {
+                for k in q.dirty_of_file(key.file) {
+                    if !out.contains(&k) {
+                        out.push(k);
+                    }
+                }
+            } else {
+                out.push(key);
+            }
+        }
+        out
+    }
+
+    fn on_demand(&mut self, q: &dyn CacheQuery) -> Vec<BlockKey> {
+        oldest_selection(q, self.whole_file)
+    }
+}
+
+/// Write-saving with a UPS: flush only under memory pressure.
+///
+/// "we equip the file-system with a UPS and only flush a cache block
+/// when we are out of non-dirty cache-blocks" (§5.1)
+#[derive(Debug, Clone)]
+pub struct WriteSaving {
+    /// Expand demand flushes to the whole file of the oldest block.
+    pub whole_file: bool,
+}
+
+impl Default for WriteSaving {
+    fn default() -> Self {
+        WriteSaving { whole_file: false }
+    }
+}
+
+impl FlushPolicy for WriteSaving {
+    fn name(&self) -> &'static str {
+        "write-saving-ups"
+    }
+
+    fn on_demand(&mut self, q: &dyn CacheQuery) -> Vec<BlockKey> {
+        oldest_selection(q, self.whole_file)
+    }
+}
+
+/// NVRAM-bounded dirty data.
+///
+/// "we equip the file-system with 4 MBs of NVRAM and we disallow dirty
+/// data to reside in volatile-RAM. If the NVRAM is full … we flush the
+/// oldest dirty block to disk. For the NVRAM case we consider two flush
+/// policies: … the whole file associated with the oldest block … and …
+/// only the oldest block." (§5.1)
+#[derive(Debug, Clone)]
+pub struct NvramFlush {
+    /// Whole-file (true) vs partial-file/single-block (false) flush.
+    pub whole_file: bool,
+}
+
+impl FlushPolicy for NvramFlush {
+    fn name(&self) -> &'static str {
+        if self.whole_file {
+            "nvram-whole-file"
+        } else {
+            "nvram-partial-file"
+        }
+    }
+
+    fn on_demand(&mut self, q: &dyn CacheQuery) -> Vec<BlockKey> {
+        oldest_selection(q, self.whole_file)
+    }
+
+    fn on_nvram_full(&mut self, q: &dyn CacheQuery) -> Vec<BlockKey> {
+        oldest_selection(q, self.whole_file)
+    }
+}
+
+/// Named construction for experiment configuration.
+///
+/// Names: `write-delay`, `ups`, `ups-whole`, `nvram-whole`, `nvram-partial`.
+pub fn flush_by_name(name: &str) -> Option<Box<dyn FlushPolicy>> {
+    match name {
+        "write-delay" | "30s" => Some(Box::new(PeriodicUpdate::default())),
+        "ups" => Some(Box::new(WriteSaving { whole_file: false })),
+        "ups-whole" => Some(Box::new(WriteSaving { whole_file: true })),
+        "nvram-whole" => Some(Box::new(NvramFlush { whole_file: true })),
+        "nvram-partial" => Some(Box::new(NvramFlush { whole_file: false })),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted cache view for policy unit tests.
+    struct FakeQuery {
+        dirty: Vec<(BlockKey, SimTime)>,
+    }
+
+    impl CacheQuery for FakeQuery {
+        fn oldest_dirty(&self) -> Option<(BlockKey, SimTime)> {
+            self.dirty.first().copied()
+        }
+
+        fn dirty_of_file(&self, file: FileId) -> Vec<BlockKey> {
+            self.dirty.iter().filter(|(k, _)| k.file == file).map(|(k, _)| *k).collect()
+        }
+
+        fn dirty_count(&self) -> usize {
+            self.dirty.len()
+        }
+    }
+
+    fn key(f: u64, b: u64) -> BlockKey {
+        BlockKey::new(FileId(f), b)
+    }
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::from_nanos(secs * 1_000_000_000)
+    }
+
+    #[test]
+    fn periodic_flushes_old_files_only() {
+        let mut p = PeriodicUpdate::default();
+        let q = FakeQuery {
+            dirty: vec![(key(1, 0), at(0)), (key(1, 3), at(5)), (key(2, 0), at(40))],
+        };
+        // At t=35 only file 1's blocks exceed 30 s (oldest is at t=0).
+        let picked = p.on_tick(&q, at(35));
+        assert_eq!(picked, vec![key(1, 0), key(1, 3)]);
+        // At t=10 nothing is old enough.
+        let mut p2 = PeriodicUpdate::default();
+        assert!(p2.on_tick(&q, at(10)).is_empty());
+    }
+
+    #[test]
+    fn ups_flushes_nothing_on_tick() {
+        let mut p = WriteSaving::default();
+        assert!(p.tick_interval().is_none());
+        let q = FakeQuery { dirty: vec![(key(1, 0), at(0))] };
+        assert_eq!(p.on_demand(&q), vec![key(1, 0)]);
+    }
+
+    #[test]
+    fn nvram_whole_vs_partial() {
+        let q = FakeQuery {
+            dirty: vec![(key(7, 0), at(0)), (key(7, 1), at(1)), (key(8, 0), at(2))],
+        };
+        let mut whole = NvramFlush { whole_file: true };
+        assert_eq!(whole.on_nvram_full(&q), vec![key(7, 0), key(7, 1)]);
+        let mut partial = NvramFlush { whole_file: false };
+        assert_eq!(partial.on_nvram_full(&q), vec![key(7, 0)]);
+    }
+
+    #[test]
+    fn empty_cache_yields_no_flushes() {
+        let q = FakeQuery { dirty: vec![] };
+        let mut p = PeriodicUpdate::default();
+        assert!(p.on_tick(&q, at(100)).is_empty());
+        assert!(p.on_demand(&q).is_empty());
+        let mut n = NvramFlush { whole_file: true };
+        assert!(n.on_nvram_full(&q).is_empty());
+    }
+
+    #[test]
+    fn factory_names() {
+        for n in ["write-delay", "ups", "ups-whole", "nvram-whole", "nvram-partial"] {
+            assert!(flush_by_name(n).is_some(), "{n}");
+        }
+        assert!(flush_by_name("wafl").is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! File-system engine configuration: the cut-and-paste wiring point.
+//!
+//! Every policy the paper's components expose is selected here by name,
+//! so a Patsy experiment and a PFS instance differ only in configuration.
+
+use cnp_cache::CacheConfig;
+use cnp_sim::SimDuration;
+
+/// Whether user file data carries real bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    /// On-line (PFS): every block carries real bytes.
+    Real,
+    /// Off-line (Patsy): user data is length-only; metadata stays real.
+    Simulated,
+}
+
+/// How cache flushes requested by policies are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushMode {
+    /// A dedicated flush daemon performs the I/O (the §5.2 lesson).
+    Async,
+    /// The requesting task performs the flush inline (the bottleneck the
+    /// paper found; kept for ablation A2).
+    Sync,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct FsConfig {
+    /// Cache geometry (memory size, block size, optional NVRAM bound).
+    pub cache: CacheConfig,
+    /// Replacement policy name (`lru`, `fifo`, `random`, `lfu`, `slru`,
+    /// `lru-k`).
+    pub replacement: String,
+    /// Flush policy name (`write-delay`, `ups`, `ups-whole`,
+    /// `nvram-whole`, `nvram-partial`).
+    pub flush: String,
+    /// Flush execution mode.
+    pub flush_mode: FlushMode,
+    /// Real or simulated user data.
+    pub data_mode: DataMode,
+    /// Simulated cost of copying one cache block ("the simulator delays
+    /// the current thread for the amount of time it would take to copy
+    /// the data", §2).
+    pub copy_cost: SimDuration,
+    /// Fixed per-operation request-handling overhead.
+    pub op_overhead: SimDuration,
+    /// Blocks a multimedia (active) file prefetches ahead.
+    pub mm_prefetch: u64,
+    /// Resident-block cap for multimedia files (their derived cache
+    /// policy keeps them from flooding the cache, §2).
+    pub mm_resident_cap: u64,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        FsConfig {
+            cache: CacheConfig {
+                block_size: 4096,
+                mem_bytes: 16 * 1024 * 1024,
+                nvram_bytes: None,
+            },
+            replacement: "lru".to_string(),
+            flush: "write-delay".to_string(),
+            flush_mode: FlushMode::Async,
+            data_mode: DataMode::Simulated,
+            copy_cost: SimDuration::from_micros(80),
+            op_overhead: SimDuration::from_micros(100),
+            mm_prefetch: 8,
+            mm_resident_cap: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_writedelay_lru_async() {
+        let c = FsConfig::default();
+        assert_eq!(c.replacement, "lru");
+        assert_eq!(c.flush, "write-delay");
+        assert_eq!(c.flush_mode, FlushMode::Async);
+        assert_eq!(c.cache.frames(), 4096);
+    }
+}

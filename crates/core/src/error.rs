@@ -1,0 +1,50 @@
+//! File-system error type.
+
+use cnp_layout::LayoutError;
+
+/// Errors surfaced by the abstract client interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path component not found.
+    NotFound(String),
+    /// Target already exists.
+    Exists(String),
+    /// Operation requires a directory.
+    NotADirectory(String),
+    /// Operation requires a non-directory.
+    IsADirectory(String),
+    /// Directory not empty on rmdir.
+    NotEmpty(String),
+    /// Malformed path or name.
+    BadPath(String),
+    /// Underlying layout/disk failure.
+    Layout(LayoutError),
+    /// Offset/length beyond the representable file size.
+    TooBig,
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "not found: {p}"),
+            FsError::Exists(p) => write!(f, "already exists: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::BadPath(p) => write!(f, "bad path: {p}"),
+            FsError::Layout(e) => write!(f, "layout error: {e}"),
+            FsError::TooBig => write!(f, "file too big"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<LayoutError> for FsError {
+    fn from(e: LayoutError) -> Self {
+        FsError::Layout(e)
+    }
+}
+
+/// Result alias for file-system operations.
+pub type FsResult<T> = Result<T, FsError>;

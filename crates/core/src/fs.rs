@@ -1,0 +1,1230 @@
+//! The file-system engine: abstract client interface over cache + layout.
+//!
+//! This is the cut-and-paste glue (§2): the *abstract client interface*
+//! ("functions to open, close, read, write or delete a file and …
+//! functions to manipulate an hierarchical name-space"), the global file
+//! table, and the orchestration between the block cache's flush policies
+//! and the storage layout. The same engine instantiates as Patsy
+//! ([`DataMode::Simulated`], virtual clock) and as PFS
+//! ([`DataMode::Real`], file-backed driver) — only configuration differs.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cnp_cache::{
+    flush_by_name, replacement_by_name, BlockCache, BlockKey, DirtyOutcome, FileId, Reserve,
+};
+use cnp_disk::{DiskDriver, Payload};
+use cnp_layout::dir::{self, Dirent};
+use cnp_layout::{
+    BlockAddr, FileKind, Ino, Inode, Layout, LayoutError, LayoutStats, StorageLayout, BLOCK_SIZE,
+    MAX_FILE_BLOCKS,
+};
+use cnp_sim::{channel, Event, Handle, Receiver, Sender, SimMutex};
+
+use crate::config::{DataMode, FlushMode, FsConfig};
+use crate::error::{FsError, FsResult};
+
+/// Engine-level counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsStats {
+    /// Client operations served.
+    pub ops: u64,
+    /// Read operations.
+    pub reads: u64,
+    /// Write operations.
+    pub writes: u64,
+    /// Create operations (files + directories + symlinks).
+    pub creates: u64,
+    /// Unlink/rmdir operations.
+    pub deletes: u64,
+    /// Bytes read by clients.
+    pub bytes_read: u64,
+    /// Bytes written by clients.
+    pub bytes_written: u64,
+    /// Dirty blocks absorbed (deleted/truncated before reaching disk).
+    pub absorbed_blocks: u64,
+    /// Flush batches executed.
+    pub flush_batches: u64,
+    /// Blocks flushed to the layout.
+    pub blocks_flushed: u64,
+}
+
+struct Shared {
+    handle: Handle,
+    cfg: FsConfig,
+    cache: RefCell<BlockCache>,
+    layout: SimMutex<Layout>,
+    io: cnp_layout::BlockIo,
+    driver: DiskDriver,
+    inodes: RefCell<HashMap<Ino, Rc<RefCell<Inode>>>>,
+    open_counts: RefCell<HashMap<Ino, u32>>,
+    inflight: RefCell<HashMap<BlockKey, Event>>,
+    /// Serializes directory read-modify-write sequences.
+    ns_lock: SimMutex<()>,
+    flush_tx: RefCell<Option<Sender<Vec<BlockKey>>>>,
+    flush_done: Event,
+    shutdown: Cell<bool>,
+    stats: RefCell<FsStats>,
+}
+
+/// The instantiated file system (cloneable handle).
+#[derive(Clone)]
+pub struct FileSystem {
+    s: Rc<Shared>,
+}
+
+impl FileSystem {
+    /// Builds an engine over a layout; spawns the flush daemon and the
+    /// flush policy's periodic scan task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` names an unknown replacement or flush policy.
+    pub fn new(handle: &Handle, layout: Layout, cfg: FsConfig) -> FileSystem {
+        let frames = cfg.cache.frames();
+        let replacement = replacement_by_name(&cfg.replacement, frames, handle.fork_rng())
+            .unwrap_or_else(|| panic!("unknown replacement policy {}", cfg.replacement));
+        let flush = flush_by_name(&cfg.flush)
+            .unwrap_or_else(|| panic!("unknown flush policy {}", cfg.flush));
+        let cache = BlockCache::new(cfg.cache.clone(), replacement, flush);
+        let driver = layout.driver().clone();
+        let io = cnp_layout::BlockIo::new(driver.clone());
+        let s = Rc::new(Shared {
+            handle: handle.clone(),
+            cfg,
+            cache: RefCell::new(cache),
+            layout: SimMutex::new(handle, layout),
+            io,
+            driver,
+            inodes: RefCell::new(HashMap::new()),
+            open_counts: RefCell::new(HashMap::new()),
+            inflight: RefCell::new(HashMap::new()),
+            ns_lock: SimMutex::new(handle, ()),
+            flush_tx: RefCell::new(None),
+            flush_done: Event::new(handle),
+            shutdown: Cell::new(false),
+            stats: RefCell::new(FsStats::default()),
+        });
+        let fs = FileSystem { s };
+        fs.spawn_daemons();
+        fs
+    }
+
+    fn spawn_daemons(&self) {
+        let handle = self.s.handle.clone();
+        if self.s.cfg.flush_mode == FlushMode::Async {
+            let (tx, rx) = channel::<Vec<BlockKey>>(&handle);
+            *self.s.flush_tx.borrow_mut() = Some(tx);
+            let fs = self.clone();
+            handle.spawn("fs:flush-daemon", async move {
+                fs.flush_daemon(rx).await;
+            });
+        }
+        // Periodic flush-policy scan (e.g. the 30-second-update timer).
+        let interval = self.s.cache.borrow().tick_interval();
+        if let Some(interval) = interval {
+            let fs = self.clone();
+            let h = handle.clone();
+            handle.spawn("fs:update-daemon", async move {
+                loop {
+                    h.sleep(interval).await;
+                    if fs.s.shutdown.get() {
+                        break;
+                    }
+                    let keys = fs.s.cache.borrow_mut().tick(h.now());
+                    if !keys.is_empty() {
+                        fs.execute_or_enqueue(keys).await;
+                    }
+                }
+            });
+        }
+    }
+
+    async fn flush_daemon(&self, rx: Receiver<Vec<BlockKey>>) {
+        while let Some(keys) = rx.recv().await {
+            self.do_flush(keys).await;
+            self.s.flush_done.signal();
+        }
+    }
+
+    /// Stops background daemons (drains nothing; call after `unmount`).
+    pub fn shutdown(&self) {
+        self.s.shutdown.set(true);
+        *self.s.flush_tx.borrow_mut() = None;
+        self.s.flush_done.signal();
+        self.s.driver.shutdown();
+    }
+
+    /// Simulation handle this engine runs on.
+    pub fn handle(&self) -> &Handle {
+        &self.s.handle
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> FsStats {
+        *self.s.stats.borrow()
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> cnp_cache::CacheStats {
+        self.s.cache.borrow().stats()
+    }
+
+    /// Driver statistics (queue/service/rotation histograms).
+    pub fn driver_stats(&self) -> cnp_disk::DriverStats {
+        self.s.driver.stats()
+    }
+
+    /// Layout statistics; `None` while the layout lock is held.
+    pub fn layout_stats(&self) -> Option<LayoutStats> {
+        self.s.layout.try_lock().map(|g| g.get().stats())
+    }
+
+    /// Installed policy names `(replacement, flush)`.
+    pub fn policy_names(&self) -> (&'static str, &'static str) {
+        self.s.cache.borrow().policy_names()
+    }
+
+    /// Formats the underlying layout (mkfs) and writes an empty root.
+    pub async fn format(&self) -> FsResult<()> {
+        let g = self.s.layout.lock().await;
+        g.get_mut().format().await?;
+        Ok(())
+    }
+
+    /// Mounts an existing file system.
+    pub async fn mount(&self) -> FsResult<()> {
+        let g = self.s.layout.lock().await;
+        g.get_mut().mount().await?;
+        Ok(())
+    }
+
+    /// Flushes everything and checkpoints the layout.
+    pub async fn sync(&self) -> FsResult<()> {
+        let dirty = self.s.cache.borrow().all_dirty();
+        if !dirty.is_empty() {
+            self.do_flush(dirty).await;
+            self.s.flush_done.signal();
+        }
+        // Persist in-memory inodes (sizes may be newer than last flush).
+        let inos: Vec<Ino> = self.s.inodes.borrow().keys().copied().collect();
+        let g = self.s.layout.lock().await;
+        for ino in inos {
+            let inode = {
+                let t = self.s.inodes.borrow();
+                t.get(&ino).map(|rc| rc.borrow().clone())
+            };
+            if let Some(inode) = inode {
+                match g.get_mut().put_inode(&inode).await {
+                    Ok(()) | Err(LayoutError::BadInode(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        g.get_mut().sync().await?;
+        Ok(())
+    }
+
+    /// Syncs and unmounts.
+    pub async fn unmount(&self) -> FsResult<()> {
+        self.sync().await?;
+        let g = self.s.layout.lock().await;
+        g.get_mut().unmount().await?;
+        Ok(())
+    }
+
+    // ----- Namespace operations (the abstract client interface) -----
+
+    /// Resolves a path to an inode number.
+    pub async fn lookup(&self, path: &str) -> FsResult<Ino> {
+        self.op_begin().await;
+        self.resolve(path).await
+    }
+
+    /// Creates a regular (or typed) file; returns its inode number.
+    pub async fn create(&self, path: &str, kind: FileKind) -> FsResult<Ino> {
+        self.op_begin().await;
+        self.s.stats.borrow_mut().creates += 1;
+        if kind == FileKind::Directory {
+            return self.mkdir_inner(path).await;
+        }
+        let _ns = self.s.ns_lock.lock().await;
+        let (dir_ino, name) = self.resolve_parent(path).await?;
+        let mut entries = self.read_dir_entries(dir_ino).await?;
+        if dir::find(&entries, &name).is_some() {
+            return Err(FsError::Exists(path.to_string()));
+        }
+        let inode = {
+            let g = self.s.layout.lock().await;
+            let now = self.s.handle.now().as_nanos();
+            let inode = g.get_mut().alloc_ino(kind, now)?;
+            inode
+        };
+        let ino = inode.ino;
+        self.s.inodes.borrow_mut().insert(ino, Rc::new(RefCell::new(inode.clone())));
+        {
+            let g = self.s.layout.lock().await;
+            g.get_mut().put_inode(&inode).await?;
+        }
+        dir::add_entry(&mut entries, Dirent { ino, kind, name })
+            .map_err(|e| FsError::BadPath(e))?;
+        self.write_dir_entries(dir_ino, &entries).await?;
+        Ok(ino)
+    }
+
+    /// Creates a directory.
+    pub async fn mkdir(&self, path: &str) -> FsResult<Ino> {
+        self.op_begin().await;
+        self.s.stats.borrow_mut().creates += 1;
+        self.mkdir_inner(path).await
+    }
+
+    async fn mkdir_inner(&self, path: &str) -> FsResult<Ino> {
+        let _ns = self.s.ns_lock.lock().await;
+        let (dir_ino, name) = self.resolve_parent(path).await?;
+        let mut entries = self.read_dir_entries(dir_ino).await?;
+        if dir::find(&entries, &name).is_some() {
+            return Err(FsError::Exists(path.to_string()));
+        }
+        let inode = {
+            let g = self.s.layout.lock().await;
+            let now = self.s.handle.now().as_nanos();
+            let inode = g.get_mut().alloc_ino(FileKind::Directory, now)?;
+            g.get_mut().put_inode(&inode).await?;
+            inode
+        };
+        let ino = inode.ino;
+        self.s.inodes.borrow_mut().insert(ino, Rc::new(RefCell::new(inode)));
+        dir::add_entry(&mut entries, Dirent { ino, kind: FileKind::Directory, name })
+            .map_err(FsError::BadPath)?;
+        self.write_dir_entries(dir_ino, &entries).await?;
+        Ok(ino)
+    }
+
+    /// Lists a directory.
+    pub async fn readdir(&self, path: &str) -> FsResult<Vec<Dirent>> {
+        self.op_begin().await;
+        let ino = self.resolve(path).await?;
+        self.read_dir_entries(ino).await
+    }
+
+    /// Opens a file, bumping its open count; spawns the prefetch thread
+    /// of multimedia ("active") files on first open.
+    pub async fn open(&self, path: &str) -> FsResult<Ino> {
+        self.op_begin().await;
+        let ino = self.resolve(path).await?;
+        let inode = self.get_inode_rc(ino).await?;
+        let kind = inode.borrow().kind;
+        let first_open = {
+            let mut oc = self.s.open_counts.borrow_mut();
+            let c = oc.entry(ino).or_insert(0);
+            *c += 1;
+            *c == 1
+        };
+        if first_open && kind == FileKind::Multimedia {
+            let fs = self.clone();
+            self.s.handle.spawn(&format!("mm-prefetch:{ino}"), async move {
+                fs.multimedia_prefetch(ino).await;
+            });
+        }
+        Ok(ino)
+    }
+
+    /// Closes an open file.
+    pub async fn close(&self, ino: Ino) -> FsResult<()> {
+        self.op_begin().await;
+        let mut oc = self.s.open_counts.borrow_mut();
+        if let Some(c) = oc.get_mut(&ino) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                oc.remove(&ino);
+            }
+        }
+        Ok(())
+    }
+
+    /// Stats a file by path.
+    pub async fn stat(&self, path: &str) -> FsResult<Inode> {
+        self.op_begin().await;
+        let ino = self.resolve(path).await?;
+        let rc = self.get_inode_rc(ino).await?;
+        let inode = rc.borrow().clone();
+        Ok(inode)
+    }
+
+    /// Reads `len` bytes at `offset`; returns the bytes read (real mode)
+    /// or the byte count only (simulated mode).
+    pub async fn read(&self, ino: Ino, offset: u64, len: u64) -> FsResult<(u64, Option<Vec<u8>>)> {
+        self.op_begin().await;
+        {
+            let mut st = self.s.stats.borrow_mut();
+            st.reads += 1;
+        }
+        let rc = self.get_inode_rc(ino).await?;
+        let size = rc.borrow().size;
+        if offset >= size {
+            return Ok((0, self.empty_data()));
+        }
+        let end = (offset + len).min(size);
+        let bs = BLOCK_SIZE as u64;
+        let mut out: Option<Vec<u8>> = match self.s.cfg.data_mode {
+            DataMode::Real => Some(Vec::with_capacity((end - offset) as usize)),
+            DataMode::Simulated => None,
+        };
+        let mut pos = offset;
+        while pos < end {
+            let blk = pos / bs;
+            let lo = (pos % bs) as usize;
+            let hi = ((end - blk * bs).min(bs)) as usize;
+            let data = self.read_block_cached(ino, blk).await?;
+            if let (Some(out), Some(data)) = (out.as_mut(), data.as_ref()) {
+                out.extend_from_slice(&data[lo..hi]);
+            }
+            pos = blk * bs + hi as u64;
+        }
+        self.s.stats.borrow_mut().bytes_read += end - offset;
+        Ok((end - offset, out))
+    }
+
+    /// Writes `len` bytes at `offset` (data may be `None` off-line).
+    pub async fn write(
+        &self,
+        ino: Ino,
+        offset: u64,
+        len: u64,
+        data: Option<&[u8]>,
+    ) -> FsResult<u64> {
+        self.op_begin().await;
+        {
+            let mut st = self.s.stats.borrow_mut();
+            st.writes += 1;
+        }
+        let bs = BLOCK_SIZE as u64;
+        let end = offset + len;
+        if end.div_ceil(bs) > MAX_FILE_BLOCKS {
+            return Err(FsError::TooBig);
+        }
+        let rc = self.get_inode_rc(ino).await?;
+        let old_size = rc.borrow().size;
+        let mut pos = offset;
+        while pos < end {
+            let blk = pos / bs;
+            let lo = (pos % bs) as usize;
+            let hi = ((end - blk * bs).min(bs)) as usize;
+            let whole = lo == 0 && hi == bs as usize;
+            let block_data: Option<Vec<u8>> = match self.s.cfg.data_mode {
+                DataMode::Simulated => None,
+                DataMode::Real => {
+                    let mut base = if whole || blk * bs >= old_size {
+                        vec![0u8; bs as usize]
+                    } else {
+                        // Partial overwrite of existing data: read-modify.
+                        self.read_block_cached(ino, blk)
+                            .await?
+                            .unwrap_or_else(|| vec![0u8; bs as usize])
+                    };
+                    if let Some(src) = data {
+                        let src_lo = (blk * bs + lo as u64 - offset) as usize;
+                        let n = hi - lo;
+                        let avail = src.len().saturating_sub(src_lo).min(n);
+                        base[lo..lo + avail].copy_from_slice(&src[src_lo..src_lo + avail]);
+                    }
+                    Some(base)
+                }
+            };
+            self.write_block_cached(ino, blk, block_data).await?;
+            pos = blk * bs + hi as u64;
+        }
+        {
+            let mut inode = rc.borrow_mut();
+            if end > inode.size {
+                inode.size = end;
+            }
+            inode.mtime = self.s.handle.now().as_nanos();
+        }
+        self.s.stats.borrow_mut().bytes_written += len;
+        Ok(len)
+    }
+
+    /// Truncates a file to `new_size` bytes.
+    pub async fn truncate(&self, ino: Ino, new_size: u64) -> FsResult<()> {
+        self.op_begin().await;
+        let rc = self.get_inode_rc(ino).await?;
+        let old_blocks = rc.borrow().blocks();
+        let new_blocks = new_size.div_ceil(BLOCK_SIZE as u64);
+        // Dirty blocks beyond the new size die in cache: write absorption.
+        for blk in new_blocks..old_blocks {
+            self.s.cache.borrow_mut().remove_block(BlockKey::new(FileId(ino.0), blk));
+        }
+        {
+            let g = self.s.layout.lock().await;
+            let mut copy = rc.borrow().clone();
+            g.get_mut().truncate(&mut copy, new_blocks).await?;
+            let mut inode = rc.borrow_mut();
+            inode.direct = copy.direct;
+            inode.indirect = copy.indirect;
+            inode.size = new_size;
+        }
+        Ok(())
+    }
+
+    /// Removes a file; dirty cached blocks are absorbed, never written.
+    pub async fn unlink(&self, path: &str) -> FsResult<()> {
+        self.op_begin().await;
+        self.s.stats.borrow_mut().deletes += 1;
+        let _ns = self.s.ns_lock.lock().await;
+        let (dir_ino, name) = self.resolve_parent(path).await?;
+        let mut entries = self.read_dir_entries(dir_ino).await?;
+        let entry = dir::remove_entry(&mut entries, &name)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        if entry.kind == FileKind::Directory {
+            return Err(FsError::IsADirectory(path.to_string()));
+        }
+        self.write_dir_entries(dir_ino, &entries).await?;
+        let absorbed = self.s.cache.borrow_mut().remove_file(FileId(entry.ino.0));
+        self.s.stats.borrow_mut().absorbed_blocks += absorbed;
+        self.s.inodes.borrow_mut().remove(&entry.ino);
+        let g = self.s.layout.lock().await;
+        g.get_mut().free_inode(entry.ino).await?;
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub async fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.op_begin().await;
+        self.s.stats.borrow_mut().deletes += 1;
+        let _ns = self.s.ns_lock.lock().await;
+        let (dir_ino, name) = self.resolve_parent(path).await?;
+        let mut entries = self.read_dir_entries(dir_ino).await?;
+        let entry = dir::find(&entries, &name)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?
+            .clone();
+        if entry.kind != FileKind::Directory {
+            return Err(FsError::NotADirectory(path.to_string()));
+        }
+        if !self.read_dir_entries(entry.ino).await?.is_empty() {
+            return Err(FsError::NotEmpty(path.to_string()));
+        }
+        dir::remove_entry(&mut entries, &name);
+        self.write_dir_entries(dir_ino, &entries).await?;
+        let absorbed = self.s.cache.borrow_mut().remove_file(FileId(entry.ino.0));
+        self.s.stats.borrow_mut().absorbed_blocks += absorbed;
+        self.s.inodes.borrow_mut().remove(&entry.ino);
+        let g = self.s.layout.lock().await;
+        g.get_mut().free_inode(entry.ino).await?;
+        Ok(())
+    }
+
+    /// Renames a file or directory (same-parent and cross-parent).
+    pub async fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        self.op_begin().await;
+        let _ns = self.s.ns_lock.lock().await;
+        let (from_dir, from_name) = self.resolve_parent(from).await?;
+        let (to_dir, to_name) = self.resolve_parent(to).await?;
+        if !dir::valid_name(&to_name) {
+            return Err(FsError::BadPath(to.to_string()));
+        }
+        let mut from_entries = self.read_dir_entries(from_dir).await?;
+        let entry = dir::remove_entry(&mut from_entries, &from_name)
+            .ok_or_else(|| FsError::NotFound(from.to_string()))?;
+        if from_dir == to_dir {
+            if dir::find(&from_entries, &to_name).is_some() {
+                return Err(FsError::Exists(to.to_string()));
+            }
+            dir::add_entry(
+                &mut from_entries,
+                Dirent { ino: entry.ino, kind: entry.kind, name: to_name },
+            )
+            .map_err(FsError::BadPath)?;
+            self.write_dir_entries(from_dir, &from_entries).await?;
+        } else {
+            let mut to_entries = self.read_dir_entries(to_dir).await?;
+            if dir::find(&to_entries, &to_name).is_some() {
+                return Err(FsError::Exists(to.to_string()));
+            }
+            dir::add_entry(
+                &mut to_entries,
+                Dirent { ino: entry.ino, kind: entry.kind, name: to_name },
+            )
+            .map_err(FsError::BadPath)?;
+            self.write_dir_entries(from_dir, &from_entries).await?;
+            self.write_dir_entries(to_dir, &to_entries).await?;
+        }
+        Ok(())
+    }
+
+    /// Creates a symbolic link holding `target`.
+    pub async fn symlink(&self, path: &str, target: &str) -> FsResult<Ino> {
+        let ino = self.create(path, FileKind::Symlink).await?;
+        let bytes = target.as_bytes().to_vec();
+        let len = bytes.len() as u64;
+        let data = match self.s.cfg.data_mode {
+            DataMode::Real => Some(bytes),
+            // Symlink targets are metadata: always real.
+            DataMode::Simulated => Some(bytes_padded(target)),
+        };
+        self.write(ino, 0, len, data.as_deref()).await?;
+        Ok(ino)
+    }
+
+    /// Reads a symlink's target.
+    pub async fn readlink(&self, path: &str) -> FsResult<String> {
+        self.op_begin().await;
+        let ino = self.resolve(path).await?;
+        let rc = self.get_inode_rc(ino).await?;
+        let (kind, size) = {
+            let i = rc.borrow();
+            (i.kind, i.size)
+        };
+        if kind != FileKind::Symlink {
+            return Err(FsError::BadPath(path.to_string()));
+        }
+        let data = self.read_block_cached(ino, 0).await?;
+        match data {
+            Some(bytes) => {
+                let target = &bytes[..(size as usize).min(bytes.len())];
+                String::from_utf8(target.to_vec())
+                    .map_err(|e| FsError::BadPath(e.to_string()))
+            }
+            None => Err(FsError::BadPath("symlink content unavailable".into())),
+        }
+    }
+
+    // ----- Internals -----
+
+    fn empty_data(&self) -> Option<Vec<u8>> {
+        match self.s.cfg.data_mode {
+            DataMode::Real => Some(Vec::new()),
+            DataMode::Simulated => None,
+        }
+    }
+
+    async fn op_begin(&self) {
+        self.s.stats.borrow_mut().ops += 1;
+        if !self.s.cfg.op_overhead.is_zero() {
+            self.s.handle.sleep(self.s.cfg.op_overhead).await;
+        }
+    }
+
+    async fn resolve(&self, path: &str) -> FsResult<Ino> {
+        let parts = split_path(path)?;
+        let mut cur = Ino::ROOT;
+        for part in parts {
+            let entries = self.read_dir_entries(cur).await?;
+            let e = dir::find(&entries, &part)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            cur = e.ino;
+        }
+        Ok(cur)
+    }
+
+    async fn resolve_parent(&self, path: &str) -> FsResult<(Ino, String)> {
+        let mut parts = split_path(path)?;
+        let name = parts.pop().ok_or_else(|| FsError::BadPath(path.to_string()))?;
+        if !dir::valid_name(&name) {
+            return Err(FsError::BadPath(path.to_string()));
+        }
+        let mut cur = Ino::ROOT;
+        for part in parts {
+            let entries = self.read_dir_entries(cur).await?;
+            let e = dir::find(&entries, &part)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            if e.kind != FileKind::Directory {
+                return Err(FsError::NotADirectory(path.to_string()));
+            }
+            cur = e.ino;
+        }
+        Ok((cur, name))
+    }
+
+    async fn get_inode_rc(&self, ino: Ino) -> FsResult<Rc<RefCell<Inode>>> {
+        if let Some(rc) = self.s.inodes.borrow().get(&ino) {
+            return Ok(rc.clone());
+        }
+        let inode = {
+            let g = self.s.layout.lock().await;
+            let inode = g.get_mut().get_inode(ino).await?;
+            inode
+        };
+        let rc = Rc::new(RefCell::new(inode));
+        self.s.inodes.borrow_mut().entry(ino).or_insert_with(|| rc.clone());
+        Ok(self.s.inodes.borrow().get(&ino).expect("just inserted").clone())
+    }
+
+    async fn read_dir_entries(&self, ino: Ino) -> FsResult<Vec<Dirent>> {
+        let rc = self.get_inode_rc(ino).await?;
+        let (kind, size) = {
+            let i = rc.borrow();
+            (i.kind, i.size)
+        };
+        if kind != FileKind::Directory {
+            return Err(FsError::NotADirectory(format!("{ino}")));
+        }
+        let blocks = size.div_ceil(BLOCK_SIZE as u64);
+        let mut bytes = Vec::with_capacity(size as usize);
+        for blk in 0..blocks {
+            let data = self.read_block_cached(ino, blk).await?.ok_or_else(|| {
+                FsError::Layout(LayoutError::Corrupt("directory data unavailable".into()))
+            })?;
+            bytes.extend_from_slice(&data);
+        }
+        bytes.truncate(size as usize);
+        dir::decode(&bytes).map_err(|e| FsError::Layout(LayoutError::Corrupt(e)))
+    }
+
+    async fn write_dir_entries(&self, ino: Ino, entries: &[Dirent]) -> FsResult<()> {
+        let bytes = dir::encode(entries);
+        let rc = self.get_inode_rc(ino).await?;
+        let old_blocks = rc.borrow().blocks();
+        let bs = BLOCK_SIZE as usize;
+        let new_blocks = bytes.len().div_ceil(bs).max(0) as u64;
+        for blk in 0..new_blocks {
+            let lo = blk as usize * bs;
+            let hi = (lo + bs).min(bytes.len());
+            let mut block = vec![0u8; bs];
+            block[..hi - lo].copy_from_slice(&bytes[lo..hi]);
+            // Directory content is metadata: always real bytes.
+            self.write_block_cached(ino, blk, Some(block)).await?;
+        }
+        {
+            let mut inode = rc.borrow_mut();
+            inode.size = bytes.len() as u64;
+            inode.mtime = self.s.handle.now().as_nanos();
+        }
+        for blk in new_blocks..old_blocks {
+            self.s.cache.borrow_mut().remove_block(BlockKey::new(FileId(ino.0), blk));
+        }
+        if new_blocks < old_blocks {
+            let g = self.s.layout.lock().await;
+            let mut copy = rc.borrow().clone();
+            g.get_mut().truncate(&mut copy, new_blocks).await?;
+            let mut inode = rc.borrow_mut();
+            inode.direct = copy.direct;
+            inode.indirect = copy.indirect;
+        }
+        Ok(())
+    }
+
+    /// Reads one block through the cache; returns bytes when available
+    /// (always for metadata, never for off-line user data).
+    async fn read_block_cached(&self, ino: Ino, blk: u64) -> FsResult<Option<Vec<u8>>> {
+        let key = BlockKey::new(FileId(ino.0), blk);
+        loop {
+            // Hit?
+            {
+                let mut cache = self.s.cache.borrow_mut();
+                if let Some(frame) = cache.lookup(key, self.s.handle.now()) {
+                    let data = cache.data(frame).map(|d| d.to_vec());
+                    drop(cache);
+                    self.copy_delay().await;
+                    return Ok(data);
+                }
+            }
+            // Miss: dedup concurrent loads of the same block.
+            let waiter = self.s.inflight.borrow().get(&key).cloned();
+            if let Some(ev) = waiter {
+                ev.wait().await;
+                continue;
+            }
+            let ev = Event::new(&self.s.handle);
+            self.s.inflight.borrow_mut().insert(key, ev.clone());
+            let result = self.load_block(ino, blk, key).await;
+            self.s.inflight.borrow_mut().remove(&key);
+            ev.signal();
+            match result {
+                Ok(data) => {
+                    self.copy_delay().await;
+                    return Ok(data);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    async fn load_block(&self, ino: Ino, blk: u64, key: BlockKey) -> FsResult<Option<Vec<u8>>> {
+        let frame = self.reserve_frame().await?;
+        // Map under the layout lock; read the data outside it so
+        // independent reads queue up at the disk concurrently.
+        let addr: Option<BlockAddr> = {
+            let rc = match self.get_inode_rc(ino).await {
+                Ok(rc) => rc,
+                Err(e) => {
+                    self.s.cache.borrow_mut().release_reserved(frame);
+                    return Err(e);
+                }
+            };
+            let inode = rc.borrow().clone();
+            let g = self.s.layout.lock().await;
+            let mapped = g.get_mut().map_block(&inode, blk).await;
+            match mapped {
+                Ok(Some(a)) => {
+                    // The block may still sit in the layout's write buffer
+                    // (LFS unflushed segment): serve it from there.
+                    if let Some(p) = g.get().staged_block(a) {
+                        let data = p.bytes().map(|b| b.to_vec());
+                        let mut cache = self.s.cache.borrow_mut();
+                        cache.commit(frame, key, data.clone(), self.s.handle.now());
+                        return Ok(data);
+                    }
+                    Some(a)
+                }
+                Ok(None) => None,
+                Err(e) => {
+                    self.s.cache.borrow_mut().release_reserved(frame);
+                    return Err(e.into());
+                }
+            }
+        };
+        let data: Option<Vec<u8>> = match addr {
+            None => match self.s.cfg.data_mode {
+                // A hole reads as zeroes.
+                DataMode::Real => Some(vec![0u8; BLOCK_SIZE as usize]),
+                DataMode::Simulated => None,
+            },
+            Some(addr) => {
+                // LFS may still hold the block in its unflushed segment;
+                // route through the layout in that case. Fast path: raw
+                // device read.
+                match self.s.io.read_block(addr).await {
+                    Ok(payload) => payload.bytes().map(|b| b.to_vec()),
+                    Err(e) => {
+                        self.s.cache.borrow_mut().release_reserved(frame);
+                        return Err(FsError::Layout(e));
+                    }
+                }
+            }
+        };
+        let mut cache = self.s.cache.borrow_mut();
+        cache.commit(frame, key, data.clone(), self.s.handle.now());
+        Ok(data)
+    }
+
+    /// Writes one whole block through the cache (dirtying it).
+    async fn write_block_cached(&self, ino: Ino, blk: u64, data: Option<Vec<u8>>) -> FsResult<()> {
+        let key = BlockKey::new(FileId(ino.0), blk);
+        loop {
+            let present = self.s.cache.borrow().peek(key).is_some();
+            if !present {
+                let frame = self.reserve_frame().await?;
+                let mut cache = self.s.cache.borrow_mut();
+                cache.commit(frame, key, data.clone(), self.s.handle.now());
+            } else if data.is_some() {
+                let mut cache = self.s.cache.borrow_mut();
+                if let Some(frame) = cache.peek(key) {
+                    cache.set_data(frame, data.clone());
+                }
+            }
+            // Dirty it, honouring the NVRAM budget.
+            let outcome = {
+                let mut cache = self.s.cache.borrow_mut();
+                cache.mark_dirty(key, self.s.handle.now())
+            };
+            match outcome {
+                DirtyOutcome::Ok => {
+                    self.copy_delay().await;
+                    return Ok(());
+                }
+                DirtyOutcome::NeedFlush(keys) => {
+                    self.request_flush_and_wait(keys).await;
+                }
+            }
+        }
+    }
+
+    async fn copy_delay(&self) {
+        if !self.s.cfg.copy_cost.is_zero() {
+            self.s.handle.sleep(self.s.cfg.copy_cost).await;
+        }
+    }
+
+    /// Obtains a free cache frame, flushing per policy when none exists.
+    async fn reserve_frame(&self) -> FsResult<u32> {
+        loop {
+            let outcome = self.s.cache.borrow_mut().reserve();
+            match outcome {
+                Reserve::Frame(f) => return Ok(f),
+                Reserve::NeedFlush(keys) => {
+                    self.request_flush_and_wait(keys).await;
+                }
+            }
+        }
+    }
+
+    async fn request_flush_and_wait(&self, keys: Vec<BlockKey>) {
+        match self.s.cfg.flush_mode {
+            FlushMode::Sync => {
+                // The requesting thread performs the flush itself — the
+                // §5.2 bottleneck, kept for ablation A2.
+                if !keys.is_empty() {
+                    self.do_flush(keys).await;
+                    self.s.flush_done.signal();
+                } else {
+                    self.s.flush_done.wait().await;
+                }
+            }
+            FlushMode::Async => {
+                let tx = self.s.flush_tx.borrow().clone();
+                let wait = self.s.flush_done.wait();
+                if let (Some(tx), false) = (tx, keys.is_empty()) {
+                    let _ = tx.try_send(keys);
+                }
+                wait.await;
+            }
+        }
+    }
+
+    /// Executes a flush batch directly (sync mode) or via the daemon.
+    async fn execute_or_enqueue(&self, keys: Vec<BlockKey>) {
+        match self.s.cfg.flush_mode {
+            FlushMode::Sync => {
+                self.do_flush(keys).await;
+                self.s.flush_done.signal();
+            }
+            FlushMode::Async => {
+                let tx = self.s.flush_tx.borrow().clone();
+                if let Some(tx) = tx {
+                    let _ = tx.try_send(keys);
+                }
+            }
+        }
+    }
+
+    /// Writes the given dirty blocks out through the layout.
+    async fn do_flush(&self, keys: Vec<BlockKey>) {
+        // Group by file (ordered: deterministic flush sequence).
+        let mut by_file: std::collections::BTreeMap<u64, Vec<BlockKey>> =
+            std::collections::BTreeMap::new();
+        for k in keys {
+            by_file.entry(k.file.0).or_default().push(k);
+        }
+        self.s.stats.borrow_mut().flush_batches += 1;
+        for (file, keys) in by_file {
+            let ino = Ino(file);
+            let started = self.s.cache.borrow_mut().begin_flush(&keys);
+            if started.is_empty() {
+                continue;
+            }
+            // Snapshot payloads.
+            let blocks: Vec<(u64, Payload)> = {
+                let cache = self.s.cache.borrow();
+                started
+                    .iter()
+                    .filter_map(|k| {
+                        cache.peek(*k).map(|frame| {
+                            let payload = match cache.data(frame) {
+                                Some(d) => Payload::Data(d.to_vec()),
+                                None => Payload::Simulated(BLOCK_SIZE),
+                            };
+                            (k.block, payload)
+                        })
+                    })
+                    .collect()
+            };
+            let rc = match self.get_inode_rc(ino).await {
+                Ok(rc) => rc,
+                Err(_) => {
+                    // File deleted while the flush was queued: nothing to
+                    // persist, just release the cache state.
+                    let now = self.s.handle.now();
+                    let mut cache = self.s.cache.borrow_mut();
+                    for k in &started {
+                        cache.end_flush(*k, now);
+                    }
+                    continue;
+                }
+            };
+            let result = {
+                let g = self.s.layout.lock().await;
+                let mut copy = rc.borrow().clone();
+                let r = g.get_mut().write_file_blocks(&mut copy, blocks).await;
+                if r.is_ok() {
+                    let mut inode = rc.borrow_mut();
+                    inode.direct = copy.direct;
+                    inode.indirect = copy.indirect;
+                }
+                r
+            };
+            let now = self.s.handle.now();
+            {
+                let mut cache = self.s.cache.borrow_mut();
+                for k in &started {
+                    cache.end_flush(*k, now);
+                }
+            }
+            if result.is_ok() {
+                let mut st = self.s.stats.borrow_mut();
+                st.blocks_flushed += started.len() as u64;
+            }
+        }
+    }
+
+    async fn multimedia_prefetch(&self, ino: Ino) {
+        // The "active file": a thread of control that pre-loads data and
+        // keeps its own residency bound so continuous-media data cannot
+        // flood the cache (§2).
+        let mut resident: Vec<u64> = Vec::new();
+        let mut blk = 0u64;
+        loop {
+            if self.s.shutdown.get() {
+                break;
+            }
+            if !self.s.open_counts.borrow().contains_key(&ino) {
+                break;
+            }
+            let blocks = match self.get_inode_rc(ino).await {
+                Ok(rc) => {
+                    let b = rc.borrow().blocks();
+                    b
+                }
+                Err(_) => break,
+            };
+            if blk >= blocks {
+                break;
+            }
+            if self.read_block_cached(ino, blk).await.is_err() {
+                break;
+            }
+            resident.push(blk);
+            if resident.len() as u64 > self.s.cfg.mm_resident_cap {
+                let victim = resident.remove(0);
+                self.s.cache.borrow_mut().remove_block(BlockKey::new(FileId(ino.0), victim));
+            }
+            blk += 1;
+            // Pace the prefetch: one block per ~ms keeps QoS-ish delivery.
+            self.s.handle.sleep(cnp_sim::SimDuration::from_millis(1)).await;
+            let _ = self.s.cfg.mm_prefetch;
+        }
+    }
+}
+
+/// Pads a string into a whole metadata block (symlink storage).
+fn bytes_padded(s: &str) -> Vec<u8> {
+    let mut v = s.as_bytes().to_vec();
+    v.resize(BLOCK_SIZE as usize, 0);
+    v
+}
+
+/// Splits an absolute path into components.
+fn split_path(path: &str) -> FsResult<Vec<String>> {
+    if !path.starts_with('/') {
+        return Err(FsError::BadPath(path.to_string()));
+    }
+    Ok(path
+        .split('/')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.to_string())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnp_disk::{sim_disk_driver, CLook, Hp97560};
+    use cnp_layout::{LfsLayout, LfsParams};
+    use cnp_sim::{Sim, SimTime};
+
+    fn run_fs<F, Fut>(data_mode: DataMode, f: F)
+    where
+        F: FnOnce(FileSystem) -> Fut + 'static,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
+        let sim = Sim::new(31);
+        let h = sim.handle();
+        let driver = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+        let layout = Layout::Lfs(LfsLayout::new(&h, driver, LfsParams::default()));
+        let cfg = FsConfig { data_mode, ..FsConfig::default() };
+        let fs = FileSystem::new(&h, layout, cfg);
+        let done = Rc::new(Cell::new(false));
+        let done2 = done.clone();
+        let fs2 = fs.clone();
+        h.spawn("test", async move {
+            fs2.format().await.unwrap();
+            f(fs2.clone()).await;
+            done2.set(true);
+            fs2.shutdown();
+        });
+        sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+        assert!(done.get(), "test body did not complete");
+    }
+
+    #[test]
+    fn create_write_read_round_trip_real() {
+        run_fs(DataMode::Real, |fs| async move {
+            let ino = fs.create("/hello.txt", FileKind::Regular).await.unwrap();
+            let data = b"the quick brown fox".repeat(100);
+            fs.write(ino, 0, data.len() as u64, Some(&data)).await.unwrap();
+            let (n, got) = fs.read(ino, 0, data.len() as u64).await.unwrap();
+            assert_eq!(n, data.len() as u64);
+            assert_eq!(got.unwrap(), data);
+        });
+    }
+
+    #[test]
+    fn simulated_mode_moves_no_bytes() {
+        run_fs(DataMode::Simulated, |fs| async move {
+            let ino = fs.create("/sim.dat", FileKind::Regular).await.unwrap();
+            fs.write(ino, 0, 8192, None).await.unwrap();
+            let (n, data) = fs.read(ino, 0, 8192).await.unwrap();
+            assert_eq!(n, 8192);
+            assert!(data.is_none());
+            assert_eq!(fs.stats().bytes_written, 8192);
+        });
+    }
+
+    #[test]
+    fn namespace_operations() {
+        run_fs(DataMode::Real, |fs| async move {
+            fs.mkdir("/a").await.unwrap();
+            fs.mkdir("/a/b").await.unwrap();
+            fs.create("/a/b/f1", FileKind::Regular).await.unwrap();
+            fs.create("/a/b/f2", FileKind::Regular).await.unwrap();
+            let names: Vec<String> =
+                fs.readdir("/a/b").await.unwrap().into_iter().map(|e| e.name).collect();
+            assert_eq!(names, vec!["f1", "f2"]);
+            assert!(matches!(fs.mkdir("/a/b").await, Err(FsError::Exists(_))));
+            assert!(matches!(
+                fs.create("/missing/f", FileKind::Regular).await,
+                Err(FsError::NotFound(_))
+            ));
+            fs.rename("/a/b/f1", "/a/renamed").await.unwrap();
+            assert!(fs.lookup("/a/renamed").await.is_ok());
+            assert!(matches!(fs.lookup("/a/b/f1").await, Err(FsError::NotFound(_))));
+            fs.unlink("/a/b/f2").await.unwrap();
+            fs.rmdir("/a/b").await.unwrap();
+            assert!(matches!(fs.rmdir("/a").await, Err(FsError::NotEmpty(_))));
+        });
+    }
+
+    #[test]
+    fn delete_absorbs_dirty_blocks() {
+        run_fs(DataMode::Simulated, |fs| async move {
+            let ino = fs.create("/doomed", FileKind::Regular).await.unwrap();
+            fs.write(ino, 0, 16 * 4096, None).await.unwrap();
+            fs.unlink("/doomed").await.unwrap();
+            let st = fs.stats();
+            assert!(
+                st.absorbed_blocks >= 16,
+                "expected >=16 absorbed, got {}",
+                st.absorbed_blocks
+            );
+            // The absorbed blocks never reached the disk as data writes.
+            assert_eq!(fs.layout_stats().unwrap().data_writes, 0);
+        });
+    }
+
+    #[test]
+    fn cache_hits_after_first_read() {
+        run_fs(DataMode::Real, |fs| async move {
+            let ino = fs.create("/f", FileKind::Regular).await.unwrap();
+            let data = vec![7u8; 4096];
+            fs.write(ino, 0, 4096, Some(&data)).await.unwrap();
+            fs.read(ino, 0, 4096).await.unwrap();
+            let h1 = fs.cache_stats().hits;
+            fs.read(ino, 0, 4096).await.unwrap();
+            fs.read(ino, 0, 4096).await.unwrap();
+            let h2 = fs.cache_stats().hits;
+            assert!(h2 >= h1 + 2, "repeated reads must hit the cache");
+        });
+    }
+
+    #[test]
+    fn symlink_round_trip() {
+        run_fs(DataMode::Real, |fs| async move {
+            fs.create("/real-file", FileKind::Regular).await.unwrap();
+            fs.symlink("/link", "/real-file").await.unwrap();
+            assert_eq!(fs.readlink("/link").await.unwrap(), "/real-file");
+        });
+    }
+
+    #[test]
+    fn sync_then_remount_sees_files() {
+        let sim = Sim::new(37);
+        let h = sim.handle();
+        let driver = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+        let done = Rc::new(Cell::new(false));
+        let done2 = done.clone();
+        let h2 = h.clone();
+        h.spawn("test", async move {
+            let layout =
+                Layout::Lfs(LfsLayout::new(&h2, driver.clone(), LfsParams::default()));
+            let cfg = FsConfig { data_mode: DataMode::Real, ..FsConfig::default() };
+            let fs = FileSystem::new(&h2, layout, cfg.clone());
+            fs.format().await.unwrap();
+            fs.mkdir("/docs").await.unwrap();
+            let ino = fs.create("/docs/report", FileKind::Regular).await.unwrap();
+            let data = vec![0x5a; 10_000];
+            fs.write(ino, 0, data.len() as u64, Some(&data)).await.unwrap();
+            fs.unmount().await.unwrap();
+            // Remount with a fresh engine over the same (shared) disk;
+            // the first engine's driver must stay alive until the end.
+            let layout2 =
+                Layout::Lfs(LfsLayout::new(&h2, driver.clone(), LfsParams::default()));
+            let fs2 = FileSystem::new(&h2, layout2, cfg);
+            fs2.mount().await.unwrap();
+            let ino2 = fs2.lookup("/docs/report").await.unwrap();
+            let (n, got) = fs2.read(ino2, 0, 10_000).await.unwrap();
+            assert_eq!(n, 10_000);
+            assert_eq!(got.unwrap(), data);
+            fs2.shutdown();
+            fs.shutdown();
+            done2.set(true);
+        });
+        sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+        assert!(done.get(), "test body did not complete");
+    }
+
+    #[test]
+    fn nvram_pressure_stalls_writes_until_flush() {
+        let sim = Sim::new(41);
+        let h = sim.handle();
+        let driver = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+        let layout = Layout::Lfs(LfsLayout::new(&h, driver, LfsParams::default()));
+        let cfg = FsConfig {
+            cache: cnp_cache::CacheConfig {
+                block_size: 4096,
+                mem_bytes: 64 * 4096,
+                nvram_bytes: Some(4 * 4096),
+            },
+            flush: "nvram-whole".to_string(),
+            data_mode: DataMode::Simulated,
+            ..FsConfig::default()
+        };
+        let fs = FileSystem::new(&h, layout, cfg);
+        let done = Rc::new(Cell::new(false));
+        let done2 = done.clone();
+        let fs2 = fs.clone();
+        h.spawn("test", async move {
+            fs2.format().await.unwrap();
+            let ino = fs2.create("/big", FileKind::Regular).await.unwrap();
+            // 16 blocks through a 4-block NVRAM: must stall + drain.
+            fs2.write(ino, 0, 16 * 4096, None).await.unwrap();
+            let st = fs2.cache_stats();
+            assert!(st.nvram_stalls > 0, "writes should have hit the NVRAM bound");
+            assert!(fs2.stats().blocks_flushed > 0, "stalls must trigger flushes");
+            done2.set(true);
+            fs2.shutdown();
+        });
+        sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+        assert!(done.get());
+    }
+
+    #[test]
+    fn multimedia_open_spawns_prefetch() {
+        run_fs(DataMode::Real, |fs| async move {
+            let ino = fs.create("/video", FileKind::Multimedia).await.unwrap();
+            let data = vec![3u8; 64 * 1024];
+            fs.write(ino, 0, data.len() as u64, Some(&data)).await.unwrap();
+            fs.sync().await.unwrap();
+            fs.open("/video").await.unwrap();
+            // Give the active file's thread time to prefetch.
+            fs.handle().sleep(cnp_sim::SimDuration::from_millis(50)).await;
+            let misses_before = fs.cache_stats().misses;
+            fs.read(ino, 0, 16 * 4096).await.unwrap();
+            let misses_after = fs.cache_stats().misses;
+            assert_eq!(misses_before, misses_after, "prefetched reads must hit");
+            fs.close(ino).await.unwrap();
+        });
+    }
+}

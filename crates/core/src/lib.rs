@@ -1,0 +1,18 @@
+//! # cnp-core — the cut-and-paste framework core
+//!
+//! The paper's abstract client interface, global file table, typed
+//! instantiated files, and the engine wiring cache, storage layout and
+//! disk driver together (§2). Instantiate it with a virtual clock and
+//! simulated payloads and you have Patsy; instantiate it with a
+//! wall-clock and a file-backed driver and you have PFS — same code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod fs;
+
+pub use config::{DataMode, FlushMode, FsConfig};
+pub use error::{FsError, FsResult};
+pub use fs::{FileSystem, FsStats};

@@ -1,0 +1,640 @@
+//! The simulated disk: a thread of control servicing I/O requests.
+//!
+//! "Internally, a disk is modeled by a separate thread of control that
+//! waits for work to arrive … the controller unpacks the request, seeks
+//! to the correct cylinder or switches heads. Next, the disk waits for
+//! the rotational delay and reads or writes data to disk." (§4)
+//!
+//! The disk owns a mechanism model ([`DiskModel`]), a controller cache
+//! (immediate-reported writes + read-ahead), an optional *platter store*
+//! holding real bytes so metadata round-trips even off-line, and a
+//! deterministic fault-injection plan.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cnp_sim::{channel, oneshot, Handle, OneshotSender, Receiver, Sender, SimDuration};
+
+use crate::bus::ScsiBus;
+use crate::cache::ControllerCache;
+use crate::geometry::DiskGeometry;
+use crate::model::{DiskModel, DiskPos};
+use crate::request::{IoCompletion, IoError, IoOp, IoRequest, IoTiming, Payload};
+
+/// Deterministic fault-injection plan for a simulated disk.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Requests touching any of these LBA ranges fail with a media error.
+    pub bad_ranges: Vec<(u64, u64)>,
+    /// If set, every `n`-th request (by disk-local count) fails.
+    pub fail_every: Option<u64>,
+}
+
+impl FaultPlan {
+    /// True if a request at `[lba, lba+sectors)` (the `count`-th served)
+    /// should fail.
+    fn should_fail(&self, lba: u64, sectors: u32, count: u64) -> bool {
+        if let Some(n) = self.fail_every {
+            if n > 0 && count % n == n - 1 {
+                return true;
+            }
+        }
+        let end = lba + sectors as u64;
+        self.bad_ranges.iter().any(|&(lo, hi)| lba < hi && end > lo)
+    }
+}
+
+/// Disk-level configuration.
+#[derive(Debug, Clone)]
+pub struct DiskOpts {
+    /// SCSI target id (arbitration priority on the shared bus).
+    pub scsi_id: u8,
+    /// Keep written bytes in a sparse in-memory platter store.
+    ///
+    /// Required for running real storage layouts (LFS/FFS metadata)
+    /// against a simulated disk; costs memory proportional to real data.
+    pub store_data: bool,
+    /// Enable the controller read-ahead.
+    pub readahead: bool,
+    /// Enable immediate-reported writes.
+    pub immediate_report: bool,
+}
+
+impl Default for DiskOpts {
+    fn default() -> Self {
+        DiskOpts { scsi_id: 1, store_data: true, readahead: true, immediate_report: true }
+    }
+}
+
+/// Counters exported by a simulated disk.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskStats {
+    /// Read requests served.
+    pub reads: u64,
+    /// Write requests served.
+    pub writes: u64,
+    /// Sectors read.
+    pub read_sectors: u64,
+    /// Sectors written.
+    pub write_sectors: u64,
+    /// Controller-cache read hits.
+    pub cache_hits: u64,
+    /// Controller-cache read misses.
+    pub cache_misses: u64,
+    /// Read-ahead operations performed while idle.
+    pub readaheads: u64,
+    /// Buffered writes drained to the media.
+    pub writebacks: u64,
+    /// Requests failed by the fault plan.
+    pub faults: u64,
+    /// Total mechanical busy time.
+    pub busy: SimDuration,
+}
+
+/// Message from driver to disk: a request plus its completion channel.
+pub struct DiskMsg {
+    /// The request to serve.
+    pub req: IoRequest,
+    /// Where to deliver the completion.
+    pub reply: OneshotSender<IoCompletion>,
+}
+
+/// Client side of a spawned simulated disk.
+#[derive(Clone)]
+pub struct DiskClient {
+    tx: Sender<DiskMsg>,
+    handle: Handle,
+    geometry: DiskGeometry,
+    stats: Rc<RefCell<DiskStats>>,
+}
+
+impl DiskClient {
+    /// Submits a request and awaits its completion.
+    pub async fn request(&self, req: IoRequest) -> IoCompletion {
+        let id = req.id;
+        let (otx, orx) = oneshot(&self.handle);
+        if self.tx.send(DiskMsg { req, reply: otx }).await.is_err() {
+            return IoCompletion {
+                id,
+                result: Err(IoError::DeviceGone),
+                timing: IoTiming::default(),
+            };
+        }
+        match orx.await {
+            Some(c) => c,
+            None => {
+                IoCompletion { id, result: Err(IoError::DeviceGone), timing: IoTiming::default() }
+            }
+        }
+    }
+
+    /// Disk geometry.
+    pub fn geometry(&self) -> &DiskGeometry {
+        &self.geometry
+    }
+
+    /// Snapshot of the disk counters.
+    pub fn stats(&self) -> DiskStats {
+        *self.stats.borrow()
+    }
+}
+
+/// Spawns a simulated disk task and returns its client handle.
+pub fn spawn_disk(
+    handle: &Handle,
+    name: &str,
+    model: Box<dyn DiskModel>,
+    bus: ScsiBus,
+    opts: DiskOpts,
+    faults: FaultPlan,
+) -> DiskClient {
+    let geometry = model.geometry().clone();
+    let (tx, rx) = channel::<DiskMsg>(handle);
+    let stats = Rc::new(RefCell::new(DiskStats::default()));
+    let task = DiskTask {
+        handle: handle.clone(),
+        model,
+        bus,
+        opts,
+        faults,
+        cache: ControllerCache::new(default_cache_bytes(), geometry.sector_size),
+        pos: DiskPos::HOME,
+        platter: HashMap::new(),
+        readahead_at: None,
+        stats: stats.clone(),
+        served: 0,
+    };
+    handle.spawn(name, task.run(rx));
+    DiskClient { tx, handle: handle.clone(), geometry, stats }
+}
+
+/// The HP 97560's 128 KB controller cache.
+fn default_cache_bytes() -> u32 {
+    128 * 1024
+}
+
+struct DiskTask {
+    handle: Handle,
+    model: Box<dyn DiskModel>,
+    bus: ScsiBus,
+    opts: DiskOpts,
+    faults: FaultPlan,
+    cache: ControllerCache,
+    pos: DiskPos,
+    /// Sparse sector store: lba → sector bytes (real data only).
+    platter: HashMap<u64, Box<[u8]>>,
+    /// Next read-ahead start, armed by the latest foreground read.
+    readahead_at: Option<u64>,
+    stats: Rc<RefCell<DiskStats>>,
+    served: u64,
+}
+
+impl DiskTask {
+    async fn run(mut self, rx: Receiver<DiskMsg>) {
+        loop {
+            let msg = match rx.try_recv() {
+                Some(m) => m,
+                None => {
+                    // Idle-time housekeeping: drain one buffered write,
+                    // then read-ahead, then block for new work.
+                    if let Some((lba, sectors)) = self.cache.pop_writeback() {
+                        self.media_work(lba, sectors).await;
+                        self.stats.borrow_mut().writebacks += 1;
+                        continue;
+                    }
+                    if let Some(start) = self.readahead_take() {
+                        // Real controllers abort read-ahead the moment a
+                        // request arrives; we model that by sleeping the
+                        // access in 1 ms quanta and checking for work, so
+                        // foreground delay is bounded by one quantum.
+                        let ra_sectors =
+                            (4 * 1024 / self.geometry().sector_size).max(1) as u64;
+                        let capacity = self.geometry().capacity_sectors();
+                        let n = ra_sectors.min(capacity.saturating_sub(start)) as u32;
+                        if n == 0 {
+                            continue;
+                        }
+                        let access =
+                            self.model.media_access(self.handle.now(), self.pos, start, n);
+                        let total = access.total();
+                        let quantum = SimDuration::from_millis(1);
+                        let mut slept = SimDuration::ZERO;
+                        while slept < total && rx.is_empty() {
+                            let step = quantum.min(total - slept);
+                            self.handle.sleep(step).await;
+                            slept += step;
+                        }
+                        self.stats.borrow_mut().busy += slept;
+                        if slept >= total {
+                            // Completed: cache it and move the arm.
+                            self.pos = access.end_pos;
+                            self.cache.insert(start, n);
+                            self.stats.borrow_mut().readaheads += 1;
+                        }
+                        continue;
+                    }
+                    match rx.recv().await {
+                        Some(m) => m,
+                        None => break,
+                    }
+                }
+            };
+            self.serve(msg).await;
+        }
+    }
+
+    fn geometry(&self) -> &DiskGeometry {
+        self.model.geometry()
+    }
+
+    fn readahead_take(&mut self) -> Option<u64> {
+        if self.opts.readahead {
+            self.readahead_at.take()
+        } else {
+            None
+        }
+    }
+
+    /// Performs a mechanical access, charging simulated time.
+    async fn media_work(&mut self, lba: u64, sectors: u32) -> (SimDuration, SimDuration, SimDuration)
+    {
+        let access = self.model.media_access(self.handle.now(), self.pos, lba, sectors);
+        self.pos = access.end_pos;
+        self.stats.borrow_mut().busy += access.total();
+        self.handle.sleep(access.total()).await;
+        (access.seek, access.rotation, access.transfer)
+    }
+
+    async fn serve(&mut self, msg: DiskMsg) {
+        let DiskMsg { req, reply } = msg;
+        let mut timing = IoTiming { queue: req.issued_at - req.queued_at, ..IoTiming::default() };
+        let count = self.served;
+        self.served += 1;
+
+        // Controller overhead: command decode.
+        timing.controller = self.model.controller_overhead();
+        self.handle.sleep(timing.controller).await;
+
+        // Bounds and fault checks.
+        let capacity = self.geometry().capacity_sectors();
+        if req.lba + req.sectors as u64 > capacity {
+            reply.send(IoCompletion {
+                id: req.id,
+                result: Err(IoError::OutOfRange { lba: req.lba, capacity }),
+                timing,
+            });
+            return;
+        }
+        if self.faults.should_fail(req.lba, req.sectors, count) {
+            self.stats.borrow_mut().faults += 1;
+            reply.send(IoCompletion {
+                id: req.id,
+                result: Err(IoError::Media { lba: req.lba }),
+                timing,
+            });
+            return;
+        }
+
+        match req.op {
+            IoOp::Read => self.serve_read(req, timing, reply).await,
+            IoOp::Write => self.serve_write(req, timing, reply).await,
+        }
+    }
+
+    async fn serve_read(&mut self, req: IoRequest, mut timing: IoTiming, reply: OneshotSender<IoCompletion>) {
+        {
+            let mut s = self.stats.borrow_mut();
+            s.reads += 1;
+            s.read_sectors += req.sectors as u64;
+        }
+        let hit = self.cache.read_hit(req.lba, req.sectors);
+        {
+            let mut s = self.stats.borrow_mut();
+            if hit {
+                s.cache_hits += 1;
+            } else {
+                s.cache_misses += 1;
+            }
+        }
+        if !hit {
+            let (seek, rotation, transfer) = self.media_work(req.lba, req.sectors).await;
+            timing.seek = seek;
+            timing.rotation = rotation;
+            timing.transfer = transfer;
+            self.cache.insert(req.lba, req.sectors);
+        }
+        // Arm read-ahead to continue past the end of this read.
+        self.readahead_at = Some(req.lba + req.sectors as u64);
+
+        // Reconnect and ship the data back over the bus.
+        let bytes = req.sectors as u64 * self.geometry().sector_size as u64;
+        timing.bus += self.bus.completion_phase(self.opts.scsi_id, bytes).await;
+
+        let payload = self.load_payload(req.lba, req.sectors);
+        reply.send(IoCompletion { id: req.id, result: Ok(payload), timing });
+    }
+
+    async fn serve_write(&mut self, req: IoRequest, mut timing: IoTiming, reply: OneshotSender<IoCompletion>) {
+        {
+            let mut s = self.stats.borrow_mut();
+            s.writes += 1;
+            s.write_sectors += req.sectors as u64;
+        }
+        // A write makes overlapping cached read data stale.
+        self.cache.invalidate(req.lba, req.sectors);
+        self.store_payload(req.lba, req.sectors, &req.payload);
+
+        let immediate = self.opts.immediate_report;
+        if immediate {
+            // Drain the buffer until this write fits (stall if needed).
+            while !self.cache.write_fits(req.sectors) {
+                match self.cache.pop_writeback() {
+                    Some((lba, sectors)) => {
+                        let (s, r, t) = self.media_work(lba, sectors).await;
+                        // Drain time delays this request: count as seek etc.
+                        timing.seek += s;
+                        timing.rotation += r;
+                        timing.transfer += t;
+                        self.stats.borrow_mut().writebacks += 1;
+                    }
+                    None => break, // Request larger than the buffer.
+                }
+            }
+            if self.cache.buffer_write(req.lba, req.sectors) {
+                timing.bus += self.bus.completion_phase(self.opts.scsi_id, 0).await;
+                reply.send(IoCompletion { id: req.id, result: Ok(Payload::Simulated(0)), timing });
+                return;
+            }
+        }
+        // Write-through path (or request larger than the write buffer).
+        let (seek, rotation, transfer) = self.media_work(req.lba, req.sectors).await;
+        timing.seek += seek;
+        timing.rotation += rotation;
+        timing.transfer += transfer;
+        timing.bus += self.bus.completion_phase(self.opts.scsi_id, 0).await;
+        reply.send(IoCompletion { id: req.id, result: Ok(Payload::Simulated(0)), timing });
+    }
+
+    /// Saves real bytes to the platter store; simulated payloads erase
+    /// any stale real bytes in the range.
+    fn store_payload(&mut self, lba: u64, sectors: u32, payload: &Payload) {
+        if !self.opts.store_data {
+            return;
+        }
+        let ssz = self.geometry().sector_size as usize;
+        match payload.bytes() {
+            Some(bytes) => {
+                for i in 0..sectors as usize {
+                    let lo = i * ssz;
+                    let hi = ((i + 1) * ssz).min(bytes.len());
+                    let mut sector = vec![0u8; ssz];
+                    if lo < bytes.len() {
+                        sector[..hi - lo].copy_from_slice(&bytes[lo..hi]);
+                    }
+                    self.platter.insert(lba + i as u64, sector.into_boxed_slice());
+                }
+            }
+            None => {
+                for i in 0..sectors as u64 {
+                    self.platter.remove(&(lba + i));
+                }
+            }
+        }
+    }
+
+    /// Returns real bytes if every sector in range is stored, else a
+    /// simulated payload of the right length.
+    fn load_payload(&self, lba: u64, sectors: u32) -> Payload {
+        let ssz = self.geometry().sector_size as usize;
+        let total = sectors as usize * ssz;
+        if !self.opts.store_data {
+            return Payload::Simulated(total as u32);
+        }
+        let mut out = vec![0u8; total];
+        for i in 0..sectors as u64 {
+            match self.platter.get(&(lba + i)) {
+                Some(sector) => {
+                    let lo = i as usize * ssz;
+                    out[lo..lo + ssz].copy_from_slice(sector);
+                }
+                None => return Payload::Simulated(total as u32),
+            }
+        }
+        Payload::Data(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hp97560::Hp97560;
+    use cnp_sim::{Sim, SimTime};
+
+    fn make_req(id: u64, op: IoOp, lba: u64, sectors: u32, payload: Payload, now: SimTime) -> IoRequest {
+        IoRequest { id, op, lba, sectors, payload, queued_at: now, issued_at: now }
+    }
+
+    fn setup(sim: &Sim, opts: DiskOpts, faults: FaultPlan) -> DiskClient {
+        let h = sim.handle();
+        let bus = ScsiBus::new(&h);
+        spawn_disk(&h, "disk0", Box::new(Hp97560::new()), bus, opts, faults)
+    }
+
+    #[test]
+    fn read_miss_then_hit_is_faster() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let disk = setup(&sim, DiskOpts::default(), FaultPlan::default());
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let t0 = h2.now();
+            let c1 = d2
+                .request(make_req(1, IoOp::Read, 1000, 8, Payload::Simulated(4096), h2.now()))
+                .await;
+            let miss_latency = h2.now() - t0;
+            assert!(c1.result.is_ok());
+            let t1 = h2.now();
+            let c2 = d2
+                .request(make_req(2, IoOp::Read, 1000, 8, Payload::Simulated(4096), h2.now()))
+                .await;
+            let hit_latency = h2.now() - t1;
+            assert!(c2.result.is_ok());
+            assert!(
+                hit_latency < miss_latency,
+                "hit {hit_latency} should beat miss {miss_latency}"
+            );
+            // Hit costs controller + bus only: < 4 ms.
+            assert!(hit_latency < SimDuration::from_millis(4), "{hit_latency}");
+            assert_eq!(c2.timing.seek, SimDuration::ZERO);
+        });
+        sim.run();
+        let s = disk.stats();
+        assert_eq!(s.reads, 2);
+        assert!(s.cache_hits >= 1);
+    }
+
+    #[test]
+    fn immediate_report_write_is_fast() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let disk = setup(&sim, DiskOpts::default(), FaultPlan::default());
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let t0 = h2.now();
+            let c = d2
+                .request(make_req(1, IoOp::Write, 5000, 8, Payload::Simulated(4096), h2.now()))
+                .await;
+            assert!(c.result.is_ok());
+            let latency = h2.now() - t0;
+            // Immediate report: controller + status, no mechanics.
+            assert!(latency < SimDuration::from_millis(4), "{latency}");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn write_through_costs_mechanics() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let opts = DiskOpts { immediate_report: false, ..DiskOpts::default() };
+        let disk = setup(&sim, opts, FaultPlan::default());
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let t0 = h2.now();
+            let c = d2
+                .request(make_req(1, IoOp::Write, 123_456, 8, Payload::Simulated(4096), h2.now()))
+                .await;
+            assert!(c.result.is_ok());
+            let latency = h2.now() - t0;
+            assert!(latency > SimDuration::from_millis(5), "{latency}");
+            assert!(c.timing.seek > SimDuration::ZERO);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn platter_round_trips_real_data() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let disk = setup(&sim, DiskOpts::default(), FaultPlan::default());
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+            let w = d2
+                .request(make_req(1, IoOp::Write, 64, 8, Payload::Data(data.clone()), h2.now()))
+                .await;
+            assert!(w.result.is_ok());
+            let r = d2
+                .request(make_req(2, IoOp::Read, 64, 8, Payload::Simulated(0), h2.now()))
+                .await;
+            match r.result.unwrap() {
+                Payload::Data(got) => assert_eq!(got, data),
+                Payload::Simulated(_) => panic!("expected real bytes back"),
+            }
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn simulated_write_erases_real_data() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let disk = setup(&sim, DiskOpts::default(), FaultPlan::default());
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let data = vec![7u8; 4096];
+            d2.request(make_req(1, IoOp::Write, 0, 8, Payload::Data(data), h2.now())).await;
+            d2.request(make_req(2, IoOp::Write, 0, 8, Payload::Simulated(4096), h2.now())).await;
+            let r = d2.request(make_req(3, IoOp::Read, 0, 8, Payload::Simulated(0), h2.now())).await;
+            assert!(matches!(r.result.unwrap(), Payload::Simulated(_)));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let disk = setup(&sim, DiskOpts::default(), FaultPlan::default());
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        let cap = disk.geometry().capacity_sectors();
+        h.spawn("t", async move {
+            let c = d2
+                .request(make_req(1, IoOp::Read, cap - 4, 8, Payload::Simulated(0), h2.now()))
+                .await;
+            assert!(matches!(c.result, Err(IoError::OutOfRange { .. })));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn fault_injection_bad_range() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let faults = FaultPlan { bad_ranges: vec![(100, 200)], fail_every: None };
+        let disk = setup(&sim, DiskOpts::default(), faults);
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let bad =
+                d2.request(make_req(1, IoOp::Read, 150, 8, Payload::Simulated(0), h2.now())).await;
+            assert!(matches!(bad.result, Err(IoError::Media { .. })));
+            let good =
+                d2.request(make_req(2, IoOp::Read, 300, 8, Payload::Simulated(0), h2.now())).await;
+            assert!(good.result.is_ok());
+        });
+        sim.run();
+        assert_eq!(disk.stats().faults, 1);
+    }
+
+    #[test]
+    fn fail_every_nth() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let faults = FaultPlan { bad_ranges: vec![], fail_every: Some(3) };
+        let disk = setup(&sim, DiskOpts::default(), faults);
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let mut failures = 0;
+            for i in 0..9u64 {
+                let c = d2
+                    .request(make_req(i, IoOp::Read, i * 64, 8, Payload::Simulated(0), h2.now()))
+                    .await;
+                if c.result.is_err() {
+                    failures += 1;
+                }
+            }
+            assert_eq!(failures, 3);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn readahead_turns_sequential_reads_into_hits() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let disk = setup(&sim, DiskOpts::default(), FaultPlan::default());
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            // Read 4 KB, idle a moment (read-ahead fires), read next 4 KB.
+            d2.request(make_req(1, IoOp::Read, 0, 8, Payload::Simulated(0), h2.now())).await;
+            h2.sleep(SimDuration::from_millis(60)).await;
+            let t0 = h2.now();
+            let c = d2.request(make_req(2, IoOp::Read, 8, 8, Payload::Simulated(0), h2.now())).await;
+            assert!(c.result.is_ok());
+            let latency = h2.now() - t0;
+            assert!(latency < SimDuration::from_millis(4), "read-ahead should hit: {latency}");
+        });
+        sim.run();
+        assert!(disk.stats().readaheads >= 1);
+    }
+}

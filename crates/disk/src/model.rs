@@ -1,0 +1,169 @@
+//! The mechanical disk-model abstraction: seek, rotation and transfer.
+//!
+//! A [`DiskModel`] answers "how long does it take to move `sectors`
+//! sectors starting at `lba`, with the head at `pos`, at time `now`" —
+//! everything else (caching, queueing, bus) is layered on top.
+
+use cnp_sim::{SimDuration, SimTime};
+
+use crate::geometry::DiskGeometry;
+
+/// Mechanical head position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskPos {
+    /// Cylinder under the heads.
+    pub cylinder: u32,
+    /// Active head.
+    pub head: u32,
+}
+
+impl DiskPos {
+    /// Parked at cylinder 0, head 0.
+    pub const HOME: DiskPos = DiskPos { cylinder: 0, head: 0 };
+}
+
+/// Outcome of a modelled media access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MediaAccess {
+    /// Total seek (cylinder moves + head switches).
+    pub seek: SimDuration,
+    /// Total rotational waiting.
+    pub rotation: SimDuration,
+    /// Total media transfer.
+    pub transfer: SimDuration,
+    /// Head position after the access.
+    pub end_pos: DiskPos,
+}
+
+impl MediaAccess {
+    /// Total mechanical time.
+    pub fn total(&self) -> SimDuration {
+        self.seek + self.rotation + self.transfer
+    }
+}
+
+/// A disk mechanism model.
+pub trait DiskModel {
+    /// Physical geometry.
+    fn geometry(&self) -> &DiskGeometry;
+
+    /// Fixed per-request controller overhead (command decode etc.).
+    fn controller_overhead(&self) -> SimDuration;
+
+    /// Seek time between two cylinders (0 if equal).
+    fn seek_time(&self, from_cyl: u32, to_cyl: u32) -> SimDuration;
+
+    /// Time to switch between heads within a cylinder.
+    fn head_switch_time(&self) -> SimDuration;
+
+    /// Computes the mechanical cost of accessing `[lba, lba+sectors)`.
+    ///
+    /// `now` is the absolute time at which the mechanism starts moving;
+    /// rotational waits depend on it because the platter position is a
+    /// function of absolute time.
+    fn media_access(&self, now: SimTime, pos: DiskPos, lba: u64, sectors: u32) -> MediaAccess;
+}
+
+/// Detailed, geometry-faithful access computation shared by models.
+///
+/// Splits the request into track-contiguous chunks and charges, per
+/// chunk: a seek when the cylinder changes, a head switch when the head
+/// changes, the rotational wait until the chunk's first (skew-adjusted)
+/// sector arrives under the head, and one sector-time per sector.
+pub fn detailed_media_access<M: DiskModel + ?Sized>(
+    model: &M,
+    now: SimTime,
+    pos: DiskPos,
+    lba: u64,
+    sectors: u32,
+) -> MediaAccess {
+    let geo = model.geometry();
+    let rot_ns = geo.rotation_time().as_nanos();
+    let slot_ns = rot_ns / geo.sectors_per_track as u64;
+    let mut t = now.as_nanos();
+    let mut cur = pos;
+    let mut seek = 0u64;
+    let mut rotation = 0u64;
+    let mut transfer = 0u64;
+    for (chunk_lba, chunk_sectors) in geo.track_chunks(lba, sectors) {
+        let chs = geo.lba_to_chs(chunk_lba);
+        if chs.cylinder != cur.cylinder {
+            let s = model.seek_time(cur.cylinder, chs.cylinder).as_nanos();
+            seek += s;
+            t += s;
+        }
+        if chs.head != cur.head {
+            let h = model.head_switch_time().as_nanos();
+            seek += h;
+            t += h;
+        }
+        cur = DiskPos { cylinder: chs.cylinder, head: chs.head };
+        // Wait for the chunk's first sector to rotate under the head.
+        let target = geo.angular_slot(chs) as u64 * slot_ns;
+        let phase = t % rot_ns;
+        let wait = (target + rot_ns - phase) % rot_ns;
+        rotation += wait;
+        t += wait;
+        let xfer = chunk_sectors as u64 * slot_ns;
+        transfer += xfer;
+        t += xfer;
+    }
+    MediaAccess {
+        seek: SimDuration::from_nanos(seek),
+        rotation: SimDuration::from_nanos(rotation),
+        transfer: SimDuration::from_nanos(transfer),
+        end_pos: cur,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hp97560::Hp97560;
+
+    #[test]
+    fn sequential_same_track_needs_one_rotational_wait() {
+        let disk = Hp97560::new();
+        let geo = disk.geometry().clone();
+        let a = disk.media_access(SimTime::ZERO, DiskPos::HOME, 0, 8);
+        // Starting at t=0 on sector 0 of track 0: no seek, no head switch.
+        assert_eq!(a.seek, SimDuration::ZERO);
+        // Rotation wait is < one revolution.
+        assert!(a.rotation < geo.rotation_time());
+        assert_eq!(a.transfer, geo.sector_time() * 8);
+    }
+
+    #[test]
+    fn crossing_heads_charges_head_switch() {
+        let disk = Hp97560::new();
+        let geo = disk.geometry().clone();
+        let spt = geo.sectors_per_track as u64;
+        // Request spanning the last 4 sectors of head 0 and 4 of head 1.
+        let a = disk.media_access(SimTime::ZERO, DiskPos::HOME, spt - 4, 8);
+        assert!(a.seek >= disk.head_switch_time());
+        assert_eq!(a.end_pos.head, 1);
+        assert_eq!(a.end_pos.cylinder, 0);
+    }
+
+    #[test]
+    fn far_seek_costs_more_than_near_seek() {
+        let disk = Hp97560::new();
+        let geo = disk.geometry().clone();
+        let track = geo.heads as u64 * geo.sectors_per_track as u64;
+        let near = disk.media_access(SimTime::ZERO, DiskPos::HOME, track, 1);
+        let far = disk.media_access(SimTime::ZERO, DiskPos::HOME, track * 1900, 1);
+        assert!(far.seek > near.seek, "far {:?} near {:?}", far.seek, near.seek);
+    }
+
+    #[test]
+    fn track_skew_avoids_full_rotation_on_sequential_cross() {
+        let disk = Hp97560::new();
+        let geo = disk.geometry().clone();
+        let spt = geo.sectors_per_track as u64;
+        // Read a whole track plus a little of the next: the skew should
+        // keep the extra rotational wait well under a full revolution.
+        let a = disk.media_access(SimTime::ZERO, DiskPos::HOME, 0, (spt + 8) as u32);
+        let max_extra = geo.rotation_time() * 2;
+        assert!(a.rotation < max_extra, "rotation {:?}", a.rotation);
+    }
+}

@@ -1,0 +1,183 @@
+//! I/O request and result types exchanged between drivers, buses and disks.
+//!
+//! "Simulation disk drivers package disk operations in I/O-request data
+//! structures [which] contain all the relevant information for the disk
+//! simulator ... and contain timing information to measure the
+//! performance of the I/O operation." (§4)
+
+use cnp_sim::{SimDuration, SimTime};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Transfer data from disk to host.
+    Read,
+    /// Transfer data from host to disk.
+    Write,
+}
+
+/// The data carried by a request.
+///
+/// The simulator "compensates for the lack of real data": simulated
+/// payloads carry only a length, while on-line (PFS) payloads — and
+/// file-system *metadata in both modes* — carry real bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// No bytes; only the length (in bytes) is modelled.
+    Simulated(u32),
+    /// Real bytes.
+    Data(Vec<u8>),
+}
+
+impl Payload {
+    /// Length in bytes.
+    pub fn len(&self) -> u32 {
+        match self {
+            Payload::Simulated(n) => *n,
+            Payload::Data(d) => d.len() as u32,
+        }
+    }
+
+    /// True if the payload length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the real bytes, if any.
+    pub fn bytes(&self) -> Option<&[u8]> {
+        match self {
+            Payload::Simulated(_) => None,
+            Payload::Data(d) => Some(d),
+        }
+    }
+}
+
+/// A disk I/O request travelling driver → bus → disk and back.
+#[derive(Debug)]
+pub struct IoRequest {
+    /// Monotone request id assigned by the driver.
+    pub id: u64,
+    /// Operation direction.
+    pub op: IoOp,
+    /// First logical block address.
+    pub lba: u64,
+    /// Number of sectors.
+    pub sectors: u32,
+    /// Data for writes ([`Payload::Simulated`] off-line); ignored reads.
+    pub payload: Payload,
+    /// When the driver accepted the request into its queue.
+    pub queued_at: SimTime,
+    /// When the driver dispatched it to the device (queue exit).
+    pub issued_at: SimTime,
+}
+
+/// Timing breakdown of a completed I/O, one field per service phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoTiming {
+    /// Time spent waiting in the driver queue.
+    pub queue: SimDuration,
+    /// Bus acquisition + command/data transfer to the device.
+    pub bus: SimDuration,
+    /// Controller overhead (the paper's "SCSI-request decoding").
+    pub controller: SimDuration,
+    /// Mechanical seek (and head switches).
+    pub seek: SimDuration,
+    /// Rotational delay.
+    pub rotation: SimDuration,
+    /// Media transfer.
+    pub transfer: SimDuration,
+}
+
+impl IoTiming {
+    /// Total device-side service time (excluding queueing).
+    pub fn service(&self) -> SimDuration {
+        self.bus + self.controller + self.seek + self.rotation + self.transfer
+    }
+
+    /// Total latency including queueing.
+    pub fn total(&self) -> SimDuration {
+        self.queue + self.service()
+    }
+}
+
+/// Errors a disk request can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// Address beyond the device capacity.
+    OutOfRange {
+        /// Requested logical block address.
+        lba: u64,
+        /// Device capacity in sectors.
+        capacity: u64,
+    },
+    /// Injected or modelled media failure.
+    Media {
+        /// Logical block address that failed.
+        lba: u64,
+    },
+    /// Host-side I/O failure (on-line backend only).
+    Host(String),
+    /// The device is gone (channel closed).
+    DeviceGone,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::OutOfRange { lba, capacity } => {
+                write!(f, "lba {lba} out of range (capacity {capacity} sectors)")
+            }
+            IoError::Media { lba } => write!(f, "media error at lba {lba}"),
+            IoError::Host(e) => write!(f, "host i/o error: {e}"),
+            IoError::DeviceGone => write!(f, "device gone"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// A completed I/O: data (for reads) plus its timing breakdown.
+#[derive(Debug)]
+pub struct IoCompletion {
+    /// Request id this completion answers.
+    pub id: u64,
+    /// Outcome; reads carry the returned payload.
+    pub result: Result<Payload, IoError>,
+    /// Phase-by-phase timing of the device service.
+    pub timing: IoTiming,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_lengths() {
+        assert_eq!(Payload::Simulated(4096).len(), 4096);
+        assert_eq!(Payload::Data(vec![0u8; 512]).len(), 512);
+        assert!(Payload::Simulated(0).is_empty());
+        assert!(Payload::Data(vec![1, 2]).bytes().is_some());
+        assert!(Payload::Simulated(9).bytes().is_none());
+    }
+
+    #[test]
+    fn timing_sums() {
+        let t = IoTiming {
+            queue: SimDuration::from_millis(1),
+            bus: SimDuration::from_micros(500),
+            controller: SimDuration::from_millis(2),
+            seek: SimDuration::from_millis(5),
+            rotation: SimDuration::from_millis(7),
+            transfer: SimDuration::from_micros(400),
+        };
+        assert_eq!(t.service().as_micros(), 500 + 2000 + 5000 + 7000 + 400);
+        assert_eq!(t.total().as_micros(), 1000 + 14_900);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = IoError::OutOfRange { lba: 100, capacity: 50 };
+        assert!(e.to_string().contains("100"));
+        assert!(IoError::Media { lba: 7 }.to_string().contains("media"));
+    }
+}

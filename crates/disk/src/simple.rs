@@ -1,0 +1,142 @@
+//! The naive disk model the paper warns about.
+//!
+//! "The initial simulator … used a simple disk model. As is shown by
+//! Ruemmler et al., a simple disk model in a simulator may not show the
+//! actual performance: the results can be completely useless." (§1)
+//!
+//! This model charges a fixed average seek, a half-rotation average
+//! latency, and a fixed-rate transfer — no geometry, no skews, no cache
+//! effects. It exists so ablation A1 can measure exactly how far such a
+//! model diverges from the detailed HP 97560 model.
+
+use cnp_sim::{SimDuration, SimTime};
+
+use crate::geometry::DiskGeometry;
+use crate::model::{DiskModel, DiskPos, MediaAccess};
+
+/// Fixed-cost disk model parameters.
+#[derive(Debug, Clone)]
+pub struct SimpleDiskParams {
+    /// Geometry (used only for capacity and nominal rotation).
+    pub geometry: DiskGeometry,
+    /// Flat per-request seek charge.
+    pub avg_seek: SimDuration,
+    /// Flat per-request rotational charge (typically half a revolution).
+    pub avg_rotation: SimDuration,
+    /// Sustained transfer rate in bytes per second.
+    pub transfer_rate: u64,
+    /// Per-request controller overhead.
+    pub controller_overhead: SimDuration,
+}
+
+impl Default for SimpleDiskParams {
+    fn default() -> Self {
+        let geometry = DiskGeometry {
+            cylinders: 1962,
+            heads: 19,
+            sectors_per_track: 72,
+            sector_size: 512,
+            rpm: 4002,
+            track_skew: 0,
+            cylinder_skew: 0,
+        };
+        let half_rotation = geometry.rotation_time() / 2;
+        SimpleDiskParams {
+            geometry,
+            // Average of the HP 97560 seek curve over random distances.
+            avg_seek: SimDuration::from_micros(13_500),
+            avg_rotation: half_rotation,
+            transfer_rate: 2_200_000,
+            controller_overhead: SimDuration::from_micros(2_200),
+        }
+    }
+}
+
+/// The naive fixed-cost disk model.
+#[derive(Debug, Clone)]
+pub struct SimpleDisk {
+    params: SimpleDiskParams,
+}
+
+impl SimpleDisk {
+    /// Creates the model with default parameters.
+    pub fn new() -> Self {
+        SimpleDisk { params: SimpleDiskParams::default() }
+    }
+
+    /// Creates the model with custom parameters.
+    pub fn with_params(params: SimpleDiskParams) -> Self {
+        SimpleDisk { params }
+    }
+}
+
+impl Default for SimpleDisk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DiskModel for SimpleDisk {
+    fn geometry(&self) -> &DiskGeometry {
+        &self.params.geometry
+    }
+
+    fn controller_overhead(&self) -> SimDuration {
+        self.params.controller_overhead
+    }
+
+    fn seek_time(&self, from_cyl: u32, to_cyl: u32) -> SimDuration {
+        if from_cyl == to_cyl {
+            SimDuration::ZERO
+        } else {
+            self.params.avg_seek
+        }
+    }
+
+    fn head_switch_time(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    fn media_access(&self, _now: SimTime, _pos: DiskPos, lba: u64, sectors: u32) -> MediaAccess {
+        let bytes = sectors as u64 * self.params.geometry.sector_size as u64;
+        let transfer_ns = bytes.saturating_mul(1_000_000_000) / self.params.transfer_rate;
+        let end = self.params.geometry.lba_to_chs(lba + sectors as u64 - 1);
+        MediaAccess {
+            seek: self.params.avg_seek,
+            rotation: self.params.avg_rotation,
+            transfer: SimDuration::from_nanos(transfer_ns),
+            end_pos: DiskPos { cylinder: end.cylinder, head: end.head },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_costs_regardless_of_position() {
+        let d = SimpleDisk::new();
+        let near = d.media_access(SimTime::ZERO, DiskPos::HOME, 8, 8);
+        let far = d.media_access(SimTime::ZERO, DiskPos::HOME, 2_000_000, 8);
+        assert_eq!(near.seek, far.seek);
+        assert_eq!(near.rotation, far.rotation);
+        assert_eq!(near.transfer, far.transfer);
+    }
+
+    #[test]
+    fn transfer_scales_with_size() {
+        let d = SimpleDisk::new();
+        let small = d.media_access(SimTime::ZERO, DiskPos::HOME, 0, 8);
+        let large = d.media_access(SimTime::ZERO, DiskPos::HOME, 0, 80);
+        let ratio = large.transfer.as_nanos() as f64 / small.transfer.as_nanos() as f64;
+        assert!((ratio - 10.0).abs() < 1e-3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn same_cylinder_seek_is_zero() {
+        let d = SimpleDisk::new();
+        assert_eq!(d.seek_time(5, 5), SimDuration::ZERO);
+        assert_eq!(d.seek_time(5, 6), d.seek_time(5, 1000));
+    }
+}

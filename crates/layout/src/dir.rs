@@ -1,0 +1,147 @@
+//! Directory content encoding: packed variable-length entries.
+
+use crate::types::codec::{get_u16, get_u64, put_u16, put_u64};
+use crate::types::{FileKind, Ino};
+
+/// One directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dirent {
+    /// Target inode.
+    pub ino: Ino,
+    /// Entry file type (advisory copy of the inode's kind).
+    pub kind: FileKind,
+    /// Name (no `/`, not empty, max 255 bytes).
+    pub name: String,
+}
+
+/// Maximum name length in bytes.
+pub const MAX_NAME: usize = 255;
+
+/// Serializes directory entries to packed bytes.
+pub fn encode(entries: &[Dirent]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for e in entries {
+        let name = e.name.as_bytes();
+        debug_assert!(!name.is_empty() && name.len() <= MAX_NAME);
+        let mut rec = vec![0u8; 11 + name.len()];
+        put_u64(&mut rec, 0, e.ino.0);
+        rec[8] = e.kind.tag();
+        put_u16(&mut rec, 9, name.len() as u16);
+        rec[11..].copy_from_slice(name);
+        out.extend_from_slice(&rec);
+    }
+    out
+}
+
+/// Parses packed directory bytes (ignores trailing zero padding).
+pub fn decode(mut buf: &[u8]) -> Result<Vec<Dirent>, String> {
+    let mut out = Vec::new();
+    while buf.len() >= 11 {
+        let ino = get_u64(buf, 0);
+        if ino == 0 {
+            break; // Zero padding marks the end.
+        }
+        let kind = FileKind::from_tag(buf[8]).ok_or_else(|| format!("bad kind {}", buf[8]))?;
+        let nlen = get_u16(buf, 9) as usize;
+        if nlen == 0 || nlen > MAX_NAME || buf.len() < 11 + nlen {
+            return Err(format!("bad name length {nlen}"));
+        }
+        let name = std::str::from_utf8(&buf[11..11 + nlen])
+            .map_err(|e| e.to_string())?
+            .to_string();
+        out.push(Dirent { ino: Ino(ino), kind, name });
+        buf = &buf[11 + nlen..];
+    }
+    Ok(out)
+}
+
+/// Adds an entry; fails if the name exists.
+pub fn add_entry(entries: &mut Vec<Dirent>, e: Dirent) -> Result<(), String> {
+    if entries.iter().any(|x| x.name == e.name) {
+        return Err(format!("entry {} exists", e.name));
+    }
+    entries.push(e);
+    Ok(())
+}
+
+/// Removes an entry by name; returns it if present.
+pub fn remove_entry(entries: &mut Vec<Dirent>, name: &str) -> Option<Dirent> {
+    let i = entries.iter().position(|x| x.name == name)?;
+    Some(entries.remove(i))
+}
+
+/// Looks an entry up by name.
+pub fn find<'a>(entries: &'a [Dirent], name: &str) -> Option<&'a Dirent> {
+    entries.iter().find(|x| x.name == name)
+}
+
+/// Validates a file name for directory insertion.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAME
+        && !name.contains('/')
+        && name != "."
+        && name != ".."
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(ino: u64, name: &str) -> Dirent {
+        Dirent { ino: Ino(ino), kind: FileKind::Regular, name: name.to_string() }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let entries = vec![e(1, "a"), e(2, "some-longer-name.txt"), e(3, "x")];
+        let buf = encode(&entries);
+        let back = decode(&buf).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn decode_ignores_zero_padding() {
+        let entries = vec![e(5, "hello")];
+        let mut buf = encode(&entries);
+        buf.resize(buf.len() + 64, 0);
+        assert_eq!(decode(&buf).unwrap(), entries);
+        assert!(decode(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn add_rejects_duplicates() {
+        let mut entries = vec![e(1, "a")];
+        assert!(add_entry(&mut entries, e(2, "b")).is_ok());
+        assert!(add_entry(&mut entries, e(3, "a")).is_err());
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_find() {
+        let mut entries = vec![e(1, "a"), e(2, "b")];
+        assert_eq!(find(&entries, "b").unwrap().ino, Ino(2));
+        let removed = remove_entry(&mut entries, "a").unwrap();
+        assert_eq!(removed.ino, Ino(1));
+        assert!(remove_entry(&mut entries, "a").is_none());
+        assert!(find(&entries, "a").is_none());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("ok.txt"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("."));
+        assert!(!valid_name(".."));
+        assert!(!valid_name(&"x".repeat(256)));
+        assert!(valid_name(&"x".repeat(255)));
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_kind() {
+        let mut buf = encode(&[e(1, "a")]);
+        buf[8] = 200;
+        assert!(decode(&buf).is_err());
+    }
+}

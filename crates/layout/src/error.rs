@@ -1,0 +1,46 @@
+//! Layout error type.
+
+use cnp_disk::IoError;
+
+use crate::types::Ino;
+
+/// Errors produced by storage layouts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// Underlying device failure.
+    Io(IoError),
+    /// No free segments/blocks remain.
+    NoSpace,
+    /// Unknown or freed inode.
+    BadInode(Ino),
+    /// File block index beyond the representable maximum.
+    FileTooBig(u64),
+    /// On-disk structure failed validation.
+    Corrupt(String),
+    /// Mount attempted on an unformatted or foreign disk.
+    NotFormatted,
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::Io(e) => write!(f, "i/o error: {e}"),
+            LayoutError::NoSpace => write!(f, "no space left on device"),
+            LayoutError::BadInode(ino) => write!(f, "bad inode {ino}"),
+            LayoutError::FileTooBig(blk) => write!(f, "file block {blk} beyond maximum"),
+            LayoutError::Corrupt(m) => write!(f, "corrupt file system: {m}"),
+            LayoutError::NotFormatted => write!(f, "device not formatted"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl From<IoError> for LayoutError {
+    fn from(e: IoError) -> Self {
+        LayoutError::Io(e)
+    }
+}
+
+/// Result alias for layout operations.
+pub type LResult<T> = Result<T, LayoutError>;

@@ -1,0 +1,112 @@
+//! Block-granular I/O over a sector-granular disk driver.
+
+use cnp_disk::{DiskDriver, IoOp, Payload};
+
+use crate::error::{LResult, LayoutError};
+use crate::types::{BlockAddr, BLOCK_SIZE};
+
+/// Block-addressed view of a [`DiskDriver`].
+#[derive(Clone)]
+pub struct BlockIo {
+    driver: DiskDriver,
+    sectors_per_block: u32,
+}
+
+impl BlockIo {
+    /// Wraps a driver; the driver's sector size must divide [`BLOCK_SIZE`].
+    pub fn new(driver: DiskDriver) -> Self {
+        let ssz = driver.sector_size();
+        assert!(BLOCK_SIZE % ssz == 0, "sector size {ssz} must divide block size");
+        BlockIo { driver: driver.clone(), sectors_per_block: BLOCK_SIZE / ssz }
+    }
+
+    /// The wrapped driver.
+    pub fn driver(&self) -> &DiskDriver {
+        &self.driver
+    }
+
+    /// Device capacity in file-system blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.driver.capacity_sectors() / self.sectors_per_block as u64
+    }
+
+    /// Reads one block.
+    pub async fn read_block(&self, addr: BlockAddr) -> LResult<Payload> {
+        debug_assert!(addr.is_some());
+        let lba = addr.0 * self.sectors_per_block as u64;
+        let (payload, _t) = self
+            .driver
+            .submit(IoOp::Read, lba, self.sectors_per_block, Payload::Simulated(0))
+            .await?;
+        Ok(payload)
+    }
+
+    /// Reads `n` consecutive blocks as one request.
+    pub async fn read_run(&self, addr: BlockAddr, n: u32) -> LResult<Payload> {
+        let lba = addr.0 * self.sectors_per_block as u64;
+        let (payload, _t) = self
+            .driver
+            .submit(IoOp::Read, lba, self.sectors_per_block * n, Payload::Simulated(0))
+            .await?;
+        Ok(payload)
+    }
+
+    /// Writes one block.
+    pub async fn write_block(&self, addr: BlockAddr, payload: Payload) -> LResult<()> {
+        debug_assert!(addr.is_some());
+        let lba = addr.0 * self.sectors_per_block as u64;
+        self.driver.submit(IoOp::Write, lba, self.sectors_per_block, payload).await?;
+        Ok(())
+    }
+
+    /// Writes a run of consecutive blocks, coalescing same-kind payloads
+    /// into single requests (real-byte runs stay real; simulated runs
+    /// stay length-only), so big sequential writes cost one controller
+    /// overhead instead of one per block.
+    pub async fn write_run(&self, start: BlockAddr, blocks: Vec<Payload>) -> LResult<()> {
+        let mut i = 0usize;
+        while i < blocks.len() {
+            let real = blocks[i].bytes().is_some();
+            let mut j = i + 1;
+            while j < blocks.len() && (blocks[j].bytes().is_some() == real) {
+                j += 1;
+            }
+            let n = (j - i) as u32;
+            let lba = (start.0 + i as u64) * self.sectors_per_block as u64;
+            let payload = if real {
+                let mut buf = Vec::with_capacity((n as usize) * BLOCK_SIZE as usize);
+                for b in &blocks[i..j] {
+                    let bytes = b.bytes().expect("run is real");
+                    buf.extend_from_slice(bytes);
+                    buf.resize(buf.len().next_multiple_of(BLOCK_SIZE as usize), 0);
+                }
+                Payload::Data(buf)
+            } else {
+                Payload::Simulated(n * BLOCK_SIZE)
+            };
+            self.driver
+                .submit(IoOp::Write, lba, self.sectors_per_block * n, payload)
+                .await?;
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Extracts block `idx` of a multi-block payload as owned bytes.
+    pub fn block_bytes(payload: &Payload, idx: usize) -> LResult<Vec<u8>> {
+        match payload.bytes() {
+            Some(b) => {
+                let lo = idx * BLOCK_SIZE as usize;
+                let hi = lo + BLOCK_SIZE as usize;
+                if b.len() < hi {
+                    return Err(LayoutError::Corrupt(format!(
+                        "payload too short: {} < {hi}",
+                        b.len()
+                    )));
+                }
+                Ok(b[lo..hi].to_vec())
+            }
+            None => Err(LayoutError::Corrupt("expected real bytes, got simulated".into())),
+        }
+    }
+}

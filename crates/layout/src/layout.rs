@@ -1,0 +1,205 @@
+//! The storage-layout abstraction and its enum-dispatched instantiation.
+//!
+//! "The storage-layout component is responsible for defining a
+//! file-system layout on a raw disk. … The base storage-layout class is
+//! only an interface: it does not implement an algorithm. Specific
+//! layouts are implemented through derived classes." (§2)
+
+use cnp_disk::{DiskDriver, Payload};
+
+use crate::error::LResult;
+use crate::ffs::FfsLayout;
+use crate::inode::Inode;
+use crate::lfs::LfsLayout;
+use crate::simguess::SimGuessLayout;
+use crate::types::{BlockAddr, FileKind, Ino};
+
+/// Counters exported by a layout.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayoutStats {
+    /// Metadata blocks read (inodes, indirect, summaries, maps).
+    pub meta_reads: u64,
+    /// Metadata blocks written.
+    pub meta_writes: u64,
+    /// Data blocks written.
+    pub data_writes: u64,
+    /// Data blocks read.
+    pub data_reads: u64,
+    /// Whole segments written (LFS).
+    pub segments_written: u64,
+    /// Segments cleaned (LFS).
+    pub segments_cleaned: u64,
+    /// Live blocks moved by the cleaner (LFS).
+    pub cleaner_moved: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+}
+
+/// The storage-layout interface every layout implements.
+///
+/// Rust rendition of the paper's abstract storage-layout base class:
+/// "for all layout and policy decisions, there exists a virtual method
+/// in the base-class".
+///
+/// The async methods are used generically (enum dispatch via
+/// [`Layout`]), never as `dyn` objects, so auto-trait bounds on the
+/// returned futures are not needed.
+#[allow(async_fn_in_trait)]
+pub trait StorageLayout {
+    /// Layout name for configuration and reports.
+    fn name(&self) -> &'static str;
+
+    /// Creates an empty file system (with a root directory inode).
+    async fn format(&mut self) -> LResult<()>;
+
+    /// Loads on-disk state (checkpoint/superblock).
+    async fn mount(&mut self) -> LResult<()>;
+
+    /// Flushes all state and writes a final checkpoint.
+    async fn unmount(&mut self) -> LResult<()>;
+
+    /// Durability point: push buffered layout state to disk.
+    async fn sync(&mut self) -> LResult<()>;
+
+    /// Allocates a fresh inode.
+    fn alloc_ino(&mut self, kind: FileKind, now_ns: u64) -> LResult<Inode>;
+
+    /// Reads an inode.
+    async fn get_inode(&mut self, ino: Ino) -> LResult<Inode>;
+
+    /// Persists an inode (metadata-only change).
+    async fn put_inode(&mut self, inode: &Inode) -> LResult<()>;
+
+    /// Frees an inode and every block it references.
+    async fn free_inode(&mut self, ino: Ino) -> LResult<()>;
+
+    /// Disk address of file block `blk`, or `None` for a hole.
+    async fn map_block(&mut self, inode: &Inode, blk: u64) -> LResult<Option<BlockAddr>>;
+
+    /// Returns the payload of a block still buffered in the layout (not
+    /// yet on disk), e.g. the LFS's unflushed segment. `None` means the
+    /// device copy is authoritative.
+    fn staged_block(&self, _addr: BlockAddr) -> Option<Payload> {
+        None
+    }
+
+    /// Reads one file block (`None` for a hole).
+    async fn read_file_block(&mut self, inode: &Inode, blk: u64) -> LResult<Option<Payload>>;
+
+    /// Writes file blocks, allocating/relocating as the layout dictates,
+    /// updating `inode`'s pointers, and persisting the inode.
+    async fn write_file_blocks(
+        &mut self,
+        inode: &mut Inode,
+        blocks: Vec<(u64, Payload)>,
+    ) -> LResult<()>;
+
+    /// Frees file blocks at indices `>= new_blocks` (truncate).
+    async fn truncate(&mut self, inode: &mut Inode, new_blocks: u64) -> LResult<()>;
+
+    /// Counter snapshot.
+    fn stats(&self) -> LayoutStats;
+
+    /// The disk driver underneath (for plug-in statistics).
+    fn driver(&self) -> &DiskDriver;
+}
+
+/// Runtime-selected layout (the cut-and-paste configuration point).
+pub enum Layout {
+    /// Segmented log-structured layout (the paper's production choice).
+    Lfs(LfsLayout),
+    /// FFS-like update-in-place layout.
+    Ffs(FfsLayout),
+    /// The paper's off-line "educated guess" layout.
+    SimGuess(SimGuessLayout),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $m:ident $(, $arg:expr)*) => {
+        match $self {
+            Layout::Lfs(l) => l.$m($($arg),*),
+            Layout::Ffs(l) => l.$m($($arg),*),
+            Layout::SimGuess(l) => l.$m($($arg),*),
+        }
+    };
+}
+
+macro_rules! dispatch_async {
+    ($self:ident, $m:ident $(, $arg:expr)*) => {
+        match $self {
+            Layout::Lfs(l) => l.$m($($arg),*).await,
+            Layout::Ffs(l) => l.$m($($arg),*).await,
+            Layout::SimGuess(l) => l.$m($($arg),*).await,
+        }
+    };
+}
+
+impl StorageLayout for Layout {
+    fn name(&self) -> &'static str {
+        dispatch!(self, name)
+    }
+
+    async fn format(&mut self) -> LResult<()> {
+        dispatch_async!(self, format)
+    }
+
+    async fn mount(&mut self) -> LResult<()> {
+        dispatch_async!(self, mount)
+    }
+
+    async fn unmount(&mut self) -> LResult<()> {
+        dispatch_async!(self, unmount)
+    }
+
+    async fn sync(&mut self) -> LResult<()> {
+        dispatch_async!(self, sync)
+    }
+
+    fn alloc_ino(&mut self, kind: FileKind, now_ns: u64) -> LResult<Inode> {
+        dispatch!(self, alloc_ino, kind, now_ns)
+    }
+
+    async fn get_inode(&mut self, ino: Ino) -> LResult<Inode> {
+        dispatch_async!(self, get_inode, ino)
+    }
+
+    async fn put_inode(&mut self, inode: &Inode) -> LResult<()> {
+        dispatch_async!(self, put_inode, inode)
+    }
+
+    async fn free_inode(&mut self, ino: Ino) -> LResult<()> {
+        dispatch_async!(self, free_inode, ino)
+    }
+
+    async fn map_block(&mut self, inode: &Inode, blk: u64) -> LResult<Option<BlockAddr>> {
+        dispatch_async!(self, map_block, inode, blk)
+    }
+
+    fn staged_block(&self, addr: BlockAddr) -> Option<Payload> {
+        dispatch!(self, staged_block, addr)
+    }
+
+    async fn read_file_block(&mut self, inode: &Inode, blk: u64) -> LResult<Option<Payload>> {
+        dispatch_async!(self, read_file_block, inode, blk)
+    }
+
+    async fn write_file_blocks(
+        &mut self,
+        inode: &mut Inode,
+        blocks: Vec<(u64, Payload)>,
+    ) -> LResult<()> {
+        dispatch_async!(self, write_file_blocks, inode, blocks)
+    }
+
+    async fn truncate(&mut self, inode: &mut Inode, new_blocks: u64) -> LResult<()> {
+        dispatch_async!(self, truncate, inode, new_blocks)
+    }
+
+    fn stats(&self) -> LayoutStats {
+        dispatch!(self, stats)
+    }
+
+    fn driver(&self) -> &DiskDriver {
+        dispatch!(self, driver)
+    }
+}

@@ -1,0 +1,374 @@
+//! LFS on-disk structures: superblock, checkpoint regions, segment
+//! summaries, the inode map (IFILE) and the segment usage table.
+
+use crate::error::{LResult, LayoutError};
+use crate::types::codec::{get_u32, get_u64, put_u32, put_u64};
+use crate::types::{BlockAddr, BLOCK_SIZE};
+
+/// Magic number identifying an LFS superblock.
+pub const SB_MAGIC: u32 = 0x1f5_5b10;
+/// Magic number of a checkpoint block.
+pub const CKPT_MAGIC: u32 = 0x1f5_c927;
+/// Magic number of a segment summary block.
+pub const SUM_MAGIC: u32 = 0x1f5_5a33;
+
+/// Fixed location of the superblock.
+pub const SB_ADDR: BlockAddr = BlockAddr(0);
+/// Fixed locations of the two alternating checkpoint regions.
+pub const CKPT_ADDRS: [BlockAddr; 2] = [BlockAddr(1), BlockAddr(2)];
+/// First segment starts here.
+pub const DATA_START: u64 = 3;
+
+/// The LFS superblock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperBlock {
+    /// Blocks per segment (including the summary block).
+    pub seg_blocks: u32,
+    /// Number of segments.
+    pub nsegs: u32,
+}
+
+impl SuperBlock {
+    /// Serializes to one block.
+    pub fn to_block(&self) -> Vec<u8> {
+        let mut b = vec![0u8; BLOCK_SIZE as usize];
+        put_u32(&mut b, 0, SB_MAGIC);
+        put_u32(&mut b, 4, self.seg_blocks);
+        put_u32(&mut b, 8, self.nsegs);
+        put_u32(&mut b, 12, BLOCK_SIZE);
+        b
+    }
+
+    /// Parses from a block.
+    pub fn from_block(b: &[u8]) -> LResult<SuperBlock> {
+        if b.len() < 16 || get_u32(b, 0) != SB_MAGIC {
+            return Err(LayoutError::NotFormatted);
+        }
+        if get_u32(b, 12) != BLOCK_SIZE {
+            return Err(LayoutError::Corrupt("block size mismatch".into()));
+        }
+        Ok(SuperBlock { seg_blocks: get_u32(b, 4), nsegs: get_u32(b, 8) })
+    }
+}
+
+/// What a segment payload block holds (summary entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SumEntry {
+    /// Unused slot (partial segment).
+    Free,
+    /// File data block.
+    Data {
+        /// Owning inode.
+        ino: u64,
+        /// File block index.
+        fblk: u64,
+    },
+    /// Single indirect pointer block of `ino`.
+    Indirect {
+        /// Owning inode.
+        ino: u64,
+    },
+    /// A block packing up to 16 inodes.
+    InodeBlock,
+    /// Inode-map (IFILE) block written at a checkpoint.
+    Imap,
+    /// Segment-usage-table block written at a checkpoint.
+    Usage,
+}
+
+impl SumEntry {
+    fn encode(&self, buf: &mut [u8]) {
+        match self {
+            SumEntry::Free => buf[0] = 0,
+            SumEntry::Data { ino, fblk } => {
+                buf[0] = 1;
+                put_u64(buf, 1, *ino);
+                put_u64(buf, 9, *fblk);
+            }
+            SumEntry::Indirect { ino } => {
+                buf[0] = 2;
+                put_u64(buf, 1, *ino);
+            }
+            SumEntry::InodeBlock => buf[0] = 3,
+            SumEntry::Imap => buf[0] = 4,
+            SumEntry::Usage => buf[0] = 5,
+        }
+    }
+
+    fn decode(buf: &[u8]) -> LResult<SumEntry> {
+        Ok(match buf[0] {
+            0 => SumEntry::Free,
+            1 => SumEntry::Data { ino: get_u64(buf, 1), fblk: get_u64(buf, 9) },
+            2 => SumEntry::Indirect { ino: get_u64(buf, 1) },
+            3 => SumEntry::InodeBlock,
+            4 => SumEntry::Imap,
+            5 => SumEntry::Usage,
+            t => return Err(LayoutError::Corrupt(format!("bad summary tag {t}"))),
+        })
+    }
+}
+
+/// Bytes per encoded summary entry.
+const SUM_ENTRY_SIZE: usize = 17;
+
+/// Serializes a segment summary to one block.
+pub fn summary_to_block(entries: &[SumEntry]) -> Vec<u8> {
+    let mut b = vec![0u8; BLOCK_SIZE as usize];
+    put_u32(&mut b, 0, SUM_MAGIC);
+    put_u32(&mut b, 4, entries.len() as u32);
+    for (i, e) in entries.iter().enumerate() {
+        let off = 8 + i * SUM_ENTRY_SIZE;
+        e.encode(&mut b[off..off + SUM_ENTRY_SIZE]);
+    }
+    b
+}
+
+/// Parses a segment summary block.
+pub fn summary_from_block(b: &[u8]) -> LResult<Vec<SumEntry>> {
+    if b.len() < 8 || get_u32(b, 0) != SUM_MAGIC {
+        return Err(LayoutError::Corrupt("bad summary magic".into()));
+    }
+    let n = get_u32(b, 4) as usize;
+    if 8 + n * SUM_ENTRY_SIZE > b.len() {
+        return Err(LayoutError::Corrupt("summary overflow".into()));
+    }
+    (0..n).map(|i| SumEntry::decode(&b[8 + i * SUM_ENTRY_SIZE..])).collect()
+}
+
+/// Per-segment usage record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegUsage {
+    /// Live bytes in the segment.
+    pub live: u32,
+    /// Last modification (ns of simulation time) for cost-benefit aging.
+    pub mtime: u64,
+}
+
+/// Entries per usage-table block.
+pub const USAGE_PER_BLOCK: usize = (BLOCK_SIZE as usize - 8) / 12;
+
+/// Serializes the usage table into blocks.
+pub fn usage_to_blocks(usage: &[SegUsage]) -> Vec<Vec<u8>> {
+    usage
+        .chunks(USAGE_PER_BLOCK)
+        .map(|chunk| {
+            let mut b = vec![0u8; BLOCK_SIZE as usize];
+            put_u32(&mut b, 0, chunk.len() as u32);
+            for (i, u) in chunk.iter().enumerate() {
+                let off = 8 + i * 12;
+                put_u32(&mut b, off, u.live);
+                put_u64(&mut b, off + 4, u.mtime);
+            }
+            b
+        })
+        .collect()
+}
+
+/// Parses usage blocks back into a table.
+pub fn usage_from_blocks(blocks: &[Vec<u8>]) -> Vec<SegUsage> {
+    let mut out = Vec::new();
+    for b in blocks {
+        let n = get_u32(b, 0) as usize;
+        for i in 0..n {
+            let off = 8 + i * 12;
+            out.push(SegUsage { live: get_u32(b, off), mtime: get_u64(b, off + 4) });
+        }
+    }
+    out
+}
+
+/// Inode-map entries per IFILE block.
+pub const IMAP_PER_BLOCK: usize = (BLOCK_SIZE as usize - 8) / 8;
+
+/// Sentinel for a free inode-map slot.
+pub const IMAP_NONE: u64 = u64::MAX;
+
+/// Packs an inode location (block address + slot within block).
+pub fn imap_pack(addr: BlockAddr, slot: usize) -> u64 {
+    addr.0 * 16 + slot as u64
+}
+
+/// Unpacks an inode location.
+pub fn imap_unpack(v: u64) -> (BlockAddr, usize) {
+    (BlockAddr(v / 16), (v % 16) as usize)
+}
+
+/// Serializes the inode map into blocks.
+pub fn imap_to_blocks(imap: &[u64]) -> Vec<Vec<u8>> {
+    if imap.is_empty() {
+        return Vec::new();
+    }
+    imap.chunks(IMAP_PER_BLOCK)
+        .map(|chunk| {
+            let mut b = vec![0u8; BLOCK_SIZE as usize];
+            put_u32(&mut b, 0, chunk.len() as u32);
+            for (i, v) in chunk.iter().enumerate() {
+                put_u64(&mut b, 8 + i * 8, *v);
+            }
+            b
+        })
+        .collect()
+}
+
+/// Parses inode-map blocks.
+pub fn imap_from_blocks(blocks: &[Vec<u8>]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for b in blocks {
+        let n = get_u32(b, 0) as usize;
+        for i in 0..n {
+            out.push(get_u64(b, 8 + i * 8));
+        }
+    }
+    out
+}
+
+/// A checkpoint: the durable root of the file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Monotone sequence number (newer wins at mount).
+    pub seq: u64,
+    /// Next inode number to allocate.
+    pub next_ino: u64,
+    /// Addresses of the inode-map blocks, in order.
+    pub imap_addrs: Vec<u64>,
+    /// Addresses of the usage-table blocks, in order.
+    pub usage_addrs: Vec<u64>,
+}
+
+impl Checkpoint {
+    /// Serializes to one block with a trailing checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address lists do not fit one block (≈ 500 entries;
+    /// enough for > 250 k inodes).
+    pub fn to_block(&self) -> Vec<u8> {
+        let mut b = vec![0u8; BLOCK_SIZE as usize];
+        put_u32(&mut b, 0, CKPT_MAGIC);
+        put_u64(&mut b, 8, self.seq);
+        put_u64(&mut b, 16, self.next_ino);
+        put_u32(&mut b, 24, self.imap_addrs.len() as u32);
+        put_u32(&mut b, 28, self.usage_addrs.len() as u32);
+        let mut off = 32;
+        for &a in self.imap_addrs.iter().chain(self.usage_addrs.iter()) {
+            assert!(off + 8 <= BLOCK_SIZE as usize - 8, "checkpoint overflow");
+            put_u64(&mut b, off, a);
+            off += 8;
+        }
+        let sum = checksum(&b[..BLOCK_SIZE as usize - 8]);
+        put_u64(&mut b, BLOCK_SIZE as usize - 8, sum);
+        b
+    }
+
+    /// Parses and validates a checkpoint block; `None` if invalid.
+    pub fn from_block(b: &[u8]) -> Option<Checkpoint> {
+        if b.len() < BLOCK_SIZE as usize || get_u32(b, 0) != CKPT_MAGIC {
+            return None;
+        }
+        let sum = get_u64(b, BLOCK_SIZE as usize - 8);
+        if checksum(&b[..BLOCK_SIZE as usize - 8]) != sum {
+            return None;
+        }
+        let ni = get_u32(b, 24) as usize;
+        let nu = get_u32(b, 28) as usize;
+        let mut off = 32;
+        let mut imap_addrs = Vec::with_capacity(ni);
+        for _ in 0..ni {
+            imap_addrs.push(get_u64(b, off));
+            off += 8;
+        }
+        let mut usage_addrs = Vec::with_capacity(nu);
+        for _ in 0..nu {
+            usage_addrs.push(get_u64(b, off));
+            off += 8;
+        }
+        Some(Checkpoint { seq: get_u64(b, 8), next_ino: get_u64(b, 16), imap_addrs, usage_addrs })
+    }
+}
+
+/// FNV-1a style checksum over checkpoint contents.
+fn checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in data {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblock_round_trip() {
+        let sb = SuperBlock { seg_blocks: 128, nsegs: 2621 };
+        let b = sb.to_block();
+        assert_eq!(SuperBlock::from_block(&b).unwrap(), sb);
+        assert!(matches!(
+            SuperBlock::from_block(&vec![0u8; 4096]),
+            Err(LayoutError::NotFormatted)
+        ));
+    }
+
+    #[test]
+    fn summary_round_trip() {
+        let entries = vec![
+            SumEntry::Data { ino: 7, fblk: 3 },
+            SumEntry::Indirect { ino: 7 },
+            SumEntry::InodeBlock,
+            SumEntry::Imap,
+            SumEntry::Usage,
+            SumEntry::Free,
+        ];
+        let b = summary_to_block(&entries);
+        assert_eq!(summary_from_block(&b).unwrap(), entries);
+    }
+
+    #[test]
+    fn summary_capacity_fits_big_segments() {
+        // 240 payload blocks (≈ 1 MB segments) is the summary-block limit.
+        let entries = vec![SumEntry::Data { ino: 1, fblk: 2 }; 240];
+        let b = summary_to_block(&entries);
+        assert_eq!(summary_from_block(&b).unwrap().len(), 240);
+    }
+
+    #[test]
+    fn usage_round_trip() {
+        let usage: Vec<SegUsage> =
+            (0..700).map(|i| SegUsage { live: i * 13, mtime: i as u64 * 7 }).collect();
+        let blocks = usage_to_blocks(&usage);
+        assert!(blocks.len() >= 2, "700 entries need multiple blocks");
+        assert_eq!(usage_from_blocks(&blocks), usage);
+    }
+
+    #[test]
+    fn imap_round_trip() {
+        let imap: Vec<u64> = (0..1200).map(|i| if i % 3 == 0 { IMAP_NONE } else { i * 11 }).collect();
+        let blocks = imap_to_blocks(&imap);
+        assert_eq!(imap_from_blocks(&blocks), imap);
+        assert!(imap_to_blocks(&[]).is_empty());
+    }
+
+    #[test]
+    fn imap_packing() {
+        let (a, s) = imap_unpack(imap_pack(BlockAddr(1234), 7));
+        assert_eq!(a, BlockAddr(1234));
+        assert_eq!(s, 7);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_and_checksum() {
+        let c = Checkpoint {
+            seq: 42,
+            next_ino: 100,
+            imap_addrs: vec![10, 11, 12],
+            usage_addrs: vec![20, 21],
+        };
+        let mut b = c.to_block();
+        assert_eq!(Checkpoint::from_block(&b), Some(c));
+        // Corrupt one byte: checksum must reject.
+        b[40] ^= 0xff;
+        assert_eq!(Checkpoint::from_block(&b), None);
+    }
+}

@@ -1,0 +1,187 @@
+//! Core on-disk types shared by every storage layout.
+
+use std::fmt;
+
+/// File-system block size in bytes (Sprite-era default).
+pub const BLOCK_SIZE: u32 = 4096;
+
+/// Direct block pointers per inode.
+pub const NDIRECT: usize = 12;
+
+/// Pointers per indirect block (`BLOCK_SIZE / 8`).
+pub const NINDIRECT: usize = (BLOCK_SIZE as usize) / 8;
+
+/// Largest representable file in blocks (direct + one indirect level).
+pub const MAX_FILE_BLOCKS: u64 = NDIRECT as u64 + NINDIRECT as u64;
+
+/// An inode number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ino(pub u64);
+
+impl Ino {
+    /// The root directory inode.
+    pub const ROOT: Ino = Ino(1);
+}
+
+impl fmt::Display for Ino {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino{}", self.0)
+    }
+}
+
+/// A disk address in file-system blocks (not sectors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Sentinel for "no block assigned".
+    pub const NONE: BlockAddr = BlockAddr(u64::MAX);
+
+    /// True if this is a real address.
+    pub fn is_some(self) -> bool {
+        self != BlockAddr::NONE
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_some() {
+            write!(f, "blk{}", self.0)
+        } else {
+            write!(f, "blk-")
+        }
+    }
+}
+
+/// File types (each becomes its own instantiated-file class in the core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// Ordinary file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link (target stored inline in the first block).
+    Symlink,
+    /// Continuous-media file (QoS-aware active file in the core).
+    Multimedia,
+}
+
+impl FileKind {
+    /// Stable on-disk tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            FileKind::Regular => 0,
+            FileKind::Directory => 1,
+            FileKind::Symlink => 2,
+            FileKind::Multimedia => 3,
+        }
+    }
+
+    /// Parses an on-disk tag.
+    pub fn from_tag(t: u8) -> Option<FileKind> {
+        match t {
+            0 => Some(FileKind::Regular),
+            1 => Some(FileKind::Directory),
+            2 => Some(FileKind::Symlink),
+            3 => Some(FileKind::Multimedia),
+            _ => None,
+        }
+    }
+}
+
+/// Where a file block index lands within the inode's pointer tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockSlot {
+    /// One of the inode's direct pointers.
+    Direct(usize),
+    /// A slot in the single indirect block.
+    Indirect(usize),
+}
+
+/// Resolves a file block index to its pointer slot.
+///
+/// Returns `None` beyond [`MAX_FILE_BLOCKS`].
+pub fn block_slot(blk: u64) -> Option<BlockSlot> {
+    if blk < NDIRECT as u64 {
+        Some(BlockSlot::Direct(blk as usize))
+    } else if blk < MAX_FILE_BLOCKS {
+        Some(BlockSlot::Indirect((blk - NDIRECT as u64) as usize))
+    } else {
+        None
+    }
+}
+
+/// Encoding helpers for fixed-layout on-disk structures.
+pub mod codec {
+    /// Writes a `u64` little-endian at `off`.
+    pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+        buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u64` little-endian at `off`.
+    pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+        u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes a `u32` little-endian at `off`.
+    pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+        buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u32` little-endian at `off`.
+    pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+        u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Writes a `u16` little-endian at `off`.
+    pub fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+        buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a `u16` little-endian at `off`.
+    pub fn get_u16(buf: &[u8], off: usize) -> u16 {
+        u16::from_le_bytes(buf[off..off + 2].try_into().expect("2 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_resolution() {
+        assert_eq!(block_slot(0), Some(BlockSlot::Direct(0)));
+        assert_eq!(block_slot(11), Some(BlockSlot::Direct(11)));
+        assert_eq!(block_slot(12), Some(BlockSlot::Indirect(0)));
+        assert_eq!(block_slot(12 + 511), Some(BlockSlot::Indirect(511)));
+        assert_eq!(block_slot(MAX_FILE_BLOCKS - 1), Some(BlockSlot::Indirect(NINDIRECT - 1)));
+        assert_eq!(block_slot(MAX_FILE_BLOCKS), None);
+    }
+
+    #[test]
+    fn max_file_size_is_about_2mb() {
+        // 12 direct + 512 indirect pointers at 4 KB blocks.
+        let bytes = MAX_FILE_BLOCKS * BLOCK_SIZE as u64;
+        assert!(bytes > 2_000_000 && bytes < 2_300_000, "{bytes}");
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for k in [FileKind::Regular, FileKind::Directory, FileKind::Symlink, FileKind::Multimedia]
+        {
+            assert_eq!(FileKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(FileKind::from_tag(99), None);
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let mut buf = vec![0u8; 32];
+        codec::put_u64(&mut buf, 0, 0xdead_beef_cafe_f00d);
+        codec::put_u32(&mut buf, 8, 0x1234_5678);
+        codec::put_u16(&mut buf, 12, 0xabcd);
+        assert_eq!(codec::get_u64(&buf, 0), 0xdead_beef_cafe_f00d);
+        assert_eq!(codec::get_u32(&buf, 8), 0x1234_5678);
+        assert_eq!(codec::get_u16(&buf, 12), 0xabcd);
+    }
+}

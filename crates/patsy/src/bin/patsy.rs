@@ -1,0 +1,84 @@
+//! Patsy command-line interface: regenerates the paper's figures and
+//! ablations on the off-line simulator.
+//!
+//! ```text
+//! patsy fig2|fig3|fig4|fig5            # the paper's evaluation figures
+//! patsy ablate-diskmodel|ablate-flushmode|ablate-iosched|
+//!       ablate-diskcache|ablate-nvram|ablate-cleaner
+//! patsy run --trace 1a --policy ups    # one experiment, full detail
+//! options: --scale 0.05 --seed 365
+//! ```
+
+use cnp_patsy::{ablate, figures, Policy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return;
+    }
+    let mut scale = 0.05f64;
+    let mut seed = 365u64;
+    let mut trace = "1a".to_string();
+    let mut policy = "ups".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad --scale");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad --seed");
+                    std::process::exit(2);
+                });
+            }
+            "--trace" => {
+                i += 1;
+                trace = args.get(i).cloned().unwrap_or_default();
+            }
+            "--policy" => {
+                i += 1;
+                policy = args.get(i).cloned().unwrap_or_default();
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    match args[0].as_str() {
+        "fig2" => figures::figure_cdf("1a", scale, seed),
+        "fig3" => figures::figure_cdf("1b", scale, seed),
+        "fig4" => figures::figure_cdf("5", scale, seed),
+        "fig5" => figures::figure5(scale, seed),
+        "ablate-diskmodel" => ablate::ablate_diskmodel(scale, seed),
+        "ablate-flushmode" => ablate::ablate_flushmode(scale, seed),
+        "ablate-iosched" => ablate::ablate_iosched(scale, seed),
+        "ablate-diskcache" => ablate::ablate_diskcache(scale, seed),
+        "ablate-nvram" => ablate::ablate_nvram(scale, seed),
+        "ablate-cleaner" => ablate::ablate_cleaner(scale, seed),
+        "run" => {
+            let p = Policy::parse(&policy).unwrap_or_else(|| {
+                eprintln!("unknown policy {policy} (write-delay|ups|nvram-whole|nvram-partial)");
+                std::process::exit(2);
+            });
+            figures::run_one(&trace, p, scale, seed);
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: patsy <fig2|fig3|fig4|fig5|ablate-diskmodel|ablate-flushmode|\
+         ablate-iosched|ablate-diskcache|ablate-nvram|ablate-cleaner|run> \
+         [--trace 1a] [--policy ups] [--scale 0.05] [--seed 365]"
+    );
+}

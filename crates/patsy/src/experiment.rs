@@ -1,0 +1,313 @@
+//! The write-saving experiment harness (§5.1).
+//!
+//! "We are performing four different experiments with the Sprite traces
+//! to analyze the performance effects of these write-saving policies":
+//! the 30-second write-delay baseline, the UPS extreme, and the two
+//! 4 MB-NVRAM flush variants (whole-file and partial-file).
+
+use cnp_cache::CacheConfig;
+use cnp_core::{DataMode, FileSystem, FlushMode, FsConfig, FsStats};
+use cnp_disk::{
+    spawn_disk, Backend, CLook, DiskDriver, DiskOpts, FaultPlan, Hp97560, ScsiBus, SimBackend,
+};
+use cnp_layout::{Layout, LayoutStats, LfsLayout, LfsParams};
+use cnp_sim::stats::Histogram;
+use cnp_sim::{Sim, SimTime};
+use cnp_trace::{replay, ReplayReport, SpriteParams, SyntheticSprite};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The four §5.1 policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Unix 30-second-update write-delay (baseline).
+    WriteDelay,
+    /// UPS write-saving: flush only under memory pressure.
+    Ups,
+    /// 4 MB NVRAM, whole-file flush.
+    NvramWhole,
+    /// 4 MB NVRAM, partial-file (single-block) flush.
+    NvramPartial,
+}
+
+/// All four policies, in the paper's reporting order.
+pub const POLICIES: [Policy; 4] =
+    [Policy::WriteDelay, Policy::Ups, Policy::NvramWhole, Policy::NvramPartial];
+
+impl Policy {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::WriteDelay => "write-delay-30s",
+            Policy::Ups => "ups",
+            Policy::NvramWhole => "nvram-whole-file",
+            Policy::NvramPartial => "nvram-partial",
+        }
+    }
+
+    /// Flush policy name + NVRAM bound for the cache config.
+    pub fn cache_settings(&self, nvram_bytes: u64) -> (&'static str, Option<u64>) {
+        match self {
+            Policy::WriteDelay => ("write-delay", None),
+            Policy::Ups => ("ups-whole", None),
+            Policy::NvramWhole => ("nvram-whole", Some(nvram_bytes)),
+            Policy::NvramPartial => ("nvram-partial", Some(nvram_bytes)),
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s {
+            "write-delay" | "30s" => Some(Policy::WriteDelay),
+            "ups" => Some(Policy::Ups),
+            "nvram-whole" => Some(Policy::NvramWhole),
+            "nvram-partial" => Some(Policy::NvramPartial),
+            _ => None,
+        }
+    }
+}
+
+/// One experiment run's configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Flush policy under test.
+    pub policy: Policy,
+    /// Workload personality.
+    pub trace: SpriteParams,
+    /// Fraction of the 24-hour trace to generate (e.g. 0.05 ≈ 72 min).
+    pub scale: f64,
+    /// RNG seed (scheduler + workload).
+    pub seed: u64,
+    /// File systems (each with its own disk); clients spread round-robin.
+    pub filesystems: u32,
+    /// SCSI buses shared by the disks.
+    pub buses: u32,
+    /// Cache memory per file system.
+    pub mem_bytes: u64,
+    /// NVRAM size for the NVRAM policies.
+    pub nvram_bytes: u64,
+    /// Cache replacement policy name.
+    pub replacement: String,
+    /// Flush execution (async daemon vs requester-synchronous).
+    pub flush_mode: FlushMode,
+    /// Use the naive disk model instead of the HP 97560 (ablation A1).
+    pub simple_disk: bool,
+    /// Disable the disk's immediate-report + read-ahead cache (A4).
+    pub no_disk_cache: bool,
+    /// Driver queue scheduler name (A3; default `c-look`).
+    pub iosched: String,
+}
+
+impl ExperimentConfig {
+    /// The paper-shaped default: 2 file systems on 1 bus, 32 MB cache,
+    /// 4 MB NVRAM, C-LOOK, detailed disk model.
+    pub fn new(policy: Policy, trace: SpriteParams) -> Self {
+        ExperimentConfig {
+            policy,
+            trace,
+            scale: 0.05,
+            seed: 0x5912e,
+            filesystems: 2,
+            buses: 1,
+            mem_bytes: 8 * 1024 * 1024,
+            nvram_bytes: 4 * 1024 * 1024,
+            replacement: "lru".into(),
+            flush_mode: FlushMode::Async,
+            simple_disk: false,
+            no_disk_cache: false,
+            iosched: "c-look".into(),
+        }
+    }
+}
+
+/// Aggregated outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Label (policy).
+    pub policy: Policy,
+    /// Trace name.
+    pub trace: &'static str,
+    /// Merged replay measurements.
+    pub report: ReplayReport,
+    /// Cache hit rate across file systems.
+    pub hit_rate: f64,
+    /// Fraction of dirtied blocks absorbed before any disk write.
+    pub absorption: f64,
+    /// Writer stalls on the NVRAM bound.
+    pub nvram_stalls: u64,
+    /// Blocks flushed to disk.
+    pub blocks_flushed: u64,
+    /// Mean and max driver queue lengths (averaged over disks).
+    pub mean_queue: f64,
+    /// Max queue length over all disks.
+    pub max_queue: f64,
+    /// Engine stats summed over file systems.
+    pub fs_stats: FsStats,
+    /// Layout stats summed over file systems.
+    pub layout: LayoutStats,
+}
+
+/// Runs one experiment to completion on a fresh virtual-time simulation.
+pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    let sim = Sim::new(cfg.seed);
+    let h = sim.handle();
+
+    // Topology: shared buses, one disk + driver + LFS + engine per FS.
+    let buses: Vec<ScsiBus> = (0..cfg.buses).map(|_| ScsiBus::new(&h)).collect();
+    let mut systems: Vec<FileSystem> = Vec::new();
+    let mut drivers: Vec<DiskDriver> = Vec::new();
+    for i in 0..cfg.filesystems {
+        let bus = buses[(i % cfg.buses) as usize].clone();
+        let scsi_id = 1 + (i / cfg.buses) as u8;
+        let opts = DiskOpts {
+            scsi_id,
+            store_data: true,
+            readahead: !cfg.no_disk_cache,
+            immediate_report: !cfg.no_disk_cache,
+        };
+        let model: Box<dyn cnp_disk::DiskModel> = if cfg.simple_disk {
+            Box::new(cnp_disk::SimpleDisk::new())
+        } else {
+            Box::new(Hp97560::new())
+        };
+        let disk = spawn_disk(&h, &format!("disk{i}"), model, bus.clone(), opts, FaultPlan::default());
+        let sched = cnp_disk::scheduler_by_name(&cfg.iosched)
+            .unwrap_or_else(|| Box::new(CLook));
+        let driver = DiskDriver::new(
+            &h,
+            &format!("d{i}"),
+            Backend::Sim(SimBackend { bus, disk, host_id: 7 }),
+            sched,
+        );
+        drivers.push(driver.clone());
+        let layout = Layout::Lfs(LfsLayout::new(&h, driver, LfsParams::default()));
+        let (flush, nvram) = cfg.policy.cache_settings(cfg.nvram_bytes);
+        let fs_cfg = FsConfig {
+            cache: CacheConfig {
+                block_size: 4096,
+                mem_bytes: cfg.mem_bytes,
+                nvram_bytes: nvram,
+            },
+            replacement: cfg.replacement.clone(),
+            flush: flush.to_string(),
+            flush_mode: cfg.flush_mode,
+            data_mode: DataMode::Simulated,
+            ..FsConfig::default()
+        };
+        systems.push(FileSystem::new(&h, layout, fs_cfg));
+    }
+
+    // Generate the workload and split clients round-robin over systems.
+    let mut gen = SyntheticSprite::new(cfg.trace.clone(), cfg.seed ^ 0xabcd);
+    let records = gen.generate(cfg.scale);
+    let n_fs = cfg.filesystems;
+    let mut per_fs: Vec<Vec<cnp_trace::TraceRecord>> = vec![Vec::new(); n_fs as usize];
+    for r in records {
+        per_fs[(r.client % n_fs) as usize].push(r);
+    }
+
+    let reports: Rc<RefCell<Vec<ReplayReport>>> = Rc::new(RefCell::new(Vec::new()));
+    for (fs, recs) in systems.iter().cloned().zip(per_fs) {
+        let h2 = h.clone();
+        let reports = reports.clone();
+        h.spawn("experiment", async move {
+            fs.format().await.expect("format");
+            let report = replay(&h2, &fs, recs).await;
+            let _ = fs.sync().await;
+            reports.borrow_mut().push(report);
+            fs.shutdown();
+        });
+    }
+    sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+
+    // Merge measurements across file systems.
+    let mut reports = reports.borrow_mut();
+    assert_eq!(reports.len(), cfg.filesystems as usize, "an experiment task did not finish");
+    let mut merged = reports.remove(0);
+    for r in reports.drain(..) {
+        merged.latency.merge(&r.latency);
+        merged.read_latency.merge(&r.read_latency);
+        merged.write_latency.merge(&r.write_latency);
+        merged.ops += r.ops;
+        merged.errors += r.errors;
+    }
+    let mut hits = 0u64;
+    let mut lookups = 0u64;
+    let mut dirtied = 0u64;
+    let mut absorbed = 0u64;
+    let mut nvram_stalls = 0u64;
+    let mut fs_stats = FsStats::default();
+    let mut layout = LayoutStats::default();
+    for fs in &systems {
+        let c = fs.cache_stats();
+        hits += c.hits;
+        lookups += c.hits + c.misses;
+        dirtied += c.dirtied;
+        absorbed += c.absorbed;
+        nvram_stalls += c.nvram_stalls;
+        let s = fs.stats();
+        fs_stats.ops += s.ops;
+        fs_stats.reads += s.reads;
+        fs_stats.writes += s.writes;
+        fs_stats.creates += s.creates;
+        fs_stats.deletes += s.deletes;
+        fs_stats.bytes_read += s.bytes_read;
+        fs_stats.bytes_written += s.bytes_written;
+        fs_stats.absorbed_blocks += s.absorbed_blocks;
+        fs_stats.flush_batches += s.flush_batches;
+        fs_stats.blocks_flushed += s.blocks_flushed;
+        if let Some(l) = fs.layout_stats() {
+            layout.meta_reads += l.meta_reads;
+            layout.meta_writes += l.meta_writes;
+            layout.data_reads += l.data_reads;
+            layout.data_writes += l.data_writes;
+            layout.segments_written += l.segments_written;
+            layout.segments_cleaned += l.segments_cleaned;
+            layout.cleaner_moved += l.cleaner_moved;
+            layout.checkpoints += l.checkpoints;
+        }
+    }
+    let mut mean_queue = 0.0;
+    let mut max_queue: f64 = 0.0;
+    for d in &drivers {
+        let s = d.stats();
+        mean_queue += s.mean_queue_len;
+        max_queue = max_queue.max(s.max_queue_len);
+    }
+    mean_queue /= drivers.len() as f64;
+
+    ExperimentResult {
+        policy: cfg.policy,
+        trace: cfg.trace.name,
+        report: merged,
+        hit_rate: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+        absorption: if dirtied == 0 { 0.0 } else { absorbed as f64 / dirtied as f64 },
+        nvram_stalls,
+        blocks_flushed: fs_stats.blocks_flushed,
+        mean_queue,
+        max_queue,
+        fs_stats,
+        layout,
+    }
+}
+
+/// Formats a latency histogram CDF at the paper's interesting points.
+pub fn cdf_row(latency: &Histogram) -> String {
+    let points = [0.5, 1.0, 2.0, 5.0, 10.0, 17.0, 25.0, 50.0, 100.0, 500.0];
+    let mut s = String::new();
+    for p in points {
+        s.push_str(&format!("{:>6.3} ", latency.cdf_at(p)));
+    }
+    s
+}
+
+/// Header matching [`cdf_row`].
+pub fn cdf_header() -> String {
+    let points = ["0.5ms", "1ms", "2ms", "5ms", "10ms", "17ms", "25ms", "50ms", "100ms", "500ms"];
+    let mut s = String::new();
+    for p in points {
+        s.push_str(&format!("{p:>6} "));
+    }
+    s
+}

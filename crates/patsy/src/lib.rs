@@ -1,0 +1,17 @@
+//! # cnp-patsy — the off-line file-system simulator instantiation
+//!
+//! Wires the cut-and-paste components into the paper's simulator (§4):
+//! simulated HP 97560 disks on SCSI-2 buses behind scheduled drivers, a
+//! segmented LFS on every file system, the block cache with the
+//! experiment's flush policy, and trace-replay clients — all on virtual
+//! time. The experiment harness reruns the §5.1 write-saving study and
+//! regenerates Figures 2–5 plus the A1–A6 ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablate;
+pub mod experiment;
+pub mod figures;
+
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Policy, POLICIES};

@@ -1,0 +1,377 @@
+//! The NFS-like PFS client interface.
+//!
+//! "We use NFS as the external PFS interface. We have constructed a full
+//! NFS client interface class, which is a derived class from the
+//! abstract client interface class. … Whenever a request is received,
+//! the call is dispatched to one (or more) calls in the abstract client
+//! interface." (§3)
+//!
+//! The wire format is XDR-style; transport is in-process (the paper's
+//! point is the *mapping* of RPCs onto the abstract client interface —
+//! see DESIGN.md §5 for the substitution note).
+
+use cnp_core::{FileSystem, FsError};
+use cnp_layout::FileKind;
+
+use crate::xdr::{XdrDecoder, XdrEncoder};
+
+/// NFS-like procedure numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum NfsProc {
+    /// Ping.
+    Null = 0,
+    /// Get file attributes by path.
+    GetAttr = 1,
+    /// Path lookup.
+    Lookup = 4,
+    /// Read a byte range.
+    Read = 6,
+    /// Write a byte range.
+    Write = 8,
+    /// Create a regular file.
+    Create = 9,
+    /// Remove a file.
+    Remove = 10,
+    /// Rename.
+    Rename = 11,
+    /// Make a directory.
+    Mkdir = 14,
+    /// Remove a directory.
+    Rmdir = 15,
+    /// Read directory entries.
+    ReadDir = 16,
+}
+
+impl NfsProc {
+    /// Parses a wire procedure number.
+    pub fn from_u32(v: u32) -> Option<NfsProc> {
+        Some(match v {
+            0 => NfsProc::Null,
+            1 => NfsProc::GetAttr,
+            4 => NfsProc::Lookup,
+            6 => NfsProc::Read,
+            8 => NfsProc::Write,
+            9 => NfsProc::Create,
+            10 => NfsProc::Remove,
+            11 => NfsProc::Rename,
+            14 => NfsProc::Mkdir,
+            15 => NfsProc::Rmdir,
+            16 => NfsProc::ReadDir,
+            _ => return None,
+        })
+    }
+}
+
+/// NFS-like status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum NfsStat {
+    /// Success.
+    Ok = 0,
+    /// No such file or directory.
+    NoEnt = 2,
+    /// I/O error.
+    Io = 5,
+    /// File exists.
+    Exist = 17,
+    /// Not a directory.
+    NotDir = 20,
+    /// Is a directory.
+    IsDir = 21,
+    /// File too large.
+    FBig = 27,
+    /// Directory not empty.
+    NotEmpty = 66,
+    /// Malformed request.
+    BadRpc = 10_004,
+}
+
+fn status_of(e: &FsError) -> NfsStat {
+    match e {
+        FsError::NotFound(_) => NfsStat::NoEnt,
+        FsError::Exists(_) => NfsStat::Exist,
+        FsError::NotADirectory(_) => NfsStat::NotDir,
+        FsError::IsADirectory(_) => NfsStat::IsDir,
+        FsError::NotEmpty(_) => NfsStat::NotEmpty,
+        FsError::BadPath(_) => NfsStat::NoEnt,
+        FsError::TooBig => NfsStat::FBig,
+        FsError::Layout(_) => NfsStat::Io,
+    }
+}
+
+/// The PFS server: decodes requests, dispatches onto the abstract client
+/// interface, encodes replies.
+#[derive(Clone)]
+pub struct NfsServer {
+    fs: FileSystem,
+}
+
+impl NfsServer {
+    /// Wraps a mounted file system.
+    pub fn new(fs: FileSystem) -> Self {
+        NfsServer { fs }
+    }
+
+    /// The underlying file system.
+    pub fn fs(&self) -> &FileSystem {
+        &self.fs
+    }
+
+    /// Handles one wire request: `proc:u32 body…` → `status:u32 body…`.
+    pub async fn handle(&self, request: &[u8]) -> Vec<u8> {
+        match self.dispatch(request).await {
+            Ok(reply) => reply,
+            Err(status) => {
+                let mut e = XdrEncoder::new();
+                e.put_u32(status as u32);
+                e.finish()
+            }
+        }
+    }
+
+    async fn dispatch(&self, request: &[u8]) -> Result<Vec<u8>, NfsStat> {
+        let mut d = XdrDecoder::new(request);
+        let proc = NfsProc::from_u32(d.get_u32().map_err(|_| NfsStat::BadRpc)?)
+            .ok_or(NfsStat::BadRpc)?;
+        let mut reply = XdrEncoder::new();
+        match proc {
+            NfsProc::Null => {
+                reply.put_u32(NfsStat::Ok as u32);
+            }
+            NfsProc::GetAttr | NfsProc::Lookup => {
+                let path = d.get_str().map_err(|_| NfsStat::BadRpc)?;
+                let inode = self.fs.stat(&path).await.map_err(|e| status_of(&e))?;
+                reply.put_u32(NfsStat::Ok as u32);
+                reply.put_u64(inode.ino.0);
+                reply.put_u32(inode.kind.tag() as u32);
+                reply.put_u64(inode.size);
+                reply.put_u64(inode.mtime);
+            }
+            NfsProc::Read => {
+                let path = d.get_str().map_err(|_| NfsStat::BadRpc)?;
+                let offset = d.get_u64().map_err(|_| NfsStat::BadRpc)?;
+                let len = d.get_u64().map_err(|_| NfsStat::BadRpc)?;
+                let ino = self.fs.lookup(&path).await.map_err(|e| status_of(&e))?;
+                let (n, data) =
+                    self.fs.read(ino, offset, len).await.map_err(|e| status_of(&e))?;
+                reply.put_u32(NfsStat::Ok as u32);
+                reply.put_u64(n);
+                reply.put_opaque(data.as_deref().unwrap_or(&[]));
+            }
+            NfsProc::Write => {
+                let path = d.get_str().map_err(|_| NfsStat::BadRpc)?;
+                let offset = d.get_u64().map_err(|_| NfsStat::BadRpc)?;
+                let data = d.get_opaque().map_err(|_| NfsStat::BadRpc)?;
+                let ino = self.fs.lookup(&path).await.map_err(|e| status_of(&e))?;
+                let n = self
+                    .fs
+                    .write(ino, offset, data.len() as u64, Some(&data))
+                    .await
+                    .map_err(|e| status_of(&e))?;
+                reply.put_u32(NfsStat::Ok as u32);
+                reply.put_u64(n);
+            }
+            NfsProc::Create => {
+                let path = d.get_str().map_err(|_| NfsStat::BadRpc)?;
+                let ino = self
+                    .fs
+                    .create(&path, FileKind::Regular)
+                    .await
+                    .map_err(|e| status_of(&e))?;
+                reply.put_u32(NfsStat::Ok as u32);
+                reply.put_u64(ino.0);
+            }
+            NfsProc::Remove => {
+                let path = d.get_str().map_err(|_| NfsStat::BadRpc)?;
+                self.fs.unlink(&path).await.map_err(|e| status_of(&e))?;
+                reply.put_u32(NfsStat::Ok as u32);
+            }
+            NfsProc::Rename => {
+                let from = d.get_str().map_err(|_| NfsStat::BadRpc)?;
+                let to = d.get_str().map_err(|_| NfsStat::BadRpc)?;
+                self.fs.rename(&from, &to).await.map_err(|e| status_of(&e))?;
+                reply.put_u32(NfsStat::Ok as u32);
+            }
+            NfsProc::Mkdir => {
+                let path = d.get_str().map_err(|_| NfsStat::BadRpc)?;
+                let ino = self.fs.mkdir(&path).await.map_err(|e| status_of(&e))?;
+                reply.put_u32(NfsStat::Ok as u32);
+                reply.put_u64(ino.0);
+            }
+            NfsProc::Rmdir => {
+                let path = d.get_str().map_err(|_| NfsStat::BadRpc)?;
+                self.fs.rmdir(&path).await.map_err(|e| status_of(&e))?;
+                reply.put_u32(NfsStat::Ok as u32);
+            }
+            NfsProc::ReadDir => {
+                let path = d.get_str().map_err(|_| NfsStat::BadRpc)?;
+                let entries = self.fs.readdir(&path).await.map_err(|e| status_of(&e))?;
+                reply.put_u32(NfsStat::Ok as u32);
+                reply.put_u32(entries.len() as u32);
+                for e in entries {
+                    reply.put_u64(e.ino.0);
+                    reply.put_u32(e.kind.tag() as u32);
+                    reply.put_str(&e.name);
+                }
+            }
+        }
+        Ok(reply.finish())
+    }
+}
+
+/// Client-side request builders (used by the shell and tests).
+pub mod client {
+    use super::NfsProc;
+    use crate::xdr::XdrEncoder;
+
+    /// Builds a path-only request (GetAttr/Lookup/Remove/Mkdir/Rmdir/
+    /// Create/ReadDir).
+    pub fn path_req(proc: NfsProc, path: &str) -> Vec<u8> {
+        let mut e = XdrEncoder::new();
+        e.put_u32(proc as u32);
+        e.put_str(path);
+        e.finish()
+    }
+
+    /// Builds a read request.
+    pub fn read_req(path: &str, offset: u64, len: u64) -> Vec<u8> {
+        let mut e = XdrEncoder::new();
+        e.put_u32(NfsProc::Read as u32);
+        e.put_str(path);
+        e.put_u64(offset);
+        e.put_u64(len);
+        e.finish()
+    }
+
+    /// Builds a write request.
+    pub fn write_req(path: &str, offset: u64, data: &[u8]) -> Vec<u8> {
+        let mut e = XdrEncoder::new();
+        e.put_u32(NfsProc::Write as u32);
+        e.put_str(path);
+        e.put_u64(offset);
+        e.put_opaque(data);
+        e.finish()
+    }
+
+    /// Builds a rename request.
+    pub fn rename_req(from: &str, to: &str) -> Vec<u8> {
+        let mut e = XdrEncoder::new();
+        e.put_u32(NfsProc::Rename as u32);
+        e.put_str(from);
+        e.put_str(to);
+        e.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xdr::XdrDecoder;
+    use cnp_core::{DataMode, FsConfig};
+    use cnp_disk::{sim_disk_driver, CLook, Hp97560};
+    use cnp_layout::{Layout, LfsLayout, LfsParams};
+    use cnp_sim::{Sim, SimTime};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn run_server<F, Fut>(f: F)
+    where
+        F: FnOnce(NfsServer) -> Fut + 'static,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
+        let sim = Sim::new(47);
+        let h = sim.handle();
+        let driver = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+        let layout = Layout::Lfs(LfsLayout::new(&h, driver, LfsParams::default()));
+        let cfg = FsConfig { data_mode: DataMode::Real, ..FsConfig::default() };
+        let fs = FileSystem::new(&h, layout, cfg);
+        let done = Rc::new(Cell::new(false));
+        let done2 = done.clone();
+        let fs2 = fs.clone();
+        h.spawn("test", async move {
+            fs2.format().await.unwrap();
+            f(NfsServer::new(fs2.clone())).await;
+            done2.set(true);
+            fs2.shutdown();
+        });
+        sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+        assert!(done.get(), "test did not complete");
+    }
+
+    #[test]
+    fn null_ping() {
+        run_server(|srv| async move {
+            let mut e = XdrEncoder::new();
+            e.put_u32(NfsProc::Null as u32);
+            let reply = srv.handle(&e.finish()).await;
+            let mut d = XdrDecoder::new(&reply);
+            assert_eq!(d.get_u32().unwrap(), NfsStat::Ok as u32);
+        });
+    }
+
+    #[test]
+    fn create_write_read_over_the_wire() {
+        run_server(|srv| async move {
+            let r = srv.handle(&client::path_req(NfsProc::Create, "/wire.txt")).await;
+            assert_eq!(XdrDecoder::new(&r).get_u32().unwrap(), NfsStat::Ok as u32);
+            let payload = b"cut-and-paste file systems".to_vec();
+            let r = srv.handle(&client::write_req("/wire.txt", 0, &payload)).await;
+            let mut d = XdrDecoder::new(&r);
+            assert_eq!(d.get_u32().unwrap(), NfsStat::Ok as u32);
+            assert_eq!(d.get_u64().unwrap(), payload.len() as u64);
+            let r = srv.handle(&client::read_req("/wire.txt", 0, 1024)).await;
+            let mut d = XdrDecoder::new(&r);
+            assert_eq!(d.get_u32().unwrap(), NfsStat::Ok as u32);
+            assert_eq!(d.get_u64().unwrap(), payload.len() as u64);
+            assert_eq!(d.get_opaque().unwrap(), payload);
+        });
+    }
+
+    #[test]
+    fn getattr_and_errors() {
+        run_server(|srv| async move {
+            let r = srv.handle(&client::path_req(NfsProc::GetAttr, "/missing")).await;
+            assert_eq!(XdrDecoder::new(&r).get_u32().unwrap(), NfsStat::NoEnt as u32);
+            srv.handle(&client::path_req(NfsProc::Mkdir, "/d")).await;
+            let r = srv.handle(&client::path_req(NfsProc::GetAttr, "/d")).await;
+            let mut d = XdrDecoder::new(&r);
+            assert_eq!(d.get_u32().unwrap(), NfsStat::Ok as u32);
+            let _ino = d.get_u64().unwrap();
+            assert_eq!(d.get_u32().unwrap(), cnp_layout::FileKind::Directory.tag() as u32);
+        });
+    }
+
+    #[test]
+    fn readdir_and_rename() {
+        run_server(|srv| async move {
+            srv.handle(&client::path_req(NfsProc::Mkdir, "/dir")).await;
+            srv.handle(&client::path_req(NfsProc::Create, "/dir/a")).await;
+            srv.handle(&client::path_req(NfsProc::Create, "/dir/b")).await;
+            let r = srv.handle(&client::rename_req("/dir/a", "/dir/c")).await;
+            assert_eq!(XdrDecoder::new(&r).get_u32().unwrap(), NfsStat::Ok as u32);
+            let r = srv.handle(&client::path_req(NfsProc::ReadDir, "/dir")).await;
+            let mut d = XdrDecoder::new(&r);
+            assert_eq!(d.get_u32().unwrap(), NfsStat::Ok as u32);
+            let n = d.get_u32().unwrap();
+            assert_eq!(n, 2);
+            let mut names = Vec::new();
+            for _ in 0..n {
+                let _ino = d.get_u64().unwrap();
+                let _kind = d.get_u32().unwrap();
+                names.push(d.get_str().unwrap());
+            }
+            names.sort();
+            assert_eq!(names, vec!["b", "c"]);
+        });
+    }
+
+    #[test]
+    fn malformed_request_rejected() {
+        run_server(|srv| async move {
+            let reply = srv.handle(&[0xff, 0xff]).await;
+            let mut d = XdrDecoder::new(&reply);
+            assert_eq!(d.get_u32().unwrap(), NfsStat::BadRpc as u32);
+        });
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal XDR-style (RFC 1014-flavoured) encoding for the NFS-like
+//! front-end: big-endian 4-byte alignment, length-prefixed opaques.
+
+/// Encoder writing XDR-aligned primitives.
+#[derive(Debug, Default)]
+pub struct XdrEncoder {
+    buf: Vec<u8>,
+}
+
+impl XdrEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        XdrEncoder { buf: Vec::new() }
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a `u64` (XDR hyper).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a variable-length opaque with 4-byte padding.
+    pub fn put_opaque(&mut self, data: &[u8]) {
+        self.put_u32(data.len() as u32);
+        self.buf.extend_from_slice(data);
+        let pad = (4 - data.len() % 4) % 4;
+        self.buf.extend(std::iter::repeat_n(0u8, pad));
+    }
+
+    /// Appends a string as opaque bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_opaque(s.as_bytes());
+    }
+
+    /// Finishes, returning the wire bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Decoder over XDR wire bytes.
+#[derive(Debug)]
+pub struct XdrDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XdrDecoder<'a> {
+    /// Wraps wire bytes.
+    pub fn new(buf: &'a [u8]) -> Self {
+        XdrDecoder { buf, pos: 0 }
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-prefixed opaque (skipping padding).
+    pub fn get_opaque(&mut self) -> Result<Vec<u8>, String> {
+        let n = self.get_u32()? as usize;
+        let data = self.take(n)?.to_vec();
+        let pad = (4 - n % 4) % 4;
+        self.take(pad)?;
+        Ok(data)
+    }
+
+    /// Reads a string.
+    pub fn get_str(&mut self) -> Result<String, String> {
+        String::from_utf8(self.get_opaque()?).map_err(|e| e.to_string())
+    }
+
+    /// True if all bytes were consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!("xdr underrun at {} (+{n})", self.pos));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut e = XdrEncoder::new();
+        e.put_u32(7);
+        e.put_u64(1 << 40);
+        e.put_str("hello");
+        e.put_opaque(&[1, 2, 3]);
+        let wire = e.finish();
+        assert_eq!(wire.len() % 4, 0, "xdr output stays aligned");
+        let mut d = XdrDecoder::new(&wire);
+        assert_eq!(d.get_u32().unwrap(), 7);
+        assert_eq!(d.get_u64().unwrap(), 1 << 40);
+        assert_eq!(d.get_str().unwrap(), "hello");
+        assert_eq!(d.get_opaque().unwrap(), vec![1, 2, 3]);
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn underrun_detected() {
+        let mut d = XdrDecoder::new(&[0, 0]);
+        assert!(d.get_u32().is_err());
+    }
+
+    #[test]
+    fn opaque_padding() {
+        let mut e = XdrEncoder::new();
+        e.put_opaque(b"abcde");
+        let wire = e.finish();
+        // 4 (len) + 5 (data) + 3 (pad).
+        assert_eq!(wire.len(), 12);
+    }
+}

@@ -1,0 +1,59 @@
+//! # cnp-sim — the cut-and-paste thread scheduler and simulation kernel
+//!
+//! This crate is the Rust rendition of the paper's *thread scheduler*
+//! component: "The thread scheduler implements threads, synchronization
+//! primitives and real or virtual time." (Bosch & Mullender, USENIX '96,
+//! §2.)
+//!
+//! Simulated threads are plain Rust futures driven by a deterministic,
+//! single-threaded discrete-event executor:
+//!
+//! * **Virtual time** ([`ClockMode::Virtual`]) jumps straight to the next
+//!   timer when every task is blocked — the off-line simulator (Patsy)
+//!   configuration.
+//! * **Real time** ([`ClockMode::RealTime`]) sleeps on the host clock —
+//!   the on-line file-system (PFS) configuration.
+//!
+//! The default scheduling policy is the paper's **random scheduling**,
+//! seeded and therefore replayable; FIFO/LIFO are the derived policies.
+//!
+//! ## Example
+//!
+//! ```
+//! use cnp_sim::{Event, Sim, SimDuration};
+//!
+//! let sim = Sim::new(1);
+//! let h = sim.handle();
+//! let ready = Event::new(&h);
+//!
+//! let (h2, ready2) = (h.clone(), ready.clone());
+//! h.spawn("disk", async move {
+//!     h2.sleep(SimDuration::from_millis(12)).await; // Seek + rotate.
+//!     ready2.signal();
+//! });
+//!
+//! let (h3, ready3) = (h.clone(), ready.clone());
+//! h.spawn("client", async move {
+//!     ready3.wait().await;
+//!     assert_eq!(h3.now().as_millis(), 12);
+//! });
+//!
+//! sim.run();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+pub mod stats;
+pub mod sync;
+mod time;
+
+pub use executor::{
+    ClockMode, Handle, JoinHandle, RunResult, SchedPolicy, Sim, SimConfig, Sleep, TaskId, YieldNow,
+};
+pub use sync::{
+    bounded, channel, oneshot, Arbitration, Event, OneshotReceiver, OneshotSender, Permit,
+    Receiver, Resource, ResourceGuard, Semaphore, SendError, Sender, SimMutex, SimMutexGuard,
+};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,481 @@
+//! MPSC channels and oneshot rendezvous cells for simulated tasks.
+//!
+//! Drivers, simulated disks, and active files communicate through these,
+//! mirroring the paper's I/O-request hand-off between driver and disk.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::executor::{Handle, TaskId};
+
+/// Error returned when sending on a channel whose receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError;
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel closed")
+    }
+}
+
+impl std::error::Error for SendError {}
+
+struct ChanInner<T> {
+    queue: VecDeque<T>,
+    capacity: Option<usize>,
+    senders: usize,
+    receiver_alive: bool,
+    recv_waiters: Vec<TaskId>,
+    send_waiters: Vec<TaskId>,
+}
+
+/// Creates an unbounded MPSC channel.
+pub fn channel<T>(handle: &Handle) -> (Sender<T>, Receiver<T>) {
+    channel_with_capacity(handle, None)
+}
+
+/// Creates a bounded MPSC channel; senders block when `cap` items queue up.
+pub fn bounded<T>(handle: &Handle, cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel_with_capacity(handle, Some(cap))
+}
+
+fn channel_with_capacity<T>(handle: &Handle, capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Rc::new(RefCell::new(ChanInner {
+        queue: VecDeque::new(),
+        capacity,
+        senders: 1,
+        receiver_alive: true,
+        recv_waiters: Vec::new(),
+        send_waiters: Vec::new(),
+    }));
+    (
+        Sender { handle: handle.clone(), inner: inner.clone() },
+        Receiver { handle: handle.clone(), inner },
+    )
+}
+
+/// Sending half of a channel; cloneable.
+pub struct Sender<T> {
+    handle: Handle,
+    inner: Rc<RefCell<ChanInner<T>>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.borrow_mut().senders += 1;
+        Sender { handle: self.handle.clone(), inner: self.inner.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let wake: Vec<TaskId> = {
+            let mut inner = self.inner.borrow_mut();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                std::mem::take(&mut inner.recv_waiters)
+            } else {
+                Vec::new()
+            }
+        };
+        let mut k = self.handle.kernel().borrow_mut();
+        for t in wake {
+            k.make_runnable(t);
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a value, blocking if the channel is bounded and full.
+    pub fn send(&self, value: T) -> Send<'_, T> {
+        Send { sender: self, value: Some(value), registered: false }
+    }
+
+    /// Sends without blocking; fails if full or the receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), T> {
+        let wake: Option<TaskId>;
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.receiver_alive {
+                return Err(value);
+            }
+            if let Some(cap) = inner.capacity {
+                if inner.queue.len() >= cap {
+                    return Err(value);
+                }
+            }
+            inner.queue.push_back(value);
+            wake = inner.recv_waiters.pop();
+        }
+        if let Some(t) = wake {
+            self.handle.kernel().borrow_mut().make_runnable(t);
+        }
+        Ok(())
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// True if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Sender::send`].
+pub struct Send<'a, T> {
+    sender: &'a Sender<T>,
+    value: Option<T>,
+    registered: bool,
+}
+
+// `Send` holds no self-references, so it is sound to mark it `Unpin`
+// even when `T` is not (safe impl; no unsafe code involved).
+impl<T> Unpin for Send<'_, T> {}
+
+impl<T> Future for Send<'_, T> {
+    type Output = Result<(), SendError>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let wake: Option<TaskId>;
+        {
+            let mut inner = this.sender.inner.borrow_mut();
+            if !inner.receiver_alive {
+                return Poll::Ready(Err(SendError));
+            }
+            let full =
+                inner.capacity.map(|cap| inner.queue.len() >= cap).unwrap_or(false);
+            if full {
+                if !this.registered {
+                    let me = this.sender.handle.kernel().borrow().current_task();
+                    inner.send_waiters.push(me);
+                    this.registered = true;
+                } else {
+                    // Re-register: sends can be woken spuriously.
+                    let me = this.sender.handle.kernel().borrow().current_task();
+                    if !inner.send_waiters.contains(&me) {
+                        inner.send_waiters.push(me);
+                    }
+                }
+                return Poll::Pending;
+            }
+            let v = this.value.take().expect("send polled after completion");
+            inner.queue.push_back(v);
+            wake = inner.recv_waiters.pop();
+        }
+        if let Some(t) = wake {
+            this.sender.handle.kernel().borrow_mut().make_runnable(t);
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// Receiving half of a channel; exactly one exists per channel.
+pub struct Receiver<T> {
+    handle: Handle,
+    inner: Rc<RefCell<ChanInner<T>>>,
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let wake: Vec<TaskId> = {
+            let mut inner = self.inner.borrow_mut();
+            inner.receiver_alive = false;
+            std::mem::take(&mut inner.send_waiters)
+        };
+        let mut k = self.handle.kernel().borrow_mut();
+        for t in wake {
+            k.make_runnable(t);
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next value; resolves to `None` once the channel is
+    /// closed (all senders dropped) and drained.
+    pub fn recv(&self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+
+    /// Receives without blocking.
+    pub fn try_recv(&self) -> Option<T> {
+        let (v, wake) = {
+            let mut inner = self.inner.borrow_mut();
+            let v = inner.queue.pop_front();
+            let wake = if v.is_some() { inner.send_waiters.pop() } else { None };
+            (v, wake)
+        };
+        if let Some(t) = wake {
+            self.handle.kernel().borrow_mut().make_runnable(t);
+        }
+        v
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// True if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let wake: Option<TaskId>;
+        {
+            let mut inner = self.receiver.inner.borrow_mut();
+            if let Some(v) = inner.queue.pop_front() {
+                wake = inner.send_waiters.pop();
+                drop(inner);
+                if let Some(t) = wake {
+                    self.receiver.handle.kernel().borrow_mut().make_runnable(t);
+                }
+                return Poll::Ready(Some(v));
+            }
+            if inner.senders == 0 {
+                return Poll::Ready(None);
+            }
+            let me = self.receiver.handle.kernel().borrow().current_task();
+            if !inner.recv_waiters.contains(&me) {
+                inner.recv_waiters.push(me);
+            }
+        }
+        Poll::Pending
+    }
+}
+
+/// A single-use completion cell: one producer fulfills, one consumer awaits.
+///
+/// Used for I/O completions: the disk fulfils the oneshot attached to an
+/// I/O request; the issuing task awaits it.
+pub struct OneshotSender<T> {
+    handle: Handle,
+    inner: Rc<RefCell<OneshotInner<T>>>,
+}
+
+/// Consuming half of a oneshot; awaiting it yields the value.
+pub struct OneshotReceiver<T> {
+    handle: Handle,
+    inner: Rc<RefCell<OneshotInner<T>>>,
+}
+
+struct OneshotInner<T> {
+    value: Option<T>,
+    sender_alive: bool,
+    waiter: Option<TaskId>,
+}
+
+/// Creates a oneshot pair.
+pub fn oneshot<T>(handle: &Handle) -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let inner =
+        Rc::new(RefCell::new(OneshotInner { value: None, sender_alive: true, waiter: None }));
+    (
+        OneshotSender { handle: handle.clone(), inner: inner.clone() },
+        OneshotReceiver { handle: handle.clone(), inner },
+    )
+}
+
+impl<T> OneshotSender<T> {
+    /// Fulfils the oneshot, waking the receiver.
+    pub fn send(self, value: T) {
+        let wake = {
+            let mut inner = self.inner.borrow_mut();
+            inner.value = Some(value);
+            inner.waiter.take()
+        };
+        if let Some(t) = wake {
+            self.handle.kernel().borrow_mut().make_runnable(t);
+        }
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let wake = {
+            let mut inner = self.inner.borrow_mut();
+            inner.sender_alive = false;
+            inner.waiter.take()
+        };
+        if let Some(t) = wake {
+            self.handle.kernel().borrow_mut().make_runnable(t);
+        }
+    }
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(v) = inner.value.take() {
+            return Poll::Ready(Some(v));
+        }
+        if !inner.sender_alive {
+            return Poll::Ready(None);
+        }
+        let me = self.handle.kernel().borrow().current_task();
+        inner.waiter = Some(me);
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn unbounded_send_recv() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let (tx, rx) = channel::<u32>(&h);
+        let h2 = h.clone();
+        h.spawn("producer", async move {
+            for i in 0..10 {
+                tx.send(i).await.unwrap();
+                h2.sleep(SimDuration::from_micros(10)).await;
+            }
+        });
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let got2 = got.clone();
+        h.spawn("consumer", async move {
+            while let Some(v) = rx.recv().await {
+                got2.borrow_mut().push(v);
+            }
+        });
+        sim.run();
+        assert_eq!(*got.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let (tx, rx) = bounded::<u32>(&h, 2);
+        let sent_at = Rc::new(RefCell::new(Vec::new()));
+        let s2 = sent_at.clone();
+        let h2 = h.clone();
+        h.spawn("producer", async move {
+            for i in 0..4 {
+                tx.send(i).await.unwrap();
+                s2.borrow_mut().push(h2.now().as_millis());
+            }
+        });
+        let h3 = h.clone();
+        h.spawn("slow-consumer", async move {
+            loop {
+                h3.sleep(SimDuration::from_millis(10)).await;
+                if rx.recv().await.is_none() {
+                    break;
+                }
+            }
+        });
+        sim.run();
+        let at = sent_at.borrow();
+        // First two sends immediate; later sends gated by consumer drain.
+        assert_eq!(at[0], 0);
+        assert_eq!(at[1], 0);
+        assert!(at[2] >= 10);
+        assert!(at[3] >= 20);
+    }
+
+    #[test]
+    fn recv_returns_none_when_senders_gone() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let (tx, rx) = channel::<u32>(&h);
+        h.spawn("producer", async move {
+            tx.send(7).await.unwrap();
+            // tx dropped here.
+        });
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let got2 = got.clone();
+        h.spawn("consumer", async move {
+            while let Some(v) = rx.recv().await {
+                got2.borrow_mut().push(v);
+            }
+            got2.borrow_mut().push(999);
+        });
+        sim.run();
+        assert_eq!(*got.borrow(), vec![7, 999]);
+    }
+
+    #[test]
+    fn send_fails_when_receiver_dropped() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let (tx, rx) = channel::<u32>(&h);
+        drop(rx);
+        h.spawn("producer", async move {
+            assert_eq!(tx.send(1).await, Err(SendError));
+            assert!(tx.try_send(2).is_err());
+        });
+        assert_eq!(sim.run(), crate::executor::RunResult::Completed);
+    }
+
+    #[test]
+    fn try_send_respects_capacity() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let (tx, rx) = bounded::<u32>(&h, 1);
+        h.spawn("t", async move {
+            assert!(tx.try_send(1).is_ok());
+            assert!(tx.try_send(2).is_err());
+            assert_eq!(rx.try_recv(), Some(1));
+            assert!(tx.try_send(2).is_ok());
+            assert_eq!(rx.try_recv(), Some(2));
+            assert_eq!(rx.try_recv(), None);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn oneshot_round_trip() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let (otx, orx) = oneshot::<&'static str>(&h);
+        let h2 = h.clone();
+        h.spawn("fulfiller", async move {
+            h2.sleep(SimDuration::from_millis(3)).await;
+            otx.send("done");
+        });
+        let h3 = h.clone();
+        h.spawn("awaiter", async move {
+            assert_eq!(orx.await, Some("done"));
+            assert_eq!(h3.now().as_millis(), 3);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn oneshot_dropped_sender_yields_none() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let (otx, orx) = oneshot::<u8>(&h);
+        h.spawn("dropper", async move {
+            drop(otx);
+        });
+        h.spawn("awaiter", async move {
+            assert_eq!(orx.await, None);
+        });
+        assert_eq!(sim.run(), crate::executor::RunResult::Completed);
+    }
+}

@@ -1,0 +1,281 @@
+//! The paper's basic synchronization primitive: blockable, signalable events.
+//!
+//! "Each thread can pick a unique event and block on it. Once a thread has
+//! blocked itself, another thread signals the event through the scheduler
+//! to make the thread runnable again."
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::executor::{Handle, TaskId};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaitState {
+    Waiting,
+    Woken,
+}
+
+struct Waiter {
+    task: TaskId,
+    state: Rc<RefCell<WaitState>>,
+}
+
+struct EventInner {
+    waiters: Vec<Waiter>,
+    signals: u64,
+}
+
+/// A signalable event; multiple tasks may wait on the same event.
+///
+/// # Examples
+///
+/// ```
+/// use cnp_sim::{Event, Sim, SimDuration};
+///
+/// let sim = Sim::new(0);
+/// let h = sim.handle();
+/// let ev = Event::new(&h);
+/// let (h2, ev2) = (h.clone(), ev.clone());
+/// h.spawn("waiter", async move {
+///     ev2.wait().await;
+///     assert_eq!(h2.now().as_millis(), 7);
+/// });
+/// let (h3, ev3) = (h.clone(), ev.clone());
+/// h.spawn("signaler", async move {
+///     h3.sleep(SimDuration::from_millis(7)).await;
+///     ev3.signal();
+/// });
+/// sim.run();
+/// ```
+#[derive(Clone)]
+pub struct Event {
+    handle: Handle,
+    inner: Rc<RefCell<EventInner>>,
+}
+
+impl Event {
+    /// Creates a new event bound to a simulation.
+    pub fn new(handle: &Handle) -> Self {
+        Event {
+            handle: handle.clone(),
+            inner: Rc::new(RefCell::new(EventInner { waiters: Vec::new(), signals: 0 })),
+        }
+    }
+
+    /// Wakes every task currently waiting on this event.
+    pub fn signal(&self) {
+        let woken: Vec<Waiter> = {
+            let mut inner = self.inner.borrow_mut();
+            inner.signals += 1;
+            std::mem::take(&mut inner.waiters)
+        };
+        let mut k = self.handle.kernel().borrow_mut();
+        for w in woken {
+            *w.state.borrow_mut() = WaitState::Woken;
+            k.make_runnable(w.task);
+        }
+    }
+
+    /// Wakes at most one waiting task (the longest-waiting one).
+    pub fn signal_one(&self) {
+        let woken = {
+            let mut inner = self.inner.borrow_mut();
+            inner.signals += 1;
+            if inner.waiters.is_empty() {
+                None
+            } else {
+                Some(inner.waiters.remove(0))
+            }
+        };
+        if let Some(w) = woken {
+            *w.state.borrow_mut() = WaitState::Woken;
+            self.handle.kernel().borrow_mut().make_runnable(w.task);
+        }
+    }
+
+    /// Number of tasks currently blocked on the event.
+    pub fn waiter_count(&self) -> usize {
+        self.inner.borrow().waiters.len()
+    }
+
+    /// Total number of `signal`/`signal_one` calls so far.
+    pub fn signal_count(&self) -> u64 {
+        self.inner.borrow().signals
+    }
+
+    /// Blocks the calling task until the event is next signalled.
+    pub fn wait(&self) -> EventWait {
+        EventWait { event: self.clone(), state: None }
+    }
+}
+
+/// Future returned by [`Event::wait`].
+pub struct EventWait {
+    event: Event,
+    state: Option<Rc<RefCell<WaitState>>>,
+}
+
+impl Future for EventWait {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match &self.state {
+            Some(state) => {
+                if *state.borrow() == WaitState::Woken {
+                    Poll::Ready(())
+                } else {
+                    Poll::Pending
+                }
+            }
+            None => {
+                let me = self.event.handle.kernel().borrow().current_task();
+                let state = Rc::new(RefCell::new(WaitState::Waiting));
+                self.event
+                    .inner
+                    .borrow_mut()
+                    .waiters
+                    .push(Waiter { task: me, state: state.clone() });
+                self.state = Some(state);
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl Drop for EventWait {
+    fn drop(&mut self) {
+        // Deregister if still waiting, so signal_one does not pick a
+        // cancelled waiter.
+        if let Some(state) = &self.state {
+            if *state.borrow() == WaitState::Waiting {
+                let mut inner = self.event.inner.borrow_mut();
+                inner.waiters.retain(|w| !Rc::ptr_eq(&w.state, state));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+    use std::cell::Cell;
+
+    #[test]
+    fn signal_wakes_all_waiters() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let ev = Event::new(&h);
+        let woke = Rc::new(Cell::new(0u32));
+        for _ in 0..5 {
+            let ev = ev.clone();
+            let woke = woke.clone();
+            h.spawn("w", async move {
+                ev.wait().await;
+                woke.set(woke.get() + 1);
+            });
+        }
+        let h2 = h.clone();
+        let ev2 = ev.clone();
+        h.spawn("s", async move {
+            h2.sleep(SimDuration::from_millis(1)).await;
+            assert_eq!(ev2.waiter_count(), 5);
+            ev2.signal();
+        });
+        sim.run();
+        assert_eq!(woke.get(), 5);
+    }
+
+    #[test]
+    fn signal_one_wakes_exactly_one() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let ev = Event::new(&h);
+        let woke = Rc::new(Cell::new(0u32));
+        for _ in 0..3 {
+            let ev = ev.clone();
+            let woke = woke.clone();
+            h.spawn("w", async move {
+                ev.wait().await;
+                woke.set(woke.get() + 1);
+            });
+        }
+        let h2 = h.clone();
+        let ev2 = ev.clone();
+        h.spawn("s", async move {
+            h2.sleep(SimDuration::from_millis(1)).await;
+            ev2.signal_one();
+            h2.sleep(SimDuration::from_millis(1)).await;
+            assert_eq!(ev2.waiter_count(), 2);
+            // Release the rest so the sim completes.
+            ev2.signal();
+        });
+        sim.run();
+        assert_eq!(woke.get(), 3);
+    }
+
+    #[test]
+    fn signal_without_waiters_is_lost() {
+        // Events are not sticky: a signal with no waiters wakes nobody.
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let ev = Event::new(&h);
+        ev.signal();
+        let ev2 = ev.clone();
+        let h2 = h.clone();
+        let woke = Rc::new(Cell::new(false));
+        let woke2 = woke.clone();
+        h.spawn("w", async move {
+            let wait = ev2.wait();
+            // Add a timeout companion task.
+            let h3 = h2.clone();
+            let ev3 = ev2.clone();
+            h2.spawn("timeout", async move {
+                h3.sleep(SimDuration::from_millis(5)).await;
+                ev3.signal();
+            });
+            wait.await;
+            woke2.set(true);
+        });
+        sim.run();
+        assert!(woke.get());
+        // One lost signal before the wait + the timeout task's signal.
+        assert_eq!(ev.signal_count(), 2);
+    }
+
+    #[test]
+    fn cancelled_waiter_deregisters() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let ev = Event::new(&h);
+        let ev2 = ev.clone();
+        let h2 = h.clone();
+        h.spawn("w", async move {
+            {
+                let mut wait = ev2.wait();
+                // Poll once to register, then drop without completing.
+                futures_noop_poll(&mut wait);
+                assert_eq!(ev2.waiter_count(), 1);
+            }
+            assert_eq!(ev2.waiter_count(), 0);
+            h2.sleep(SimDuration::from_millis(1)).await;
+        });
+        sim.run();
+    }
+
+    /// Polls a future once with a dummy waker (test helper).
+    fn futures_noop_poll<F: Future + Unpin>(fut: &mut F) {
+        use std::sync::Arc;
+        struct Noop;
+        impl std::task::Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+        let waker = Arc::new(Noop).into();
+        let mut cx = Context::from_waker(&waker);
+        let _ = Pin::new(fut).poll(&mut cx);
+    }
+}

@@ -1,0 +1,16 @@
+//! Synchronization primitives for simulated threads.
+
+mod channel;
+mod event;
+mod mutex;
+mod resource;
+mod semaphore;
+
+pub use channel::{
+    bounded, channel, oneshot, OneshotReceiver, OneshotSender, Receiver, Recv, Send, SendError,
+    Sender,
+};
+pub use event::{Event, EventWait};
+pub use mutex::{SimMutex, SimMutexGuard};
+pub use resource::{AcquireResource, Arbitration, Resource, ResourceGuard};
+pub use semaphore::{Acquire, Permit, Semaphore};

@@ -1,0 +1,117 @@
+//! An async mutex for state shared across `await` points (e.g. per-file
+//! locks held across disk I/O in the file-system engine).
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+use crate::executor::Handle;
+use crate::sync::semaphore::{Permit, Semaphore};
+
+/// A mutual-exclusion lock whose critical section may span `await`s.
+///
+/// Lock handoff is FIFO-fair (built on [`Semaphore`]).
+#[derive(Clone)]
+pub struct SimMutex<T> {
+    sem: Semaphore,
+    value: Rc<RefCell<T>>,
+}
+
+impl<T> SimMutex<T> {
+    /// Creates a mutex owning `value`.
+    pub fn new(handle: &Handle, value: T) -> Self {
+        SimMutex { sem: Semaphore::new(handle, 1), value: Rc::new(RefCell::new(value)) }
+    }
+
+    /// Locks the mutex, blocking the task until it is free.
+    pub async fn lock(&self) -> SimMutexGuard<T> {
+        let permit = self.sem.acquire().await;
+        SimMutexGuard { value: self.value.clone(), _permit: permit }
+    }
+
+    /// Tries to lock without blocking.
+    pub fn try_lock(&self) -> Option<SimMutexGuard<T>> {
+        let permit = self.sem.try_acquire()?;
+        Some(SimMutexGuard { value: self.value.clone(), _permit: permit })
+    }
+}
+
+/// Guard granting access to the protected value; unlocks on drop.
+pub struct SimMutexGuard<T> {
+    value: Rc<RefCell<T>>,
+    _permit: Permit,
+}
+
+impl<T> SimMutexGuard<T> {
+    /// Immutable access to the protected value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `get_mut` borrow is still alive (do not hold the
+    /// returned `Ref` across an `await`).
+    pub fn get(&self) -> Ref<'_, T> {
+        self.value.borrow()
+    }
+
+    /// Mutable access to the protected value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another borrow is still alive (do not hold the returned
+    /// `RefMut` across an `await`).
+    pub fn get_mut(&self) -> RefMut<'_, T> {
+        self.value.borrow_mut()
+    }
+
+    /// Runs a closure with mutable access and returns its result.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.value.borrow_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn mutex_serializes_critical_sections() {
+        let sim = Sim::new(5);
+        let h = sim.handle();
+        let m = SimMutex::new(&h, Vec::<u64>::new());
+        for i in 0..4u64 {
+            let (m, h2) = (m.clone(), h.clone());
+            h.spawn("locker", async move {
+                h2.sleep(SimDuration::from_millis(i)).await;
+                let g = m.lock().await;
+                g.get_mut().push(i);
+                // Hold across an await: others must wait.
+                h2.sleep(SimDuration::from_millis(10)).await;
+                g.get_mut().push(i + 100);
+                drop(g);
+            });
+        }
+        sim.run();
+        let m2 = m.try_lock().expect("free at end");
+        let v = m2.get().clone();
+        // Entries appear in strictly paired order: i then i+100 adjacent.
+        for pair in v.chunks(2) {
+            assert_eq!(pair[0] + 100, pair[1], "critical section interleaved: {v:?}");
+        }
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let m = SimMutex::new(&h, 0u32);
+        let (m2, h2) = (m.clone(), h.clone());
+        h.spawn("holder", async move {
+            let _g = m2.lock().await;
+            assert!(m2.try_lock().is_none());
+            h2.sleep(SimDuration::from_millis(1)).await;
+        });
+        sim.run();
+        assert!(m.try_lock().is_some());
+    }
+}

@@ -1,0 +1,115 @@
+//! Trace records: what a file-system trace stores per operation.
+//!
+//! "File-system traces are collections of records that describe all the
+//! activity of a real file-system at some time. These records specify
+//! when the operation took place (usually down to the microsecond), and
+//! which file-system operation was executed." (§4)
+
+/// A traced file-system operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Open (or create-and-open) a file.
+    Open {
+        /// Absolute path.
+        path: String,
+    },
+    /// Close a previously opened file.
+    Close {
+        /// Absolute path.
+        path: String,
+    },
+    /// Read a byte range.
+    Read {
+        /// Absolute path.
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        len: u64,
+    },
+    /// Write a byte range.
+    Write {
+        /// Absolute path.
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        len: u64,
+    },
+    /// Remove a file.
+    Delete {
+        /// Absolute path.
+        path: String,
+    },
+    /// Truncate to a size.
+    Truncate {
+        /// Absolute path.
+        path: String,
+        /// New size in bytes.
+        size: u64,
+    },
+    /// Stat a file.
+    Stat {
+        /// Absolute path.
+        path: String,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Absolute path.
+        path: String,
+    },
+}
+
+impl TraceOp {
+    /// Short operation mnemonic (codec tag / reports).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            TraceOp::Open { .. } => "open",
+            TraceOp::Close { .. } => "close",
+            TraceOp::Read { .. } => "read",
+            TraceOp::Write { .. } => "write",
+            TraceOp::Delete { .. } => "delete",
+            TraceOp::Truncate { .. } => "trunc",
+            TraceOp::Stat { .. } => "stat",
+            TraceOp::Mkdir { .. } => "mkdir",
+        }
+    }
+
+    /// The path the operation touches.
+    pub fn path(&self) -> &str {
+        match self {
+            TraceOp::Open { path }
+            | TraceOp::Close { path }
+            | TraceOp::Read { path, .. }
+            | TraceOp::Write { path, .. }
+            | TraceOp::Delete { path }
+            | TraceOp::Truncate { path, .. }
+            | TraceOp::Stat { path }
+            | TraceOp::Mkdir { path } => path,
+        }
+    }
+}
+
+/// One trace record: timestamp, issuing client, operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Nanoseconds since trace start.
+    pub time_ns: u64,
+    /// Issuing client id.
+    pub client: u32,
+    /// The operation.
+    pub op: TraceOp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_and_paths() {
+        let r = TraceOp::Read { path: "/a/b".into(), offset: 0, len: 10 };
+        assert_eq!(r.mnemonic(), "read");
+        assert_eq!(r.path(), "/a/b");
+        assert_eq!(TraceOp::Mkdir { path: "/d".into() }.mnemonic(), "mkdir");
+    }
+}

@@ -1,0 +1,228 @@
+//! Trace replay: the paper's general simulation class.
+//!
+//! "Clients are modeled by separate threads of control … The threads read
+//! a part of the trace file, group operations that obviously belong
+//! together (such as an open, read, read, write, …, close sequence), and
+//! call the abstract-client interface to execute the operation on the
+//! simulated system. Since all of the trace records have timing
+//! information in them, the threads know how long they have to delay
+//! themselves before they can dispatch the next operation." (§4)
+//!
+//! "The overall measurements are taken from the general simulation
+//! class. This class measures how long it takes before an operation
+//! completes. The measurements are shown every 15 minutes of simulation
+//! time and of the overall simulation." (§4)
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cnp_core::{FileSystem, FsError};
+use cnp_layout::{FileKind, Ino};
+use cnp_sim::stats::{Histogram, IntervalReporter, IntervalRow};
+use cnp_sim::{Handle, SimDuration, SimTime};
+
+use crate::record::{TraceOp, TraceRecord};
+
+/// Replay results: the paper's overall + per-15-minutes measurements.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Latency of every completed operation, in milliseconds.
+    pub latency: Histogram,
+    /// Read-operation latencies (ms).
+    pub read_latency: Histogram,
+    /// Write-operation latencies (ms).
+    pub write_latency: Histogram,
+    /// Per-interval rows (15 simulated minutes each).
+    pub intervals: Vec<IntervalRow>,
+    /// Operations completed.
+    pub ops: u64,
+    /// Operations that failed (path races etc.; should be rare).
+    pub errors: u64,
+    /// Up to five sample error messages (diagnostics).
+    pub error_sample: Vec<String>,
+}
+
+impl ReplayReport {
+    /// Mean operation latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.latency.mean()
+    }
+}
+
+struct ReplayState {
+    latency: Histogram,
+    read_latency: Histogram,
+    write_latency: Histogram,
+    intervals: IntervalReporter,
+    ops: u64,
+    errors: u64,
+    error_sample: Vec<String>,
+}
+
+/// Replays a trace against a file system; resolves when every client
+/// thread finishes.
+///
+/// Each client id in the trace becomes its own simulated thread. Files
+/// are created on first use (traces do not carry creates explicitly).
+pub async fn replay(handle: &Handle, fs: &FileSystem, records: Vec<TraceRecord>) -> ReplayReport {
+    let state = Rc::new(RefCell::new(ReplayState {
+        latency: Histogram::latency_default(),
+        read_latency: Histogram::latency_default(),
+        write_latency: Histogram::latency_default(),
+        intervals: IntervalReporter::paper_default(),
+        ops: 0,
+        errors: 0,
+        error_sample: Vec::new(),
+    }));
+    // Split records per client, preserving order. A BTreeMap keeps the
+    // spawn order deterministic (replayability of the whole simulation).
+    let mut per_client: std::collections::BTreeMap<u32, Vec<TraceRecord>> =
+        std::collections::BTreeMap::new();
+    for r in records {
+        per_client.entry(r.client).or_default().push(r);
+    }
+    let mut handles = Vec::new();
+    let epoch = handle.now();
+    for (client, recs) in per_client {
+        let fs = fs.clone();
+        let h = handle.clone();
+        let state = state.clone();
+        handles.push(handle.spawn(&format!("client{client}"), async move {
+            client_thread(h, fs, recs, state, epoch).await;
+        }));
+    }
+    for jh in handles {
+        jh.await;
+    }
+    let end = handle.now();
+    let st = Rc::try_unwrap(state).ok().expect("clients done").into_inner();
+    ReplayReport {
+        latency: st.latency,
+        read_latency: st.read_latency,
+        write_latency: st.write_latency,
+        intervals: st.intervals.finish(end),
+        ops: st.ops,
+        errors: st.errors,
+        error_sample: st.error_sample,
+    }
+}
+
+async fn client_thread(
+    h: Handle,
+    fs: FileSystem,
+    recs: Vec<TraceRecord>,
+    state: Rc<RefCell<ReplayState>>,
+    epoch: SimTime,
+) {
+    // Per-client open-file table (path → ino).
+    let mut open: HashMap<String, Ino> = HashMap::new();
+    for rec in recs {
+        let due = epoch + SimDuration::from_nanos(rec.time_ns);
+        if h.now() < due {
+            h.sleep_until(due).await;
+        }
+        let t0 = h.now();
+        let result = execute(&fs, &rec.op, &mut open).await;
+        let latency = h.now() - t0;
+        let mut st = state.borrow_mut();
+        match result {
+            Ok(()) => {
+                st.ops += 1;
+                let ms = latency.as_millis_f64();
+                st.latency.record(ms);
+                st.intervals.record(t0, ms);
+                match rec.op {
+                    TraceOp::Read { .. } => st.read_latency.record(ms),
+                    TraceOp::Write { .. } => st.write_latency.record(ms),
+                    _ => {}
+                }
+            }
+            Err(e) => {
+                st.errors += 1;
+                if st.error_sample.len() < 5 {
+                    st.error_sample.push(format!("{e} on {:?}", rec.op.mnemonic()));
+                }
+            }
+        }
+    }
+}
+
+/// Maps one trace op onto the abstract client interface.
+async fn execute(
+    fs: &FileSystem,
+    op: &TraceOp,
+    open: &mut HashMap<String, Ino>,
+) -> Result<(), FsError> {
+    match op {
+        TraceOp::Mkdir { path } => match fs.mkdir(path).await {
+            Ok(_) | Err(FsError::Exists(_)) => Ok(()),
+            Err(e) => Err(e),
+        },
+        TraceOp::Open { path } => {
+            let ino = ensure_open(fs, path, open).await?;
+            let _ = ino;
+            Ok(())
+        }
+        TraceOp::Close { path } => {
+            if let Some(ino) = open.remove(path) {
+                fs.close(ino).await?;
+            }
+            Ok(())
+        }
+        TraceOp::Read { path, offset, len } => {
+            let ino = ensure_open(fs, path, open).await?;
+            fs.read(ino, *offset, *len).await?;
+            Ok(())
+        }
+        TraceOp::Write { path, offset, len } => {
+            let ino = ensure_open(fs, path, open).await?;
+            fs.write(ino, *offset, *len, None).await?;
+            Ok(())
+        }
+        TraceOp::Delete { path } => {
+            if let Some(ino) = open.remove(path) {
+                let _ = fs.close(ino).await;
+            }
+            match fs.unlink(path).await {
+                Ok(()) | Err(FsError::NotFound(_)) => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+        TraceOp::Truncate { path, size } => {
+            let ino = ensure_open(fs, path, open).await?;
+            fs.truncate(ino, *size).await?;
+            Ok(())
+        }
+        TraceOp::Stat { path } => match fs.stat(path).await {
+            Ok(_) => Ok(()),
+            // Stat chatter may race deletes: treat missing as served.
+            Err(FsError::NotFound(_)) => Ok(()),
+            Err(e) => Err(e),
+        },
+    }
+}
+
+async fn ensure_open(
+    fs: &FileSystem,
+    path: &str,
+    open: &mut HashMap<String, Ino>,
+) -> Result<Ino, FsError> {
+    if let Some(&ino) = open.get(path) {
+        return Ok(ino);
+    }
+    let ino = match fs.open(path).await {
+        Ok(ino) => ino,
+        Err(FsError::NotFound(_)) => {
+            match fs.create(path, FileKind::Regular).await {
+                Ok(ino) => ino,
+                // Another client raced the create.
+                Err(FsError::Exists(_)) => fs.open(path).await?,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(e) => return Err(e),
+    };
+    open.insert(path.to_string(), ino);
+    Ok(ino)
+}

@@ -1,0 +1,39 @@
+//! Explore the detailed HP 97560 model: the seek curve, rotational
+//! position dependence, and the naive-model divergence the paper warns
+//! about (§1, citing Ruemmler & Wilkes).
+//!
+//! Run with: `cargo run --release --example disk_model`
+
+use cut_and_paste::disk::{DiskModel, DiskPos, Hp97560, SimpleDisk};
+use cut_and_paste::sim::SimTime;
+
+fn main() {
+    let hp = Hp97560::new();
+    let naive = SimpleDisk::new();
+
+    println!("HP 97560 seek curve (3.24 + 0.400·√d below 383 cyl, 8.00 + 0.008·d above):");
+    for d in [1u32, 4, 16, 64, 256, 383, 512, 1024, 1961] {
+        println!("  {:>5} cylinders -> {:>9}", d, hp.seek_time(0, d));
+    }
+
+    println!();
+    println!("Rotational position matters (same access, different start times):");
+    for t_us in [0u64, 3_000, 7_500, 12_000] {
+        let now = SimTime::from_nanos(t_us * 1_000);
+        let a = hp.media_access(now, DiskPos::HOME, 144, 8);
+        println!("  start t={t_us:>6} us -> rotation wait {:>9}", a.rotation);
+    }
+
+    println!();
+    println!("Naive model vs detailed model (8 KB read at various distances):");
+    println!("  {:>10} {:>12} {:>12}", "lba", "hp97560", "naive");
+    for lba in [0u64, 100_000, 1_000_000, 2_500_000] {
+        let a = hp.media_access(SimTime::ZERO, DiskPos::HOME, lba, 16);
+        let b = naive.media_access(SimTime::ZERO, DiskPos::HOME, lba, 16);
+        println!("  {:>10} {:>12} {:>12}", lba, format!("{}", a.total()), format!("{}", b.total()));
+    }
+    println!();
+    println!("The naive model charges the same cost everywhere — \"the results can");
+    println!("be completely useless\" (§1). Run `patsy ablate-diskmodel` for the");
+    println!("end-to-end divergence under a real workload.");
+}

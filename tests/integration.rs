@@ -1,0 +1,205 @@
+//! Cross-crate integration tests: full stack (engine → cache → layout →
+//! driver → bus → disk model) on virtual time.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use cut_and_paste::cache::CacheConfig;
+use cut_and_paste::core::{DataMode, FileSystem, FlushMode, FsConfig};
+use cut_and_paste::disk::{sim_disk_driver, CLook, Hp97560};
+use cut_and_paste::layout::{FfsLayout, FfsParams, FileKind, Layout, LfsLayout, LfsParams};
+use cut_and_paste::sim::{Sim, SimTime};
+use cut_and_paste::trace::{replay, trace_1a, SyntheticSprite};
+
+fn lfs_fs(h: &cut_and_paste::sim::Handle, cfg: FsConfig) -> FileSystem {
+    let driver = sim_disk_driver(h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+    let layout = Layout::Lfs(LfsLayout::new(h, driver, LfsParams::default()));
+    FileSystem::new(h, layout, cfg)
+}
+
+fn run_to_completion<F, Fut>(seed: u64, f: F)
+where
+    F: FnOnce(cut_and_paste::sim::Handle) -> Fut + 'static,
+    Fut: std::future::Future<Output = ()> + 'static,
+{
+    let sim = Sim::new(seed);
+    let h = sim.handle();
+    let done = Rc::new(Cell::new(false));
+    let done2 = done.clone();
+    let h2 = h.clone();
+    h.spawn("test", async move {
+        f(h2).await;
+        done2.set(true);
+    });
+    sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+    assert!(done.get(), "test body did not complete");
+}
+
+#[test]
+fn full_stack_trace_replay_no_errors() {
+    run_to_completion(1, |h| async move {
+        let fs = lfs_fs(&h, FsConfig { data_mode: DataMode::Simulated, ..FsConfig::default() });
+        fs.format().await.unwrap();
+        let records = SyntheticSprite::new(trace_1a(), 5).generate(0.002);
+        assert!(records.len() > 100);
+        let report = replay(&h, &fs, records).await;
+        assert_eq!(report.errors, 0, "samples: {:?}", report.error_sample);
+        assert!(report.ops > 100);
+        assert!(report.mean_ms() > 0.0);
+        fs.shutdown();
+    });
+}
+
+#[test]
+fn same_workload_same_seed_is_deterministic() {
+    fn once() -> (u64, u64) {
+        let sim = Sim::new(77);
+        let h = sim.handle();
+        let fs = lfs_fs(&h, FsConfig { data_mode: DataMode::Simulated, ..FsConfig::default() });
+        let out = Rc::new(Cell::new((0u64, 0u64)));
+        let out2 = out.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            fs.format().await.unwrap();
+            let records = SyntheticSprite::new(trace_1a(), 5).generate(0.001);
+            let report = replay(&h2, &fs, records).await;
+            out2.set((report.ops, h2.now().as_nanos()));
+            fs.shutdown();
+        });
+        sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+        out.get()
+    }
+    let a = once();
+    let b = once();
+    assert_eq!(a, b, "virtual-time replays must be bit-identical");
+}
+
+#[test]
+fn ffs_layout_under_the_same_engine() {
+    run_to_completion(3, |h| async move {
+        let driver = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+        let layout = Layout::Ffs(FfsLayout::new(&h, driver, FfsParams::default()));
+        let fs = FileSystem::new(
+            &h,
+            layout,
+            FsConfig { data_mode: DataMode::Real, ..FsConfig::default() },
+        );
+        fs.format().await.unwrap();
+        let ino = fs.create("/f", FileKind::Regular).await.unwrap();
+        let data = vec![5u8; 40_000];
+        fs.write(ino, 0, data.len() as u64, Some(&data)).await.unwrap();
+        let (n, got) = fs.read(ino, 0, data.len() as u64).await.unwrap();
+        assert_eq!(n, data.len() as u64);
+        assert_eq!(got.unwrap(), data);
+        fs.shutdown();
+    });
+}
+
+#[test]
+fn crash_recovery_loses_only_post_checkpoint_writes() {
+    run_to_completion(11, |h| async move {
+        let driver = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+        let cfg = FsConfig { data_mode: DataMode::Real, ..FsConfig::default() };
+        let fs = FileSystem::new(
+            &h,
+            Layout::Lfs(LfsLayout::new(&h, driver.clone(), LfsParams::default())),
+            cfg.clone(),
+        );
+        fs.format().await.unwrap();
+        let ino = fs.create("/durable", FileKind::Regular).await.unwrap();
+        fs.write(ino, 0, 8192, Some(&vec![1u8; 8192])).await.unwrap();
+        fs.sync().await.unwrap(); // Checkpoint: /durable is safe.
+        let ino2 = fs.create("/volatile", FileKind::Regular).await.unwrap();
+        fs.write(ino2, 0, 4096, Some(&vec![2u8; 4096])).await.unwrap();
+        // "Crash": no sync/unmount; mount a fresh engine over the disk.
+        let fs2 = FileSystem::new(
+            &h,
+            Layout::Lfs(LfsLayout::new(&h, driver, LfsParams::default())),
+            cfg,
+        );
+        fs2.mount().await.unwrap();
+        let d = fs2.lookup("/durable").await;
+        assert!(d.is_ok(), "checkpointed file must survive the crash");
+        let v = fs2.lookup("/volatile").await;
+        assert!(v.is_err(), "post-checkpoint file is lost (no roll-forward)");
+        fs2.shutdown();
+        fs.shutdown();
+    });
+}
+
+#[test]
+fn nvram_policy_bounds_dirty_data() {
+    run_to_completion(13, |h| async move {
+        let cfg = FsConfig {
+            cache: CacheConfig {
+                block_size: 4096,
+                mem_bytes: 256 * 4096,
+                nvram_bytes: Some(8 * 4096),
+            },
+            flush: "nvram-partial".into(),
+            flush_mode: FlushMode::Async,
+            data_mode: DataMode::Simulated,
+            ..FsConfig::default()
+        };
+        let fs = lfs_fs(&h, cfg);
+        fs.format().await.unwrap();
+        let ino = fs.create("/big", FileKind::Regular).await.unwrap();
+        fs.write(ino, 0, 64 * 4096, None).await.unwrap();
+        let c = fs.cache_stats();
+        assert!(c.nvram_stalls > 0);
+        assert!(fs.stats().blocks_flushed >= 56, "NVRAM must keep draining");
+        fs.shutdown();
+    });
+}
+
+#[test]
+fn sync_vs_async_flush_both_complete() {
+    for mode in [FlushMode::Async, FlushMode::Sync] {
+        run_to_completion(17, move |h| async move {
+            let cfg = FsConfig {
+                cache: CacheConfig {
+                    block_size: 4096,
+                    mem_bytes: 64 * 4096,
+                    nvram_bytes: None,
+                },
+                flush: "ups".into(),
+                flush_mode: mode,
+                data_mode: DataMode::Simulated,
+                ..FsConfig::default()
+            };
+            let fs = lfs_fs(&h, cfg);
+            fs.format().await.unwrap();
+            let ino = fs.create("/f", FileKind::Regular).await.unwrap();
+            // Write 3x the cache size: demand flushing must reclaim.
+            for i in 0..3u64 {
+                fs.write(ino, i * 64 * 4096 % (2 * 1024 * 1024 - 64 * 4096), 64 * 4096, None)
+                    .await
+                    .unwrap();
+            }
+            assert!(fs.stats().blocks_flushed > 0);
+            fs.shutdown();
+        });
+    }
+}
+
+#[test]
+fn write_delay_policy_flushes_old_data_in_background() {
+    run_to_completion(19, |h| async move {
+        let fs = lfs_fs(
+            &h,
+            FsConfig {
+                flush: "write-delay".into(),
+                data_mode: DataMode::Simulated,
+                ..FsConfig::default()
+            },
+        );
+        fs.format().await.unwrap();
+        let ino = fs.create("/aging", FileKind::Regular).await.unwrap();
+        fs.write(ino, 0, 16 * 4096, None).await.unwrap();
+        assert_eq!(fs.stats().blocks_flushed, 0, "young data stays in cache");
+        // After >30 s + a scan tick, the update daemon must flush it.
+        h.sleep(cut_and_paste::sim::SimDuration::from_secs(40)).await;
+        assert!(fs.stats().blocks_flushed >= 16, "30-second update must have fired");
+        fs.shutdown();
+    });
+}

@@ -1,0 +1,180 @@
+//! Property-based tests on core data structures and invariants.
+
+use proptest::prelude::*;
+
+use cut_and_paste::cache::{
+    BlockCache, BlockKey, CacheConfig, FileId, Lru, Reserve, WriteSaving,
+};
+use cut_and_paste::disk::{scheduler_by_name, PendingMeta};
+use cut_and_paste::layout::dir::{decode, encode, Dirent};
+use cut_and_paste::layout::{FileKind, Ino, Inode};
+use cut_and_paste::sim::stats::Histogram;
+use cut_and_paste::sim::SimTime;
+use cut_and_paste::trace::codec;
+use cut_and_paste::trace::{TraceOp, TraceRecord};
+
+proptest! {
+    /// Inode serialization round-trips for arbitrary field values.
+    #[test]
+    fn inode_codec_round_trip(
+        ino in 1u64..1_000_000,
+        size in 0u64..(524 * 4096),
+        nlink in 1u32..100,
+        mtime in 0u64..u64::MAX / 2,
+        kind_tag in 0u8..4,
+        directs in prop::collection::vec(0u64..10_000_000, 12),
+        indirect in 0u64..10_000_000,
+    ) {
+        let mut inode = Inode::new(Ino(ino), FileKind::from_tag(kind_tag).unwrap());
+        inode.size = size;
+        inode.nlink = nlink;
+        inode.mtime = mtime;
+        for (i, d) in directs.iter().enumerate() {
+            inode.direct[i] = cut_and_paste::layout::BlockAddr(*d);
+        }
+        inode.indirect = cut_and_paste::layout::BlockAddr(indirect);
+        let back = Inode::from_bytes(&inode.to_bytes()).expect("parse");
+        prop_assert_eq!(back, inode);
+    }
+
+    /// Directory encode/decode round-trips arbitrary entry lists.
+    #[test]
+    fn dirent_codec_round_trip(
+        names in prop::collection::vec("[a-zA-Z0-9._-]{1,32}", 0..40),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let entries: Vec<Dirent> = names
+            .into_iter()
+            .filter(|n| seen.insert(n.clone()))
+            .enumerate()
+            .map(|(i, name)| Dirent { ino: Ino(i as u64 + 2), kind: FileKind::Regular, name })
+            .collect();
+        let back = decode(&encode(&entries)).expect("decode");
+        prop_assert_eq!(back, entries);
+    }
+
+    /// Trace text and binary codecs agree and round-trip.
+    #[test]
+    fn trace_codecs_round_trip(
+        ops in prop::collection::vec((0u64..1_000_000_000, 0u32..16, 0u8..8, 0u64..1_000_000, 1u64..100_000), 0..50),
+    ) {
+        let records: Vec<TraceRecord> = ops
+            .into_iter()
+            .map(|(t, c, tag, a, b)| {
+                let path = format!("/c{c}/f{a}");
+                let op = match tag {
+                    0 => TraceOp::Open { path },
+                    1 => TraceOp::Close { path },
+                    2 => TraceOp::Read { path, offset: a, len: b },
+                    3 => TraceOp::Write { path, offset: a, len: b },
+                    4 => TraceOp::Delete { path },
+                    5 => TraceOp::Truncate { path, size: a },
+                    6 => TraceOp::Stat { path },
+                    _ => TraceOp::Mkdir { path },
+                };
+                TraceRecord { time_ns: t, client: c, op }
+            })
+            .collect();
+        let mut text = Vec::new();
+        codec::write_text(&mut text, &records).unwrap();
+        prop_assert_eq!(&codec::read_text(std::io::BufReader::new(&text[..])).unwrap(), &records);
+        let mut bin = Vec::new();
+        codec::write_binary(&mut bin, &records).unwrap();
+        prop_assert_eq!(&codec::read_binary(&bin[..]).unwrap(), &records);
+    }
+
+    /// Every queue scheduler serves every request exactly once.
+    #[test]
+    fn ioscheds_are_permutations(
+        lbas in prop::collection::vec(0u64..2_000_000, 1..60),
+        start in 0u64..2_000_000,
+        which in 0usize..6,
+    ) {
+        let names = ["fcfs", "sstf", "scan", "look", "c-scan", "c-look"];
+        let mut sched = scheduler_by_name(names[which]).unwrap();
+        let mut queue: Vec<PendingMeta> = lbas
+            .iter()
+            .enumerate()
+            .map(|(i, &lba)| PendingMeta { lba, seq: i as u64 })
+            .collect();
+        let mut head = start;
+        let mut served = Vec::new();
+        while !queue.is_empty() {
+            let i = sched.pick(&queue, head);
+            prop_assert!(i < queue.len());
+            let m = queue.remove(i);
+            head = m.lba;
+            served.push(m.lba);
+        }
+        served.sort_unstable();
+        let mut want = lbas.clone();
+        want.sort_unstable();
+        prop_assert_eq!(served, want);
+    }
+
+    /// Cache accounting: resident count never exceeds capacity, and
+    /// arbitrary operation sequences never break list invariants.
+    #[test]
+    fn cache_never_overflows(
+        ops in prop::collection::vec((0u64..6, 0u64..32, 0u64..4), 1..200),
+    ) {
+        let cfg = CacheConfig { block_size: 4096, mem_bytes: 8 * 4096, nvram_bytes: None };
+        let frames = cfg.frames();
+        let mut cache = BlockCache::new(
+            cfg,
+            Box::new(Lru::new(frames)),
+            Box::new(WriteSaving { whole_file: true }),
+        );
+        let mut t = 0u64;
+        for (file, block, action) in ops {
+            t += 1;
+            let key = BlockKey::new(FileId(file), block);
+            let now = SimTime::from_nanos(t * 1_000_000);
+            match action {
+                0 | 1 => {
+                    // Read/insert path.
+                    if cache.lookup(key, now).is_none() {
+                        match cache.reserve() {
+                            Reserve::Frame(f) => cache.commit(f, key, None, now),
+                            Reserve::NeedFlush(keys) => {
+                                let started = cache.begin_flush(&keys);
+                                for k in started {
+                                    cache.end_flush(k, now);
+                                }
+                            }
+                        }
+                    }
+                }
+                2 => {
+                    if cache.peek(key).is_some() {
+                        let _ = cache.mark_dirty(key, now);
+                    }
+                }
+                _ => {
+                    cache.remove_file(FileId(file));
+                }
+            }
+            prop_assert!(cache.resident() <= frames);
+            prop_assert!(cache.dirty_count() <= cache.resident());
+        }
+    }
+
+    /// Histogram quantiles are monotone and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_monotone(
+        samples in prop::collection::vec(0.0001f64..10_000.0, 1..300),
+    ) {
+        let mut h = Histogram::latency_default();
+        for s in &samples {
+            h.record(*s);
+        }
+        let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|q| h.quantile(*q))
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9, "quantiles not monotone: {qs:?}");
+        }
+        prop_assert!(h.cdf_at(1e12) > 0.999);
+    }
+}
