@@ -4,16 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use cnp_patsy::{run_experiment, ExperimentConfig, Policy};
-use cnp_trace::{preset, SyntheticSprite};
-
-fn fig_experiment(trace: &str, policy: Policy) -> f64 {
-    let mut cfg = ExperimentConfig::new(policy, preset(trace).expect("preset"));
-    cfg.scale = 0.002;
-    cfg.seed = 99;
-    let r = run_experiment(&cfg);
-    r.report.mean_ms()
-}
+use cnp_bench::fig_experiment;
+use cnp_patsy::Policy;
+use cnp_trace::SyntheticSprite;
 
 fn bench_fig2_trace1a(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2_trace1a");

@@ -1,1 +1,47 @@
-//! Placeholder module; replaced as implementation lands.
+//! Shared helpers for the Criterion benches in `benches/figures.rs`.
+//!
+//! The benches replay scaled-down versions of the paper's figure
+//! experiments; the scaling lives here so every figure bench (and any
+//! future bench binary) runs the identical configuration.
+
+use cnp_patsy::{run_experiment, ExperimentConfig, Policy};
+use cnp_trace::preset;
+
+/// Trace scale used by the figure benches: small enough that a Criterion
+/// sample finishes in milliseconds, large enough to exercise the cache,
+/// layout, and disk layers.
+pub const BENCH_SCALE: f64 = 0.002;
+
+/// Fixed seed for bench runs so successive `cargo bench` invocations
+/// replay byte-identical schedules and are comparable.
+pub const BENCH_SEED: u64 = 99;
+
+/// Runs one scaled-down figure experiment (trace preset `trace` under
+/// `policy`) and returns the mean operation latency in milliseconds.
+pub fn fig_experiment(trace: &str, policy: Policy) -> f64 {
+    let mut cfg = ExperimentConfig::new(policy, preset(trace).expect("preset"));
+    cfg.scale = BENCH_SCALE;
+    cfg.seed = BENCH_SEED;
+    let r = run_experiment(&cfg);
+    r.report.mean_ms()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_experiment_runs_and_reports_positive_latency() {
+        let ms = fig_experiment("1a", Policy::Ups);
+        assert!(ms > 0.0, "mean latency must be positive, got {ms}");
+    }
+
+    #[test]
+    fn fig_experiment_is_deterministic() {
+        assert_eq!(
+            fig_experiment("1a", Policy::WriteDelay).to_bits(),
+            fig_experiment("1a", Policy::WriteDelay).to_bits(),
+            "same seed + scale must replay identically"
+        );
+    }
+}

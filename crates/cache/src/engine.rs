@@ -454,8 +454,7 @@ impl BlockCache {
         f.state = BlockState::Clean;
         self.nvram_used -= 1;
         let f = &self.frames[frame as usize];
-        self.clean
-            .insert(frame, AccessMeta { now, count: f.access_count, history: &f.history });
+        self.clean.insert(frame, AccessMeta { now, count: f.access_count, history: &f.history });
     }
 
     /// Drops one block (truncate); dirty blocks count as absorbed writes.
@@ -470,12 +469,10 @@ impl BlockCache {
     /// that a block is overwritten through truncate and delete calls in
     /// memory rather than on disk." (§1)
     pub fn remove_file(&mut self, file: FileId) -> u64 {
-        let keys: Vec<BlockKey> =
-            self.map.keys().filter(|k| k.file == file).copied().collect();
+        let keys: Vec<BlockKey> = self.map.keys().filter(|k| k.file == file).copied().collect();
         let mut absorbed = 0;
         for key in keys {
-            let was_dirty =
-                matches!(self.state_of(key), Some(BlockState::Dirty { .. }));
+            let was_dirty = matches!(self.state_of(key), Some(BlockState::Dirty { .. }));
             if was_dirty {
                 absorbed += 1;
             }
@@ -681,11 +678,8 @@ mod tests {
     fn periodic_policy_ticks_old_files() {
         let cfg = CacheConfig { block_size: 4096, mem_bytes: 8 * 4096, nvram_bytes: None };
         let n = cfg.frames();
-        let mut c = BlockCache::new(
-            cfg,
-            Box::new(Lru::new(n)),
-            Box::new(PeriodicUpdate::default()),
-        );
+        let mut c =
+            BlockCache::new(cfg, Box::new(Lru::new(n)), Box::new(PeriodicUpdate::default()));
         assert_eq!(c.tick_interval(), Some(SimDuration::from_secs(5)));
         insert(&mut c, key(1, 0), t(0));
         c.mark_dirty(key(1, 0), t(0));
@@ -704,11 +698,8 @@ mod tests {
         let cfg =
             CacheConfig { block_size: 4096, mem_bytes: 8 * 4096, nvram_bytes: Some(3 * 4096) };
         let n = cfg.frames();
-        let mut c = BlockCache::new(
-            cfg,
-            Box::new(Lru::new(n)),
-            Box::new(NvramFlush { whole_file: true }),
-        );
+        let mut c =
+            BlockCache::new(cfg, Box::new(Lru::new(n)), Box::new(NvramFlush { whole_file: true }));
         insert(&mut c, key(1, 0), t(0));
         insert(&mut c, key(1, 1), t(1));
         insert(&mut c, key(2, 0), t(2));

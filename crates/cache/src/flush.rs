@@ -121,8 +121,7 @@ impl FlushPolicy for PeriodicUpdate {
         // groups (the query reflects pre-flush state, so guard against
         // re-collecting the same file).
         let mut seen_files = Vec::new();
-        loop {
-            let Some((key, since)) = q.oldest_dirty_excluding(&out) else { break };
+        while let Some((key, since)) = q.oldest_dirty_excluding(&out) {
             if now.saturating_since(since) < self.max_age {
                 break;
             }
@@ -155,16 +154,10 @@ impl FlushPolicy for PeriodicUpdate {
 ///
 /// "we equip the file-system with a UPS and only flush a cache block
 /// when we are out of non-dirty cache-blocks" (§5.1)
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct WriteSaving {
     /// Expand demand flushes to the whole file of the oldest block.
     pub whole_file: bool,
-}
-
-impl Default for WriteSaving {
-    fn default() -> Self {
-        WriteSaving { whole_file: false }
-    }
 }
 
 impl FlushPolicy for WriteSaving {
@@ -256,9 +249,8 @@ mod tests {
     #[test]
     fn periodic_flushes_old_files_only() {
         let mut p = PeriodicUpdate::default();
-        let q = FakeQuery {
-            dirty: vec![(key(1, 0), at(0)), (key(1, 3), at(5)), (key(2, 0), at(40))],
-        };
+        let q =
+            FakeQuery { dirty: vec![(key(1, 0), at(0)), (key(1, 3), at(5)), (key(2, 0), at(40))] };
         // At t=35 only file 1's blocks exceed 30 s (oldest is at t=0).
         let picked = p.on_tick(&q, at(35));
         assert_eq!(picked, vec![key(1, 0), key(1, 3)]);
@@ -277,9 +269,8 @@ mod tests {
 
     #[test]
     fn nvram_whole_vs_partial() {
-        let q = FakeQuery {
-            dirty: vec![(key(7, 0), at(0)), (key(7, 1), at(1)), (key(8, 0), at(2))],
-        };
+        let q =
+            FakeQuery { dirty: vec![(key(7, 0), at(0)), (key(7, 1), at(1)), (key(8, 0), at(2))] };
         let mut whole = NvramFlush { whole_file: true };
         assert_eq!(whole.on_nvram_full(&q), vec![key(7, 0), key(7, 1)]);
         let mut partial = NvramFlush { whole_file: false };

@@ -56,11 +56,7 @@ pub struct FsConfig {
 impl Default for FsConfig {
     fn default() -> Self {
         FsConfig {
-            cache: CacheConfig {
-                block_size: 4096,
-                mem_bytes: 16 * 1024 * 1024,
-                nvram_bytes: None,
-            },
+            cache: CacheConfig { block_size: 4096, mem_bytes: 16 * 1024 * 1024, nvram_bytes: None },
             replacement: "lru".to_string(),
             flush: "write-delay".to_string(),
             flush_mode: FlushMode::Async,

@@ -8,6 +8,13 @@
 //! ([`DataMode::Simulated`], virtual clock) and as PFS
 //! ([`DataMode::Real`], file-backed driver) — only configuration differs.
 
+// RefMut-across-await in this module is deliberate: the engine runs on
+// the cnp-sim executor, which is strictly single-threaded and
+// cooperative, and every such borrow sits under the layout's SimMutex,
+// so no other task can reach the RefCell while the borrow is live.
+// Scoped to this module so new cnp-core code elsewhere keeps the lint.
+#![allow(clippy::await_holding_refcell_ref)]
+
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -268,8 +275,7 @@ impl FileSystem {
             let g = self.s.layout.lock().await;
             g.get_mut().put_inode(&inode).await?;
         }
-        dir::add_entry(&mut entries, Dirent { ino, kind, name })
-            .map_err(|e| FsError::BadPath(e))?;
+        dir::add_entry(&mut entries, Dirent { ino, kind, name }).map_err(FsError::BadPath)?;
         self.write_dir_entries(dir_ino, &entries).await?;
         Ok(ino)
     }
@@ -498,9 +504,8 @@ impl FileSystem {
         let _ns = self.s.ns_lock.lock().await;
         let (dir_ino, name) = self.resolve_parent(path).await?;
         let mut entries = self.read_dir_entries(dir_ino).await?;
-        let entry = dir::find(&entries, &name)
-            .ok_or_else(|| FsError::NotFound(path.to_string()))?
-            .clone();
+        let entry =
+            dir::find(&entries, &name).ok_or_else(|| FsError::NotFound(path.to_string()))?.clone();
         if entry.kind != FileKind::Directory {
             return Err(FsError::NotADirectory(path.to_string()));
         }
@@ -585,8 +590,7 @@ impl FileSystem {
         match data {
             Some(bytes) => {
                 let target = &bytes[..(size as usize).min(bytes.len())];
-                String::from_utf8(target.to_vec())
-                    .map_err(|e| FsError::BadPath(e.to_string()))
+                String::from_utf8(target.to_vec()).map_err(|e| FsError::BadPath(e.to_string()))
             }
             None => Err(FsError::BadPath("symlink content unavailable".into())),
         }
@@ -613,8 +617,8 @@ impl FileSystem {
         let mut cur = Ino::ROOT;
         for part in parts {
             let entries = self.read_dir_entries(cur).await?;
-            let e = dir::find(&entries, &part)
-                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            let e =
+                dir::find(&entries, &part).ok_or_else(|| FsError::NotFound(path.to_string()))?;
             cur = e.ino;
         }
         Ok(cur)
@@ -629,8 +633,8 @@ impl FileSystem {
         let mut cur = Ino::ROOT;
         for part in parts {
             let entries = self.read_dir_entries(cur).await?;
-            let e = dir::find(&entries, &part)
-                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            let e =
+                dir::find(&entries, &part).ok_or_else(|| FsError::NotFound(path.to_string()))?;
             if e.kind != FileKind::Directory {
                 return Err(FsError::NotADirectory(path.to_string()));
             }
@@ -679,7 +683,7 @@ impl FileSystem {
         let rc = self.get_inode_rc(ino).await?;
         let old_blocks = rc.borrow().blocks();
         let bs = BLOCK_SIZE as usize;
-        let new_blocks = bytes.len().div_ceil(bs).max(0) as u64;
+        let new_blocks = bytes.len().div_ceil(bs) as u64;
         for blk in 0..new_blocks {
             let lo = blk as usize * bs;
             let hi = (lo + bs).min(bytes.len());
@@ -1011,11 +1015,7 @@ fn split_path(path: &str) -> FsResult<Vec<String>> {
     if !path.starts_with('/') {
         return Err(FsError::BadPath(path.to_string()));
     }
-    Ok(path
-        .split('/')
-        .filter(|p| !p.is_empty())
-        .map(|p| p.to_string())
-        .collect())
+    Ok(path.split('/').filter(|p| !p.is_empty()).map(|p| p.to_string()).collect())
 }
 
 #[cfg(test)]
@@ -1104,11 +1104,7 @@ mod tests {
             fs.write(ino, 0, 16 * 4096, None).await.unwrap();
             fs.unlink("/doomed").await.unwrap();
             let st = fs.stats();
-            assert!(
-                st.absorbed_blocks >= 16,
-                "expected >=16 absorbed, got {}",
-                st.absorbed_blocks
-            );
+            assert!(st.absorbed_blocks >= 16, "expected >=16 absorbed, got {}", st.absorbed_blocks);
             // The absorbed blocks never reached the disk as data writes.
             assert_eq!(fs.layout_stats().unwrap().data_writes, 0);
         });
@@ -1147,8 +1143,7 @@ mod tests {
         let done2 = done.clone();
         let h2 = h.clone();
         h.spawn("test", async move {
-            let layout =
-                Layout::Lfs(LfsLayout::new(&h2, driver.clone(), LfsParams::default()));
+            let layout = Layout::Lfs(LfsLayout::new(&h2, driver.clone(), LfsParams::default()));
             let cfg = FsConfig { data_mode: DataMode::Real, ..FsConfig::default() };
             let fs = FileSystem::new(&h2, layout, cfg.clone());
             fs.format().await.unwrap();
@@ -1159,8 +1154,7 @@ mod tests {
             fs.unmount().await.unwrap();
             // Remount with a fresh engine over the same (shared) disk;
             // the first engine's driver must stay alive until the end.
-            let layout2 =
-                Layout::Lfs(LfsLayout::new(&h2, driver.clone(), LfsParams::default()));
+            let layout2 = Layout::Lfs(LfsLayout::new(&h2, driver.clone(), LfsParams::default()));
             let fs2 = FileSystem::new(&h2, layout2, cfg);
             fs2.mount().await.unwrap();
             let ino2 = fs2.lookup("/docs/report").await.unwrap();

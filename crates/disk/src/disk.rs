@@ -208,15 +208,13 @@ impl DiskTask {
                         // request arrives; we model that by sleeping the
                         // access in 1 ms quanta and checking for work, so
                         // foreground delay is bounded by one quantum.
-                        let ra_sectors =
-                            (4 * 1024 / self.geometry().sector_size).max(1) as u64;
+                        let ra_sectors = (4 * 1024 / self.geometry().sector_size).max(1) as u64;
                         let capacity = self.geometry().capacity_sectors();
                         let n = ra_sectors.min(capacity.saturating_sub(start)) as u32;
                         if n == 0 {
                             continue;
                         }
-                        let access =
-                            self.model.media_access(self.handle.now(), self.pos, start, n);
+                        let access = self.model.media_access(self.handle.now(), self.pos, start, n);
                         let total = access.total();
                         let quantum = SimDuration::from_millis(1);
                         let mut slept = SimDuration::ZERO;
@@ -257,8 +255,11 @@ impl DiskTask {
     }
 
     /// Performs a mechanical access, charging simulated time.
-    async fn media_work(&mut self, lba: u64, sectors: u32) -> (SimDuration, SimDuration, SimDuration)
-    {
+    async fn media_work(
+        &mut self,
+        lba: u64,
+        sectors: u32,
+    ) -> (SimDuration, SimDuration, SimDuration) {
         let access = self.model.media_access(self.handle.now(), self.pos, lba, sectors);
         self.pos = access.end_pos;
         self.stats.borrow_mut().busy += access.total();
@@ -302,7 +303,12 @@ impl DiskTask {
         }
     }
 
-    async fn serve_read(&mut self, req: IoRequest, mut timing: IoTiming, reply: OneshotSender<IoCompletion>) {
+    async fn serve_read(
+        &mut self,
+        req: IoRequest,
+        mut timing: IoTiming,
+        reply: OneshotSender<IoCompletion>,
+    ) {
         {
             let mut s = self.stats.borrow_mut();
             s.reads += 1;
@@ -335,7 +341,12 @@ impl DiskTask {
         reply.send(IoCompletion { id: req.id, result: Ok(payload), timing });
     }
 
-    async fn serve_write(&mut self, req: IoRequest, mut timing: IoTiming, reply: OneshotSender<IoCompletion>) {
+    async fn serve_write(
+        &mut self,
+        req: IoRequest,
+        mut timing: IoTiming,
+        reply: OneshotSender<IoCompletion>,
+    ) {
         {
             let mut s = self.stats.borrow_mut();
             s.writes += 1;
@@ -431,7 +442,14 @@ mod tests {
     use crate::hp97560::Hp97560;
     use cnp_sim::{Sim, SimTime};
 
-    fn make_req(id: u64, op: IoOp, lba: u64, sectors: u32, payload: Payload, now: SimTime) -> IoRequest {
+    fn make_req(
+        id: u64,
+        op: IoOp,
+        lba: u64,
+        sectors: u32,
+        payload: Payload,
+        now: SimTime,
+    ) -> IoRequest {
         IoRequest { id, op, lba, sectors, payload, queued_at: now, issued_at: now }
     }
 
@@ -529,9 +547,8 @@ mod tests {
                 .request(make_req(1, IoOp::Write, 64, 8, Payload::Data(data.clone()), h2.now()))
                 .await;
             assert!(w.result.is_ok());
-            let r = d2
-                .request(make_req(2, IoOp::Read, 64, 8, Payload::Simulated(0), h2.now()))
-                .await;
+            let r =
+                d2.request(make_req(2, IoOp::Read, 64, 8, Payload::Simulated(0), h2.now())).await;
             match r.result.unwrap() {
                 Payload::Data(got) => assert_eq!(got, data),
                 Payload::Simulated(_) => panic!("expected real bytes back"),
@@ -551,7 +568,8 @@ mod tests {
             let data = vec![7u8; 4096];
             d2.request(make_req(1, IoOp::Write, 0, 8, Payload::Data(data), h2.now())).await;
             d2.request(make_req(2, IoOp::Write, 0, 8, Payload::Simulated(4096), h2.now())).await;
-            let r = d2.request(make_req(3, IoOp::Read, 0, 8, Payload::Simulated(0), h2.now())).await;
+            let r =
+                d2.request(make_req(3, IoOp::Read, 0, 8, Payload::Simulated(0), h2.now())).await;
             assert!(matches!(r.result.unwrap(), Payload::Simulated(_)));
         });
         sim.run();
@@ -629,7 +647,8 @@ mod tests {
             d2.request(make_req(1, IoOp::Read, 0, 8, Payload::Simulated(0), h2.now())).await;
             h2.sleep(SimDuration::from_millis(60)).await;
             let t0 = h2.now();
-            let c = d2.request(make_req(2, IoOp::Read, 8, 8, Payload::Simulated(0), h2.now())).await;
+            let c =
+                d2.request(make_req(2, IoOp::Read, 8, 8, Payload::Simulated(0), h2.now())).await;
             assert!(c.result.is_ok());
             let latency = h2.now() - t0;
             assert!(latency < SimDuration::from_millis(4), "read-ahead should hit: {latency}");

@@ -61,10 +61,8 @@ impl Backend {
                 completion
             }
             Backend::File(b) => {
-                let timing = IoTiming {
-                    queue: req.issued_at - req.queued_at,
-                    ..IoTiming::default()
-                };
+                let timing =
+                    IoTiming { queue: req.issued_at - req.queued_at, ..IoTiming::default() };
                 let result = b.transfer(&mut req);
                 IoCompletion { id: req.id, result, timing }
             }
@@ -109,10 +107,7 @@ impl FileBackend {
 
     fn transfer(&self, req: &mut IoRequest) -> Result<Payload, IoError> {
         if req.lba + req.sectors as u64 > self.capacity_sectors {
-            return Err(IoError::OutOfRange {
-                lba: req.lba,
-                capacity: self.capacity_sectors,
-            });
+            return Err(IoError::OutOfRange { lba: req.lba, capacity: self.capacity_sectors });
         }
         let offset = req.lba * self.sector_size as u64;
         let len = req.sectors as usize * self.sector_size as usize;
@@ -455,8 +450,9 @@ mod tests {
             let h = sim.handle();
             let driver = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), sched);
             // Alternating far/near pattern penalizes FCFS.
-            let lbas: Vec<u64> =
-                (0..24u64).map(|i| if i % 2 == 0 { i * 1000 } else { 2_000_000 - i * 1000 }).collect();
+            let lbas: Vec<u64> = (0..24u64)
+                .map(|i| if i % 2 == 0 { i * 1000 } else { 2_000_000 - i * 1000 })
+                .collect();
             for lba in lbas {
                 let d = driver.clone();
                 h.spawn("c", async move {

@@ -74,8 +74,7 @@ impl DiskGeometry {
 
     /// Maps a physical position back to the logical block address.
     pub fn chs_to_lba(&self, chs: Chs) -> u64 {
-        (chs.cylinder as u64 * self.heads as u64 + chs.head as u64)
-            * self.sectors_per_track as u64
+        (chs.cylinder as u64 * self.heads as u64 + chs.head as u64) * self.sectors_per_track as u64
             + chs.sector as u64
     }
 

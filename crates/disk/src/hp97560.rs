@@ -186,8 +186,7 @@ mod tests {
         // At the crossover the two branches should be within ~15 %.
         let d = Hp97560::new();
         let p = d.params();
-        let short =
-            p.seek_short_base_ms + p.seek_short_sqrt_ms * (p.seek_crossover as f64).sqrt();
+        let short = p.seek_short_base_ms + p.seek_short_sqrt_ms * (p.seek_crossover as f64).sqrt();
         let long = p.seek_long_base_ms + p.seek_long_per_cyl_ms * p.seek_crossover as f64;
         assert!((short - long).abs() / long < 0.15, "short {short} long {long}");
     }

@@ -46,9 +46,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Vec<Dirent>, String> {
         if nlen == 0 || nlen > MAX_NAME || buf.len() < 11 + nlen {
             return Err(format!("bad name length {nlen}"));
         }
-        let name = std::str::from_utf8(&buf[11..11 + nlen])
-            .map_err(|e| e.to_string())?
-            .to_string();
+        let name = std::str::from_utf8(&buf[11..11 + nlen]).map_err(|e| e.to_string())?.to_string();
         out.push(Dirent { ino: Ino(ino), kind, name });
         buf = &buf[11 + nlen..];
     }
@@ -77,11 +75,7 @@ pub fn find<'a>(entries: &'a [Dirent], name: &str) -> Option<&'a Dirent> {
 
 /// Validates a file name for directory insertion.
 pub fn valid_name(name: &str) -> bool {
-    !name.is_empty()
-        && name.len() <= MAX_NAME
-        && !name.contains('/')
-        && name != "."
-        && name != ".."
+    !name.is_empty() && name.len() <= MAX_NAME && !name.contains('/') && name != "." && name != ".."
 }
 
 #[cfg(test)]

@@ -190,8 +190,7 @@ impl FfsLayout {
     async fn read_indirect(&mut self, addr: BlockAddr) -> LResult<Vec<u64>> {
         let p = self.io.read_block(addr).await?;
         self.stats.meta_reads += 1;
-        let bytes =
-            p.bytes().ok_or_else(|| LayoutError::Corrupt("indirect lost".into()))?;
+        let bytes = p.bytes().ok_or_else(|| LayoutError::Corrupt("indirect lost".into()))?;
         Ok((0..NINDIRECT).map(|i| get_u64(bytes, i * 8)).collect())
     }
 
@@ -401,7 +400,11 @@ impl StorageLayout for FfsLayout {
                         });
                     }
                     let v = table.as_ref().expect("just set")[s];
-                    if v == BlockAddr::NONE.0 { BlockAddr::NONE } else { BlockAddr(v) }
+                    if v == BlockAddr::NONE.0 {
+                        BlockAddr::NONE
+                    } else {
+                        BlockAddr(v)
+                    }
                 }
             };
             let addr = if existing.is_some() {
@@ -452,11 +455,15 @@ impl StorageLayout for FfsLayout {
             let keep = new_blocks > crate::types::NDIRECT as u64;
             let mut t = self.read_indirect(inode.indirect).await?;
             let first_dead = new_blocks.saturating_sub(crate::types::NDIRECT as u64) as usize;
-            for s in first_dead..t.len() {
-                if t[s] != BlockAddr::NONE.0 {
-                    self.free_block(BlockAddr(t[s]));
-                    t[s] = BlockAddr::NONE.0;
+            let mut dead = Vec::new();
+            for slot in t.iter_mut().skip(first_dead) {
+                if *slot != BlockAddr::NONE.0 {
+                    dead.push(BlockAddr(*slot));
+                    *slot = BlockAddr::NONE.0;
                 }
+            }
+            for addr in dead {
+                self.free_block(addr);
             }
             if keep {
                 let iaddr = inode.indirect;
@@ -567,12 +574,9 @@ mod tests {
             ffs.format().await.unwrap();
             let mut f = ffs.alloc_ino(FileKind::Regular, 0).unwrap();
             f.size = 14 * BLOCK_SIZE as u64; // Spans into the indirect range.
-            ffs.write_file_blocks(
-                &mut f,
-                (0..14).map(|b| (b, data_block(b as u8))).collect(),
-            )
-            .await
-            .unwrap();
+            ffs.write_file_blocks(&mut f, (0..14).map(|b| (b, data_block(b as u8))).collect())
+                .await
+                .unwrap();
             let ino = f.ino;
             ffs.unmount().await.unwrap();
             let mut ffs2 = FfsLayout::new(&h2, driver, FfsParams::default());

@@ -16,7 +16,7 @@ impl BlockIo {
     /// Wraps a driver; the driver's sector size must divide [`BLOCK_SIZE`].
     pub fn new(driver: DiskDriver) -> Self {
         let ssz = driver.sector_size();
-        assert!(BLOCK_SIZE % ssz == 0, "sector size {ssz} must divide block size");
+        assert!(BLOCK_SIZE.is_multiple_of(ssz), "sector size {ssz} must divide block size");
         BlockIo { driver: driver.clone(), sectors_per_block: BLOCK_SIZE / ssz }
     }
 
@@ -84,9 +84,7 @@ impl BlockIo {
             } else {
                 Payload::Simulated(n * BLOCK_SIZE)
             };
-            self.driver
-                .submit(IoOp::Write, lba, self.sectors_per_block * n, payload)
-                .await?;
+            self.driver.submit(IoOp::Write, lba, self.sectors_per_block * n, payload).await?;
             i = j;
         }
         Ok(())

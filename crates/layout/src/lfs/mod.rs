@@ -32,9 +32,8 @@ use crate::layout::{LayoutStats, StorageLayout};
 use crate::types::{block_slot, BlockAddr, BlockSlot, FileKind, Ino, BLOCK_SIZE, NINDIRECT};
 
 use structs::{
-    imap_from_blocks, imap_pack, imap_to_blocks, imap_unpack, summary_from_block,
-    summary_to_block, usage_from_blocks, usage_to_blocks, Checkpoint, SuperBlock, CKPT_ADDRS,
-    DATA_START, IMAP_NONE,
+    imap_from_blocks, imap_pack, imap_to_blocks, imap_unpack, summary_from_block, summary_to_block,
+    usage_from_blocks, usage_to_blocks, Checkpoint, SuperBlock, CKPT_ADDRS, DATA_START, IMAP_NONE,
 };
 
 /// Cleaner victim-selection policy.
@@ -351,9 +350,8 @@ impl LfsLayout {
     async fn clean_segment(&mut self, seg: u32) -> LResult<()> {
         let sum_payload = self.io.read_block(BlockAddr(self.seg_start(seg))).await?;
         self.stats.meta_reads += 1;
-        let bytes = sum_payload
-            .bytes()
-            .ok_or_else(|| LayoutError::Corrupt("summary lost".into()))?;
+        let bytes =
+            sum_payload.bytes().ok_or_else(|| LayoutError::Corrupt("summary lost".into()))?;
         let entries = summary_from_block(bytes)?;
         for (idx, entry) in entries.into_iter().enumerate() {
             let addr = self.payload_addr(seg, idx);
@@ -436,9 +434,8 @@ impl LfsLayout {
         }
         let payload = self.io.read_block(addr).await?;
         self.stats.meta_reads += 1;
-        let bytes = payload
-            .bytes()
-            .ok_or_else(|| LayoutError::Corrupt("indirect block lost".into()))?;
+        let bytes =
+            payload.bytes().ok_or_else(|| LayoutError::Corrupt("indirect block lost".into()))?;
         let mut table = Vec::with_capacity(NINDIRECT);
         for i in 0..NINDIRECT {
             table.push(crate::types::codec::get_u64(bytes, i * 8));
@@ -464,9 +461,7 @@ impl LfsLayout {
         }
         // The ino in the summary entry is patched by callers via the
         // entry they pass; here we only need the generic append.
-        let addr = self
-            .append_block(SumEntry::Indirect { ino: 0 }, Payload::Data(bytes))
-            .await?;
+        let addr = self.append_block(SumEntry::Indirect { ino: 0 }, Payload::Data(bytes)).await?;
         self.stats.meta_writes += 1;
         self.cache_indirect(addr, table.to_vec());
         Ok(addr)
@@ -503,9 +498,7 @@ impl LfsLayout {
             }
             // Reserve a payload slot; bytes are patched at flush time.
             let before_seg = self.cur.seg;
-            let _addr = self
-                .append_block(SumEntry::InodeBlock, Payload::Data(Vec::new()))
-                .await?;
+            let _addr = self.append_block(SumEntry::InodeBlock, Payload::Data(Vec::new())).await?;
             // `append_block` may have rolled the segment; the new block
             // lives in the (possibly new) current segment's last slot.
             debug_assert!(self.cur.seg == before_seg || self.cur.entries.len() == 1);
@@ -560,9 +553,8 @@ impl LfsLayout {
         }
         let payload = self.io.read_block(addr).await?;
         self.stats.meta_reads += 1;
-        let bytes = payload
-            .bytes()
-            .ok_or_else(|| LayoutError::Corrupt("inode block lost".into()))?;
+        let bytes =
+            payload.bytes().ok_or_else(|| LayoutError::Corrupt("inode block lost".into()))?;
         let off = slot * INODE_SIZE;
         Inode::from_bytes(&bytes[off..off + INODE_SIZE])
             .ok_or_else(|| LayoutError::Corrupt(format!("bad inode at {addr}/{slot}")))
@@ -613,12 +605,8 @@ impl LfsLayout {
         self.roll_segment().await?;
         self.ckpt_meta = imap_addrs.iter().chain(usage_addrs.iter()).copied().collect();
         self.ckpt_seq += 1;
-        let ckpt = Checkpoint {
-            seq: self.ckpt_seq,
-            next_ino: self.next_ino,
-            imap_addrs,
-            usage_addrs,
-        };
+        let ckpt =
+            Checkpoint { seq: self.ckpt_seq, next_ino: self.next_ino, imap_addrs, usage_addrs };
         let region = CKPT_ADDRS[(self.ckpt_seq % 2) as usize];
         self.io.write_block(region, Payload::Data(ckpt.to_block())).await?;
         self.stats.meta_writes += 1;
@@ -633,9 +621,7 @@ impl StorageLayout for LfsLayout {
     }
 
     async fn format(&mut self) -> LResult<()> {
-        self.io
-            .write_block(structs::SB_ADDR, Payload::Data(self.sb.to_block()))
-            .await?;
+        self.io.write_block(structs::SB_ADDR, Payload::Data(self.sb.to_block())).await?;
         self.imap = vec![IMAP_NONE; 2];
         self.usage = vec![SegUsage::default(); self.sb.nsegs as usize];
         self.next_ino = 2;
@@ -682,9 +668,8 @@ impl StorageLayout for LfsLayout {
         for &a in &ckpt.usage_addrs {
             let p = self.io.read_block(BlockAddr(a)).await?;
             self.stats.meta_reads += 1;
-            usage_blocks.push(
-                p.bytes().ok_or_else(|| LayoutError::Corrupt("usage lost".into()))?.to_vec(),
-            );
+            usage_blocks
+                .push(p.bytes().ok_or_else(|| LayoutError::Corrupt("usage lost".into()))?.to_vec());
         }
         self.imap = imap_from_blocks(&imap_blocks);
         self.usage = usage_from_blocks(&usage_blocks);
@@ -836,8 +821,7 @@ impl LfsLayout {
         let mut table_dirty = false;
         for (blk, payload) in blocks {
             let slot = block_slot(blk).ok_or(LayoutError::FileTooBig(blk))?;
-            let addr =
-                self.append_block(SumEntry::Data { ino: ino.0, fblk: blk }, payload).await?;
+            let addr = self.append_block(SumEntry::Data { ino: ino.0, fblk: blk }, payload).await?;
             self.stats.data_writes += 1;
             match slot {
                 BlockSlot::Direct(i) => {
@@ -980,8 +964,7 @@ mod tests {
             lfs.format().await.unwrap();
             let mut f = lfs.alloc_ino(FileKind::Regular, 1).unwrap();
             // Blocks 12..20 live behind the indirect pointer.
-            let blocks: Vec<(u64, Payload)> =
-                (12..20).map(|b| (b, data_block(b as u8))).collect();
+            let blocks: Vec<(u64, Payload)> = (12..20).map(|b| (b, data_block(b as u8))).collect();
             f.size = 20 * BLOCK_SIZE as u64;
             lfs.write_file_blocks(&mut f, blocks).await.unwrap();
             assert!(f.indirect.is_some());
@@ -1050,12 +1033,9 @@ mod tests {
             let live_before: u32 = lfs.usage.iter().map(|u| u.live).sum();
             let mut f = lfs.alloc_ino(FileKind::Regular, 1).unwrap();
             f.size = 4 * BLOCK_SIZE as u64;
-            lfs.write_file_blocks(
-                &mut f,
-                (0..4).map(|b| (b, data_block(b as u8))).collect(),
-            )
-            .await
-            .unwrap();
+            lfs.write_file_blocks(&mut f, (0..4).map(|b| (b, data_block(b as u8))).collect())
+                .await
+                .unwrap();
             let ino = f.ino;
             lfs.free_inode(ino).await.unwrap();
             assert!(matches!(lfs.get_inode(ino).await, Err(LayoutError::BadInode(_))));
@@ -1089,12 +1069,8 @@ mod tests {
             fa.size = 8 * BLOCK_SIZE as u64;
             fb.size = 8 * BLOCK_SIZE as u64;
             for b in 0..8u64 {
-                lfs.write_file_blocks(&mut fa, vec![(b, data_block(100 + b as u8))])
-                    .await
-                    .unwrap();
-                lfs.write_file_blocks(&mut fb, vec![(b, data_block(200u8))])
-                    .await
-                    .unwrap();
+                lfs.write_file_blocks(&mut fa, vec![(b, data_block(100 + b as u8))]).await.unwrap();
+                lfs.write_file_blocks(&mut fb, vec![(b, data_block(200u8))]).await.unwrap();
             }
             assert!(lfs.stats().segments_written >= 2);
             lfs.free_inode(fb.ino).await.unwrap();
@@ -1147,10 +1123,7 @@ mod tests {
             // Off-line mode: user data has no bytes.
             lfs.write_file_blocks(
                 &mut f,
-                vec![
-                    (0, Payload::Simulated(BLOCK_SIZE)),
-                    (1, Payload::Simulated(BLOCK_SIZE)),
-                ],
+                vec![(0, Payload::Simulated(BLOCK_SIZE)), (1, Payload::Simulated(BLOCK_SIZE))],
             )
             .await
             .unwrap();

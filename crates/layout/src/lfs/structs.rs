@@ -305,10 +305,7 @@ mod tests {
         let sb = SuperBlock { seg_blocks: 128, nsegs: 2621 };
         let b = sb.to_block();
         assert_eq!(SuperBlock::from_block(&b).unwrap(), sb);
-        assert!(matches!(
-            SuperBlock::from_block(&vec![0u8; 4096]),
-            Err(LayoutError::NotFormatted)
-        ));
+        assert!(matches!(SuperBlock::from_block(&vec![0u8; 4096]), Err(LayoutError::NotFormatted)));
     }
 
     #[test]
@@ -344,7 +341,8 @@ mod tests {
 
     #[test]
     fn imap_round_trip() {
-        let imap: Vec<u64> = (0..1200).map(|i| if i % 3 == 0 { IMAP_NONE } else { i * 11 }).collect();
+        let imap: Vec<u64> =
+            (0..1200).map(|i| if i % 3 == 0 { IMAP_NONE } else { i * 11 }).collect();
         let blocks = imap_to_blocks(&imap);
         assert_eq!(imap_from_blocks(&blocks), imap);
         assert!(imap_to_blocks(&[]).is_empty());

@@ -34,4 +34,7 @@ pub use io::BlockIo;
 pub use layout::{Layout, LayoutStats, StorageLayout};
 pub use lfs::{CleanerPolicy, LfsLayout, LfsParams};
 pub use simguess::SimGuessLayout;
-pub use types::{block_slot, BlockAddr, BlockSlot, FileKind, Ino, BLOCK_SIZE, MAX_FILE_BLOCKS, NDIRECT, NINDIRECT};
+pub use types::{
+    block_slot, BlockAddr, BlockSlot, FileKind, Ino, BLOCK_SIZE, MAX_FILE_BLOCKS, NDIRECT,
+    NINDIRECT,
+};

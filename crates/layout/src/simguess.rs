@@ -152,8 +152,7 @@ impl StorageLayout for SimGuessLayout {
                 j += 1;
             }
             let start = BlockAddr(base + blocks[i].0);
-            let payloads: Vec<Payload> =
-                blocks[i..j].iter().map(|(_, p)| p.clone()).collect();
+            let payloads: Vec<Payload> = blocks[i..j].iter().map(|(_, p)| p.clone()).collect();
             self.stats.data_writes += (j - i) as u64;
             self.io.write_run(start, payloads).await?;
             i = j;
@@ -245,10 +244,7 @@ mod tests {
             let got = l.get_inode(ino.ino).await.unwrap();
             assert_eq!(got.mtime, 7);
             l.free_inode(ino.ino).await.unwrap();
-            assert!(matches!(
-                l.get_inode(ino.ino).await,
-                Err(LayoutError::BadInode(_))
-            ));
+            assert!(matches!(l.get_inode(ino.ino).await, Err(LayoutError::BadInode(_))));
         });
     }
 }

@@ -167,8 +167,7 @@ mod tests {
 
     #[test]
     fn kind_tags_round_trip() {
-        for k in [FileKind::Regular, FileKind::Directory, FileKind::Symlink, FileKind::Multimedia]
-        {
+        for k in [FileKind::Regular, FileKind::Directory, FileKind::Symlink, FileKind::Multimedia] {
             assert_eq!(FileKind::from_tag(k.tag()), Some(k));
         }
         assert_eq!(FileKind::from_tag(99), None);

@@ -171,9 +171,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         } else {
             Box::new(Hp97560::new())
         };
-        let disk = spawn_disk(&h, &format!("disk{i}"), model, bus.clone(), opts, FaultPlan::default());
-        let sched = cnp_disk::scheduler_by_name(&cfg.iosched)
-            .unwrap_or_else(|| Box::new(CLook));
+        let disk =
+            spawn_disk(&h, &format!("disk{i}"), model, bus.clone(), opts, FaultPlan::default());
+        let sched = cnp_disk::scheduler_by_name(&cfg.iosched).unwrap_or_else(|| Box::new(CLook));
         let driver = DiskDriver::new(
             &h,
             &format!("d{i}"),
@@ -184,11 +184,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         let layout = Layout::Lfs(LfsLayout::new(&h, driver, LfsParams::default()));
         let (flush, nvram) = cfg.policy.cache_settings(cfg.nvram_bytes);
         let fs_cfg = FsConfig {
-            cache: CacheConfig {
-                block_size: 4096,
-                mem_bytes: cfg.mem_bytes,
-                nvram_bytes: nvram,
-            },
+            cache: CacheConfig { block_size: 4096, mem_bytes: cfg.mem_bytes, nvram_bytes: nvram },
             replacement: cfg.replacement.clone(),
             flush: flush.to_string(),
             flush_mode: cfg.flush_mode,

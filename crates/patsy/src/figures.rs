@@ -13,7 +13,15 @@ pub fn figure_cdf(trace_name: &str, scale: f64, seed: u64) {
     let trace = preset(trace_name).expect("known trace");
     println!("== Figure (CDF of file-system latencies), trace {trace_name} ==");
     println!("   (scale {scale} of the 24-hour trace; seed {seed})");
-    println!("{:<18} {}  {:>9} {:>7} {:>7} {:>9}", "policy", cdf_header(), "mean(ms)", "hit%", "abs%", "ops");
+    println!(
+        "{:<18} {}  {:>9} {:>7} {:>7} {:>9}",
+        "policy",
+        cdf_header(),
+        "mean(ms)",
+        "hit%",
+        "abs%",
+        "ops"
+    );
     for policy in POLICIES {
         let mut cfg = ExperimentConfig::new(policy, trace.clone());
         cfg.scale = scale;

@@ -132,8 +132,8 @@ impl NfsServer {
 
     async fn dispatch(&self, request: &[u8]) -> Result<Vec<u8>, NfsStat> {
         let mut d = XdrDecoder::new(request);
-        let proc = NfsProc::from_u32(d.get_u32().map_err(|_| NfsStat::BadRpc)?)
-            .ok_or(NfsStat::BadRpc)?;
+        let proc =
+            NfsProc::from_u32(d.get_u32().map_err(|_| NfsStat::BadRpc)?).ok_or(NfsStat::BadRpc)?;
         let mut reply = XdrEncoder::new();
         match proc {
             NfsProc::Null => {
@@ -153,8 +153,7 @@ impl NfsServer {
                 let offset = d.get_u64().map_err(|_| NfsStat::BadRpc)?;
                 let len = d.get_u64().map_err(|_| NfsStat::BadRpc)?;
                 let ino = self.fs.lookup(&path).await.map_err(|e| status_of(&e))?;
-                let (n, data) =
-                    self.fs.read(ino, offset, len).await.map_err(|e| status_of(&e))?;
+                let (n, data) = self.fs.read(ino, offset, len).await.map_err(|e| status_of(&e))?;
                 reply.put_u32(NfsStat::Ok as u32);
                 reply.put_u64(n);
                 reply.put_opaque(data.as_deref().unwrap_or(&[]));
@@ -174,11 +173,8 @@ impl NfsServer {
             }
             NfsProc::Create => {
                 let path = d.get_str().map_err(|_| NfsStat::BadRpc)?;
-                let ino = self
-                    .fs
-                    .create(&path, FileKind::Regular)
-                    .await
-                    .map_err(|e| status_of(&e))?;
+                let ino =
+                    self.fs.create(&path, FileKind::Regular).await.map_err(|e| status_of(&e))?;
                 reply.put_u32(NfsStat::Ok as u32);
                 reply.put_u64(ino.0);
             }

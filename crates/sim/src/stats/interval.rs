@@ -65,7 +65,7 @@ impl IntervalReporter {
     fn roll_to(&mut self, now: SimTime) {
         while now >= self.cur_start + self.width {
             self.flush_current();
-            self.cur_start = self.cur_start + self.width;
+            self.cur_start += self.width;
         }
     }
 

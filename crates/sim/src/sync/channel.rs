@@ -150,8 +150,7 @@ impl<T> Future for Send<'_, T> {
             if !inner.receiver_alive {
                 return Poll::Ready(Err(SendError));
             }
-            let full =
-                inner.capacity.map(|cap| inner.queue.len() >= cap).unwrap_or(false);
+            let full = inner.capacity.map(|cap| inner.queue.len() >= cap).unwrap_or(false);
             if full {
                 if !this.registered {
                     let me = this.sender.handle.kernel().borrow().current_task();

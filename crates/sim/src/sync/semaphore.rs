@@ -114,7 +114,12 @@ impl Semaphore {
 
     /// Number of blocked acquirers.
     pub fn waiter_count(&self) -> usize {
-        self.inner.borrow().waiters.iter().filter(|w| *w.state.borrow() == AcqState::Waiting).count()
+        self.inner
+            .borrow()
+            .waiters
+            .iter()
+            .filter(|w| *w.state.borrow() == AcqState::Waiting)
+            .count()
     }
 }
 

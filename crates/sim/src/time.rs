@@ -87,7 +87,7 @@ impl SimDuration {
     ///
     /// Negative or NaN inputs are clamped to zero.
     pub fn from_secs_f64(secs: f64) -> Self {
-        if !(secs > 0.0) {
+        if secs.is_nan() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
         let nanos = secs * 1e9;

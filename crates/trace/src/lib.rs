@@ -17,4 +17,6 @@ pub mod sprite;
 
 pub use record::{TraceOp, TraceRecord};
 pub use replay::{replay, ReplayReport};
-pub use sprite::{preset, trace_1a, trace_1b, trace_2a, trace_2b, trace_5, SpriteParams, SyntheticSprite, PRESETS};
+pub use sprite::{
+    preset, trace_1a, trace_1b, trace_2a, trace_2b, trace_5, SpriteParams, SyntheticSprite, PRESETS,
+};

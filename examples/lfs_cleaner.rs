@@ -17,12 +17,8 @@ fn run(policy: CleanerPolicy) -> (u64, u64, f64) {
     let out2 = out.clone();
     let h2 = h.clone();
     h.spawn("cleaner-bench", async move {
-        let params = LfsParams {
-            seg_blocks: 16,
-            cleaner: policy,
-            clean_low_water: 4,
-            clean_high_water: 10,
-        };
+        let params =
+            LfsParams { seg_blocks: 16, cleaner: policy, clean_low_water: 4, clean_high_water: 10 };
         let mut lfs = LfsLayout::new(&h2, driver, params);
         lfs.format().await.expect("format");
         // Two interleaved files; one is repeatedly overwritten so dead
@@ -56,8 +52,8 @@ fn run(policy: CleanerPolicy) -> (u64, u64, f64) {
         }
         let s = lfs.stats();
         let util = lfs.utilization();
-        let mean_util: f64 =
-            util.iter().filter(|u| **u > 0.0).sum::<f64>() / util.iter().filter(|u| **u > 0.0).count().max(1) as f64;
+        let mean_util: f64 = util.iter().filter(|u| **u > 0.0).sum::<f64>()
+            / util.iter().filter(|u| **u > 0.0).count().max(1) as f64;
         out2.set((s.segments_cleaned, s.cleaner_moved, mean_util));
         shutdown.shutdown();
     });
@@ -67,7 +63,10 @@ fn run(policy: CleanerPolicy) -> (u64, u64, f64) {
 
 fn main() {
     println!("LFS cleaner comparison (16-block segments, hot/cold overwrite mix):");
-    println!("{:<14} {:>16} {:>14} {:>18}", "policy", "segments cleaned", "blocks moved", "mean live util");
+    println!(
+        "{:<14} {:>16} {:>14} {:>18}",
+        "policy", "segments cleaned", "blocks moved", "mean live util"
+    );
     for (name, policy) in
         [("greedy", CleanerPolicy::Greedy), ("cost-benefit", CleanerPolicy::CostBenefit)]
     {

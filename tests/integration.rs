@@ -112,11 +112,8 @@ fn crash_recovery_loses_only_post_checkpoint_writes() {
         let ino2 = fs.create("/volatile", FileKind::Regular).await.unwrap();
         fs.write(ino2, 0, 4096, Some(&vec![2u8; 4096])).await.unwrap();
         // "Crash": no sync/unmount; mount a fresh engine over the disk.
-        let fs2 = FileSystem::new(
-            &h,
-            Layout::Lfs(LfsLayout::new(&h, driver, LfsParams::default())),
-            cfg,
-        );
+        let fs2 =
+            FileSystem::new(&h, Layout::Lfs(LfsLayout::new(&h, driver, LfsParams::default())), cfg);
         fs2.mount().await.unwrap();
         let d = fs2.lookup("/durable").await;
         assert!(d.is_ok(), "checkpointed file must survive the crash");
@@ -157,11 +154,7 @@ fn sync_vs_async_flush_both_complete() {
     for mode in [FlushMode::Async, FlushMode::Sync] {
         run_to_completion(17, move |h| async move {
             let cfg = FsConfig {
-                cache: CacheConfig {
-                    block_size: 4096,
-                    mem_bytes: 64 * 4096,
-                    nvram_bytes: None,
-                },
+                cache: CacheConfig { block_size: 4096, mem_bytes: 64 * 4096, nvram_bytes: None },
                 flush: "ups".into(),
                 flush_mode: mode,
                 data_mode: DataMode::Simulated,

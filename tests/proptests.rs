@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use cut_and_paste::cache::{
-    BlockCache, BlockKey, CacheConfig, FileId, Lru, Reserve, WriteSaving,
-};
+use cut_and_paste::cache::{BlockCache, BlockKey, CacheConfig, FileId, Lru, Reserve, WriteSaving};
 use cut_and_paste::disk::{scheduler_by_name, PendingMeta};
 use cut_and_paste::layout::dir::{decode, encode, Dirent};
 use cut_and_paste::layout::{FileKind, Ino, Inode};

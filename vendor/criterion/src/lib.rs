@@ -1,0 +1,168 @@
+//! Offline, dependency-free stand-in for the parts of `criterion` 0.5
+//! that this workspace's benches use: `Criterion`, benchmark groups,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's full sampling statistics it times each
+//! benchmark as a mean over `sample_size` iterations and prints one
+//! line per benchmark, which is enough to compare policies offline.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Drives one benchmark body: [`Bencher::iter`] times the closure.
+pub struct Bencher {
+    iters: u64,
+    total_ns: u128,
+}
+
+impl Bencher {
+    /// Times `f` over this bencher's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.total_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: u64,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards CLI args; honor a bare name filter while
+        // ignoring flags AND their values (`--save-baseline x` must not
+        // turn `x` into a filter that silently skips every bench). A
+        // bare arg only counts as a filter when it is not preceded by a
+        // flag — conservatively running everything beats running nothing.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let filter = args
+            .iter()
+            .enumerate()
+            .find(|(i, a)| {
+                !a.starts_with('-')
+                    && (*i == 0 || !args[i - 1].starts_with('-') || args[i - 1] == "--bench")
+            })
+            .map(|(_, a)| a.clone());
+        Criterion { sample_size: 20, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), sample_size: None }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size;
+        self.run(&id, samples, f);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, samples: u64, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { iters: samples.max(1), total_ns: 0 };
+        f(&mut b);
+        let mean_ns = b.total_ns / u128::from(b.iters);
+        println!("{id:<50} {:>12.3} ms/iter", mean_ns as f64 / 1e6);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run(&id, samples, f);
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main()` running the listed groups, mirroring criterion's
+/// macro of the same name (for `[[bench]] harness = false` targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion { sample_size: 3, filter: None };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn group_sample_size_overrides_default() {
+        let mut c = Criterion { sample_size: 3, filter: None };
+        let mut calls = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("smoke", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion { sample_size: 3, filter: Some("other".into()) };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+    }
+}

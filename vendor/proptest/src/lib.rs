@@ -1,0 +1,306 @@
+//! Offline, dependency-light stand-in for the parts of `proptest` 1.x
+//! that this workspace uses.
+//!
+//! Differences from the real crate, deliberately accepted for an
+//! offline build: no shrinking (a failing case panics with the seed and
+//! case number so it can be replayed), and the case count defaults to
+//! 64 (override with `PROPTEST_CASES`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait: a recipe for generating random values.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// String strategies are written as regex literals in proptest; this
+    /// shim supports the `[class]{m,n}`, `[class]{n}`, `[class]*`,
+    /// `[class]+` and literal-text forms, which covers the patterns in
+    /// this workspace's tests.
+    impl Strategy for str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c != '[' {
+                // Literal character (no escapes needed for our patterns).
+                out.push(c);
+                continue;
+            }
+            // Parse the character class.
+            let mut class: Vec<char> = Vec::new();
+            let mut prev: Option<char> = None;
+            while let Some(c) = chars.next() {
+                if c == ']' {
+                    break;
+                }
+                if c == '-' {
+                    if let (Some(lo), Some(&hi)) = (prev, chars.peek()) {
+                        if hi != ']' {
+                            chars.next();
+                            for v in (lo as u32 + 1)..=(hi as u32) {
+                                class.push(char::from_u32(v).unwrap());
+                            }
+                            prev = None;
+                            continue;
+                        }
+                    }
+                }
+                class.push(c);
+                prev = Some(c);
+            }
+            assert!(!class.is_empty(), "empty character class in {pattern:?}");
+            // Parse the repetition suffix.
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                    match spec.split_once(',') {
+                        Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                        None => {
+                            let n: usize = spec.parse().unwrap();
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            let n = rng.gen_range(lo..=hi);
+            for _ in 0..n {
+                out.push(class[rng.gen_range(0..class.len())]);
+            }
+        }
+        out
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Number-of-elements specification for collection strategies:
+    /// either an exact count or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing a `Vec` whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`] with `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a proptest-based test module needs in scope.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` path tests use for combinators (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Number of cases each `proptest!` test runs (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Deterministic per-test RNG for `case`, derived from the test's full
+/// module path so every test sees an independent, replayable stream.
+pub fn rng_for(test_path: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Prints which case failed before resuming the panic, so a failing
+/// property can be replayed by pinning `rng_for(test, case)`.
+pub fn run_case<F: FnOnce() + std::panic::UnwindSafe>(test: &str, case: u32, body: F) {
+    if let Err(payload) = std::panic::catch_unwind(body) {
+        eprintln!("proptest: {test} failed at case {case} (replay with rng_for({test:?}, {case}))");
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over [`case_count`] generated
+/// inputs. Unlike real proptest there is no shrinking; the panic output
+/// names the case number for replay.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            for case in 0..$crate::case_count() {
+                let mut rng = $crate::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $crate::run_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                    std::panic::AssertUnwindSafe(move || -> () { $body }),
+                );
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_strategy_matches_class_and_len() {
+        let mut rng = crate::rng_for("self_test", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate("[a-zA-Z0-9._-]{1,32}", &mut rng);
+            assert!((1..=32).contains(&s.chars().count()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || ".-_".contains(c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn shim_self_test(
+            v in prop::collection::vec(0u64..100, 1..20),
+            x in 5u32..10,
+            f in 0.25f64..0.75,
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 100));
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+    }
+}
