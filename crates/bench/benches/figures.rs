@@ -92,12 +92,31 @@ fn bench_components(c: &mut Criterion) {
     });
 }
 
+fn bench_crash_recovery(c: &mut Criterion) {
+    use cnp_patsy::CrashConfig;
+    let mut g = c.benchmark_group("crash_recovery");
+    g.sample_size(10);
+    // One cut per (layout, policy) cell: workload + crash + roll-forward
+    // + fsck walk, end to end.
+    for policy in [Policy::WriteDelay, Policy::NvramWhole] {
+        g.bench_function(format!("sweep_1a_{}", policy.label()), |b| {
+            b.iter(|| {
+                let mut cfg = CrashConfig::new(cnp_trace::trace_1a(), 1, 42, 0.001);
+                cfg.policies = vec![policy];
+                std::hint::black_box(cnp_patsy::run_crash_sweep(&cfg).len())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     figures,
     bench_fig2_trace1a,
     bench_fig3_trace1b,
     bench_fig4_trace5,
     bench_fig5_means,
-    bench_components
+    bench_components,
+    bench_crash_recovery
 );
 criterion_main!(figures);

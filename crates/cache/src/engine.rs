@@ -515,6 +515,28 @@ impl BlockCache {
         self.dirty_age.iter().map(|f| self.frames[f as usize].key).collect()
     }
 
+    /// Snapshot of every dirty or in-flush block with its bytes, in
+    /// deterministic key order — the contents a battery-backed (NVRAM)
+    /// cache would preserve across a crash. `Flushing` blocks are
+    /// included because their writes may not have retired yet.
+    pub fn dirty_snapshot(&self) -> Vec<(BlockKey, Option<Vec<u8>>)> {
+        let mut out: Vec<(BlockKey, Option<Vec<u8>>)> = self
+            .map
+            .iter()
+            .filter_map(|(&key, &frame)| {
+                let f = &self.frames[frame as usize];
+                match f.state {
+                    BlockState::Dirty { .. } | BlockState::Flushing { .. } => {
+                        Some((key, f.data.clone()))
+                    }
+                    BlockState::Clean => None,
+                }
+            })
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
     /// Dirty blocks of one file, oldest first.
     pub fn dirty_of_file(&self, file: FileId) -> Vec<BlockKey> {
         let q = QueryView { frames: &self.frames, dirty_age: &self.dirty_age };

@@ -1,5 +1,6 @@
 //! File-system error type.
 
+use cnp_disk::IoError;
 use cnp_layout::LayoutError;
 
 /// Errors surfaced by the abstract client interface.
@@ -17,10 +18,21 @@ pub enum FsError {
     NotEmpty(String),
     /// Malformed path or name.
     BadPath(String),
-    /// Underlying layout/disk failure.
+    /// Underlying layout failure (non-I/O: corruption, space, inodes).
     Layout(LayoutError),
+    /// Device-level I/O failure (media error, power cut, bus fault) —
+    /// surfaced as its own variant so callers can distinguish a dying
+    /// disk from a confused layout.
+    Disk(IoError),
     /// Offset/length beyond the representable file size.
     TooBig,
+}
+
+impl FsError {
+    /// True if the failure is the disk reporting a power cut.
+    pub fn is_power_cut(&self) -> bool {
+        matches!(self, FsError::Disk(IoError::PowerCut))
+    }
 }
 
 impl std::fmt::Display for FsError {
@@ -33,6 +45,7 @@ impl std::fmt::Display for FsError {
             FsError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
             FsError::BadPath(p) => write!(f, "bad path: {p}"),
             FsError::Layout(e) => write!(f, "layout error: {e}"),
+            FsError::Disk(e) => write!(f, "disk error: {e}"),
             FsError::TooBig => write!(f, "file too big"),
         }
     }
@@ -42,7 +55,16 @@ impl std::error::Error for FsError {}
 
 impl From<LayoutError> for FsError {
     fn from(e: LayoutError) -> Self {
-        FsError::Layout(e)
+        match e {
+            LayoutError::Io(io) => FsError::Disk(io),
+            other => FsError::Layout(other),
+        }
+    }
+}
+
+impl From<IoError> for FsError {
+    fn from(e: IoError) -> Self {
+        FsError::Disk(e)
     }
 }
 

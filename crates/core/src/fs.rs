@@ -22,7 +22,7 @@ use std::rc::Rc;
 use cnp_cache::{
     flush_by_name, replacement_by_name, BlockCache, BlockKey, DirtyOutcome, FileId, Reserve,
 };
-use cnp_disk::{DiskDriver, Payload};
+use cnp_disk::{DiskDriver, IoError, Payload};
 use cnp_layout::dir::{self, Dirent};
 use cnp_layout::{
     BlockAddr, FileKind, Ino, Inode, Layout, LayoutError, LayoutStats, StorageLayout, BLOCK_SIZE,
@@ -56,6 +56,29 @@ pub struct FsStats {
     pub flush_batches: u64,
     /// Blocks flushed to the layout.
     pub blocks_flushed: u64,
+    /// Flush batches that failed at the layout/disk (e.g. power cut).
+    pub flush_errors: u64,
+}
+
+/// What a battery-backed (NVRAM) cache preserves across a crash: the
+/// dirty blocks and the in-memory sizes of the files owning them.
+///
+/// Empty unless the cache was configured with an NVRAM bound — volatile
+/// dirty data does not survive a power cut.
+#[derive(Debug, Clone, Default)]
+pub struct NvramSnapshot {
+    /// Surviving dirty blocks: `(ino, file block index, bytes)`; bytes
+    /// are `None` in simulated-payload mode.
+    pub blocks: Vec<(u64, u64, Option<Vec<u8>>)>,
+    /// Exact file sizes at capture for every file in `blocks`.
+    pub sizes: Vec<(u64, u64)>,
+}
+
+impl NvramSnapshot {
+    /// True if nothing survived (no NVRAM, or nothing was dirty).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
 }
 
 struct Shared {
@@ -68,6 +91,8 @@ struct Shared {
     inodes: RefCell<HashMap<Ino, Rc<RefCell<Inode>>>>,
     open_counts: RefCell<HashMap<Ino, u32>>,
     inflight: RefCell<HashMap<BlockKey, Event>>,
+    /// Per-block failed-flush counts (bounded retry bookkeeping).
+    flush_retry: RefCell<HashMap<BlockKey, u8>>,
     /// Serializes directory read-modify-write sequences.
     ns_lock: SimMutex<()>,
     flush_tx: RefCell<Option<Sender<Vec<BlockKey>>>>,
@@ -75,6 +100,9 @@ struct Shared {
     shutdown: Cell<bool>,
     stats: RefCell<FsStats>,
 }
+
+/// Flush attempts per block before an erroring block is dropped.
+const FLUSH_RETRIES: u8 = 3;
 
 /// The instantiated file system (cloneable handle).
 #[derive(Clone)]
@@ -108,6 +136,7 @@ impl FileSystem {
             inodes: RefCell::new(HashMap::new()),
             open_counts: RefCell::new(HashMap::new()),
             inflight: RefCell::new(HashMap::new()),
+            flush_retry: RefCell::new(HashMap::new()),
             ns_lock: SimMutex::new(handle, ()),
             flush_tx: RefCell::new(None),
             flush_done: Event::new(handle),
@@ -205,6 +234,60 @@ impl FileSystem {
     pub async fn mount(&self) -> FsResult<()> {
         let g = self.s.layout.lock().await;
         g.get_mut().mount().await?;
+        Ok(())
+    }
+
+    /// Mounts after a crash, running the layout's recovery path (LFS
+    /// checkpoint + roll-forward, FFS bitmap rebuild).
+    pub async fn recover(&self) -> FsResult<cnp_layout::RecoveryStats> {
+        let g = self.s.layout.lock().await;
+        let stats = g.get_mut().recover().await?;
+        Ok(stats)
+    }
+
+    /// Captures what survives a power cut in battery-backed cache RAM.
+    ///
+    /// Returns an empty snapshot unless the cache has an NVRAM bound:
+    /// with volatile RAM, dirty data simply dies with the machine. The
+    /// snapshot pairs each dirty block with its owner's exact in-memory
+    /// size so a recovery harness can replay acknowledged writes.
+    pub fn nvram_snapshot(&self) -> NvramSnapshot {
+        if self.s.cfg.cache.nvram_bytes.is_none() {
+            return NvramSnapshot::default();
+        }
+        let dirty = self.s.cache.borrow().dirty_snapshot();
+        let mut blocks = Vec::with_capacity(dirty.len());
+        let mut files: Vec<u64> = Vec::new();
+        for (key, data) in dirty {
+            if !files.contains(&key.file.0) {
+                files.push(key.file.0);
+            }
+            blocks.push((key.file.0, key.block, data));
+        }
+        files.sort_unstable();
+        let inodes = self.s.inodes.borrow();
+        let sizes = files
+            .into_iter()
+            .filter_map(|ino| inodes.get(&Ino(ino)).map(|rc| (ino, rc.borrow().size)))
+            .collect();
+        NvramSnapshot { blocks, sizes }
+    }
+
+    /// Restores a file's logical size (crash-recovery helper: NVRAM
+    /// snapshots carry exact sizes that may exceed what block-granular
+    /// replay re-establishes). Never shrinks the file.
+    pub async fn restore_size(&self, ino: Ino, size: u64) -> FsResult<()> {
+        let rc = self.get_inode_rc(ino).await?;
+        {
+            let mut inode = rc.borrow_mut();
+            if size <= inode.size {
+                return Ok(());
+            }
+            inode.size = size;
+        }
+        let copy = rc.borrow().clone();
+        let g = self.s.layout.lock().await;
+        g.get_mut().put_inode(&copy).await?;
         Ok(())
     }
 
@@ -795,7 +878,7 @@ impl FileSystem {
                     Ok(payload) => payload.bytes().map(|b| b.to_vec()),
                     Err(e) => {
                         self.s.cache.borrow_mut().release_reserved(frame);
-                        return Err(FsError::Layout(e));
+                        return Err(e.into());
                     }
                 }
             }
@@ -948,20 +1031,96 @@ impl FileSystem {
                     inode.direct = copy.direct;
                     inode.indirect = copy.indirect;
                 }
+                // The write may have run the cleaner, relocating other
+                // files' blocks; refresh their cached pointers before
+                // anything reads through the stale ones.
+                let relocated = g.get_mut().take_relocated();
+                for rino in relocated {
+                    let cached = self.s.inodes.borrow().get(&rino).cloned();
+                    if let Some(rc2) = cached {
+                        if let Ok(fresh) = g.get_mut().get_inode(rino).await {
+                            let mut inode = rc2.borrow_mut();
+                            inode.direct = fresh.direct;
+                            inode.indirect = fresh.indirect;
+                        }
+                    }
+                }
                 r
             };
             let now = self.s.handle.now();
             {
                 let mut cache = self.s.cache.borrow_mut();
+                let mut retry = self.s.flush_retry.borrow_mut();
+                match &result {
+                    Ok(()) => {
+                        for k in &started {
+                            retry.remove(k);
+                        }
+                    }
+                    Err(e) => {
+                        // An acknowledged dirty block must not vanish on
+                        // a recoverable error: re-dirty it (bounded, so
+                        // a permanently failing block cannot livelock
+                        // the demand-flush loop). A dead disk is final.
+                        let fatal = matches!(
+                            e,
+                            LayoutError::Io(IoError::PowerCut)
+                                | LayoutError::Io(IoError::DeviceGone)
+                        );
+                        // Retry accounting is per-batch: a healthy block
+                        // co-batched with a permanently bad one shares
+                        // its fate after FLUSH_RETRIES (LFS converges
+                        // anyway — each retry appends to a new location).
+                        for k in &started {
+                            let attempts = {
+                                let a = retry.entry(*k).or_insert(0);
+                                *a += 1;
+                                *a
+                            };
+                            // The file may have been deleted while the
+                            // flush was in flight; a gone block needs no
+                            // re-dirtying (and mark_dirty would panic).
+                            let resident = cache.peek(*k).is_some();
+                            if !fatal && attempts < FLUSH_RETRIES && resident {
+                                // Still Flushing: this marks it redirtied,
+                                // so end_flush below re-queues it dirty.
+                                let _ = cache.mark_dirty(*k, now);
+                            } else {
+                                retry.remove(k);
+                            }
+                        }
+                    }
+                }
                 for k in &started {
                     cache.end_flush(*k, now);
                 }
             }
-            if result.is_ok() {
-                let mut st = self.s.stats.borrow_mut();
-                st.blocks_flushed += started.len() as u64;
+            match result {
+                Ok(()) => {
+                    let mut st = self.s.stats.borrow_mut();
+                    st.blocks_flushed += started.len() as u64;
+                }
+                Err(_) => {
+                    self.s.stats.borrow_mut().flush_errors += 1;
+                }
             }
         }
+    }
+
+    /// Crash-capture hook for NVRAM configurations: the layout's staging
+    /// buffer (the LFS in-memory segment) is modelled as residing in the
+    /// same battery-backed memory as the dirty cache, so a power cut
+    /// preserves it. Sealing it to the media here is equivalent to
+    /// replaying that buffer at power-on, just performed before the
+    /// platter snapshot. No-op without NVRAM — volatile staging dies
+    /// with the machine.
+    pub async fn seal_nvram_staging(&self) -> FsResult<()> {
+        if self.s.cfg.cache.nvram_bytes.is_none() {
+            return Ok(());
+        }
+        let g = self.s.layout.lock().await;
+        g.get_mut().flush_staged().await?;
+        Ok(())
     }
 
     async fn multimedia_prefetch(&self, ino: Ino) {

@@ -10,11 +10,11 @@
 //! holding real bytes so metadata round-trips even off-line, and a
 //! deterministic fault-injection plan.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-use cnp_sim::{channel, oneshot, Handle, OneshotSender, Receiver, Sender, SimDuration};
+use cnp_sim::{channel, oneshot, Handle, OneshotSender, Receiver, Sender, SimDuration, SimTime};
 
 use crate::bus::ScsiBus;
 use crate::cache::ControllerCache;
@@ -22,18 +22,42 @@ use crate::geometry::DiskGeometry;
 use crate::model::{DiskModel, DiskPos};
 use crate::request::{IoCompletion, IoError, IoOp, IoRequest, IoTiming, Payload};
 
+/// A captured on-disk image: sparse sector store, LBA → sector bytes.
+///
+/// Cloned out of a live disk for crash-state capture and fed back into
+/// [`spawn_disk_with_image`] to "remount" the platter after a power cut.
+pub type DiskImage = HashMap<u64, Box<[u8]>>;
+
 /// Deterministic fault-injection plan for a simulated disk.
+///
+/// All fields compose; the plan is pure data, so a seeded builder (see
+/// `cnp-fault`) can derive arbitrary schedules that stay replayable.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// Requests touching any of these LBA ranges fail with a media error.
     pub bad_ranges: Vec<(u64, u64)>,
     /// If set, every `n`-th request (by disk-local count) fails.
     pub fail_every: Option<u64>,
+    /// Power cut when serving the `n`-th request (0-based): that request
+    /// and every later one fail with [`IoError::PowerCut`].
+    pub power_cut_at_op: Option<u64>,
+    /// Power cut at this virtual time: requests served at or after it
+    /// fail with [`IoError::PowerCut`].
+    pub power_cut_at: Option<SimTime>,
+    /// When a power cut lands on a write, this many sectors of it become
+    /// durable before the cut (a torn write). `0` tears the whole write.
+    pub torn_write_sectors: u32,
+    /// Latent sector errors: reads touching these LBA ranges fail with a
+    /// media error until the sector is rewritten (which heals it).
+    pub latent_ranges: Vec<(u64, u64)>,
+    /// If set, every `n`-th request fails with a transient bus error
+    /// (recoverable: the driver's bounded retry will re-issue it).
+    pub transient_every: Option<u64>,
 }
 
 impl FaultPlan {
     /// True if a request at `[lba, lba+sectors)` (the `count`-th served)
-    /// should fail.
+    /// should fail with a (hard) media error.
     fn should_fail(&self, lba: u64, sectors: u32, count: u64) -> bool {
         if let Some(n) = self.fail_every {
             if n > 0 && count % n == n - 1 {
@@ -42,6 +66,29 @@ impl FaultPlan {
         }
         let end = lba + sectors as u64;
         self.bad_ranges.iter().any(|&(lo, hi)| lba < hi && end > lo)
+    }
+
+    /// True if the `count`-th request should fail transiently.
+    fn transient(&self, count: u64) -> bool {
+        match self.transient_every {
+            Some(n) => n > 0 && count % n == n - 1,
+            None => false,
+        }
+    }
+
+    /// First latent (unhealed) sector hit by `[lba, lba+sectors)`.
+    fn latent_hit(&self, lba: u64, sectors: u32, healed: &HashSet<u64>) -> Option<u64> {
+        let end = lba + sectors as u64;
+        for &(lo, hi) in &self.latent_ranges {
+            let from = lba.max(lo);
+            let to = end.min(hi);
+            for s in from..to {
+                if !healed.contains(&s) {
+                    return Some(s);
+                }
+            }
+        }
+        None
     }
 }
 
@@ -107,7 +154,15 @@ pub struct DiskClient {
     handle: Handle,
     geometry: DiskGeometry,
     stats: Rc<RefCell<DiskStats>>,
+    platter: Rc<RefCell<DiskImage>>,
+    pending: Rc<RefCell<PendingWrites>>,
+    dead: Rc<Cell<bool>>,
 }
+
+/// Acked-but-unretired write payloads, sector-granular: `Some(bytes)` is
+/// real data awaiting the media, `None` marks a simulated-payload
+/// overwrite (erases the platter sector when it retires).
+type PendingWrites = HashMap<u64, Option<Box<[u8]>>>;
 
 impl DiskClient {
     /// Submits a request and awaits its completion.
@@ -138,6 +193,42 @@ impl DiskClient {
     pub fn stats(&self) -> DiskStats {
         *self.stats.borrow()
     }
+
+    /// True once an injected power cut has killed the disk.
+    pub fn is_dead(&self) -> bool {
+        self.dead.get()
+    }
+
+    /// Clones the current durable on-disk image (crash-state capture).
+    ///
+    /// The image reflects every media write *retired* so far; writes
+    /// still sitting in the controller's immediate-report buffer are
+    /// volatile and excluded — the state a remount would observe after
+    /// an abrupt power loss with a volatile write cache.
+    pub fn platter_image(&self) -> DiskImage {
+        self.platter.borrow().clone()
+    }
+
+    /// [`DiskClient::platter_image`] plus the contents of the controller
+    /// write buffer — the crash image of a disk whose write cache is
+    /// battery-backed (the assumption under which immediate-report is
+    /// safe at all). After an injected power cut this equals
+    /// [`DiskClient::platter_image`]: the dying disk already lost its
+    /// buffer.
+    pub fn image_with_write_buffer(&self) -> DiskImage {
+        let mut image = self.platter.borrow().clone();
+        for (&lba, entry) in self.pending.borrow().iter() {
+            match entry {
+                Some(bytes) => {
+                    image.insert(lba, bytes.clone());
+                }
+                None => {
+                    image.remove(&lba);
+                }
+            }
+        }
+        image
+    }
 }
 
 /// Spawns a simulated disk task and returns its client handle.
@@ -149,9 +240,29 @@ pub fn spawn_disk(
     opts: DiskOpts,
     faults: FaultPlan,
 ) -> DiskClient {
+    spawn_disk_with_image(handle, name, model, bus, opts, faults, DiskImage::new())
+}
+
+/// Spawns a simulated disk whose platter starts from a captured image.
+///
+/// This is the "remount" half of crash-state capture: feed it the
+/// [`DiskClient::platter_image`] taken at the cut point and the new disk
+/// behaves like the crashed one after power-on.
+pub fn spawn_disk_with_image(
+    handle: &Handle,
+    name: &str,
+    model: Box<dyn DiskModel>,
+    bus: ScsiBus,
+    opts: DiskOpts,
+    faults: FaultPlan,
+    image: DiskImage,
+) -> DiskClient {
     let geometry = model.geometry().clone();
     let (tx, rx) = channel::<DiskMsg>(handle);
     let stats = Rc::new(RefCell::new(DiskStats::default()));
+    let platter = Rc::new(RefCell::new(image));
+    let pending = Rc::new(RefCell::new(PendingWrites::new()));
+    let dead = Rc::new(Cell::new(false));
     let task = DiskTask {
         handle: handle.clone(),
         model,
@@ -160,13 +271,16 @@ pub fn spawn_disk(
         faults,
         cache: ControllerCache::new(default_cache_bytes(), geometry.sector_size),
         pos: DiskPos::HOME,
-        platter: HashMap::new(),
+        platter: platter.clone(),
+        pending: pending.clone(),
+        healed: HashSet::new(),
+        dead: dead.clone(),
         readahead_at: None,
         stats: stats.clone(),
         served: 0,
     };
     handle.spawn(name, task.run(rx));
-    DiskClient { tx, handle: handle.clone(), geometry, stats }
+    DiskClient { tx, handle: handle.clone(), geometry, stats, platter, pending, dead }
 }
 
 /// The HP 97560's 128 KB controller cache.
@@ -182,8 +296,17 @@ struct DiskTask {
     faults: FaultPlan,
     cache: ControllerCache,
     pos: DiskPos,
-    /// Sparse sector store: lba → sector bytes (real data only).
-    platter: HashMap<u64, Box<[u8]>>,
+    /// Sparse sector store: lba → sector bytes (real data only); shared
+    /// with the client for crash-state capture. Holds *retired* media
+    /// writes only.
+    platter: Rc<RefCell<DiskImage>>,
+    /// Payloads of acked immediate-report writes still awaiting the
+    /// media; volatile — a power cut discards them.
+    pending: Rc<RefCell<PendingWrites>>,
+    /// Latent sectors rewritten since spawn (reads succeed again).
+    healed: HashSet<u64>,
+    /// Set once an injected power cut fires; shared with the client.
+    dead: Rc<Cell<bool>>,
     /// Next read-ahead start, armed by the latest foreground read.
     readahead_at: Option<u64>,
     stats: Rc<RefCell<DiskStats>>,
@@ -193,13 +316,21 @@ struct DiskTask {
 impl DiskTask {
     async fn run(mut self, rx: Receiver<DiskMsg>) {
         loop {
+            // A time-scheduled power cut also stops idle housekeeping:
+            // the volatile buffer must not keep retiring past the cut.
+            self.check_time_cut();
             let msg = match rx.try_recv() {
                 Some(m) => m,
+                None if self.dead.get() => match rx.recv().await {
+                    Some(m) => m,
+                    None => break,
+                },
                 None => {
                     // Idle-time housekeeping: drain one buffered write,
                     // then read-ahead, then block for new work.
                     if let Some((lba, sectors)) = self.cache.pop_writeback() {
                         self.media_work(lba, sectors).await;
+                        self.retire_pending(lba, sectors);
                         self.stats.borrow_mut().writebacks += 1;
                         continue;
                     }
@@ -246,6 +377,20 @@ impl DiskTask {
         self.model.geometry()
     }
 
+    /// Fires a time-scheduled power cut if its moment has come,
+    /// discarding the volatile write buffer.
+    fn check_time_cut(&mut self) {
+        if self.dead.get() {
+            return;
+        }
+        if let Some(t) = self.faults.power_cut_at {
+            if self.handle.now() >= t {
+                self.dead.set(true);
+                self.pending.borrow_mut().clear();
+            }
+        }
+    }
+
     fn readahead_take(&mut self) -> Option<u64> {
         if self.opts.readahead {
             self.readahead_at.take()
@@ -277,12 +422,44 @@ impl DiskTask {
         timing.controller = self.model.controller_overhead();
         self.handle.sleep(timing.controller).await;
 
+        // Power-cut checks: once dead, the disk answers nothing again.
+        if !self.dead.get() {
+            let time_cut =
+                self.faults.power_cut_at.map(|t| self.handle.now() >= t).unwrap_or(false);
+            let op_cut = self.faults.power_cut_at_op == Some(count);
+            if time_cut || op_cut {
+                // A cut landing on a write tears it: a prefix of the
+                // sectors becomes durable before the power dies.
+                if req.op == IoOp::Write && self.faults.torn_write_sectors > 0 {
+                    let durable = self.faults.torn_write_sectors.min(req.sectors);
+                    self.store_payload(req.lba, durable, &req.payload);
+                }
+                self.dead.set(true);
+                // The controller's volatile write buffer dies with it.
+                self.pending.borrow_mut().clear();
+            }
+        }
+        if self.dead.get() {
+            self.stats.borrow_mut().faults += 1;
+            reply.send(IoCompletion { id: req.id, result: Err(IoError::PowerCut), timing });
+            return;
+        }
+
         // Bounds and fault checks.
         let capacity = self.geometry().capacity_sectors();
         if req.lba + req.sectors as u64 > capacity {
             reply.send(IoCompletion {
                 id: req.id,
                 result: Err(IoError::OutOfRange { lba: req.lba, capacity }),
+                timing,
+            });
+            return;
+        }
+        if self.faults.transient(count) {
+            self.stats.borrow_mut().faults += 1;
+            reply.send(IoCompletion {
+                id: req.id,
+                result: Err(IoError::Transient { lba: req.lba }),
                 timing,
             });
             return;
@@ -295,6 +472,17 @@ impl DiskTask {
                 timing,
             });
             return;
+        }
+        if req.op == IoOp::Read {
+            if let Some(bad) = self.faults.latent_hit(req.lba, req.sectors, &self.healed) {
+                self.stats.borrow_mut().faults += 1;
+                reply.send(IoCompletion {
+                    id: req.id,
+                    result: Err(IoError::Media { lba: bad }),
+                    timing,
+                });
+                return;
+            }
         }
 
         match req.op {
@@ -352,9 +540,14 @@ impl DiskTask {
             s.writes += 1;
             s.write_sectors += req.sectors as u64;
         }
-        // A write makes overlapping cached read data stale.
+        // A write makes overlapping cached read data stale, and heals
+        // any latent sector errors it covers (reallocation model).
         self.cache.invalidate(req.lba, req.sectors);
-        self.store_payload(req.lba, req.sectors, &req.payload);
+        if !self.faults.latent_ranges.is_empty() {
+            for s in req.lba..req.lba + req.sectors as u64 {
+                self.healed.insert(s);
+            }
+        }
 
         let immediate = self.opts.immediate_report;
         if immediate {
@@ -363,6 +556,7 @@ impl DiskTask {
                 match self.cache.pop_writeback() {
                     Some((lba, sectors)) => {
                         let (s, r, t) = self.media_work(lba, sectors).await;
+                        self.retire_pending(lba, sectors);
                         // Drain time delays this request: count as seek etc.
                         timing.seek += s;
                         timing.rotation += r;
@@ -373,12 +567,16 @@ impl DiskTask {
                 }
             }
             if self.cache.buffer_write(req.lba, req.sectors) {
+                // Acked before the media write: the payload stays in the
+                // volatile buffer until its write-back retires it.
+                self.stash_pending(req.lba, req.sectors, &req.payload);
                 timing.bus += self.bus.completion_phase(self.opts.scsi_id, 0).await;
                 reply.send(IoCompletion { id: req.id, result: Ok(Payload::Simulated(0)), timing });
                 return;
             }
         }
         // Write-through path (or request larger than the write buffer).
+        self.store_payload(req.lba, req.sectors, &req.payload);
         let (seek, rotation, transfer) = self.media_work(req.lba, req.sectors).await;
         timing.seek += seek;
         timing.rotation += rotation;
@@ -387,13 +585,15 @@ impl DiskTask {
         reply.send(IoCompletion { id: req.id, result: Ok(Payload::Simulated(0)), timing });
     }
 
-    /// Saves real bytes to the platter store; simulated payloads erase
-    /// any stale real bytes in the range.
-    fn store_payload(&mut self, lba: u64, sectors: u32, payload: &Payload) {
+    /// Stages an acked immediate-report write's payload in the volatile
+    /// controller buffer; [`DiskTask::retire_pending`] moves it to the
+    /// platter when the media write-back completes.
+    fn stash_pending(&mut self, lba: u64, sectors: u32, payload: &Payload) {
         if !self.opts.store_data {
             return;
         }
         let ssz = self.geometry().sector_size as usize;
+        let mut pending = self.pending.borrow_mut();
         match payload.bytes() {
             Some(bytes) => {
                 for i in 0..sectors as usize {
@@ -403,12 +603,61 @@ impl DiskTask {
                     if lo < bytes.len() {
                         sector[..hi - lo].copy_from_slice(&bytes[lo..hi]);
                     }
-                    self.platter.insert(lba + i as u64, sector.into_boxed_slice());
+                    pending.insert(lba + i as u64, Some(sector.into_boxed_slice()));
                 }
             }
             None => {
                 for i in 0..sectors as u64 {
-                    self.platter.remove(&(lba + i));
+                    pending.insert(lba + i, None);
+                }
+            }
+        }
+    }
+
+    /// Retires buffered sectors to the platter: their media write is now
+    /// durable.
+    fn retire_pending(&mut self, lba: u64, sectors: u32) {
+        if !self.opts.store_data {
+            return;
+        }
+        let mut pending = self.pending.borrow_mut();
+        let mut platter = self.platter.borrow_mut();
+        for s in lba..lba + sectors as u64 {
+            match pending.remove(&s) {
+                Some(Some(bytes)) => {
+                    platter.insert(s, bytes);
+                }
+                Some(None) => {
+                    platter.remove(&s);
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Saves real bytes to the platter store; simulated payloads erase
+    /// any stale real bytes in the range.
+    fn store_payload(&mut self, lba: u64, sectors: u32, payload: &Payload) {
+        if !self.opts.store_data {
+            return;
+        }
+        let ssz = self.geometry().sector_size as usize;
+        let mut platter = self.platter.borrow_mut();
+        match payload.bytes() {
+            Some(bytes) => {
+                for i in 0..sectors as usize {
+                    let lo = i * ssz;
+                    let hi = ((i + 1) * ssz).min(bytes.len());
+                    let mut sector = vec![0u8; ssz];
+                    if lo < bytes.len() {
+                        sector[..hi - lo].copy_from_slice(&bytes[lo..hi]);
+                    }
+                    platter.insert(lba + i as u64, sector.into_boxed_slice());
+                }
+            }
+            None => {
+                for i in 0..sectors as u64 {
+                    platter.remove(&(lba + i));
                 }
             }
         }
@@ -422,14 +671,19 @@ impl DiskTask {
         if !self.opts.store_data {
             return Payload::Simulated(total as u32);
         }
+        // Buffered (not yet retired) writes shadow the platter.
+        let pending = self.pending.borrow();
+        let platter = self.platter.borrow();
         let mut out = vec![0u8; total];
         for i in 0..sectors as u64 {
-            match self.platter.get(&(lba + i)) {
-                Some(sector) => {
-                    let lo = i as usize * ssz;
-                    out[lo..lo + ssz].copy_from_slice(sector);
-                }
-                None => return Payload::Simulated(total as u32),
+            let lo = i as usize * ssz;
+            match pending.get(&(lba + i)) {
+                Some(Some(sector)) => out[lo..lo + ssz].copy_from_slice(sector),
+                Some(None) => return Payload::Simulated(total as u32),
+                None => match platter.get(&(lba + i)) {
+                    Some(sector) => out[lo..lo + ssz].copy_from_slice(sector),
+                    None => return Payload::Simulated(total as u32),
+                },
             }
         }
         Payload::Data(out)
@@ -596,7 +850,7 @@ mod tests {
     fn fault_injection_bad_range() {
         let sim = Sim::new(1);
         let h = sim.handle();
-        let faults = FaultPlan { bad_ranges: vec![(100, 200)], fail_every: None };
+        let faults = FaultPlan { bad_ranges: vec![(100, 200)], ..FaultPlan::default() };
         let disk = setup(&sim, DiskOpts::default(), faults);
         let d2 = disk.clone();
         let h2 = h.clone();
@@ -616,7 +870,7 @@ mod tests {
     fn fail_every_nth() {
         let sim = Sim::new(1);
         let h = sim.handle();
-        let faults = FaultPlan { bad_ranges: vec![], fail_every: Some(3) };
+        let faults = FaultPlan { fail_every: Some(3), ..FaultPlan::default() };
         let disk = setup(&sim, DiskOpts::default(), faults);
         let d2 = disk.clone();
         let h2 = h.clone();
@@ -631,6 +885,137 @@ mod tests {
                 }
             }
             assert_eq!(failures, 3);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn power_cut_at_op_kills_the_disk() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let faults = FaultPlan { power_cut_at_op: Some(2), ..FaultPlan::default() };
+        let disk = setup(&sim, DiskOpts::default(), faults);
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            for i in 0..2u64 {
+                let c = d2
+                    .request(make_req(i, IoOp::Read, i * 64, 8, Payload::Simulated(0), h2.now()))
+                    .await;
+                assert!(c.result.is_ok(), "op {i} precedes the cut");
+            }
+            for i in 2..5u64 {
+                let c = d2
+                    .request(make_req(i, IoOp::Read, i * 64, 8, Payload::Simulated(0), h2.now()))
+                    .await;
+                assert!(matches!(c.result, Err(IoError::PowerCut)), "op {i} is after the cut");
+            }
+        });
+        sim.run();
+        assert!(disk.is_dead());
+        assert_eq!(disk.stats().faults, 3);
+    }
+
+    #[test]
+    fn power_cut_tears_the_landing_write() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let faults =
+            FaultPlan { power_cut_at_op: Some(1), torn_write_sectors: 4, ..FaultPlan::default() };
+        let disk = setup(&sim, DiskOpts::default(), faults);
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let data = vec![0xEEu8; 8 * 512];
+            let w1 = d2
+                .request(make_req(0, IoOp::Write, 0, 8, Payload::Data(data.clone()), h2.now()))
+                .await;
+            assert!(w1.result.is_ok());
+            // Let the idle write-back retire W1 to the media before the
+            // cut; a write still in the volatile buffer would be lost.
+            h2.sleep(SimDuration::from_millis(60)).await;
+            let w2 =
+                d2.request(make_req(1, IoOp::Write, 100, 8, Payload::Data(data), h2.now())).await;
+            assert!(matches!(w2.result, Err(IoError::PowerCut)));
+        });
+        sim.run();
+        // The torn write left exactly its 4-sector prefix on the platter.
+        let image = disk.platter_image();
+        for s in 100..104 {
+            assert!(image.contains_key(&s), "sector {s} should be durable");
+        }
+        for s in 104..108 {
+            assert!(!image.contains_key(&s), "sector {s} should be lost");
+        }
+        // The pre-cut write survives in full.
+        for s in 0..8 {
+            assert!(image.contains_key(&s));
+        }
+    }
+
+    #[test]
+    fn latent_sector_fails_reads_until_rewritten() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let faults = FaultPlan { latent_ranges: vec![(500, 504)], ..FaultPlan::default() };
+        let disk = setup(&sim, DiskOpts::default(), faults);
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let r1 =
+                d2.request(make_req(0, IoOp::Read, 496, 8, Payload::Simulated(0), h2.now())).await;
+            assert!(matches!(r1.result, Err(IoError::Media { lba: 500 })));
+            // Rewriting the sectors heals them.
+            let w = d2
+                .request(make_req(
+                    1,
+                    IoOp::Write,
+                    496,
+                    8,
+                    Payload::Data(vec![1u8; 8 * 512]),
+                    h2.now(),
+                ))
+                .await;
+            assert!(w.result.is_ok());
+            let r2 =
+                d2.request(make_req(2, IoOp::Read, 496, 8, Payload::Simulated(0), h2.now())).await;
+            assert!(r2.result.is_ok());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn image_round_trips_into_a_new_disk() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let disk = setup(&sim, DiskOpts::default(), FaultPlan::default());
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let data: Vec<u8> = (0..4096u32).map(|i| (i % 250) as u8).collect();
+            d2.request(make_req(0, IoOp::Write, 32, 8, Payload::Data(data.clone()), h2.now()))
+                .await;
+            // The immediate-reported write still sits in the volatile
+            // controller buffer: only the battery-backed image sees it.
+            assert!(!d2.platter_image().contains_key(&32), "write not yet retired");
+            assert!(d2.image_with_write_buffer().contains_key(&32));
+            // Idle a moment so the write-back drains it to the media.
+            h2.sleep(SimDuration::from_millis(60)).await;
+            assert!(d2.platter_image().contains_key(&32), "write-back must retire it");
+            // Respawn a disk from the captured image and read it back.
+            let bus = ScsiBus::new(&h2);
+            let d3 = spawn_disk_with_image(
+                &h2,
+                "disk1",
+                Box::new(Hp97560::new()),
+                bus,
+                DiskOpts::default(),
+                FaultPlan::default(),
+                d2.platter_image(),
+            );
+            let r =
+                d3.request(make_req(0, IoOp::Read, 32, 8, Payload::Simulated(0), h2.now())).await;
+            assert_eq!(r.result.unwrap().bytes().unwrap(), &data[..]);
         });
         sim.run();
     }

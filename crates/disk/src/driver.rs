@@ -167,8 +167,12 @@ struct DriverInner {
     reads: u64,
     writes: u64,
     errors: u64,
+    retries: u64,
     completed: u64,
 }
+
+/// Re-issues per request on transient failures before giving up.
+const TRANSIENT_RETRIES: u32 = 2;
 
 /// Snapshot of driver statistics.
 #[derive(Debug, Clone)]
@@ -181,6 +185,8 @@ pub struct DriverStats {
     pub writes: u64,
     /// Failed requests.
     pub errors: u64,
+    /// Transient-failure re-issues performed.
+    pub retries: u64,
     /// Time-averaged queue length.
     pub mean_queue_len: f64,
     /// Maximum queue length observed.
@@ -227,6 +233,7 @@ impl DiskDriver {
             reads: 0,
             writes: 0,
             errors: 0,
+            retries: 0,
             completed: 0,
         }));
         let driver = DiskDriver {
@@ -316,6 +323,7 @@ impl DiskDriver {
             reads: inner.reads,
             writes: inner.writes,
             errors: inner.errors,
+            retries: inner.retries,
             mean_queue_len: inner.qlen.mean(self.handle.now()),
             max_queue_len: inner.qlen.max(),
             queue_time: inner.queue_time.clone(),
@@ -355,7 +363,47 @@ impl DiskDriver {
             req.issued_at = self.handle.now();
             let op = req.op;
             let end_lba = req.lba + req.sectors as u64;
-            let completion = backend.issue(req).await;
+            let (id, lba, sectors, queued_at) = (req.id, req.lba, req.sectors, req.queued_at);
+            // Bounded retry on transient (bus) failures. The original
+            // payload moves into the first attempt (no copy on the hot
+            // path); re-issues rebuild it where that is free — reads and
+            // length-only writes. Real-byte writes are not re-issued
+            // here: the error propagates and the engine's flush-retry
+            // re-submits them with the authoritative cache copy.
+            let retry_payload = match (op, &req.payload) {
+                (IoOp::Read, _) => Some(Payload::Simulated(0)),
+                (IoOp::Write, Payload::Simulated(n)) => Some(Payload::Simulated(*n)),
+                (IoOp::Write, Payload::Data(_)) => None,
+            };
+            let mut payload = Some(req.payload);
+            let mut attempt = 0u32;
+            let completion = loop {
+                attempt += 1;
+                let attempt_payload = match payload.take() {
+                    Some(p) => p,
+                    None => retry_payload.clone().expect("loop continues only when rebuildable"),
+                };
+                let attempt_req = IoRequest {
+                    id,
+                    op,
+                    lba,
+                    sectors,
+                    payload: attempt_payload,
+                    queued_at,
+                    issued_at: self.handle.now(),
+                };
+                let completion = backend.issue(attempt_req).await;
+                match &completion.result {
+                    Err(e)
+                        if e.is_transient()
+                            && attempt <= TRANSIENT_RETRIES
+                            && retry_payload.is_some() =>
+                    {
+                        self.inner.borrow_mut().retries += 1;
+                    }
+                    _ => break completion,
+                }
+            };
             {
                 let mut inner = self.inner.borrow_mut();
                 inner.head_lba = end_lba;
@@ -468,6 +516,45 @@ mod tests {
             clook < fcfs,
             "c-look ({clook} us) should finish scattered load before fcfs ({fcfs} us)"
         );
+    }
+
+    #[test]
+    fn transient_failures_are_retried() {
+        let sim = Sim::new(3);
+        let h = sim.handle();
+        let bus = ScsiBus::new(&h);
+        // Every 2nd disk-level request fails transiently; the driver's
+        // bounded retry must hide that from the client entirely.
+        let faults = crate::disk::FaultPlan {
+            transient_every: Some(2),
+            ..crate::disk::FaultPlan::default()
+        };
+        let disk = crate::disk::spawn_disk(
+            &h,
+            "disk0",
+            Box::new(Hp97560::new()),
+            bus.clone(),
+            crate::disk::DiskOpts::default(),
+            faults,
+        );
+        let driver = DiskDriver::new(
+            &h,
+            "d0",
+            Backend::Sim(SimBackend { bus, disk, host_id: 7 }),
+            Box::new(Fcfs),
+        );
+        let d2 = driver.clone();
+        h.spawn("client", async move {
+            for i in 0..8u64 {
+                d2.read(i * 64, 8).await.expect("retry should absorb transients");
+            }
+            d2.shutdown();
+        });
+        sim.run();
+        let stats = driver.stats();
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.retries >= 4, "half the first attempts fail: {}", stats.retries);
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod request;
 pub mod simple;
 
 pub use bus::{BusParams, ScsiBus};
-pub use disk::{spawn_disk, DiskClient, DiskOpts, DiskStats, FaultPlan};
+pub use disk::{
+    spawn_disk, spawn_disk_with_image, DiskClient, DiskImage, DiskOpts, DiskStats, FaultPlan,
+};
 pub use driver::{sim_disk_driver, Backend, DiskDriver, DriverStats, FileBackend, SimBackend};
 pub use geometry::{Chs, DiskGeometry};
 pub use hp97560::{Hp97560, Hp97560Params};

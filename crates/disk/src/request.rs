@@ -1,7 +1,7 @@
 //! I/O request and result types exchanged between drivers, buses and disks.
 //!
 //! "Simulation disk drivers package disk operations in I/O-request data
-//! structures [which] contain all the relevant information for the disk
+//! structures \[which\] contain all the relevant information for the disk
 //! simulator ... and contain timing information to measure the
 //! performance of the I/O operation." (§4)
 
@@ -115,10 +115,24 @@ pub enum IoError {
         /// Logical block address that failed.
         lba: u64,
     },
+    /// Transient bus/controller failure; a retry may succeed.
+    Transient {
+        /// Logical block address of the failed request.
+        lba: u64,
+    },
+    /// The disk lost power (injected crash); it serves nothing further.
+    PowerCut,
     /// Host-side I/O failure (on-line backend only).
     Host(String),
     /// The device is gone (channel closed).
     DeviceGone,
+}
+
+impl IoError {
+    /// True for failures a driver retry can plausibly cure.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, IoError::Transient { .. })
+    }
 }
 
 impl std::fmt::Display for IoError {
@@ -128,6 +142,8 @@ impl std::fmt::Display for IoError {
                 write!(f, "lba {lba} out of range (capacity {capacity} sectors)")
             }
             IoError::Media { lba } => write!(f, "media error at lba {lba}"),
+            IoError::Transient { lba } => write!(f, "transient bus error at lba {lba}"),
+            IoError::PowerCut => write!(f, "disk power cut"),
             IoError::Host(e) => write!(f, "host i/o error: {e}"),
             IoError::DeviceGone => write!(f, "device gone"),
         }

@@ -1,0 +1,255 @@
+//! Crash-state capture and recovery verification.
+//!
+//! A "crash" in this framework is: stop the workload at a cut point,
+//! clone the durable on-disk image at that instant
+//! ([`cnp_disk::DiskClient::platter_image`]), keep whatever the flush
+//! policy stores in battery-backed NVRAM
+//! ([`cnp_core::FileSystem::nvram_snapshot`]), and throw everything
+//! else away. Recovery then spawns a fresh disk from the image, runs
+//! the layout's [`StorageLayout::recover`] path, repairs with the fsck
+//! walker, optionally replays the NVRAM contents, and measures what was
+//! lost against the acknowledged state.
+
+use cnp_core::{FileSystem, FsError, FsResult, NvramSnapshot};
+use cnp_disk::{
+    spawn_disk_with_image, Backend, CLook, DiskClient, DiskDriver, DiskImage, DiskModel, DiskOpts,
+    FaultPlan, Hp97560, ScsiBus, SimBackend,
+};
+use cnp_layout::{
+    FfsLayout, FfsParams, Ino, Layout, LayoutError, LfsLayout, LfsParams, RecoveryStats,
+    StorageLayout, BLOCK_SIZE,
+};
+use cnp_sim::{Handle, SimDuration, SimTime};
+use cnp_trace::AckedFile;
+
+use crate::check::{self, FsckReport, RepairReport};
+
+/// Which storage layout a crash cell exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutKind {
+    /// Segmented log-structured layout (checkpoint + roll-forward).
+    Lfs,
+    /// FFS-like update-in-place layout (bitmap rebuild).
+    Ffs,
+}
+
+impl LayoutKind {
+    /// Display/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayoutKind::Lfs => "lfs",
+            LayoutKind::Ffs => "ffs",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<LayoutKind> {
+        match s {
+            "lfs" => Some(LayoutKind::Lfs),
+            "ffs" => Some(LayoutKind::Ffs),
+            _ => None,
+        }
+    }
+
+    /// Builds the layout over a driver (crash-sweep scale parameters:
+    /// small segments / inode tables keep recovery scans cheap).
+    pub fn build(&self, handle: &Handle, driver: DiskDriver) -> Layout {
+        match self {
+            LayoutKind::Lfs => Layout::Lfs(LfsLayout::new(handle, driver, LfsParams::default())),
+            LayoutKind::Ffs => {
+                Layout::Ffs(FfsLayout::new(handle, driver, FfsParams { ninodes: 4096, ngroups: 8 }))
+            }
+        }
+    }
+}
+
+/// Everything that survives a power cut.
+#[derive(Debug, Clone)]
+pub struct CrashState {
+    /// The durable on-disk image at the cut point.
+    pub image: DiskImage,
+    /// Battery-backed cache contents (empty without NVRAM).
+    pub nvram: NvramSnapshot,
+    /// Whether the NVRAM-resident LFS staging segment reached the image
+    /// (always true without NVRAM, where there is nothing to seal).
+    /// False means the disk was already dead at capture — an injected
+    /// power cut — so the battery-backed-staging model could not be
+    /// applied and acknowledged writes in the staging buffer are lost.
+    pub staging_sealed: bool,
+    /// Virtual time of the cut.
+    pub cut_at: SimTime,
+}
+
+impl CrashState {
+    /// Captures the crash state of a running stack at this instant.
+    ///
+    /// For NVRAM configurations the layout's staging buffer is treated
+    /// as battery-backed too (`FileSystem::seal_nvram_staging`), so it
+    /// is sealed into the image before the snapshot — the moral
+    /// equivalent of replaying the NVRAM segment buffer at power-on.
+    /// The image includes the disk controller's write buffer
+    /// ([`DiskClient::image_with_write_buffer`]): immediate-reported
+    /// writes are only crash-safe if that cache is battery-backed, and
+    /// that is the assumption the sweep states. A disk killed by an
+    /// injected power cut has already lost its buffer, so for the
+    /// `FaultPlan` path this is identical to the bare platter.
+    pub async fn capture(fs: &FileSystem, disk: &DiskClient) -> CrashState {
+        let staging_sealed = fs.seal_nvram_staging().await.is_ok();
+        CrashState {
+            image: disk.image_with_write_buffer(),
+            nvram: fs.nvram_snapshot(),
+            staging_sealed,
+            cut_at: fs.handle().now(),
+        }
+    }
+
+    /// Spawns a pristine disk + driver from the captured image (the
+    /// power-on after the crash).
+    pub fn restore_disk(
+        &self,
+        handle: &Handle,
+        name: &str,
+        model: Box<dyn DiskModel>,
+    ) -> (DiskDriver, DiskClient) {
+        let bus = ScsiBus::new(handle);
+        let disk = spawn_disk_with_image(
+            handle,
+            &format!("disk:{name}"),
+            model,
+            bus.clone(),
+            DiskOpts::default(),
+            FaultPlan::default(),
+            self.image.clone(),
+        );
+        let driver = DiskDriver::new(
+            handle,
+            name,
+            Backend::Sim(SimBackend { bus, disk: disk.clone(), host_id: 7 }),
+            Box::new(CLook),
+        );
+        (driver, disk)
+    }
+
+    /// [`CrashState::restore_disk`] with the default HP 97560 model.
+    pub fn restore_hp(&self, handle: &Handle, name: &str) -> (DiskDriver, DiskClient) {
+        self.restore_disk(handle, name, Box::new(Hp97560::new()))
+    }
+}
+
+/// Outcome of recovery + verification on one crash state.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// What the layout's recovery pass did.
+    pub stats: RecoveryStats,
+    /// Walker report straight after recovery (pre-repair).
+    pub pre: FsckReport,
+    /// What the fsck repair changed.
+    pub repairs: RepairReport,
+    /// Walker report after repair — must be clean.
+    pub post: FsckReport,
+    /// Virtual time spent in recover + repair.
+    pub recovery_time: SimDuration,
+}
+
+/// Runs the layout's recovery, then the fsck walker, repairing anything
+/// the crash broke, and re-verifying.
+pub async fn recover_and_check(handle: &Handle, layout: &mut Layout) -> FsResult<RecoveryOutcome> {
+    let t0 = handle.now();
+    let stats = layout.recover().await?;
+    let pre = check::check(layout).await;
+    let (repairs, post) = if pre.clean() {
+        (RepairReport { rounds: 0, ..RepairReport::default() }, pre.clone())
+    } else {
+        check::repair(layout).await?
+    };
+    let recovery_time = handle.now() - t0;
+    Ok(RecoveryOutcome { stats, pre, repairs, post, recovery_time })
+}
+
+/// Replays an NVRAM snapshot into a recovered file system: dirty blocks
+/// are rewritten (clamped to each file's acknowledged size), sizes are
+/// restored, and everything is synced. Returns the number of blocks
+/// replayed; blocks of files whose identity did not survive (created
+/// after the last durable namespace update) are skipped.
+pub async fn replay_nvram(fs: &FileSystem, snap: &NvramSnapshot) -> FsResult<u64> {
+    if snap.is_empty() {
+        return Ok(0);
+    }
+    let mut replayed = 0u64;
+    let bs = BLOCK_SIZE as u64;
+    for (ino, blk, data) in &snap.blocks {
+        let size =
+            snap.sizes.iter().find(|(i, _)| i == ino).map(|&(_, s)| s).unwrap_or((blk + 1) * bs);
+        let offset = blk * bs;
+        let len = size.saturating_sub(offset).min(bs);
+        if len == 0 {
+            continue; // Beyond the acknowledged size: nothing to restore.
+        }
+        let slice = data.as_ref().map(|d| &d[..(len as usize).min(d.len())]);
+        match fs.write(Ino(*ino), offset, len, slice).await {
+            Ok(_) => replayed += 1,
+            // Only a missing inode means the file's identity died with
+            // the crash; any other failure must surface, or loss
+            // accounting would blame the crash for replay bugs.
+            Err(FsError::Layout(LayoutError::BadInode(_))) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    for &(ino, size) in &snap.sizes {
+        match fs.restore_size(Ino(ino), size).await {
+            Ok(()) | Err(FsError::Layout(LayoutError::BadInode(_))) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    fs.sync().await?;
+    Ok(replayed)
+}
+
+/// Acknowledged-write loss accounting for one crash cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LossReport {
+    /// Files with acknowledged writes at the cut.
+    pub acked_files: u64,
+    /// Files missing entirely after recovery.
+    pub lost_files: u64,
+    /// Acknowledged bytes not covered by recovered sizes.
+    pub lost_bytes: u64,
+    /// Age (ms at the cut) of the oldest lost acknowledged update; the
+    /// paper-style "data-loss window". 0.0 when nothing was lost.
+    pub loss_window_ms: f64,
+}
+
+/// Compares recovered state against the acknowledged files of the
+/// replayed workload (`acked` from `cnp-trace`'s `replay_with`).
+///
+/// Deletions are not judged (a crash may resurrect a post-checkpoint
+/// delete; that is a documented non-goal), and neither is block-level
+/// content in simulated-payload mode — sizes are the observable.
+pub async fn measure_loss(fs: &FileSystem, acked: &[AckedFile], cut_at: SimTime) -> LossReport {
+    let mut report = LossReport { acked_files: acked.len() as u64, ..LossReport::default() };
+    let mut oldest_lost_ns: Option<u64> = None;
+    for a in acked {
+        let recovered = match fs.stat(&a.path).await {
+            Ok(inode) => Some(inode.size),
+            Err(_) => None,
+        };
+        match recovered {
+            Some(got) if got >= a.size => {}
+            Some(got) => {
+                report.lost_bytes += a.size - got;
+                oldest_lost_ns =
+                    Some(oldest_lost_ns.map_or(a.last_ack_ns, |o| o.min(a.last_ack_ns)));
+            }
+            None => {
+                report.lost_files += 1;
+                report.lost_bytes += a.size;
+                oldest_lost_ns =
+                    Some(oldest_lost_ns.map_or(a.last_ack_ns, |o| o.min(a.last_ack_ns)));
+            }
+        }
+    }
+    if let Some(ns) = oldest_lost_ns {
+        report.loss_window_ms = cut_at.as_nanos().saturating_sub(ns) as f64 / 1e6;
+    }
+    report
+}

@@ -1,0 +1,140 @@
+//! [`FaultyDisk`]: any disk model plus a fault plan, behind the same
+//! interfaces as a healthy disk.
+//!
+//! The wrapper implements [`DiskModel`] by delegation, so anything that
+//! consumes a model (timing studies, schedulers, the driver) composes
+//! with it unchanged; [`FaultyDisk::spawn`] wires the whole simulated
+//! stack — SCSI bus, disk task with the fault plan, scheduled driver —
+//! in one call and hands back both ends.
+
+use cnp_disk::{
+    spawn_disk, Backend, DiskClient, DiskDriver, DiskGeometry, DiskModel, DiskOpts, DiskPos,
+    FaultPlan, MediaAccess, QueueScheduler, ScsiBus, SimBackend,
+};
+use cnp_sim::{Handle, SimDuration, SimTime};
+
+/// A disk model wrapped with a deterministic fault plan.
+pub struct FaultyDisk {
+    model: Box<dyn DiskModel>,
+    plan: FaultPlan,
+    opts: DiskOpts,
+}
+
+impl FaultyDisk {
+    /// Wraps `model` with `plan` (default disk options).
+    pub fn new(model: Box<dyn DiskModel>, plan: FaultPlan) -> Self {
+        FaultyDisk { model, plan, opts: DiskOpts::default() }
+    }
+
+    /// Overrides the disk options (SCSI id, caches, platter store).
+    pub fn with_opts(mut self, opts: DiskOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The fault plan this disk will execute.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Spawns bus + disk task + scheduled driver; returns the driver
+    /// (for layouts/engines) and the disk client (for crash capture).
+    pub fn spawn(
+        self,
+        handle: &Handle,
+        name: &str,
+        sched: Box<dyn QueueScheduler>,
+    ) -> (DiskDriver, DiskClient) {
+        let bus = ScsiBus::new(handle);
+        self.spawn_on_bus(handle, name, bus, sched, 7)
+    }
+
+    /// Like [`FaultyDisk::spawn`] but on a shared bus with an explicit
+    /// host adapter id (multi-disk topologies).
+    pub fn spawn_on_bus(
+        self,
+        handle: &Handle,
+        name: &str,
+        bus: ScsiBus,
+        sched: Box<dyn QueueScheduler>,
+        host_id: u8,
+    ) -> (DiskDriver, DiskClient) {
+        let disk = spawn_disk(
+            handle,
+            &format!("disk:{name}"),
+            self.model,
+            bus.clone(),
+            self.opts,
+            self.plan,
+        );
+        let driver = DiskDriver::new(
+            handle,
+            name,
+            Backend::Sim(SimBackend { bus, disk: disk.clone(), host_id }),
+            sched,
+        );
+        (driver, disk)
+    }
+}
+
+impl DiskModel for FaultyDisk {
+    fn geometry(&self) -> &DiskGeometry {
+        self.model.geometry()
+    }
+
+    fn controller_overhead(&self) -> SimDuration {
+        self.model.controller_overhead()
+    }
+
+    fn seek_time(&self, from_cyl: u32, to_cyl: u32) -> SimDuration {
+        self.model.seek_time(from_cyl, to_cyl)
+    }
+
+    fn head_switch_time(&self) -> SimDuration {
+        self.model.head_switch_time()
+    }
+
+    fn media_access(&self, now: SimTime, pos: DiskPos, lba: u64, sectors: u32) -> MediaAccess {
+        self.model.media_access(now, pos, lba, sectors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlanBuilder;
+    use cnp_disk::{CLook, Hp97560, IoError};
+    use cnp_sim::Sim;
+
+    #[test]
+    fn model_interface_delegates() {
+        let faulty = FaultyDisk::new(Box::new(Hp97560::new()), FaultPlan::default());
+        let plain = Hp97560::new();
+        assert_eq!(faulty.geometry(), plain.geometry());
+        assert_eq!(faulty.controller_overhead(), plain.controller_overhead());
+        assert_eq!(faulty.seek_time(0, 100), plain.seek_time(0, 100));
+        let a = faulty.media_access(SimTime::ZERO, DiskPos::HOME, 0, 8);
+        let b = plain.media_access(SimTime::ZERO, DiskPos::HOME, 0, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spawned_stack_executes_the_plan() {
+        let sim = Sim::new(5);
+        let h = sim.handle();
+        let plan = FaultPlanBuilder::new(1).power_cut_at_op(3).build();
+        let (driver, disk) =
+            FaultyDisk::new(Box::new(Hp97560::new()), plan).spawn(&h, "f0", Box::new(CLook));
+        let d2 = driver.clone();
+        h.spawn("t", async move {
+            for i in 0..3u64 {
+                d2.read(i * 64, 8).await.expect("pre-cut reads succeed");
+            }
+            let err = d2.read(999, 8).await.unwrap_err();
+            assert!(matches!(err, IoError::PowerCut));
+            d2.shutdown();
+        });
+        sim.run();
+        assert!(disk.is_dead());
+    }
+}

@@ -1,0 +1,42 @@
+//! # cnp-fault — deterministic fault injection and crash recovery
+//!
+//! The paper's central claim is that one component framework
+//! instantiates both the off-line simulator (Patsy) and the on-line
+//! file system (PFS), so experiments that would be destructive on-line
+//! run off-line at simulation speed — and nothing is more destructive
+//! than a crash. This crate turns crashes into a first-class, seeded,
+//! replayable scenario family:
+//!
+//! * [`plan`] — a builder deriving deterministic [`cnp_disk::FaultPlan`]
+//!   schedules (power cuts at operation N or virtual time T, torn
+//!   writes, latent sector errors, transient bus faults) from a seed;
+//! * [`faulty`] — [`FaultyDisk`], a wrapper implementing the existing
+//!   disk-model interface so it composes with the HP 97560,
+//!   `SimpleDisk`, every I/O scheduler, and the driver unchanged;
+//! * [`mod@check`] — an fsck-style consistency walker over the abstract
+//!   [`cnp_layout::StorageLayout`] interface (LFS, FFS, sim-guess):
+//!   verify inode/dirent/block-map invariants, then repair what a crash
+//!   broke;
+//! * [`crash`] — crash-state capture (on-disk image at the cut point +
+//!   whatever the flush policy keeps in NVRAM), remount/recover,
+//!   NVRAM replay, and loss accounting.
+//!
+//! Everything is pure data + seeded RNG, so a crash experiment is a
+//! deterministic function of (configuration, seed) like every other
+//! experiment in the framework.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod crash;
+pub mod faulty;
+pub mod plan;
+
+pub use check::{check, repair, FsckReport, RepairReport, Violation};
+pub use crash::{
+    measure_loss, recover_and_check, replay_nvram, CrashState, LayoutKind, LossReport,
+    RecoveryOutcome,
+};
+pub use faulty::FaultyDisk;
+pub use plan::{cut_points, jittered_cut_points, FaultPlanBuilder};

@@ -1,0 +1,154 @@
+//! Seeded derivation of deterministic fault schedules.
+//!
+//! A [`cnp_disk::FaultPlan`] is pure data; this module is the only
+//! place randomness enters, and it is always an explicit seed, so a
+//! fault scenario replays bit-identically — the property every other
+//! experiment in the framework already has.
+
+use cnp_disk::FaultPlan;
+use cnp_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builder for deterministic [`FaultPlan`]s.
+///
+/// ```
+/// use cnp_fault::FaultPlanBuilder;
+///
+/// let plan = FaultPlanBuilder::new(42)
+///     .power_cut_at_op(100)
+///     .torn_write_sectors(4)
+///     .random_latent_sectors(8, 1_000_000)
+///     .build();
+/// assert_eq!(plan.power_cut_at_op, Some(100));
+/// assert_eq!(plan.latent_ranges.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlanBuilder {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+impl FaultPlanBuilder {
+    /// Starts an empty plan; `seed` drives every `random_*` method.
+    pub fn new(seed: u64) -> Self {
+        FaultPlanBuilder { plan: FaultPlan::default(), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Power-cut the disk when it serves its `op`-th request (0-based).
+    pub fn power_cut_at_op(mut self, op: u64) -> Self {
+        self.plan.power_cut_at_op = Some(op);
+        self
+    }
+
+    /// Power-cut the disk at virtual time `t`.
+    pub fn power_cut_at(mut self, t: SimTime) -> Self {
+        self.plan.power_cut_at = Some(t);
+        self
+    }
+
+    /// When the power cut lands on a write, let this many sectors of it
+    /// become durable first (a torn write).
+    pub fn torn_write_sectors(mut self, sectors: u32) -> Self {
+        self.plan.torn_write_sectors = sectors;
+        self
+    }
+
+    /// Adds one latent sector-error range `[lo, hi)` (reads fail until
+    /// the sectors are rewritten).
+    pub fn latent_range(mut self, lo: u64, hi: u64) -> Self {
+        self.plan.latent_ranges.push((lo, hi));
+        self
+    }
+
+    /// Scatters `count` single latent sectors uniformly over
+    /// `[0, capacity_sectors)`, deterministically from the seed.
+    pub fn random_latent_sectors(mut self, count: usize, capacity_sectors: u64) -> Self {
+        for _ in 0..count {
+            let s = self.rng.gen_range(0..capacity_sectors.max(1));
+            self.plan.latent_ranges.push((s, s + 1));
+        }
+        self
+    }
+
+    /// Adds a hard media-error range `[lo, hi)` (reads and writes fail).
+    pub fn media_range(mut self, lo: u64, hi: u64) -> Self {
+        self.plan.bad_ranges.push((lo, hi));
+        self
+    }
+
+    /// Makes every `n`-th request fail with a transient bus error.
+    pub fn transient_every(mut self, n: u64) -> Self {
+        self.plan.transient_every = Some(n);
+        self
+    }
+
+    /// Finishes the plan.
+    pub fn build(self) -> FaultPlan {
+        self.plan
+    }
+}
+
+/// `cuts` evenly spaced interior cut points over a workload of
+/// `total_ops` operations (never 0, never `total_ops`).
+pub fn cut_points(total_ops: u64, cuts: u32) -> Vec<u64> {
+    let cuts = cuts.max(1) as u64;
+    (1..=cuts).map(|i| (i * total_ops / (cuts + 1)).max(1)).collect()
+}
+
+/// Like [`cut_points`] but with seeded jitter of up to ±half a stride,
+/// so sweeps also sample unaligned crash instants.
+pub fn jittered_cut_points(seed: u64, total_ops: u64, cuts: u32) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stride = (total_ops / (cuts.max(1) as u64 + 1)).max(2);
+    cut_points(total_ops, cuts)
+        .into_iter()
+        .map(|p| {
+            let j = rng.gen_range(0..stride) as i64 - (stride / 2) as i64;
+            p.saturating_add_signed(j).clamp(1, total_ops.saturating_sub(1).max(1))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_fields() {
+        let plan = FaultPlanBuilder::new(7)
+            .power_cut_at_op(10)
+            .power_cut_at(SimTime::from_nanos(123))
+            .torn_write_sectors(2)
+            .latent_range(5, 9)
+            .media_range(100, 200)
+            .transient_every(3)
+            .build();
+        assert_eq!(plan.power_cut_at_op, Some(10));
+        assert_eq!(plan.power_cut_at, Some(SimTime::from_nanos(123)));
+        assert_eq!(plan.torn_write_sectors, 2);
+        assert_eq!(plan.latent_ranges, vec![(5, 9)]);
+        assert_eq!(plan.bad_ranges, vec![(100, 200)]);
+        assert_eq!(plan.transient_every, Some(3));
+    }
+
+    #[test]
+    fn random_parts_are_seed_deterministic() {
+        let a = FaultPlanBuilder::new(11).random_latent_sectors(16, 1 << 20).build();
+        let b = FaultPlanBuilder::new(11).random_latent_sectors(16, 1 << 20).build();
+        let c = FaultPlanBuilder::new(12).random_latent_sectors(16, 1 << 20).build();
+        assert_eq!(a.latent_ranges, b.latent_ranges);
+        assert_ne!(a.latent_ranges, c.latent_ranges);
+    }
+
+    #[test]
+    fn cut_points_are_interior_and_sorted() {
+        let pts = cut_points(1000, 16);
+        assert_eq!(pts.len(), 16);
+        assert!(pts.windows(2).all(|w| w[0] <= w[1]));
+        assert!(pts.iter().all(|&p| (1..1000).contains(&p)));
+        let j = jittered_cut_points(42, 1000, 16);
+        assert_eq!(j, jittered_cut_points(42, 1000, 16), "jitter must be seeded");
+        assert!(j.iter().all(|&p| (1..1000).contains(&p)));
+    }
+}

@@ -248,9 +248,11 @@ impl StorageLayout for FfsLayout {
         self.io.write_block(BlockAddr(0), Payload::Data(self.sb_block())).await?;
         self.ibitmap = Bitmap::new(self.params.ninodes);
         self.bbitmap = Bitmap::new(self.geo.nblocks);
-        // Inodes 0 (reserved) and 1 (root) are taken.
+        // Inodes 0 (reserved) and 1 (root) are taken. Both bitmaps are
+        // forced dirty so a freshly formatted disk always mounts.
         self.ibitmap.set(0, true);
         self.ibitmap.set(1, true);
+        self.bbitmap.dirty = true;
         self.mounted = true;
         let mut root = Inode::new(Ino::ROOT, FileKind::Directory);
         root.mtime = self.handle.now().as_nanos();
@@ -288,6 +290,77 @@ impl StorageLayout for FfsLayout {
         self.bbitmap = Bitmap::from_blocks(&bblocks, self.geo.nblocks);
         self.mounted = true;
         Ok(())
+    }
+
+    async fn recover(&mut self) -> LResult<crate::layout::RecoveryStats> {
+        // Validate the superblock only; the on-disk bitmaps may be
+        // arbitrarily stale or even unwritten (they are durable only at
+        // sync/unmount), so recovery never reads them.
+        let p = self.io.read_block(BlockAddr(0)).await?;
+        let bytes = p.bytes().ok_or(LayoutError::NotFormatted)?;
+        if get_u32(bytes, 0) != FFS_MAGIC {
+            return Err(LayoutError::NotFormatted);
+        }
+        if get_u64(bytes, 8) != self.params.ninodes || get_u64(bytes, 24) != self.geo.nblocks {
+            return Err(LayoutError::Corrupt("superblock mismatch".into()));
+        }
+        self.mounted = true;
+        // Crash recovery = fsck pass 1: rebuild both bitmaps from the
+        // inode table, the authoritative record — every
+        // create/write/delete updates it in place immediately.
+        let mut ibm = Bitmap::new(self.params.ninodes);
+        let mut bbm = Bitmap::new(self.geo.nblocks);
+        ibm.set(0, true); // Reserved.
+        for b in 0..self.geo.data_start {
+            bbm.set(b, true); // Superblock, bitmaps, inode table.
+        }
+        let mut stats = crate::layout::RecoveryStats::default();
+        let itable_blocks = self.params.ninodes.div_ceil(INODES_PER_BLOCK as u64);
+        let mut indirects: Vec<BlockAddr> = Vec::new();
+        for tb in 0..itable_blocks {
+            let addr = BlockAddr(self.geo.itable_start + tb);
+            let p = self.io.read_block(addr).await?;
+            let Some(bytes) = p.bytes() else { continue };
+            self.stats.meta_reads += 1;
+            for slot in 0..INODES_PER_BLOCK {
+                let ino = tb * INODES_PER_BLOCK as u64 + slot as u64;
+                let off = slot * INODE_SIZE;
+                if bytes.len() < off + INODE_SIZE {
+                    break;
+                }
+                let Some(inode) = Inode::from_bytes(&bytes[off..off + INODE_SIZE]) else {
+                    continue;
+                };
+                if inode.ino.0 != ino {
+                    continue; // Slot identity mismatch: stale garbage.
+                }
+                ibm.set(ino, true);
+                stats.recovered_inodes += 1;
+                for d in inode.direct {
+                    if d.is_some() && d.0 < self.geo.nblocks {
+                        bbm.set(d.0, true);
+                    }
+                }
+                if inode.indirect.is_some() && inode.indirect.0 < self.geo.nblocks {
+                    bbm.set(inode.indirect.0, true);
+                    indirects.push(inode.indirect);
+                }
+            }
+        }
+        for iaddr in indirects {
+            let Ok(table) = self.read_indirect(iaddr).await else { continue };
+            for v in table {
+                if v != BlockAddr::NONE.0 && v < self.geo.nblocks {
+                    bbm.set(v, true);
+                }
+            }
+        }
+        self.ibitmap = ibm;
+        self.bbitmap = bbm;
+        self.ibitmap.dirty = true;
+        self.bbitmap.dirty = true;
+        self.write_bitmaps().await?;
+        Ok(stats)
     }
 
     async fn unmount(&mut self) -> LResult<()> {
@@ -353,6 +426,18 @@ impl StorageLayout for FfsLayout {
             self.free_block(inode.indirect);
         }
         self.ibitmap.set(ino.0, false);
+        // Tombstone the on-disk inode so crash recovery's table scan
+        // cannot resurrect it (the bitmap alone is only durable at sync).
+        let (addr, slot) = self.inode_addr(ino);
+        let p = self.io.read_block(addr).await?;
+        self.stats.meta_reads += 1;
+        let mut bytes = match p.bytes() {
+            Some(b) => b.to_vec(),
+            None => return Ok(()),
+        };
+        bytes[slot * INODE_SIZE..(slot + 1) * INODE_SIZE].fill(0);
+        self.stats.meta_writes += 1;
+        self.io.write_block(addr, Payload::Data(bytes)).await?;
         Ok(())
     }
 
@@ -608,6 +693,82 @@ mod tests {
             let got = ffs.alloc_block(a0.0).unwrap();
             assert_eq!(got, a0);
         });
+    }
+
+    #[test]
+    fn recover_rebuilds_stale_bitmaps() {
+        let sim = Sim::new(43);
+        let h = sim.handle();
+        let driver = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+        let shutdown_driver = driver.clone();
+        let done = std::rc::Rc::new(std::cell::Cell::new(false));
+        let done2 = done.clone();
+        let h2 = h.clone();
+        h.spawn("test", async move {
+            let params = FfsParams { ninodes: 1024, ngroups: 4 };
+            let mut ffs = FfsLayout::new(&h2, driver.clone(), params.clone());
+            ffs.format().await.unwrap();
+            // Crash with bitmaps never synced: the inode table is the
+            // only durable record of this file.
+            let mut f = ffs.alloc_ino(FileKind::Regular, 0).unwrap();
+            f.size = 3 * BLOCK_SIZE as u64;
+            ffs.write_file_blocks(
+                &mut f,
+                vec![(0, data_block(5)), (1, data_block(6)), (2, data_block(7))],
+            )
+            .await
+            .unwrap();
+            let ino = f.ino;
+            let a0 = ffs.map_block(&f, 0).await.unwrap().unwrap();
+            drop(ffs);
+            let mut rec = FfsLayout::new(&h2, driver.clone(), params);
+            let stats = rec.recover().await.unwrap();
+            assert!(stats.recovered_inodes >= 2, "root + file: {}", stats.recovered_inodes);
+            let got = rec.get_inode(ino).await.expect("inode survives via table scan");
+            assert_eq!(got.size, 3 * BLOCK_SIZE as u64);
+            // The rebuilt block bitmap protects the file's blocks.
+            let fresh = rec.alloc_block(a0.0).unwrap();
+            assert_ne!(fresh, a0, "recovered allocation must not reuse live blocks");
+            done2.set(true);
+            shutdown_driver.shutdown();
+        });
+        sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+        assert!(done.get(), "test body did not complete");
+    }
+
+    #[test]
+    fn freed_inode_stays_dead_across_recovery() {
+        let sim = Sim::new(47);
+        let h = sim.handle();
+        let driver = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+        let shutdown_driver = driver.clone();
+        let done = std::rc::Rc::new(std::cell::Cell::new(false));
+        let done2 = done.clone();
+        let h2 = h.clone();
+        h.spawn("test", async move {
+            let params = FfsParams { ninodes: 1024, ngroups: 4 };
+            let mut ffs = FfsLayout::new(&h2, driver.clone(), params.clone());
+            ffs.format().await.unwrap();
+            let mut f = ffs.alloc_ino(FileKind::Regular, 0).unwrap();
+            f.size = BLOCK_SIZE as u64;
+            ffs.write_file_blocks(&mut f, vec![(0, data_block(1))]).await.unwrap();
+            ffs.sync().await.unwrap();
+            // Delete after the sync, then crash before the next sync: the
+            // tombstoned inode-table slot must keep the file dead.
+            ffs.free_inode(f.ino).await.unwrap();
+            let ino = f.ino;
+            drop(ffs);
+            let mut rec = FfsLayout::new(&h2, driver.clone(), params);
+            rec.recover().await.unwrap();
+            assert!(
+                rec.get_inode(ino).await.is_err(),
+                "tombstone must prevent resurrection of the deleted file"
+            );
+            done2.set(true);
+            shutdown_driver.shutdown();
+        });
+        sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+        assert!(done.get(), "test body did not complete");
     }
 
     #[test]

@@ -35,6 +35,17 @@ pub struct LayoutStats {
     pub checkpoints: u64,
 }
 
+/// What a crash-recovery pass did (see [`StorageLayout::recover`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Post-checkpoint segments rolled forward (LFS).
+    pub rolled_segments: u64,
+    /// Inodes recovered from the log / rebuilt tables.
+    pub recovered_inodes: u64,
+    /// File-block pointers patched to their rolled-forward locations.
+    pub patched_blocks: u64,
+}
+
 /// The storage-layout interface every layout implements.
 ///
 /// Rust rendition of the paper's abstract storage-layout base class:
@@ -55,11 +66,29 @@ pub trait StorageLayout {
     /// Loads on-disk state (checkpoint/superblock).
     async fn mount(&mut self) -> LResult<()>;
 
+    /// Mounts after a crash, repairing and rolling state forward where
+    /// the layout can (LFS: checkpoint + segment roll-forward; FFS:
+    /// allocation-bitmap rebuild). The default is a plain mount.
+    async fn recover(&mut self) -> LResult<RecoveryStats> {
+        self.mount().await?;
+        Ok(RecoveryStats::default())
+    }
+
     /// Flushes all state and writes a final checkpoint.
     async fn unmount(&mut self) -> LResult<()>;
 
     /// Durability point: push buffered layout state to disk.
     async fn sync(&mut self) -> LResult<()>;
+
+    /// Cheap media-durability point for freshly written blocks: seal any
+    /// volatile staging buffer (the LFS in-memory segment) *without* a
+    /// full checkpoint. NVRAM configurations call this after cache
+    /// drains so "clean in cache" implies "on the platter" — otherwise a
+    /// crash could lose acknowledged writes that NVRAM already released.
+    /// Write-through layouts need nothing.
+    async fn flush_staged(&mut self) -> LResult<()> {
+        Ok(())
+    }
 
     /// Allocates a fresh inode.
     fn alloc_ino(&mut self, kind: FileKind, now_ns: u64) -> LResult<Inode>;
@@ -100,11 +129,25 @@ pub trait StorageLayout {
     /// Counter snapshot.
     fn stats(&self) -> LayoutStats;
 
+    /// Drains the set of inodes whose blocks the layout relocated on
+    /// its own initiative (the LFS cleaner) since the last drain.
+    /// Engines caching inodes in memory must refresh these pointers or
+    /// they will read/supersede through freed segments. Layouts that
+    /// never move blocks behind the caller return nothing.
+    fn take_relocated(&mut self) -> Vec<Ino> {
+        Vec::new()
+    }
+
     /// The disk driver underneath (for plug-in statistics).
     fn driver(&self) -> &DiskDriver;
 }
 
 /// Runtime-selected layout (the cut-and-paste configuration point).
+///
+/// One `Layout` exists per mounted file system, so the size spread
+/// between variants (LFS carries its maps and segment builder inline)
+/// costs nothing that matters; boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 pub enum Layout {
     /// Segmented log-structured layout (the paper's production choice).
     Lfs(LfsLayout),
@@ -147,12 +190,20 @@ impl StorageLayout for Layout {
         dispatch_async!(self, mount)
     }
 
+    async fn recover(&mut self) -> LResult<RecoveryStats> {
+        dispatch_async!(self, recover)
+    }
+
     async fn unmount(&mut self) -> LResult<()> {
         dispatch_async!(self, unmount)
     }
 
     async fn sync(&mut self) -> LResult<()> {
         dispatch_async!(self, sync)
+    }
+
+    async fn flush_staged(&mut self) -> LResult<()> {
+        dispatch_async!(self, flush_staged)
     }
 
     fn alloc_ino(&mut self, kind: FileKind, now_ns: u64) -> LResult<Inode> {
@@ -197,6 +248,10 @@ impl StorageLayout for Layout {
 
     fn stats(&self) -> LayoutStats {
         dispatch!(self, stats)
+    }
+
+    fn take_relocated(&mut self) -> Vec<Ino> {
+        dispatch!(self, take_relocated)
     }
 
     fn driver(&self) -> &DiskDriver {

@@ -26,6 +26,9 @@ pub struct SuperBlock {
     pub seg_blocks: u32,
     /// Number of segments.
     pub nsegs: u32,
+    /// Format generation: stamps every summary and checkpoint so stale
+    /// structures from a previous `format` can never be trusted.
+    pub gen: u64,
 }
 
 impl SuperBlock {
@@ -36,18 +39,19 @@ impl SuperBlock {
         put_u32(&mut b, 4, self.seg_blocks);
         put_u32(&mut b, 8, self.nsegs);
         put_u32(&mut b, 12, BLOCK_SIZE);
+        put_u64(&mut b, 16, self.gen);
         b
     }
 
     /// Parses from a block.
     pub fn from_block(b: &[u8]) -> LResult<SuperBlock> {
-        if b.len() < 16 || get_u32(b, 0) != SB_MAGIC {
+        if b.len() < 24 || get_u32(b, 0) != SB_MAGIC {
             return Err(LayoutError::NotFormatted);
         }
         if get_u32(b, 12) != BLOCK_SIZE {
             return Err(LayoutError::Corrupt("block size mismatch".into()));
         }
-        Ok(SuperBlock { seg_blocks: get_u32(b, 4), nsegs: get_u32(b, 8) })
+        Ok(SuperBlock { seg_blocks: get_u32(b, 4), nsegs: get_u32(b, 8), gen: get_u64(b, 16) })
     }
 }
 
@@ -111,28 +115,68 @@ impl SumEntry {
 /// Bytes per encoded summary entry.
 const SUM_ENTRY_SIZE: usize = 17;
 
-/// Serializes a segment summary to one block.
-pub fn summary_to_block(entries: &[SumEntry]) -> Vec<u8> {
+/// Fixed summary header: magic, count, gen, epoch, seq.
+const SUM_HEADER: usize = 32;
+
+/// Payload entries one summary block can describe.
+pub const SUM_MAX_ENTRIES: usize = (BLOCK_SIZE as usize - SUM_HEADER - 8) / SUM_ENTRY_SIZE;
+
+/// A decoded segment summary: identity header plus per-slot entries.
+///
+/// `gen` ties the summary to one `format`; `epoch` to one mount/recover
+/// generation; `seq` orders segment flushes within an epoch. Together
+/// they let crash recovery find exactly the segments written after the
+/// last checkpoint (roll-forward) and never replay stale ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegSummary {
+    /// Format generation (must match the superblock).
+    pub gen: u64,
+    /// Mount epoch the segment was written in.
+    pub epoch: u64,
+    /// Monotone segment-flush sequence number within the epoch's log.
+    pub seq: u64,
+    /// What each payload slot holds.
+    pub entries: Vec<SumEntry>,
+}
+
+/// Serializes a segment summary to one checksummed block.
+pub fn summary_to_block(summary: &SegSummary) -> Vec<u8> {
+    debug_assert!(summary.entries.len() <= SUM_MAX_ENTRIES);
     let mut b = vec![0u8; BLOCK_SIZE as usize];
     put_u32(&mut b, 0, SUM_MAGIC);
-    put_u32(&mut b, 4, entries.len() as u32);
-    for (i, e) in entries.iter().enumerate() {
-        let off = 8 + i * SUM_ENTRY_SIZE;
+    put_u32(&mut b, 4, summary.entries.len() as u32);
+    put_u64(&mut b, 8, summary.gen);
+    put_u64(&mut b, 16, summary.epoch);
+    put_u64(&mut b, 24, summary.seq);
+    for (i, e) in summary.entries.iter().enumerate() {
+        let off = SUM_HEADER + i * SUM_ENTRY_SIZE;
         e.encode(&mut b[off..off + SUM_ENTRY_SIZE]);
     }
+    let sum = checksum(&b[..BLOCK_SIZE as usize - 8]);
+    put_u64(&mut b, BLOCK_SIZE as usize - 8, sum);
     b
 }
 
-/// Parses a segment summary block.
-pub fn summary_from_block(b: &[u8]) -> LResult<Vec<SumEntry>> {
-    if b.len() < 8 || get_u32(b, 0) != SUM_MAGIC {
+/// Parses and validates a segment summary block.
+///
+/// The trailing checksum rejects torn summary writes, so a summary that
+/// parses implies the whole block (and, because payload runs are written
+/// before their summary, the segment contents) hit the media intact.
+pub fn summary_from_block(b: &[u8]) -> LResult<SegSummary> {
+    if b.len() < BLOCK_SIZE as usize || get_u32(b, 0) != SUM_MAGIC {
         return Err(LayoutError::Corrupt("bad summary magic".into()));
     }
+    if checksum(&b[..BLOCK_SIZE as usize - 8]) != get_u64(b, BLOCK_SIZE as usize - 8) {
+        return Err(LayoutError::Corrupt("summary checksum mismatch".into()));
+    }
     let n = get_u32(b, 4) as usize;
-    if 8 + n * SUM_ENTRY_SIZE > b.len() {
+    if n > SUM_MAX_ENTRIES {
         return Err(LayoutError::Corrupt("summary overflow".into()));
     }
-    (0..n).map(|i| SumEntry::decode(&b[8 + i * SUM_ENTRY_SIZE..])).collect()
+    let entries = (0..n)
+        .map(|i| SumEntry::decode(&b[SUM_HEADER + i * SUM_ENTRY_SIZE..]))
+        .collect::<LResult<Vec<_>>>()?;
+    Ok(SegSummary { gen: get_u64(b, 8), epoch: get_u64(b, 16), seq: get_u64(b, 24), entries })
 }
 
 /// Per-segment usage record.
@@ -229,6 +273,14 @@ pub struct Checkpoint {
     pub seq: u64,
     /// Next inode number to allocate.
     pub next_ino: u64,
+    /// Format generation (must match the superblock at mount).
+    pub gen: u64,
+    /// Mount epoch the checkpoint was written in.
+    pub epoch: u64,
+    /// Log sequence number of the last segment sealed before this
+    /// checkpoint; segments with a larger in-epoch seq are roll-forward
+    /// candidates after a crash.
+    pub log_seq: u64,
     /// Addresses of the inode-map blocks, in order.
     pub imap_addrs: Vec<u64>,
     /// Addresses of the usage-table blocks, in order.
@@ -249,7 +301,10 @@ impl Checkpoint {
         put_u64(&mut b, 16, self.next_ino);
         put_u32(&mut b, 24, self.imap_addrs.len() as u32);
         put_u32(&mut b, 28, self.usage_addrs.len() as u32);
-        let mut off = 32;
+        put_u64(&mut b, 32, self.gen);
+        put_u64(&mut b, 40, self.epoch);
+        put_u64(&mut b, 48, self.log_seq);
+        let mut off = 56;
         for &a in self.imap_addrs.iter().chain(self.usage_addrs.iter()) {
             assert!(off + 8 <= BLOCK_SIZE as usize - 8, "checkpoint overflow");
             put_u64(&mut b, off, a);
@@ -271,7 +326,7 @@ impl Checkpoint {
         }
         let ni = get_u32(b, 24) as usize;
         let nu = get_u32(b, 28) as usize;
-        let mut off = 32;
+        let mut off = 56;
         let mut imap_addrs = Vec::with_capacity(ni);
         for _ in 0..ni {
             imap_addrs.push(get_u64(b, off));
@@ -282,7 +337,15 @@ impl Checkpoint {
             usage_addrs.push(get_u64(b, off));
             off += 8;
         }
-        Some(Checkpoint { seq: get_u64(b, 8), next_ino: get_u64(b, 16), imap_addrs, usage_addrs })
+        Some(Checkpoint {
+            seq: get_u64(b, 8),
+            next_ino: get_u64(b, 16),
+            gen: get_u64(b, 32),
+            epoch: get_u64(b, 40),
+            log_seq: get_u64(b, 48),
+            imap_addrs,
+            usage_addrs,
+        })
     }
 }
 
@@ -302,7 +365,7 @@ mod tests {
 
     #[test]
     fn superblock_round_trip() {
-        let sb = SuperBlock { seg_blocks: 128, nsegs: 2621 };
+        let sb = SuperBlock { seg_blocks: 128, nsegs: 2621, gen: 0xfeed_beef };
         let b = sb.to_block();
         assert_eq!(SuperBlock::from_block(&b).unwrap(), sb);
         assert!(matches!(SuperBlock::from_block(&vec![0u8; 4096]), Err(LayoutError::NotFormatted)));
@@ -318,16 +381,31 @@ mod tests {
             SumEntry::Usage,
             SumEntry::Free,
         ];
-        let b = summary_to_block(&entries);
-        assert_eq!(summary_from_block(&b).unwrap(), entries);
+        let s = SegSummary { gen: 99, epoch: 3, seq: 41, entries };
+        let b = summary_to_block(&s);
+        assert_eq!(summary_from_block(&b).unwrap(), s);
+    }
+
+    #[test]
+    fn summary_checksum_rejects_torn_block() {
+        let s = SegSummary {
+            gen: 1,
+            epoch: 1,
+            seq: 1,
+            entries: vec![SumEntry::Data { ino: 1, fblk: 0 }],
+        };
+        let mut b = summary_to_block(&s);
+        b[100] ^= 0xff;
+        assert!(summary_from_block(&b).is_err());
     }
 
     #[test]
     fn summary_capacity_fits_big_segments() {
-        // 240 payload blocks (≈ 1 MB segments) is the summary-block limit.
-        let entries = vec![SumEntry::Data { ino: 1, fblk: 2 }; 240];
-        let b = summary_to_block(&entries);
-        assert_eq!(summary_from_block(&b).unwrap().len(), 240);
+        // SUM_MAX_ENTRIES payload blocks (≈ 1 MB segments) is the limit.
+        let entries = vec![SumEntry::Data { ino: 1, fblk: 2 }; SUM_MAX_ENTRIES];
+        let s = SegSummary { gen: 0, epoch: 0, seq: 0, entries };
+        let b = summary_to_block(&s);
+        assert_eq!(summary_from_block(&b).unwrap().entries.len(), SUM_MAX_ENTRIES);
     }
 
     #[test]
@@ -360,6 +438,9 @@ mod tests {
         let c = Checkpoint {
             seq: 42,
             next_ino: 100,
+            gen: 7,
+            epoch: 3,
+            log_seq: 55,
             imap_addrs: vec![10, 11, 12],
             usage_addrs: vec![20, 21],
         };

@@ -6,10 +6,11 @@
 //! patsy ablate-diskmodel|ablate-flushmode|ablate-iosched|
 //!       ablate-diskcache|ablate-nvram|ablate-cleaner
 //! patsy run --trace 1a --policy ups    # one experiment, full detail
-//! options: --scale 0.05 --seed 365
+//! patsy crash --trace 1a --cuts 16 --seed 42   # crash-recovery sweep
+//! options: --scale 0.05 --seed 365 --cuts 16 --layout lfs|ffs
 //! ```
 
-use cnp_patsy::{ablate, figures, Policy};
+use cnp_patsy::{ablate, crash, figures, Policy};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +22,10 @@ fn main() {
     let mut seed = 365u64;
     let mut trace = "1a".to_string();
     let mut policy = "ups".to_string();
+    let mut cuts = 16u32;
+    let mut layout: Option<String> = None;
+    let mut scale_set = false;
+    let mut policy_set = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,6 +35,18 @@ fn main() {
                     eprintln!("bad --scale");
                     std::process::exit(2);
                 });
+                scale_set = true;
+            }
+            "--cuts" => {
+                i += 1;
+                cuts = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad --cuts");
+                    std::process::exit(2);
+                });
+            }
+            "--layout" => {
+                i += 1;
+                layout = args.get(i).cloned();
             }
             "--seed" => {
                 i += 1;
@@ -45,6 +62,7 @@ fn main() {
             "--policy" => {
                 i += 1;
                 policy = args.get(i).cloned().unwrap_or_default();
+                policy_set = true;
             }
             other => {
                 eprintln!("unknown option {other}");
@@ -71,6 +89,13 @@ fn main() {
             });
             figures::run_one(&trace, p, scale, seed);
         }
+        "crash" => {
+            // Crash cells are numerous (layouts × policies × cuts); a
+            // smaller default workload keeps the sweep snappy.
+            let crash_scale = if scale_set { scale } else { 0.002 };
+            let policy_filter = policy_set.then_some(policy.as_str());
+            crash::crash_cli(&trace, cuts, seed, crash_scale, layout.as_deref(), policy_filter);
+        }
         _ => usage(),
     }
 }
@@ -78,7 +103,8 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: patsy <fig2|fig3|fig4|fig5|ablate-diskmodel|ablate-flushmode|\
-         ablate-iosched|ablate-diskcache|ablate-nvram|ablate-cleaner|run> \
-         [--trace 1a] [--policy ups] [--scale 0.05] [--seed 365]"
+         ablate-iosched|ablate-diskcache|ablate-nvram|ablate-cleaner|run|crash> \
+         [--trace 1a] [--policy ups] [--scale 0.05] [--seed 365] \
+         [--cuts 16] [--layout lfs|ffs]"
     );
 }

@@ -1,0 +1,260 @@
+//! The crash-sweep experiment: power cuts across the trace presets,
+//! recovery + fsck verification, and data-loss windows per flush policy.
+//!
+//! This is the scenario family the paper's off-line/on-line duality
+//! exists for: a crash experiment that would be destructive on-line
+//! runs here at simulation speed, deterministically. Each cell of the
+//! sweep replays a trace prefix (the cut point), captures the crash
+//! state (on-disk image + NVRAM contents), recovers on a fresh stack,
+//! repairs with the fsck walker, replays NVRAM, and accounts losses
+//! against what the workload had acknowledged — extending the paper's
+//! Fig. 5 NVRAM axis to crash safety.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cnp_cache::CacheConfig;
+use cnp_core::{DataMode, FileSystem, FlushMode, FsConfig};
+use cnp_disk::{CLook, FaultPlan, Hp97560};
+use cnp_fault::{
+    crash::measure_loss, cut_points, recover_and_check, replay_nvram, CrashState, FaultyDisk,
+    LayoutKind, LossReport,
+};
+use cnp_sim::{Sim, SimTime};
+use cnp_trace::{replay_with, ReplayOptions, SpriteParams, SyntheticSprite};
+
+use crate::experiment::{Policy, POLICIES};
+
+/// Crash-sweep configuration.
+#[derive(Debug, Clone)]
+pub struct CrashConfig {
+    /// Workload personality.
+    pub trace: SpriteParams,
+    /// Cut points per (layout, policy) pair.
+    pub cuts: u32,
+    /// Base seed; every cell derives its own deterministic seed.
+    pub seed: u64,
+    /// Trace scale (fraction of the 24-hour day).
+    pub scale: f64,
+    /// Layouts to sweep.
+    pub layouts: Vec<LayoutKind>,
+    /// Flush policies to sweep.
+    pub policies: Vec<Policy>,
+}
+
+impl CrashConfig {
+    /// The default sweep: both recoverable layouts × all four §5.1
+    /// policies.
+    pub fn new(trace: SpriteParams, cuts: u32, seed: u64, scale: f64) -> Self {
+        CrashConfig {
+            trace,
+            cuts,
+            seed,
+            scale,
+            layouts: vec![LayoutKind::Lfs, LayoutKind::Ffs],
+            policies: POLICIES.to_vec(),
+        }
+    }
+}
+
+/// One (layout, policy, cut) cell's outcome.
+#[derive(Debug, Clone)]
+pub struct CrashCell {
+    /// Layout name.
+    pub layout: &'static str,
+    /// Flush policy.
+    pub policy: Policy,
+    /// Operation count at which the workload was cut.
+    pub cut_op: u64,
+    /// Operations the workload completed before the cut.
+    pub ops: u64,
+    /// Post-checkpoint segments rolled forward (LFS).
+    pub rolled_segments: u64,
+    /// Block pointers patched during roll-forward.
+    pub patched_blocks: u64,
+    /// Walker violations straight after recovery.
+    pub violations_pre: u64,
+    /// Directory entries dropped + files truncated by repair.
+    pub repairs: u64,
+    /// Walker violations after repair (must be 0).
+    pub violations_post: u64,
+    /// NVRAM blocks replayed into the recovered system.
+    pub nvram_replayed: u64,
+    /// Recovery + repair time in virtual milliseconds.
+    pub recovery_ms: f64,
+    /// Acknowledged-write loss accounting.
+    pub loss: LossReport,
+}
+
+/// Runs the full sweep; deterministic in `cfg` (same config + seed →
+/// byte-identical cells).
+pub fn run_crash_sweep(cfg: &CrashConfig) -> Vec<CrashCell> {
+    // Generate the workload once; every cell replays a clone of it.
+    let records = SyntheticSprite::new(cfg.trace.clone(), cfg.seed ^ 0xabcd).generate(cfg.scale);
+    let cuts = cut_points(records.len() as u64, cfg.cuts);
+    let mut cells = Vec::new();
+    for (li, layout) in cfg.layouts.iter().enumerate() {
+        for (pi, policy) in cfg.policies.iter().enumerate() {
+            for (ci, &cut_op) in cuts.iter().enumerate() {
+                let cell_seed = cfg
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(((li as u64) << 32) ^ ((pi as u64) << 16) ^ ci as u64);
+                cells.push(run_cell(*layout, *policy, cut_op, cell_seed, records.clone()));
+            }
+        }
+    }
+    cells
+}
+
+fn run_cell(
+    layout_kind: LayoutKind,
+    policy: Policy,
+    cut_op: u64,
+    cell_seed: u64,
+    records: Vec<cnp_trace::TraceRecord>,
+) -> CrashCell {
+    let sim = Sim::new(cell_seed);
+    let h = sim.handle();
+
+    // Phase A: the doomed stack.
+    let (driver, disk) = FaultyDisk::new(Box::new(Hp97560::new()), FaultPlan::default()).spawn(
+        &h,
+        "crash0",
+        Box::new(CLook),
+    );
+    let layout = layout_kind.build(&h, driver.clone());
+    let (flush, nvram) = policy.cache_settings(4 * 1024 * 1024);
+    let fs_cfg = FsConfig {
+        cache: CacheConfig { block_size: 4096, mem_bytes: 8 * 1024 * 1024, nvram_bytes: nvram },
+        flush: flush.to_string(),
+        flush_mode: FlushMode::Async,
+        data_mode: DataMode::Simulated,
+        ..FsConfig::default()
+    };
+    let fs = FileSystem::new(&h, layout, fs_cfg.clone());
+
+    let out: Rc<RefCell<Option<CrashCell>>> = Rc::new(RefCell::new(None));
+    let out2 = out.clone();
+    let h2 = h.clone();
+    h.spawn("crash-cell", async move {
+        fs.format().await.expect("format");
+        let report = replay_with(
+            &h2,
+            &fs,
+            records,
+            ReplayOptions { max_ops: Some(cut_op), track_acks: true },
+        )
+        .await;
+        // The cut: everything volatile dies right now.
+        let state = CrashState::capture(&fs, &disk).await;
+        fs.shutdown();
+
+        // Phase B: power-on, recover, verify, replay NVRAM, account.
+        let (driver2, _disk2) = state.restore_hp(&h2, "crash1");
+        let mut layout2 = layout_kind.build(&h2, driver2.clone());
+        let outcome = recover_and_check(&h2, &mut layout2).await.expect("recovery");
+        let fs2 = FileSystem::new(&h2, layout2, fs_cfg);
+        // Replay failures must abort the cell loudly: a half-replayed
+        // file system would misattribute replay bugs as crash loss.
+        let nvram_replayed = replay_nvram(&fs2, &state.nvram).await.expect("nvram replay");
+        let loss = measure_loss(&fs2, &report.acked, state.cut_at).await;
+        fs2.shutdown();
+
+        *out2.borrow_mut() = Some(CrashCell {
+            layout: layout_kind.name(),
+            policy,
+            cut_op,
+            ops: report.ops,
+            rolled_segments: outcome.stats.rolled_segments,
+            patched_blocks: outcome.stats.patched_blocks,
+            violations_pre: outcome.pre.violations.len() as u64,
+            repairs: outcome.repairs.entries_removed
+                + outcome.repairs.files_truncated
+                + outcome.repairs.dirs_reset,
+            violations_post: outcome.post.violations.len() as u64,
+            nvram_replayed,
+            recovery_ms: outcome.recovery_time.as_nanos() as f64 / 1e6,
+            loss,
+        });
+    });
+    sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+    let cell = out.borrow_mut().take().expect("crash cell did not finish");
+    cell
+}
+
+/// Formats the sweep as the report the CLI prints (stable across runs:
+/// the determinism check compares these bytes).
+pub fn format_crash_sweep(cfg: &CrashConfig, cells: &[CrashCell]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "crash sweep: trace {} | {} cuts | seed {} | scale {}\n",
+        cfg.trace.name, cfg.cuts, cfg.seed, cfg.scale
+    ));
+    s.push_str(
+        "layout policy            cut    ops  rolled patched  viol  fix  post  nvram  rec-ms  lostF  lostKB  window-ms\n",
+    );
+    let mut all_clean = true;
+    for c in cells {
+        all_clean &= c.violations_post == 0;
+        s.push_str(&format!(
+            "{:<6} {:<17} {:>5} {:>6} {:>7} {:>7} {:>5} {:>4} {:>5} {:>6} {:>7.2} {:>6} {:>7.1} {:>10.1}\n",
+            c.layout,
+            c.policy.label(),
+            c.cut_op,
+            c.ops,
+            c.rolled_segments,
+            c.patched_blocks,
+            c.violations_pre,
+            c.repairs,
+            c.violations_post,
+            c.nvram_replayed,
+            c.recovery_ms,
+            c.loss.lost_files,
+            c.loss.lost_bytes as f64 / 1024.0,
+            c.loss.loss_window_ms,
+        ));
+    }
+    s.push_str(&format!(
+        "cells: {} | post-repair violations: {}\n",
+        cells.len(),
+        if all_clean {
+            "none (all cells verified clean)".to_string()
+        } else {
+            "PRESENT".to_string()
+        }
+    ));
+    s
+}
+
+/// CLI entry: runs the sweep and prints the report.
+pub fn crash_cli(
+    trace: &str,
+    cuts: u32,
+    seed: u64,
+    scale: f64,
+    layout: Option<&str>,
+    policy: Option<&str>,
+) {
+    let Some(params) = cnp_trace::preset(trace) else {
+        eprintln!("unknown trace {trace} (1a|1b|2a|2b|5)");
+        std::process::exit(2);
+    };
+    let mut cfg = CrashConfig::new(params, cuts, seed, scale);
+    if let Some(l) = layout {
+        let Some(kind) = LayoutKind::parse(l) else {
+            eprintln!("unknown layout {l} (lfs|ffs)");
+            std::process::exit(2);
+        };
+        cfg.layouts = vec![kind];
+    }
+    if let Some(p) = policy {
+        let Some(policy) = Policy::parse(p) else {
+            eprintln!("unknown policy {p} (write-delay|ups|nvram-whole|nvram-partial)");
+            std::process::exit(2);
+        };
+        cfg.policies = vec![policy];
+    }
+    let cells = run_crash_sweep(&cfg);
+    print!("{}", format_crash_sweep(&cfg, &cells));
+}

@@ -11,7 +11,9 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod crash;
 pub mod experiment;
 pub mod figures;
 
+pub use crash::{format_crash_sweep, run_crash_sweep, CrashCell, CrashConfig};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Policy, POLICIES};

@@ -96,7 +96,7 @@ fn status_of(e: &FsError) -> NfsStat {
         FsError::NotEmpty(_) => NfsStat::NotEmpty,
         FsError::BadPath(_) => NfsStat::NoEnt,
         FsError::TooBig => NfsStat::FBig,
-        FsError::Layout(_) => NfsStat::Io,
+        FsError::Layout(_) | FsError::Disk(_) => NfsStat::Io,
     }
 }
 

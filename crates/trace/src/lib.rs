@@ -16,7 +16,7 @@ mod replay;
 pub mod sprite;
 
 pub use record::{TraceOp, TraceRecord};
-pub use replay::{replay, ReplayReport};
+pub use replay::{replay, replay_with, AckedFile, ReplayOptions, ReplayReport};
 pub use sprite::{
     preset, trace_1a, trace_1b, trace_2a, trace_2b, trace_5, SpriteParams, SyntheticSprite, PRESETS,
 };

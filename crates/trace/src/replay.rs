@@ -13,8 +13,8 @@
 //! completes. The measurements are shown every 15 minutes of simulation
 //! time and of the overall simulation." (§4)
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use cnp_core::{FileSystem, FsError};
@@ -23,6 +23,29 @@ use cnp_sim::stats::{Histogram, IntervalReporter, IntervalRow};
 use cnp_sim::{Handle, SimDuration, SimTime};
 
 use crate::record::{TraceOp, TraceRecord};
+
+/// Controls for [`replay_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ReplayOptions {
+    /// Stop after this many operations have been attempted across all
+    /// clients — the crash-experiment "cut at operation N" knob.
+    pub max_ops: Option<u64>,
+    /// Track per-file acknowledged state (sizes of successful writes),
+    /// feeding the crash experiments' data-loss accounting.
+    pub track_acks: bool,
+}
+
+/// The acknowledged state of one file when replay stopped: what a user
+/// was told succeeded, against which post-crash recovery is judged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AckedFile {
+    /// Absolute path.
+    pub path: String,
+    /// Size implied by acknowledged writes/truncates.
+    pub size: u64,
+    /// Virtual time (ns) of the last acknowledged size-relevant op.
+    pub last_ack_ns: u64,
+}
 
 /// Replay results: the paper's overall + per-15-minutes measurements.
 #[derive(Debug, Clone)]
@@ -41,6 +64,8 @@ pub struct ReplayReport {
     pub errors: u64,
     /// Up to five sample error messages (diagnostics).
     pub error_sample: Vec<String>,
+    /// Acknowledged per-file state ([`ReplayOptions::track_acks`]).
+    pub acked: Vec<AckedFile>,
 }
 
 impl ReplayReport {
@@ -58,6 +83,8 @@ struct ReplayState {
     ops: u64,
     errors: u64,
     error_sample: Vec<String>,
+    /// path → (acked size, last ack time); None when not tracking.
+    acked: Option<BTreeMap<String, (u64, u64)>>,
 }
 
 /// Replays a trace against a file system; resolves when every client
@@ -66,6 +93,18 @@ struct ReplayState {
 /// Each client id in the trace becomes its own simulated thread. Files
 /// are created on first use (traces do not carry creates explicitly).
 pub async fn replay(handle: &Handle, fs: &FileSystem, records: Vec<TraceRecord>) -> ReplayReport {
+    replay_with(handle, fs, records, ReplayOptions::default()).await
+}
+
+/// [`replay`] with an operation budget and acknowledgement tracking —
+/// the crash experiments cut the workload here and compare recovered
+/// state against what was acknowledged.
+pub async fn replay_with(
+    handle: &Handle,
+    fs: &FileSystem,
+    records: Vec<TraceRecord>,
+    opts: ReplayOptions,
+) -> ReplayReport {
     let state = Rc::new(RefCell::new(ReplayState {
         latency: Histogram::latency_default(),
         read_latency: Histogram::latency_default(),
@@ -74,7 +113,9 @@ pub async fn replay(handle: &Handle, fs: &FileSystem, records: Vec<TraceRecord>)
         ops: 0,
         errors: 0,
         error_sample: Vec::new(),
+        acked: if opts.track_acks { Some(BTreeMap::new()) } else { None },
     }));
+    let budget = Rc::new(Cell::new(opts.max_ops.unwrap_or(u64::MAX)));
     // Split records per client, preserving order. A BTreeMap keeps the
     // spawn order deterministic (replayability of the whole simulation).
     let mut per_client: std::collections::BTreeMap<u32, Vec<TraceRecord>> =
@@ -88,8 +129,9 @@ pub async fn replay(handle: &Handle, fs: &FileSystem, records: Vec<TraceRecord>)
         let fs = fs.clone();
         let h = handle.clone();
         let state = state.clone();
+        let budget = budget.clone();
         handles.push(handle.spawn(&format!("client{client}"), async move {
-            client_thread(h, fs, recs, state, epoch).await;
+            client_thread(h, fs, recs, state, budget, epoch).await;
         }));
     }
     for jh in handles {
@@ -97,6 +139,12 @@ pub async fn replay(handle: &Handle, fs: &FileSystem, records: Vec<TraceRecord>)
     }
     let end = handle.now();
     let st = Rc::try_unwrap(state).ok().expect("clients done").into_inner();
+    let acked = st
+        .acked
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(path, (size, last_ack_ns))| AckedFile { path, size, last_ack_ns })
+        .collect();
     ReplayReport {
         latency: st.latency,
         read_latency: st.read_latency,
@@ -105,6 +153,7 @@ pub async fn replay(handle: &Handle, fs: &FileSystem, records: Vec<TraceRecord>)
         ops: st.ops,
         errors: st.errors,
         error_sample: st.error_sample,
+        acked,
     }
 }
 
@@ -113,6 +162,7 @@ async fn client_thread(
     fs: FileSystem,
     recs: Vec<TraceRecord>,
     state: Rc<RefCell<ReplayState>>,
+    budget: Rc<Cell<u64>>,
     epoch: SimTime,
 ) {
     // Per-client open-file table (path → ino).
@@ -122,6 +172,12 @@ async fn client_thread(
         if h.now() < due {
             h.sleep_until(due).await;
         }
+        // Operation budget: the crash cut point.
+        let remaining = budget.get();
+        if remaining == 0 {
+            return;
+        }
+        budget.set(remaining - 1);
         let t0 = h.now();
         let result = execute(&fs, &rec.op, &mut open).await;
         let latency = h.now() - t0;
@@ -136,6 +192,25 @@ async fn client_thread(
                     TraceOp::Read { .. } => st.read_latency.record(ms),
                     TraceOp::Write { .. } => st.write_latency.record(ms),
                     _ => {}
+                }
+                if let Some(acked) = st.acked.as_mut() {
+                    let now_ns = h.now().as_nanos();
+                    match &rec.op {
+                        TraceOp::Write { path, offset, len } => {
+                            let e = acked.entry(path.clone()).or_insert((0, now_ns));
+                            e.0 = e.0.max(offset + len);
+                            e.1 = now_ns;
+                        }
+                        TraceOp::Truncate { path, size } => {
+                            let e = acked.entry(path.clone()).or_insert((0, now_ns));
+                            e.0 = *size;
+                            e.1 = now_ns;
+                        }
+                        TraceOp::Delete { path } => {
+                            acked.remove(path);
+                        }
+                        _ => {}
+                    }
                 }
             }
             Err(e) => {

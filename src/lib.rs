@@ -15,7 +15,9 @@
 //! * [`layout`] — segmented LFS (+ cleaner), FFS-like, and sim-guess
 //!   storage layouts;
 //! * [`core`] — the abstract client interface and file-system engine;
-//! * [`trace`] — Sprite-like workload generation, codecs, and replay.
+//! * [`trace`] — Sprite-like workload generation, codecs, and replay;
+//! * [`fault`] — deterministic fault injection, crash-state capture,
+//!   and recovery verification (fsck walker, NVRAM replay).
 //!
 //! See `DESIGN.md` for the full inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -23,6 +25,7 @@
 pub use cnp_cache as cache;
 pub use cnp_core as core;
 pub use cnp_disk as disk;
+pub use cnp_fault as fault;
 pub use cnp_layout as layout;
 pub use cnp_patsy as patsy;
 pub use cnp_pfs as pfs;

@@ -125,6 +125,34 @@ fn crash_recovery_loses_only_post_checkpoint_writes() {
 }
 
 #[test]
+fn crash_sweep_is_deterministic_and_verifies_clean() {
+    use cut_and_paste::patsy::{format_crash_sweep, run_crash_sweep, CrashConfig};
+
+    // A small sweep: both layouts, all four policies, three cut points.
+    let cfg = CrashConfig::new(trace_1a(), 3, 42, 0.002);
+    let cells = run_crash_sweep(&cfg);
+    assert_eq!(cells.len(), 2 * 4 * 3);
+    for c in &cells {
+        assert_eq!(
+            c.violations_post,
+            0,
+            "cell ({}, {}, cut {}) must verify clean after recovery",
+            c.layout,
+            c.policy.label(),
+            c.cut_op
+        );
+        assert!(c.ops > 0, "the workload must have run before the cut");
+    }
+    // Byte-identical across invocations: the whole report string.
+    let again = run_crash_sweep(&cfg);
+    assert_eq!(
+        format_crash_sweep(&cfg, &cells),
+        format_crash_sweep(&cfg, &again),
+        "crash sweeps must be bit-identical for the same seed"
+    );
+}
+
+#[test]
 fn nvram_policy_bounds_dirty_data() {
     run_to_completion(13, |h| async move {
         let cfg = FsConfig {

@@ -2,14 +2,72 @@
 
 use proptest::prelude::*;
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use cut_and_paste::cache::{BlockCache, BlockKey, CacheConfig, FileId, Lru, Reserve, WriteSaving};
-use cut_and_paste::disk::{scheduler_by_name, PendingMeta};
+use cut_and_paste::core::{DataMode, FileSystem, FsConfig};
+use cut_and_paste::disk::{scheduler_by_name, CLook, FaultPlan, Hp97560, PendingMeta};
+use cut_and_paste::fault::{recover_and_check, CrashState, FaultyDisk, LayoutKind};
 use cut_and_paste::layout::dir::{decode, encode, Dirent};
 use cut_and_paste::layout::{FileKind, Ino, Inode};
 use cut_and_paste::sim::stats::Histogram;
-use cut_and_paste::sim::SimTime;
+use cut_and_paste::sim::{Handle, Sim, SimTime};
 use cut_and_paste::trace::codec;
 use cut_and_paste::trace::{TraceOp, TraceRecord};
+
+/// Runs a closure on a fresh virtual-time sim to completion.
+fn run_sim<F, Fut>(seed: u64, f: F)
+where
+    F: FnOnce(Handle) -> Fut + 'static,
+    Fut: std::future::Future<Output = ()> + 'static,
+{
+    let sim = Sim::new(seed);
+    let h = sim.handle();
+    let done = Rc::new(Cell::new(false));
+    let done2 = done.clone();
+    let h2 = h.clone();
+    h.spawn("prop", async move {
+        f(h2).await;
+        done2.set(true);
+    });
+    sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+    assert!(done.get(), "sim body did not complete");
+}
+
+/// Recovers an LFS from a disk image; returns a logical digest (sorted
+/// root listing with sizes and leading bytes), the post-recovery disk
+/// image, and how many segments rolled forward.
+async fn recover_digest(
+    h: &Handle,
+    image: cut_and_paste::disk::DiskImage,
+    name: &str,
+    cfg: FsConfig,
+) -> (Vec<(String, u64, Vec<u8>)>, cut_and_paste::disk::DiskImage, u64) {
+    let state =
+        CrashState { image, nvram: Default::default(), staging_sealed: true, cut_at: h.now() };
+    let (driver, disk) = state.restore_hp(h, name);
+    let mut layout = LayoutKind::Lfs.build(h, driver.clone());
+    let outcome = recover_and_check(h, &mut layout).await.expect("recovery");
+    assert!(outcome.post.clean(), "walker dirty after recovery: {:?}", outcome.post.violations);
+    let fs = FileSystem::new(h, layout, cfg);
+    let mut digest = Vec::new();
+    let mut entries = fs.readdir("/").await.expect("readdir");
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    for e in entries {
+        let inode = fs.stat(&format!("/{}", e.name)).await.expect("stat");
+        let mut heads = Vec::new();
+        let blocks = inode.size.div_ceil(4096);
+        for blk in 0..blocks {
+            let (_, data) = fs.read(e.ino, blk * 4096, 1).await.expect("read");
+            heads.push(data.and_then(|d| d.first().copied()).unwrap_or(0));
+        }
+        digest.push((e.name, inode.size, heads));
+    }
+    let image2 = disk.platter_image();
+    fs.shutdown();
+    (digest, image2, outcome.stats.rolled_segments)
+}
 
 proptest! {
     /// Inode serialization round-trips for arbitrary field values.
@@ -155,6 +213,130 @@ proptest! {
             prop_assert!(cache.resident() <= frames);
             prop_assert!(cache.dirty_count() <= cache.resident());
         }
+    }
+
+    /// LFS crash recovery is idempotent: recovering a crashed image and
+    /// then "re-crashing" immediately (no new work) and recovering again
+    /// yields the same logical file system, with nothing left to roll.
+    #[test]
+    fn lfs_recovery_is_idempotent(
+        seed in 0u64..1_000_000,
+        nfiles in 1u64..5,
+        blocks_per_file in 1u64..6,
+    ) {
+        run_sim(seed, move |h| async move {
+            // Doomed stack: NVRAM policy so cache drains seal segments,
+            // leaving post-checkpoint log state to roll forward.
+            let (driver, disk) = FaultyDisk::new(Box::new(Hp97560::new()), FaultPlan::default())
+                .spawn(&h, "p0", Box::new(CLook));
+            let layout = LayoutKind::Lfs.build(&h, driver.clone());
+            let cfg = FsConfig {
+                cache: CacheConfig {
+                    block_size: 4096,
+                    mem_bytes: 64 * 4096,
+                    nvram_bytes: Some(8 * 4096),
+                },
+                flush: "nvram-whole".into(),
+                data_mode: DataMode::Real,
+                ..FsConfig::default()
+            };
+            let fs = FileSystem::new(&h, layout, cfg.clone());
+            fs.format().await.unwrap();
+            // A synced baseline file, then un-checkpointed writes.
+            let base = fs.create("/base", FileKind::Regular).await.unwrap();
+            fs.write(base, 0, 4096, Some(&vec![9u8; 4096])).await.unwrap();
+            fs.sync().await.unwrap();
+            for i in 0..nfiles {
+                let ino = fs.create(&format!("/f{i}"), FileKind::Regular).await.unwrap();
+                for blk in 0..blocks_per_file {
+                    let tag = (7 + i * 31 + blk) as u8;
+                    fs.write(ino, blk * 4096, 4096, Some(&vec![tag; 4096])).await.unwrap();
+                }
+            }
+            // Crash.
+            let image = disk.platter_image();
+            fs.shutdown();
+            // Recover once; then recover the recovered image again.
+            let (d1, image2, _rolled) = recover_digest(&h, image, "r1", cfg.clone()).await;
+            let (d2, _image3, rolled2) = recover_digest(&h, image2, "r2", cfg).await;
+            assert_eq!(rolled2, 0, "second recovery must find nothing young");
+            assert_eq!(d1, d2, "recover twice must equal recover once");
+        });
+    }
+
+    /// Under the NVRAM-whole flush policy, a crash loses zero
+    /// acknowledged writes to files whose creation reached a checkpoint:
+    /// every acked byte is either on the platter or in the NVRAM
+    /// snapshot, and replay restores it exactly.
+    #[test]
+    fn nvram_whole_crash_loses_zero_acked_writes(
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec((0u64..4, 0u64..8), 1..24),
+    ) {
+        run_sim(seed, move |h| async move {
+            let (driver, disk) = FaultyDisk::new(Box::new(Hp97560::new()), FaultPlan::default())
+                .spawn(&h, "n0", Box::new(CLook));
+            let layout = LayoutKind::Lfs.build(&h, driver.clone());
+            let cfg = FsConfig {
+                cache: CacheConfig {
+                    block_size: 4096,
+                    mem_bytes: 64 * 4096,
+                    // Small NVRAM: many ops overflow it, exercising the
+                    // drain-then-seal path, not just pure NVRAM survival.
+                    nvram_bytes: Some(4 * 4096),
+                },
+                flush: "nvram-whole".into(),
+                data_mode: DataMode::Real,
+                ..FsConfig::default()
+            };
+            let fs = FileSystem::new(&h, layout, cfg.clone());
+            fs.format().await.unwrap();
+            let mut inos = Vec::new();
+            for i in 0..4u64 {
+                inos.push(fs.create(&format!("/f{i}"), FileKind::Regular).await.unwrap());
+            }
+            fs.sync().await.unwrap(); // Namespace durable.
+            // Acknowledged tagged writes; the model is the ground truth.
+            let mut model: std::collections::BTreeMap<(u64, u64), u8> =
+                std::collections::BTreeMap::new();
+            let mut sizes: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+            for (i, (fidx, blk)) in ops.iter().enumerate() {
+                let tag = ((i as u64 * 7 + fidx * 31 + blk * 3) % 251) as u8;
+                fs.write(inos[*fidx as usize], blk * 4096, 4096, Some(&vec![tag; 4096]))
+                    .await
+                    .expect("acked write");
+                model.insert((*fidx, *blk), tag);
+                let s = sizes.entry(*fidx).or_insert(0);
+                *s = (*s).max((blk + 1) * 4096);
+            }
+            // Crash: platter + NVRAM survive, nothing else.
+            let state = CrashState::capture(&fs, &disk).await;
+            fs.shutdown();
+            // Power-on, recover, verify, replay NVRAM.
+            let (driver2, _disk2) = state.restore_hp(&h, "n1");
+            let mut layout2 = LayoutKind::Lfs.build(&h, driver2.clone());
+            let outcome = recover_and_check(&h, &mut layout2).await.expect("recovery");
+            assert!(outcome.post.clean(), "{:?}", outcome.post.violations);
+            let fs2 = FileSystem::new(&h, layout2, cfg);
+            cut_and_paste::fault::replay_nvram(&fs2, &state.nvram).await.expect("nvram replay");
+            // Every acknowledged write must read back exactly.
+            for ((fidx, blk), tag) in model {
+                let ino = fs2.lookup(&format!("/f{fidx}")).await.expect("file identity survives");
+                let (n, data) = fs2.read(ino, blk * 4096, 4096).await.expect("read back");
+                assert_eq!(n, 4096, "file {fidx} block {blk} short read");
+                let data = data.expect("real mode returns bytes");
+                assert!(
+                    data.iter().all(|&b| b == tag),
+                    "file {fidx} block {blk}: acked write lost (want {tag}, got {})",
+                    data[0]
+                );
+            }
+            for (fidx, size) in sizes {
+                let inode = fs2.stat(&format!("/f{fidx}")).await.unwrap();
+                assert_eq!(inode.size, size, "file {fidx} size must survive");
+            }
+            fs2.shutdown();
+        });
     }
 
     /// Histogram quantiles are monotone and bounded by min/max.
