@@ -92,6 +92,22 @@ fn bench_components(c: &mut Criterion) {
     });
 }
 
+fn bench_queue_depth(c: &mut Criterion) {
+    use cnp_bench::{qd_footprint, qd_service_mean};
+    let mut g = c.benchmark_group("queue_depth");
+    g.sample_size(10);
+    let reqs = qd_footprint("1a");
+    // The pipelined path at several depths: the same trace footprint,
+    // closed-loop, under FCFS and SSTF. Regressions in dispatch,
+    // batching, or overlap accounting show up here first.
+    for (sched, depth) in [("fcfs", 1u32), ("fcfs", 8), ("sstf", 8), ("sstf", 16)] {
+        g.bench_function(format!("{sched}_qd{depth}"), |b| {
+            b.iter(|| std::hint::black_box(qd_service_mean(&reqs, sched, depth)))
+        });
+    }
+    g.finish();
+}
+
 fn bench_crash_recovery(c: &mut Criterion) {
     use cnp_patsy::CrashConfig;
     let mut g = c.benchmark_group("crash_recovery");
@@ -117,6 +133,7 @@ criterion_group!(
     bench_fig4_trace5,
     bench_fig5_means,
     bench_components,
+    bench_queue_depth,
     bench_crash_recovery
 );
 criterion_main!(figures);

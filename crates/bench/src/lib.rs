@@ -26,6 +26,20 @@ pub fn fig_experiment(trace: &str, policy: Policy) -> f64 {
     r.report.mean_ms()
 }
 
+/// Block-level footprint of a trace at bench scale, for the
+/// queue-depth benches (shared so every bench sees the same stream).
+pub fn qd_footprint(trace: &str) -> Vec<cnp_patsy::qdsweep::BlockReq> {
+    use cnp_disk::DiskModel;
+    let capacity = cnp_disk::Hp97560::new().geometry().capacity_sectors();
+    cnp_patsy::trace_footprint(trace, BENCH_SCALE, BENCH_SEED, capacity)
+}
+
+/// Closed-loop replay of a footprint at one (scheduler, depth) cell;
+/// returns the mean device service time in milliseconds.
+pub fn qd_service_mean(reqs: &[cnp_patsy::qdsweep::BlockReq], sched: &str, depth: u32) -> f64 {
+    cnp_patsy::run_depth_cell(reqs, sched, depth, BENCH_SEED).mean_service_ms
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -720,8 +720,11 @@ mod tests {
         let cfg =
             CacheConfig { block_size: 4096, mem_bytes: 8 * 4096, nvram_bytes: Some(3 * 4096) };
         let n = cfg.frames();
-        let mut c =
-            BlockCache::new(cfg, Box::new(Lru::new(n)), Box::new(NvramFlush { whole_file: true }));
+        let mut c = BlockCache::new(
+            cfg,
+            Box::new(Lru::new(n)),
+            Box::new(NvramFlush { whole_file: true, batch: 1 }),
+        );
         insert(&mut c, key(1, 0), t(0));
         insert(&mut c, key(1, 1), t(1));
         insert(&mut c, key(2, 0), t(2));

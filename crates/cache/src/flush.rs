@@ -71,16 +71,35 @@ pub trait FlushPolicy {
 
 /// Picks the oldest dirty block, expanded to its whole file if asked.
 fn oldest_selection(q: &dyn CacheQuery, whole_file: bool) -> Vec<BlockKey> {
-    match q.oldest_dirty() {
-        None => Vec::new(),
-        Some((key, _since)) => {
-            if whole_file {
-                q.dirty_of_file(key.file)
-            } else {
-                vec![key]
+    batched_selection(q, whole_file, 1)
+}
+
+/// Oldest-first selection of up to `batch` groups (whole files, or
+/// single blocks when `whole_file` is false).
+///
+/// `batch == 1` is the legacy one-group-per-stall behaviour; a deeper
+/// batch hands the engine enough blocks to fill its I/O pipeline in one
+/// go, so a stalled writer pays one flush round-trip instead of
+/// `batch` of them.
+fn batched_selection(q: &dyn CacheQuery, whole_file: bool, batch: usize) -> Vec<BlockKey> {
+    let mut out: Vec<BlockKey> = Vec::new();
+    for _ in 0..batch.max(1) {
+        let Some((key, _since)) = q.oldest_dirty_excluding(&out) else { break };
+        if whole_file {
+            let before = out.len();
+            for k in q.dirty_of_file(key.file) {
+                if !out.contains(&k) {
+                    out.push(k);
+                }
             }
+            if out.len() == before {
+                out.push(key);
+            }
+        } else {
+            out.push(key);
         }
     }
+    out
 }
 
 /// The 30-second-update baseline (the paper's *write-delay* experiment).
@@ -154,10 +173,19 @@ impl FlushPolicy for PeriodicUpdate {
 ///
 /// "we equip the file-system with a UPS and only flush a cache block
 /// when we are out of non-dirty cache-blocks" (§5.1)
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct WriteSaving {
     /// Expand demand flushes to the whole file of the oldest block.
     pub whole_file: bool,
+    /// Oldest-first groups per demand flush (1 = legacy; set to the
+    /// engine's queue depth so each stall fills the I/O pipeline).
+    pub batch: usize,
+}
+
+impl Default for WriteSaving {
+    fn default() -> Self {
+        WriteSaving { whole_file: false, batch: 1 }
+    }
 }
 
 impl FlushPolicy for WriteSaving {
@@ -166,7 +194,7 @@ impl FlushPolicy for WriteSaving {
     }
 
     fn on_demand(&mut self, q: &dyn CacheQuery) -> Vec<BlockKey> {
-        oldest_selection(q, self.whole_file)
+        batched_selection(q, self.whole_file, self.batch)
     }
 }
 
@@ -181,6 +209,8 @@ impl FlushPolicy for WriteSaving {
 pub struct NvramFlush {
     /// Whole-file (true) vs partial-file/single-block (false) flush.
     pub whole_file: bool,
+    /// Oldest-first groups per flush (1 = the paper's policy verbatim).
+    pub batch: usize,
 }
 
 impl FlushPolicy for NvramFlush {
@@ -193,11 +223,11 @@ impl FlushPolicy for NvramFlush {
     }
 
     fn on_demand(&mut self, q: &dyn CacheQuery) -> Vec<BlockKey> {
-        oldest_selection(q, self.whole_file)
+        batched_selection(q, self.whole_file, self.batch)
     }
 
     fn on_nvram_full(&mut self, q: &dyn CacheQuery) -> Vec<BlockKey> {
-        oldest_selection(q, self.whole_file)
+        batched_selection(q, self.whole_file, self.batch)
     }
 }
 
@@ -205,12 +235,20 @@ impl FlushPolicy for NvramFlush {
 ///
 /// Names: `write-delay`, `ups`, `ups-whole`, `nvram-whole`, `nvram-partial`.
 pub fn flush_by_name(name: &str) -> Option<Box<dyn FlushPolicy>> {
+    flush_by_name_batched(name, 1)
+}
+
+/// Like [`flush_by_name`], with a demand-flush batch size: each stall
+/// selects up to `batch` oldest-first groups, sized for an engine that
+/// issues the batch concurrently (the queue-depth knob). `batch == 1`
+/// reproduces the paper's single-group policies exactly.
+pub fn flush_by_name_batched(name: &str, batch: usize) -> Option<Box<dyn FlushPolicy>> {
     match name {
         "write-delay" | "30s" => Some(Box::new(PeriodicUpdate::default())),
-        "ups" => Some(Box::new(WriteSaving { whole_file: false })),
-        "ups-whole" => Some(Box::new(WriteSaving { whole_file: true })),
-        "nvram-whole" => Some(Box::new(NvramFlush { whole_file: true })),
-        "nvram-partial" => Some(Box::new(NvramFlush { whole_file: false })),
+        "ups" => Some(Box::new(WriteSaving { whole_file: false, batch })),
+        "ups-whole" => Some(Box::new(WriteSaving { whole_file: true, batch })),
+        "nvram-whole" => Some(Box::new(NvramFlush { whole_file: true, batch })),
+        "nvram-partial" => Some(Box::new(NvramFlush { whole_file: false, batch })),
         _ => None,
     }
 }
@@ -235,6 +273,10 @@ mod tests {
 
         fn dirty_count(&self) -> usize {
             self.dirty.len()
+        }
+
+        fn oldest_dirty_excluding(&self, excluded: &[BlockKey]) -> Option<(BlockKey, SimTime)> {
+            self.dirty.iter().find(|(k, _)| !excluded.contains(k)).copied()
         }
     }
 
@@ -271,10 +313,40 @@ mod tests {
     fn nvram_whole_vs_partial() {
         let q =
             FakeQuery { dirty: vec![(key(7, 0), at(0)), (key(7, 1), at(1)), (key(8, 0), at(2))] };
-        let mut whole = NvramFlush { whole_file: true };
+        let mut whole = NvramFlush { whole_file: true, batch: 1 };
         assert_eq!(whole.on_nvram_full(&q), vec![key(7, 0), key(7, 1)]);
-        let mut partial = NvramFlush { whole_file: false };
+        let mut partial = NvramFlush { whole_file: false, batch: 1 };
         assert_eq!(partial.on_nvram_full(&q), vec![key(7, 0)]);
+    }
+
+    #[test]
+    fn batched_selection_spans_multiple_groups() {
+        // Three files, oldest-first: 7, 8, 9.
+        let q = FakeQuery {
+            dirty: vec![
+                (key(7, 0), at(0)),
+                (key(7, 1), at(1)),
+                (key(8, 0), at(2)),
+                (key(9, 0), at(3)),
+            ],
+        };
+        // batch=2 whole-file: both of file 7 plus file 8's block.
+        let mut whole = NvramFlush { whole_file: true, batch: 2 };
+        assert_eq!(whole.on_nvram_full(&q), vec![key(7, 0), key(7, 1), key(8, 0)]);
+        // batch=3 single-block: the three oldest blocks, files mixed.
+        let mut partial = WriteSaving { whole_file: false, batch: 3 };
+        assert_eq!(partial.on_demand(&q), vec![key(7, 0), key(7, 1), key(8, 0)]);
+        // A batch larger than the dirty set drains it and stops.
+        let mut greedy = WriteSaving { whole_file: true, batch: 16 };
+        assert_eq!(
+            greedy.on_demand(&q),
+            vec![key(7, 0), key(7, 1), key(8, 0), key(9, 0)],
+            "batch must stop at the dirty set"
+        );
+        // The factory's batched variant matches the legacy one at 1.
+        let mut a = flush_by_name("ups").unwrap();
+        let mut b = flush_by_name_batched("ups", 1).unwrap();
+        assert_eq!(a.on_demand(&q), b.on_demand(&q));
     }
 
     #[test]
@@ -283,7 +355,7 @@ mod tests {
         let mut p = PeriodicUpdate::default();
         assert!(p.on_tick(&q, at(100)).is_empty());
         assert!(p.on_demand(&q).is_empty());
-        let mut n = NvramFlush { whole_file: true };
+        let mut n = NvramFlush { whole_file: true, batch: 1 };
         assert!(n.on_nvram_full(&q).is_empty());
     }
 

@@ -20,7 +20,10 @@ mod list;
 pub mod policy;
 
 pub use engine::{BlockCache, BlockState, CacheConfig, CacheStats, DirtyOutcome, Reserve};
-pub use flush::{flush_by_name, CacheQuery, FlushPolicy, NvramFlush, PeriodicUpdate, WriteSaving};
+pub use flush::{
+    flush_by_name, flush_by_name_batched, CacheQuery, FlushPolicy, NvramFlush, PeriodicUpdate,
+    WriteSaving,
+};
 pub use key::{BlockKey, FileId};
 pub use list::FrameList;
 pub use policy::{

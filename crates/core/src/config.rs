@@ -38,6 +38,13 @@ pub struct FsConfig {
     pub flush: String,
     /// Flush execution mode.
     pub flush_mode: FlushMode,
+    /// I/O pipeline depth: how many block requests the engine keeps in
+    /// flight per multi-block operation, and how many commands the disk
+    /// driver keeps outstanding at the device. `1` (the default) is the
+    /// legacy lock-step path and replays pre-pipelining runs exactly;
+    /// raising it lets multi-block reads/writes and flush batches fan
+    /// out, building the disk queue the I/O schedulers exist to exploit.
+    pub queue_depth: u32,
     /// Real or simulated user data.
     pub data_mode: DataMode,
     /// Simulated cost of copying one cache block ("the simulator delays
@@ -60,6 +67,7 @@ impl Default for FsConfig {
             replacement: "lru".to_string(),
             flush: "write-delay".to_string(),
             flush_mode: FlushMode::Async,
+            queue_depth: 1,
             data_mode: DataMode::Simulated,
             copy_cost: SimDuration::from_micros(80),
             op_overhead: SimDuration::from_micros(100),
@@ -80,5 +88,8 @@ mod tests {
         assert_eq!(c.flush, "write-delay");
         assert_eq!(c.flush_mode, FlushMode::Async);
         assert_eq!(c.cache.frames(), 4096);
+        // Lock-step by default: pipelining is opt-in so seeded runs stay
+        // comparable across versions.
+        assert_eq!(c.queue_depth, 1);
     }
 }

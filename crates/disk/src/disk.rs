@@ -47,6 +47,15 @@ pub struct FaultPlan {
     /// When a power cut lands on a write, this many sectors of it become
     /// durable before the cut (a torn write). `0` tears the whole write.
     pub torn_write_sectors: u32,
+    /// Crash-cut semantics for in-flight batches: with a deep driver
+    /// queue, several commands are outstanding when the power dies, and
+    /// the electronics may finish an arrival-order *prefix* of them
+    /// before the platters spin down. This many write requests served
+    /// after the cut still retire durably to the platter — but are
+    /// never acknowledged (the host sees [`IoError::PowerCut`] for the
+    /// whole outstanding set). Derive it from a seed via
+    /// `cnp-fault`'s builder to sample crash interleavings.
+    pub cut_retire_ops: u64,
     /// Latent sector errors: reads touching these LBA ranges fail with a
     /// media error until the sector is rewritten (which heals it).
     pub latent_ranges: Vec<(u64, u64)>,
@@ -268,6 +277,7 @@ pub fn spawn_disk_with_image(
         model,
         bus,
         opts,
+        cut_retire_left: faults.cut_retire_ops,
         faults,
         cache: ControllerCache::new(default_cache_bytes(), geometry.sector_size),
         pos: DiskPos::HOME,
@@ -311,6 +321,9 @@ struct DiskTask {
     readahead_at: Option<u64>,
     stats: Rc<RefCell<DiskStats>>,
     served: u64,
+    /// Post-cut write requests that still retire durably (the prefix of
+    /// the outstanding set the dying electronics manage to finish).
+    cut_retire_left: u64,
 }
 
 impl DiskTask {
@@ -423,6 +436,7 @@ impl DiskTask {
         self.handle.sleep(timing.controller).await;
 
         // Power-cut checks: once dead, the disk answers nothing again.
+        let mut just_cut = false;
         if !self.dead.get() {
             let time_cut =
                 self.faults.power_cut_at.map(|t| self.handle.now() >= t).unwrap_or(false);
@@ -435,11 +449,21 @@ impl DiskTask {
                     self.store_payload(req.lba, durable, &req.payload);
                 }
                 self.dead.set(true);
+                just_cut = true;
                 // The controller's volatile write buffer dies with it.
                 self.pending.borrow_mut().clear();
             }
         }
         if self.dead.get() {
+            // Outstanding-prefix retirement: the first `cut_retire_ops`
+            // writes served *after* the landing request still reach the
+            // platter — their data is durable, but the host never hears
+            // the ack. (The landing write itself is governed by
+            // `torn_write_sectors`, not this budget.)
+            if !just_cut && req.op == IoOp::Write && self.cut_retire_left > 0 {
+                self.cut_retire_left -= 1;
+                self.store_payload(req.lba, req.sectors, &req.payload);
+            }
             self.stats.borrow_mut().faults += 1;
             reply.send(IoCompletion { id: req.id, result: Err(IoError::PowerCut), timing });
             return;
@@ -950,6 +974,49 @@ mod tests {
         // The pre-cut write survives in full.
         for s in 0..8 {
             assert!(image.contains_key(&s));
+        }
+    }
+
+    #[test]
+    fn cut_retires_prefix_of_outstanding_writes() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        // Cut lands on op 0; the next two queued writes still retire.
+        let faults =
+            FaultPlan { power_cut_at_op: Some(0), cut_retire_ops: 2, ..FaultPlan::default() };
+        let disk = setup(&sim, DiskOpts::default(), faults);
+        let d2 = disk.clone();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            // An outstanding batch of four writes, arrival-ordered.
+            for (i, lba) in [0u64, 100, 200, 300].into_iter().enumerate() {
+                let c = d2
+                    .request(make_req(
+                        i as u64,
+                        IoOp::Write,
+                        lba,
+                        8,
+                        Payload::Data(vec![i as u8 + 1; 8 * 512]),
+                        h2.now(),
+                    ))
+                    .await;
+                // Nothing after the cut is acknowledged...
+                assert!(matches!(c.result, Err(IoError::PowerCut)), "op {i}");
+            }
+        });
+        sim.run();
+        let image = disk.platter_image();
+        // ...but the first two post-cut writes are durable anyway.
+        for s in 100..108 {
+            assert!(image.contains_key(&s), "sector {s} of retired write lost");
+        }
+        for s in 200..208 {
+            assert!(image.contains_key(&s), "sector {s} of retired write lost");
+        }
+        // The landing write (no torn sectors) and the one past the
+        // budget are gone.
+        for s in (0..8).chain(300..308) {
+            assert!(!image.contains_key(&s), "sector {s} should be lost");
         }
     }
 

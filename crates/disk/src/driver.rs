@@ -14,7 +14,7 @@ use std::path::Path;
 use std::rc::Rc;
 
 use cnp_sim::stats::{Histogram, TimeWeighted};
-use cnp_sim::{oneshot, Event, Handle, OneshotSender};
+use cnp_sim::{join_all, oneshot, Event, Handle, OneshotReceiver, OneshotSender, SimTime};
 
 use crate::bus::ScsiBus;
 use crate::disk::DiskClient;
@@ -158,9 +158,21 @@ struct DriverInner {
     next_seq: u64,
     head_lba: u64,
     shutdown: bool,
+    /// Device queue depth: how many commands may be outstanding at the
+    /// back-end at once. `1` is the legacy lock-step dispatch.
+    max_inflight: u32,
+    /// Commands currently outstanding at the back-end.
+    inflight: u32,
     // Plug-in statistics (paper: queue-size and rotational-delay
     // histograms are standard detailed statistics objects).
     qlen: TimeWeighted,
+    inflight_tw: TimeWeighted,
+    /// Accumulated time with >= 1 command outstanding.
+    busy_time: cnp_sim::SimDuration,
+    /// Accumulated time with >= 2 commands outstanding (overlap).
+    overlap_time: cnp_sim::SimDuration,
+    /// When `inflight` last changed (closes busy/overlap intervals).
+    inflight_since: SimTime,
     queue_time: Histogram,
     service_time: Histogram,
     rotation_time: Histogram,
@@ -169,6 +181,23 @@ struct DriverInner {
     errors: u64,
     retries: u64,
     completed: u64,
+}
+
+impl DriverInner {
+    /// Moves the outstanding-command count, closing the open
+    /// busy/overlap interval first.
+    fn set_inflight(&mut self, now: SimTime, n: u32) {
+        let span = now.saturating_since(self.inflight_since);
+        if self.inflight >= 1 {
+            self.busy_time += span;
+        }
+        if self.inflight >= 2 {
+            self.overlap_time += span;
+        }
+        self.inflight_since = now;
+        self.inflight = n;
+        self.inflight_tw.set(now, n as f64);
+    }
 }
 
 /// Re-issues per request on transient failures before giving up.
@@ -191,6 +220,13 @@ pub struct DriverStats {
     pub mean_queue_len: f64,
     /// Maximum queue length observed.
     pub max_queue_len: f64,
+    /// Time-averaged number of commands outstanding at the device.
+    pub mean_inflight: f64,
+    /// Maximum commands outstanding at once.
+    pub max_inflight_seen: f64,
+    /// Fraction of device-busy time with >= 2 commands outstanding
+    /// (0 with a lock-step queue depth of 1).
+    pub overlap_fraction: f64,
     /// Queue-time histogram (ms).
     pub queue_time: Histogram,
     /// Device service-time histogram (ms).
@@ -226,7 +262,13 @@ impl DiskDriver {
             next_seq: 0,
             head_lba: 0,
             shutdown: false,
+            max_inflight: 1,
+            inflight: 0,
             qlen: TimeWeighted::new(now, 0.0),
+            inflight_tw: TimeWeighted::new(now, 0.0),
+            busy_time: cnp_sim::SimDuration::ZERO,
+            overlap_time: cnp_sim::SimDuration::ZERO,
+            inflight_since: now,
             queue_time: Histogram::latency_default(),
             service_time: Histogram::latency_default(),
             rotation_time: Histogram::latency_default(),
@@ -260,14 +302,38 @@ impl DiskDriver {
         self.sector_size
     }
 
-    /// Submits an I/O and awaits its completion.
-    pub async fn submit(
+    /// Sets the device queue depth: how many commands the dispatcher may
+    /// keep outstanding at the back-end at once. Depth 1 (the default)
+    /// is the legacy lock-step dispatch; raising it lets the SCSI bus
+    /// phases of one command overlap the mechanical work of another and
+    /// gives the queue scheduler a real queue to optimise.
+    pub fn set_max_inflight(&self, depth: u32) {
+        let depth = depth.max(1);
+        let changed = {
+            let mut inner = self.inner.borrow_mut();
+            let changed = inner.max_inflight != depth;
+            inner.max_inflight = depth;
+            changed
+        };
+        // Only a real change wakes the dispatcher: a no-op signal would
+        // cost one scheduler step and shift the seeded replay stream.
+        if changed {
+            self.wakeup.signal();
+        }
+    }
+
+    /// Current device queue depth.
+    pub fn max_inflight(&self) -> u32 {
+        self.inner.borrow().max_inflight
+    }
+
+    fn enqueue(
         &self,
         op: IoOp,
         lba: u64,
         sectors: u32,
         payload: Payload,
-    ) -> Result<(Payload, IoTiming), IoError> {
+    ) -> OneshotReceiver<IoCompletion> {
         let now = self.handle.now();
         let (otx, orx) = oneshot(&self.handle);
         {
@@ -281,12 +347,53 @@ impl DiskDriver {
             let depth = inner.queue.len() as f64;
             inner.qlen.set(now, depth);
         }
+        orx
+    }
+
+    /// Submits an I/O and awaits its completion.
+    pub async fn submit(
+        &self,
+        op: IoOp,
+        lba: u64,
+        sectors: u32,
+        payload: Payload,
+    ) -> Result<(Payload, IoTiming), IoError> {
+        let orx = self.enqueue(op, lba, sectors, payload);
         self.wakeup.signal();
         let completion = orx.await.ok_or(IoError::DeviceGone)?;
         match completion.result {
             Ok(p) => Ok((p, completion.timing)),
             Err(e) => Err(e),
         }
+    }
+
+    /// Submits a batch of tagged requests at once and awaits every
+    /// completion; results come back in submission order.
+    ///
+    /// The whole batch enters the queue before the dispatcher runs, so
+    /// the queue scheduler sees (and reorders) all of it, and with a
+    /// queue depth above 1 the members proceed concurrently. This is the
+    /// completion-fan-in half of the pipelined I/O path.
+    pub async fn submit_batch(
+        &self,
+        reqs: Vec<(IoOp, u64, u32, Payload)>,
+    ) -> Vec<Result<(Payload, IoTiming), IoError>> {
+        let receivers: Vec<OneshotReceiver<IoCompletion>> = reqs
+            .into_iter()
+            .map(|(op, lba, sectors, payload)| self.enqueue(op, lba, sectors, payload))
+            .collect();
+        self.wakeup.signal();
+        join_all(receivers)
+            .await
+            .into_iter()
+            .map(|c| match c {
+                Some(c) => match c.result {
+                    Ok(p) => Ok((p, c.timing)),
+                    Err(e) => Err(e),
+                },
+                None => Err(IoError::DeviceGone),
+            })
+            .collect()
     }
 
     /// Convenience read of whole sectors.
@@ -318,14 +425,25 @@ impl DiskDriver {
     /// Snapshot of the driver statistics.
     pub fn stats(&self) -> DriverStats {
         let inner = self.inner.borrow();
+        let now = self.handle.now();
+        // Close the open busy/overlap interval without mutating.
+        let open = now.saturating_since(inner.inflight_since);
+        let busy = inner.busy_time + if inner.inflight >= 1 { open } else { Default::default() };
+        let overlap =
+            inner.overlap_time + if inner.inflight >= 2 { open } else { Default::default() };
+        let overlap_fraction =
+            if busy.is_zero() { 0.0 } else { overlap.as_secs_f64() / busy.as_secs_f64() };
         DriverStats {
             completed: inner.completed,
             reads: inner.reads,
             writes: inner.writes,
             errors: inner.errors,
             retries: inner.retries,
-            mean_queue_len: inner.qlen.mean(self.handle.now()),
+            mean_queue_len: inner.qlen.mean(now),
             max_queue_len: inner.qlen.max(),
+            mean_inflight: inner.inflight_tw.mean(now),
+            max_inflight_seen: inner.inflight_tw.max(),
+            overlap_fraction,
             queue_time: inner.queue_time.clone(),
             service_time: inner.service_time.clone(),
             rotation_time: inner.rotation_time.clone(),
@@ -333,23 +451,25 @@ impl DiskDriver {
     }
 
     async fn dispatch_loop(self, backend: Backend) {
+        let backend = Rc::new(backend);
         loop {
-            // Wait for work (or shutdown).
+            // Wait for work and a free device slot (or shutdown).
             loop {
-                let (empty, shutdown) = {
+                let (empty, shutdown, slot_free) = {
                     let inner = self.inner.borrow();
-                    (inner.queue.is_empty(), inner.shutdown)
+                    (inner.queue.is_empty(), inner.shutdown, inner.inflight < inner.max_inflight)
                 };
-                if !empty {
+                if !empty && slot_free {
                     break;
                 }
-                if shutdown {
+                if shutdown && empty {
+                    // In-flight commands complete on their own tasks.
                     return;
                 }
                 self.wakeup.wait().await;
             }
             // Pick the next request under the queue policy.
-            let (mut req, reply) = {
+            let (mut req, reply, depth) = {
                 let mut inner = self.inner.borrow_mut();
                 let metas: Vec<PendingMeta> = inner.queue.iter().map(|q| q.meta).collect();
                 let head = inner.head_lba;
@@ -358,70 +478,116 @@ impl DiskDriver {
                 let now = self.handle.now();
                 let depth = inner.queue.len() as f64;
                 inner.qlen.set(now, depth);
-                (q.req, q.reply)
+                (q.req, q.reply, inner.max_inflight)
             };
             req.issued_at = self.handle.now();
-            let op = req.op;
             let end_lba = req.lba + req.sectors as u64;
-            let (id, lba, sectors, queued_at) = (req.id, req.lba, req.sectors, req.queued_at);
-            // Bounded retry on transient (bus) failures. The original
-            // payload moves into the first attempt (no copy on the hot
-            // path); re-issues rebuild it where that is free — reads and
-            // length-only writes. Real-byte writes are not re-issued
-            // here: the error propagates and the engine's flush-retry
-            // re-submits them with the authoritative cache copy.
-            let retry_payload = match (op, &req.payload) {
-                (IoOp::Read, _) => Some(Payload::Simulated(0)),
-                (IoOp::Write, Payload::Simulated(n)) => Some(Payload::Simulated(*n)),
-                (IoOp::Write, Payload::Data(_)) => None,
-            };
-            let mut payload = Some(req.payload);
-            let mut attempt = 0u32;
-            let completion = loop {
-                attempt += 1;
-                let attempt_payload = match payload.take() {
-                    Some(p) => p,
-                    None => retry_payload.clone().expect("loop continues only when rebuildable"),
-                };
-                let attempt_req = IoRequest {
-                    id,
-                    op,
-                    lba,
-                    sectors,
-                    payload: attempt_payload,
-                    queued_at,
-                    issued_at: self.handle.now(),
-                };
-                let completion = backend.issue(attempt_req).await;
-                match &completion.result {
-                    Err(e)
-                        if e.is_transient()
-                            && attempt <= TRANSIENT_RETRIES
-                            && retry_payload.is_some() =>
-                    {
-                        self.inner.borrow_mut().retries += 1;
-                    }
-                    _ => break completion,
-                }
-            };
+            if depth <= 1 {
+                // Lock-step path: issue inline and only then look at the
+                // queue again. Kept as its own branch (not the n=1 case
+                // of the pipelined one) so depth-1 runs replay the
+                // pre-pipelining event sequence exactly: no extra task
+                // enters the seeded scheduler.
+                let (op, completion) = self.issue_with_retry(&backend, req).await;
+                self.complete(end_lba, op, &completion);
+                reply.send(completion);
+                continue;
+            }
+            // Pipelined path: the head moves at dispatch (where a real
+            // scheduler's knowledge ends) and the command runs on its
+            // own task so more can follow while it seeks.
             {
                 let mut inner = self.inner.borrow_mut();
                 inner.head_lba = end_lba;
-                inner.completed += 1;
-                match op {
-                    IoOp::Read => inner.reads += 1,
-                    IoOp::Write => inner.writes += 1,
-                }
-                if completion.result.is_err() {
-                    inner.errors += 1;
-                }
-                let t = completion.timing;
-                inner.queue_time.record_duration_ms(t.queue);
-                inner.service_time.record_duration_ms(t.service());
-                inner.rotation_time.record_duration_ms(t.rotation);
+                let now = self.handle.now();
+                let n = inner.inflight + 1;
+                inner.set_inflight(now, n);
             }
-            reply.send(completion);
+            let driver = self.clone();
+            let backend = backend.clone();
+            self.handle.spawn("driver:io", async move {
+                let (op, completion) = driver.issue_with_retry(&backend, req).await;
+                {
+                    let mut inner = driver.inner.borrow_mut();
+                    let now = driver.handle.now();
+                    let n = inner.inflight - 1;
+                    inner.set_inflight(now, n);
+                }
+                driver.complete_tail(op, &completion);
+                // A slot freed up: let the dispatcher refill the device.
+                driver.wakeup.signal();
+                reply.send(completion);
+            });
         }
+    }
+
+    /// Issues one request, with bounded retry on transient (bus)
+    /// failures. The original payload moves into the first attempt (no
+    /// copy on the hot path); re-issues rebuild it where that is free —
+    /// reads and length-only writes. Real-byte writes are not re-issued
+    /// here: the error propagates and the engine's flush-retry
+    /// re-submits them with the authoritative cache copy.
+    async fn issue_with_retry(&self, backend: &Backend, req: IoRequest) -> (IoOp, IoCompletion) {
+        let op = req.op;
+        let (id, lba, sectors, queued_at) = (req.id, req.lba, req.sectors, req.queued_at);
+        let retry_payload = match (op, &req.payload) {
+            (IoOp::Read, _) => Some(Payload::Simulated(0)),
+            (IoOp::Write, Payload::Simulated(n)) => Some(Payload::Simulated(*n)),
+            (IoOp::Write, Payload::Data(_)) => None,
+        };
+        let mut payload = Some(req.payload);
+        let mut attempt = 0u32;
+        let completion = loop {
+            attempt += 1;
+            let attempt_payload = match payload.take() {
+                Some(p) => p,
+                None => retry_payload.clone().expect("loop continues only when rebuildable"),
+            };
+            let attempt_req = IoRequest {
+                id,
+                op,
+                lba,
+                sectors,
+                payload: attempt_payload,
+                queued_at,
+                issued_at: self.handle.now(),
+            };
+            let completion = backend.issue(attempt_req).await;
+            match &completion.result {
+                Err(e)
+                    if e.is_transient()
+                        && attempt <= TRANSIENT_RETRIES
+                        && retry_payload.is_some() =>
+                {
+                    self.inner.borrow_mut().retries += 1;
+                }
+                _ => break completion,
+            }
+        };
+        (op, completion)
+    }
+
+    /// Lock-step completion bookkeeping (head moves here).
+    fn complete(&self, end_lba: u64, op: IoOp, completion: &IoCompletion) {
+        self.inner.borrow_mut().head_lba = end_lba;
+        self.complete_tail(op, completion);
+    }
+
+    /// Completion bookkeeping shared by both dispatch paths.
+    fn complete_tail(&self, op: IoOp, completion: &IoCompletion) {
+        let mut inner = self.inner.borrow_mut();
+        inner.completed += 1;
+        match op {
+            IoOp::Read => inner.reads += 1,
+            IoOp::Write => inner.writes += 1,
+        }
+        if completion.result.is_err() {
+            inner.errors += 1;
+        }
+        let t = completion.timing;
+        inner.queue_time.record_duration_ms(t.queue);
+        inner.service_time.record_duration_ms(t.service());
+        inner.rotation_time.record_duration_ms(t.rotation);
     }
 }
 
@@ -515,6 +681,110 @@ mod tests {
         assert!(
             clook < fcfs,
             "c-look ({clook} us) should finish scattered load before fcfs ({fcfs} us)"
+        );
+    }
+
+    #[test]
+    fn deep_queue_overlaps_and_completes() {
+        let sim = Sim::new(4);
+        let h = sim.handle();
+        let driver = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+        driver.set_max_inflight(8);
+        for i in 0..16u64 {
+            let d = driver.clone();
+            h.spawn("client", async move {
+                d.read(i * 100_000, 8).await.unwrap();
+            });
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(100));
+        let stats = driver.stats();
+        assert_eq!(stats.completed, 16);
+        assert!(stats.max_inflight_seen >= 2.0, "no overlap: {}", stats.max_inflight_seen);
+        assert!(stats.overlap_fraction > 0.0, "overlap never measured");
+        assert!(stats.mean_inflight > 0.0);
+    }
+
+    #[test]
+    fn depth_one_pipelined_stats_stay_lockstep() {
+        let sim = Sim::new(4);
+        let h = sim.handle();
+        let driver = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+        for i in 0..8u64 {
+            let d = driver.clone();
+            h.spawn("client", async move {
+                d.read(i * 100_000, 8).await.unwrap();
+            });
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(100));
+        let stats = driver.stats();
+        assert_eq!(stats.completed, 8);
+        // The lock-step path never counts device overlap.
+        assert_eq!(stats.overlap_fraction, 0.0);
+        assert_eq!(stats.max_inflight_seen, 0.0);
+    }
+
+    #[test]
+    fn submit_batch_round_trips_in_submission_order() {
+        let sim = Sim::new(6);
+        let h = sim.handle();
+        let driver = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+        driver.set_max_inflight(4);
+        let d2 = driver.clone();
+        h.spawn("client", async move {
+            let writes: Vec<_> = (0..6u64)
+                .map(|i| (IoOp::Write, i * 64, 8u32, Payload::Data(vec![i as u8 + 1; 4096])))
+                .collect();
+            for r in d2.submit_batch(writes).await {
+                r.unwrap();
+            }
+            let reads: Vec<_> =
+                (0..6u64).map(|i| (IoOp::Read, i * 64, 8u32, Payload::Simulated(0))).collect();
+            let results = d2.submit_batch(reads).await;
+            assert_eq!(results.len(), 6);
+            for (i, r) in results.into_iter().enumerate() {
+                let (payload, _t) = r.unwrap();
+                assert_eq!(
+                    payload.bytes().unwrap(),
+                    &vec![i as u8 + 1; 4096][..],
+                    "batch result {i} out of order"
+                );
+            }
+            d2.shutdown();
+        });
+        sim.run();
+        assert_eq!(driver.stats().completed, 12);
+    }
+
+    #[test]
+    fn sstf_beats_fcfs_at_depth_8() {
+        fn total_time(name: &str) -> u64 {
+            let sim = Sim::new(21);
+            let h = sim.handle();
+            let driver = sim_disk_driver(
+                &h,
+                "d0",
+                Box::new(Hp97560::new()),
+                crate::iosched::scheduler_by_name(name).unwrap(),
+            );
+            driver.set_max_inflight(8);
+            // Alternating far/near pattern penalizes FCFS.
+            let lbas: Vec<u64> = (0..48u64)
+                .map(|i| if i % 2 == 0 { i * 1000 } else { 2_000_000 - i * 1000 })
+                .collect();
+            for lba in lbas {
+                let d = driver.clone();
+                h.spawn("c", async move {
+                    d.read(lba, 8).await.unwrap();
+                });
+            }
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(200));
+            sim.now().as_micros()
+        }
+        let fcfs = total_time("fcfs");
+        let sstf = total_time("sstf");
+        assert!(
+            sstf < fcfs,
+            "sstf ({sstf} us) should finish scattered load before fcfs ({fcfs} us) at depth 8"
         );
     }
 

@@ -135,6 +135,11 @@ pub struct FsckReport {
     pub files: u64,
     /// Mapped blocks verified.
     pub blocks: u64,
+    /// Every inode reachable from the root (ascending).
+    pub reachable: Vec<u64>,
+    /// Allocated inodes unreachable from the root: orphans. `repair`
+    /// attaches these to `/lost+found`.
+    pub orphans: Vec<u64>,
 }
 
 impl FsckReport {
@@ -153,6 +158,8 @@ pub struct RepairReport {
     pub dirs_reset: u64,
     /// Files truncated at their first bad block pointer.
     pub files_truncated: u64,
+    /// Unreachable allocated inodes attached to `/lost+found`.
+    pub orphans_attached: u64,
     /// Repair rounds run (each ends with a re-check).
     pub rounds: u64,
 }
@@ -229,6 +236,9 @@ pub async fn check<L: StorageLayout>(layout: &mut L) -> FsckReport {
             }
         }
     }
+    report.reachable = visited.iter().copied().collect();
+    report.orphans =
+        layout.allocated_inos().into_iter().map(|i| i.0).filter(|i| !visited.contains(i)).collect();
     report
 }
 
@@ -299,14 +309,27 @@ async fn read_dir<L: StorageLayout>(
 ///
 /// Remedies: unreadable directory content resets the directory to
 /// empty; dangling, kind-mismatched and duplicate entries are dropped;
-/// files with bad pointers are truncated at the first bad block.
+/// files with bad pointers are truncated at the first bad block. Once
+/// the tree checks clean, allocated-but-unreachable inodes (orphans —
+/// e.g. files whose directory entry never became durable before a
+/// crash) are attached to `/lost+found` instead of leaking, and the
+/// adopted subtrees are re-checked.
 pub async fn repair<L: StorageLayout>(layout: &mut L) -> LResult<(RepairReport, FsckReport)> {
     let mut rep = RepairReport::default();
     loop {
         let report = check(layout).await;
         rep.rounds += 1;
-        if report.clean() || rep.rounds >= 8 {
+        if rep.rounds >= 8 {
             return Ok((rep, report));
+        }
+        if report.clean() {
+            let adopted = adopt_orphans(layout, &report.orphans).await?;
+            rep.orphans_attached += adopted;
+            if adopted == 0 {
+                return Ok((rep, report));
+            }
+            // Adopted subtrees are now reachable: verify them too.
+            continue;
         }
         // Group entry-level drops per directory.
         let mut drops: BTreeMap<u64, Vec<String>> = BTreeMap::new();
@@ -357,6 +380,59 @@ pub async fn repair<L: StorageLayout>(layout: &mut L) -> LResult<(RepairReport, 
             rep.files_truncated += 1;
         }
     }
+}
+
+/// The classic fsck orphanage directory at the root.
+const LOST_FOUND: &str = "lost+found";
+
+/// Attaches unreachable allocated inodes to `/lost+found` (created on
+/// first use), naming each `orphan-<ino>`. Returns how many were
+/// attached; inodes that cannot be read are skipped (their slots stay
+/// leaked rather than risking a dangling entry).
+async fn adopt_orphans<L: StorageLayout>(layout: &mut L, orphans: &[u64]) -> LResult<u64> {
+    if orphans.is_empty() {
+        return Ok(0);
+    }
+    let root = layout.get_inode(Ino::ROOT).await?;
+    let Ok(mut root_entries) = read_dir(layout, &root).await else {
+        return Ok(0); // Root unreadable: structural repair comes first.
+    };
+    let lf_ino = match dir::find(&root_entries, LOST_FOUND) {
+        Some(e) if e.kind == FileKind::Directory => e.ino,
+        // Something non-directory squats on the name: leave it alone.
+        Some(_) => return Ok(0),
+        None => {
+            let inode = layout.alloc_ino(FileKind::Directory, 0)?;
+            layout.put_inode(&inode).await?;
+            dir::add_entry(
+                &mut root_entries,
+                Dirent { ino: inode.ino, kind: FileKind::Directory, name: LOST_FOUND.into() },
+            )
+            .map_err(cnp_layout::LayoutError::Corrupt)?;
+            write_dir(layout, Ino::ROOT, &root_entries).await?;
+            inode.ino
+        }
+    };
+    let lf_inode = layout.get_inode(lf_ino).await?;
+    let mut entries = read_dir(layout, &lf_inode).await.unwrap_or_default();
+    let mut attached = 0u64;
+    for &o in orphans {
+        if o == lf_ino.0 {
+            continue;
+        }
+        let Ok(inode) = layout.get_inode(Ino(o)).await else { continue };
+        let name = format!("orphan-{o}");
+        if dir::find(&entries, &name).is_some() {
+            continue;
+        }
+        if dir::add_entry(&mut entries, Dirent { ino: Ino(o), kind: inode.kind, name }).is_ok() {
+            attached += 1;
+        }
+    }
+    if attached > 0 {
+        write_dir(layout, lf_ino, &entries).await?;
+    }
+    Ok(attached)
 }
 
 /// Rewrites a directory's content from an entry list.
@@ -496,6 +572,50 @@ mod tests {
             d.shutdown();
             d2.shutdown();
             d3.shutdown();
+        });
+    }
+
+    #[test]
+    fn orphan_inode_is_attached_to_lost_and_found() {
+        run_sim(57, |h| async move {
+            let d = sim_disk_driver(&h, "d0", Box::new(Hp97560::new()), Box::new(CLook));
+            let mut lfs = Layout::Lfs(LfsLayout::new(&h, d.clone(), LfsParams::default()));
+            populate(&mut lfs).await;
+            // An allocated file with data but no directory entry — what a
+            // crash leaves when the dirent never became durable.
+            let mut orphan = lfs.alloc_ino(FileKind::Regular, 9).unwrap();
+            orphan.size = BLOCK_SIZE as u64;
+            lfs.write_file_blocks(
+                &mut orphan,
+                vec![(0, Payload::Data(vec![0x42; BLOCK_SIZE as usize]))],
+            )
+            .await
+            .unwrap();
+            let orphan_ino = orphan.ino;
+            let r = check(&mut lfs).await;
+            assert!(r.clean(), "an orphan is a leak, not a violation: {:?}", r.violations);
+            assert_eq!(r.orphans, vec![orphan_ino.0]);
+            let (rep, fin) = repair(&mut lfs).await.unwrap();
+            assert_eq!(rep.orphans_attached, 1);
+            assert!(fin.clean(), "{:?}", fin.violations);
+            assert!(fin.orphans.is_empty(), "adopted orphan still unreachable");
+            // The orphan is now reachable under /lost+found with its data.
+            let root = lfs.get_inode(Ino::ROOT).await.unwrap();
+            let root_entries = read_dir(&mut lfs, &root).await.unwrap();
+            let lf = dir::find(&root_entries, "lost+found").expect("lost+found created");
+            assert_eq!(lf.kind, FileKind::Directory);
+            let lf_inode = lfs.get_inode(lf.ino).await.unwrap();
+            let lf_entries = read_dir(&mut lfs, &lf_inode).await.unwrap();
+            let adopted = dir::find(&lf_entries, &format!("orphan-{}", orphan_ino.0))
+                .expect("orphan adopted");
+            assert_eq!(adopted.ino, orphan_ino);
+            let got = lfs.get_inode(orphan_ino).await.unwrap();
+            let p = lfs.read_file_block(&got, 0).await.unwrap().unwrap();
+            assert_eq!(p.bytes().unwrap(), &vec![0x42u8; BLOCK_SIZE as usize][..]);
+            // Re-running repair is idempotent: nothing new to adopt.
+            let (rep2, _) = repair(&mut lfs).await.unwrap();
+            assert_eq!(rep2.orphans_attached, 0);
+            d.shutdown();
         });
     }
 

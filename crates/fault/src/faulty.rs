@@ -119,6 +119,61 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_cut_with_retired_prefix_recovers_clean() {
+        use crate::crash::{recover_and_check, CrashState, LayoutKind};
+        use cnp_core::{DataMode, FileSystem, FsConfig};
+        use cnp_layout::FileKind;
+        use cnp_sim::SimTime;
+
+        let sim = Sim::new(77);
+        let h = sim.handle();
+        // The cut lands while the depth-8 engine has a batch in flight;
+        // the dying disk durably retires a seeded prefix of the
+        // outstanding writes without acknowledging them.
+        let plan = FaultPlanBuilder::new(77)
+            .power_cut_at_op(300)
+            .torn_write_sectors(2)
+            .random_cut_retire(8)
+            .build();
+        assert!(plan.cut_retire_ops <= 8);
+        let (driver, disk) =
+            FaultyDisk::new(Box::new(Hp97560::new()), plan).spawn(&h, "p0", Box::new(CLook));
+        let layout = LayoutKind::Lfs.build(&h, driver.clone());
+        let cfg = FsConfig { data_mode: DataMode::Real, queue_depth: 8, ..FsConfig::default() };
+        let fs = FileSystem::new(&h, layout, cfg);
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            fs.format().await.unwrap();
+            let payload = vec![0x5Au8; 48 * 1024];
+            for i in 0.. {
+                let r = async {
+                    let ino = fs.create(&format!("/f{i}"), FileKind::Regular).await?;
+                    fs.write(ino, 0, payload.len() as u64, Some(&payload)).await?;
+                    fs.sync().await
+                }
+                .await;
+                if r.is_err() {
+                    break;
+                }
+            }
+            assert!(disk.is_dead(), "the cut must have fired");
+            // Power-on from the captured image: recovery + fsck must
+            // digest whatever prefix the dying disk retired.
+            let state = CrashState::capture(&fs, &disk).await;
+            fs.shutdown();
+            let (driver2, _disk2) = state.restore_hp(&h2, "p1");
+            let mut layout2 = LayoutKind::Lfs.build(&h2, driver2.clone());
+            let outcome = recover_and_check(&h2, &mut layout2).await.expect("recovery");
+            assert!(
+                outcome.post.clean(),
+                "retired-prefix crash must verify clean: {:?}",
+                outcome.post.violations
+            );
+        });
+        sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+    }
+
+    #[test]
     fn spawned_stack_executes_the_plan() {
         let sim = Sim::new(5);
         let h = sim.handle();

@@ -54,6 +54,21 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// After the cut, let this many outstanding writes (an arrival-order
+    /// prefix of the in-flight batch) retire durably — unacknowledged.
+    pub fn cut_retire_ops(mut self, ops: u64) -> Self {
+        self.plan.cut_retire_ops = ops;
+        self
+    }
+
+    /// Draws the retired-prefix length uniformly from `[0, max_ops]`,
+    /// deterministically from the seed — every crash replay samples a
+    /// different (but replayable) interleaving of the outstanding set.
+    pub fn random_cut_retire(mut self, max_ops: u64) -> Self {
+        self.plan.cut_retire_ops = self.rng.gen_range(0..=max_ops);
+        self
+    }
+
     /// Adds one latent sector-error range `[lo, hi)` (reads fail until
     /// the sectors are rewritten).
     pub fn latent_range(mut self, lo: u64, hi: u64) -> Self {
@@ -120,6 +135,7 @@ mod tests {
             .power_cut_at_op(10)
             .power_cut_at(SimTime::from_nanos(123))
             .torn_write_sectors(2)
+            .cut_retire_ops(3)
             .latent_range(5, 9)
             .media_range(100, 200)
             .transient_every(3)
@@ -127,9 +143,18 @@ mod tests {
         assert_eq!(plan.power_cut_at_op, Some(10));
         assert_eq!(plan.power_cut_at, Some(SimTime::from_nanos(123)));
         assert_eq!(plan.torn_write_sectors, 2);
+        assert_eq!(plan.cut_retire_ops, 3);
         assert_eq!(plan.latent_ranges, vec![(5, 9)]);
         assert_eq!(plan.bad_ranges, vec![(100, 200)]);
         assert_eq!(plan.transient_every, Some(3));
+    }
+
+    #[test]
+    fn random_cut_retire_is_seeded_and_bounded() {
+        let a = FaultPlanBuilder::new(5).random_cut_retire(16).build();
+        let b = FaultPlanBuilder::new(5).random_cut_retire(16).build();
+        assert_eq!(a.cut_retire_ops, b.cut_retire_ops);
+        assert!(a.cut_retire_ops <= 16);
     }
 
     #[test]

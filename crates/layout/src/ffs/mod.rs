@@ -472,6 +472,13 @@ impl StorageLayout for FfsLayout {
         let hint_base = self.group_of(inode.ino);
         let mut table: Option<Vec<u64>> = None;
         let mut table_dirty = false;
+        // With a deep driver queue, allocation decisions run first and
+        // the data writes go out as one scatter-gather batch. At depth 1
+        // each write is issued inline instead, preserving the legacy
+        // request sequence exactly (notably: an indirect-table read mid
+        // loop stays *between* the data writes, not before them).
+        let batched = self.io.pipelined();
+        let mut pending: Vec<(BlockAddr, Payload)> = Vec::new();
         for (blk, payload) in blocks {
             let slot = block_slot(blk).ok_or(LayoutError::FileTooBig(blk))?;
             let existing = match slot {
@@ -513,7 +520,14 @@ impl StorageLayout for FfsLayout {
                 a
             };
             self.stats.data_writes += 1;
-            self.io.write_block(addr, payload).await?;
+            if batched {
+                pending.push((addr, payload));
+            } else {
+                self.io.write_block(addr, payload).await?;
+            }
+        }
+        if batched {
+            self.io.write_scatter(pending).await?;
         }
         if table_dirty {
             if !inode.indirect.is_some() {
@@ -562,6 +576,10 @@ impl StorageLayout for FfsLayout {
         inode.mtime = self.handle.now().as_nanos();
         self.put_inode(inode).await?;
         Ok(())
+    }
+
+    fn allocated_inos(&self) -> Vec<Ino> {
+        (0..self.params.ninodes).filter(|&i| self.ibitmap.get(i)).map(Ino).collect()
     }
 
     fn stats(&self) -> LayoutStats {

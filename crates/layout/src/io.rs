@@ -1,8 +1,16 @@
 //! Block-granular I/O over a sector-granular disk driver.
+//!
+//! Besides the single-block helpers, this is the scatter-gather layer of
+//! the pipelined I/O path: multi-run reads and writes are issued as one
+//! tagged batch to the driver ([`cnp_disk::DiskDriver::submit_batch`])
+//! whenever the driver's queue depth allows more than one outstanding
+//! command, and fall back to the exact legacy serial sequence at depth 1
+//! so lock-step runs replay bit-identically.
 
 use cnp_disk::{DiskDriver, IoOp, Payload};
 
 use crate::error::{LResult, LayoutError};
+use crate::layout::Extent;
 use crate::types::{BlockAddr, BLOCK_SIZE};
 
 /// Block-addressed view of a [`DiskDriver`].
@@ -30,6 +38,14 @@ impl BlockIo {
         self.driver.capacity_sectors() / self.sectors_per_block as u64
     }
 
+    /// True when the driver may keep several commands outstanding, i.e.
+    /// batching requests buys real concurrency. Layouts consult this to
+    /// keep their depth-1 request sequences identical to the
+    /// pre-pipelining code.
+    pub(crate) fn pipelined(&self) -> bool {
+        self.driver.max_inflight() > 1
+    }
+
     /// Reads one block.
     pub async fn read_block(&self, addr: BlockAddr) -> LResult<Payload> {
         debug_assert!(addr.is_some());
@@ -51,6 +67,48 @@ impl BlockIo {
         Ok(payload)
     }
 
+    /// Reads several block runs, one payload per run, in input order.
+    ///
+    /// With a deep driver queue the runs go out as one batch and proceed
+    /// concurrently; at queue depth 1 they are issued serially in order.
+    pub async fn read_runs(&self, runs: &[(BlockAddr, u32)]) -> LResult<Vec<Payload>> {
+        if self.pipelined() && runs.len() > 1 {
+            let reqs: Vec<_> = runs
+                .iter()
+                .map(|&(addr, n)| {
+                    (
+                        IoOp::Read,
+                        addr.0 * self.sectors_per_block as u64,
+                        self.sectors_per_block * n,
+                        Payload::Simulated(0),
+                    )
+                })
+                .collect();
+            let mut out = Vec::with_capacity(runs.len());
+            for r in self.driver.submit_batch(reqs).await {
+                out.push(r?.0);
+            }
+            return Ok(out);
+        }
+        let mut out = Vec::with_capacity(runs.len());
+        for &(addr, n) in runs {
+            out.push(self.read_run(addr, n).await?);
+        }
+        Ok(out)
+    }
+
+    /// Reads the device blocks covered by `extents`, returning per run
+    /// the payload (or `None` for a hole run), in extent order.
+    pub async fn read_extents(&self, extents: &[Extent]) -> LResult<Vec<Option<Payload>>> {
+        let runs: Vec<(BlockAddr, u32)> =
+            extents.iter().filter_map(|e| e.addr.map(|a| (a, e.len))).collect();
+        let mut mapped = self.read_runs(&runs).await?.into_iter();
+        Ok(extents
+            .iter()
+            .map(|e| e.addr.map(|_| mapped.next().expect("one payload per mapped run")))
+            .collect())
+    }
+
     /// Writes one block.
     pub async fn write_block(&self, addr: BlockAddr, payload: Payload) -> LResult<()> {
         debug_assert!(addr.is_some());
@@ -62,8 +120,11 @@ impl BlockIo {
     /// Writes a run of consecutive blocks, coalescing same-kind payloads
     /// into single requests (real-byte runs stay real; simulated runs
     /// stay length-only), so big sequential writes cost one controller
-    /// overhead instead of one per block.
+    /// overhead instead of one per block. With a deep driver queue the
+    /// coalesced requests are additionally issued as one concurrent
+    /// batch.
     pub async fn write_run(&self, start: BlockAddr, blocks: Vec<Payload>) -> LResult<()> {
+        let mut reqs: Vec<(IoOp, u64, u32, Payload)> = Vec::new();
         let mut i = 0usize;
         while i < blocks.len() {
             let real = blocks[i].bytes().is_some();
@@ -84,8 +145,65 @@ impl BlockIo {
             } else {
                 Payload::Simulated(n * BLOCK_SIZE)
             };
-            self.driver.submit(IoOp::Write, lba, self.sectors_per_block * n, payload).await?;
+            reqs.push((IoOp::Write, lba, self.sectors_per_block * n, payload));
             i = j;
+        }
+        self.submit_writes(reqs).await
+    }
+
+    /// Writes blocks at arbitrary addresses (scatter), coalescing
+    /// physically-consecutive same-kind payloads into single requests.
+    /// Input order is preserved in the coalescing scan, so update-in-
+    /// place layouts keep their write ordering semantics.
+    ///
+    /// At queue depth 1 nothing is coalesced or batched: each block goes
+    /// out as its own request in input order, the exact pre-pipelining
+    /// sequence.
+    pub async fn write_scatter(&self, blocks: Vec<(BlockAddr, Payload)>) -> LResult<()> {
+        let pipelined = self.pipelined();
+        let mut reqs: Vec<(IoOp, u64, u32, Payload)> = Vec::new();
+        let mut i = 0usize;
+        while i < blocks.len() {
+            let start = blocks[i].0;
+            let real = blocks[i].1.bytes().is_some();
+            let mut j = i + 1;
+            while pipelined
+                && j < blocks.len()
+                && blocks[j].0 .0 == start.0 + (j - i) as u64
+                && blocks[j].1.bytes().is_some() == real
+            {
+                j += 1;
+            }
+            let n = (j - i) as u32;
+            let lba = start.0 * self.sectors_per_block as u64;
+            let payload = if real {
+                let mut buf = Vec::with_capacity((n as usize) * BLOCK_SIZE as usize);
+                for (_, b) in &blocks[i..j] {
+                    let bytes = b.bytes().expect("run is real");
+                    buf.extend_from_slice(bytes);
+                    buf.resize(buf.len().next_multiple_of(BLOCK_SIZE as usize), 0);
+                }
+                Payload::Data(buf)
+            } else {
+                Payload::Simulated(n * BLOCK_SIZE)
+            };
+            reqs.push((IoOp::Write, lba, self.sectors_per_block * n, payload));
+            i = j;
+        }
+        self.submit_writes(reqs).await
+    }
+
+    /// Issues prepared write requests: one concurrent batch with a deep
+    /// queue, the legacy serial sequence at depth 1.
+    async fn submit_writes(&self, reqs: Vec<(IoOp, u64, u32, Payload)>) -> LResult<()> {
+        if self.pipelined() && reqs.len() > 1 {
+            for r in self.driver.submit_batch(reqs).await {
+                r?;
+            }
+            return Ok(());
+        }
+        for (op, lba, sectors, payload) in reqs {
+            self.driver.submit(op, lba, sectors, payload).await?;
         }
         Ok(())
     }

@@ -166,6 +166,12 @@ impl StorageLayout for SimGuessLayout {
         Ok(())
     }
 
+    fn allocated_inos(&self) -> Vec<Ino> {
+        let mut inos: Vec<Ino> = self.inodes.keys().copied().collect();
+        inos.sort_unstable();
+        inos
+    }
+
     fn stats(&self) -> LayoutStats {
         self.stats
     }

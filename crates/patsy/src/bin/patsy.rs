@@ -6,8 +6,9 @@
 //! patsy ablate-diskmodel|ablate-flushmode|ablate-iosched|
 //!       ablate-diskcache|ablate-nvram|ablate-cleaner
 //! patsy run --trace 1a --policy ups    # one experiment, full detail
+//! patsy sweep-qd --trace 1a            # I/O schedulers x queue depths
 //! patsy crash --trace 1a --cuts 16 --seed 42   # crash-recovery sweep
-//! options: --scale 0.05 --seed 365 --cuts 16 --layout lfs|ffs
+//! options: --scale 0.05 --seed 365 --cuts 16 --layout lfs|ffs --qd 1
 //! ```
 
 use cnp_patsy::{ablate, crash, figures, Policy};
@@ -24,6 +25,7 @@ fn main() {
     let mut policy = "ups".to_string();
     let mut cuts = 16u32;
     let mut layout: Option<String> = None;
+    let mut qd = 1u32;
     let mut scale_set = false;
     let mut policy_set = false;
     let mut i = 1;
@@ -47,6 +49,13 @@ fn main() {
             "--layout" => {
                 i += 1;
                 layout = args.get(i).cloned();
+            }
+            "--qd" => {
+                i += 1;
+                qd = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad --qd");
+                    std::process::exit(2);
+                });
             }
             "--seed" => {
                 i += 1;
@@ -72,10 +81,11 @@ fn main() {
         i += 1;
     }
     match args[0].as_str() {
-        "fig2" => figures::figure_cdf("1a", scale, seed),
-        "fig3" => figures::figure_cdf("1b", scale, seed),
-        "fig4" => figures::figure_cdf("5", scale, seed),
+        "fig2" => figures::figure_cdf("1a", scale, seed, qd),
+        "fig3" => figures::figure_cdf("1b", scale, seed, qd),
+        "fig4" => figures::figure_cdf("5", scale, seed, qd),
         "fig5" => figures::figure5(scale, seed),
+        "sweep-qd" => cnp_patsy::qdsweep::sweep_queue_depth(&trace, scale, seed),
         "ablate-diskmodel" => ablate::ablate_diskmodel(scale, seed),
         "ablate-flushmode" => ablate::ablate_flushmode(scale, seed),
         "ablate-iosched" => ablate::ablate_iosched(scale, seed),
@@ -87,14 +97,14 @@ fn main() {
                 eprintln!("unknown policy {policy} (write-delay|ups|nvram-whole|nvram-partial)");
                 std::process::exit(2);
             });
-            figures::run_one(&trace, p, scale, seed);
+            figures::run_one(&trace, p, scale, seed, qd, layout.as_deref());
         }
         "crash" => {
             // Crash cells are numerous (layouts × policies × cuts); a
             // smaller default workload keeps the sweep snappy.
             let crash_scale = if scale_set { scale } else { 0.002 };
             let policy_filter = policy_set.then_some(policy.as_str());
-            crash::crash_cli(&trace, cuts, seed, crash_scale, layout.as_deref(), policy_filter);
+            crash::crash_cli(&trace, cuts, seed, crash_scale, layout.as_deref(), policy_filter, qd);
         }
         _ => usage(),
     }
@@ -103,8 +113,8 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: patsy <fig2|fig3|fig4|fig5|ablate-diskmodel|ablate-flushmode|\
-         ablate-iosched|ablate-diskcache|ablate-nvram|ablate-cleaner|run|crash> \
+         ablate-iosched|ablate-diskcache|ablate-nvram|ablate-cleaner|run|sweep-qd|crash> \
          [--trace 1a] [--policy ups] [--scale 0.05] [--seed 365] \
-         [--cuts 16] [--layout lfs|ffs]"
+         [--cuts 16] [--layout lfs|ffs] [--qd 1]"
     );
 }

@@ -40,6 +40,13 @@ pub struct CrashConfig {
     pub layouts: Vec<LayoutKind>,
     /// Flush policies to sweep.
     pub policies: Vec<Policy>,
+    /// I/O pipeline depth for the doomed stack (1 = lock-step). With a
+    /// depth above 1 the cut lands while a batch is in flight, so what
+    /// is durable at capture reflects pipelined ordering. (Disk-level
+    /// power cuts can additionally retire a seeded prefix of the
+    /// outstanding writes — see [`cnp_disk::FaultPlan::cut_retire_ops`]
+    /// and `cnp_fault::FaultPlanBuilder::random_cut_retire`.)
+    pub queue_depth: u32,
 }
 
 impl CrashConfig {
@@ -53,6 +60,7 @@ impl CrashConfig {
             scale,
             layouts: vec![LayoutKind::Lfs, LayoutKind::Ffs],
             policies: POLICIES.to_vec(),
+            queue_depth: 1,
         }
     }
 }
@@ -80,8 +88,14 @@ pub struct CrashCell {
     pub violations_post: u64,
     /// NVRAM blocks replayed into the recovered system.
     pub nvram_replayed: u64,
+    /// Unreachable inodes the walker attached to `lost+found`.
+    pub orphans_attached: u64,
     /// Recovery + repair time in virtual milliseconds.
     pub recovery_ms: f64,
+    /// Time-weighted mean driver queue length in the doomed run.
+    pub mean_queue: f64,
+    /// Device overlap fraction in the doomed run (0 at queue depth 1).
+    pub overlap: f64,
     /// Acknowledged-write loss accounting.
     pub loss: LossReport,
 }
@@ -100,7 +114,14 @@ pub fn run_crash_sweep(cfg: &CrashConfig) -> Vec<CrashCell> {
                     .seed
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                     .wrapping_add(((li as u64) << 32) ^ ((pi as u64) << 16) ^ ci as u64);
-                cells.push(run_cell(*layout, *policy, cut_op, cell_seed, records.clone()));
+                cells.push(run_cell(
+                    *layout,
+                    *policy,
+                    cut_op,
+                    cell_seed,
+                    records.clone(),
+                    cfg.queue_depth,
+                ));
             }
         }
     }
@@ -113,6 +134,7 @@ fn run_cell(
     cut_op: u64,
     cell_seed: u64,
     records: Vec<cnp_trace::TraceRecord>,
+    queue_depth: u32,
 ) -> CrashCell {
     let sim = Sim::new(cell_seed);
     let h = sim.handle();
@@ -129,6 +151,7 @@ fn run_cell(
         cache: CacheConfig { block_size: 4096, mem_bytes: 8 * 1024 * 1024, nvram_bytes: nvram },
         flush: flush.to_string(),
         flush_mode: FlushMode::Async,
+        queue_depth,
         data_mode: DataMode::Simulated,
         ..FsConfig::default()
     };
@@ -147,6 +170,7 @@ fn run_cell(
         )
         .await;
         // The cut: everything volatile dies right now.
+        let doomed_stats = fs.driver_stats();
         let state = CrashState::capture(&fs, &disk).await;
         fs.shutdown();
 
@@ -174,7 +198,10 @@ fn run_cell(
                 + outcome.repairs.dirs_reset,
             violations_post: outcome.post.violations.len() as u64,
             nvram_replayed,
+            orphans_attached: outcome.repairs.orphans_attached,
             recovery_ms: outcome.recovery_time.as_nanos() as f64 / 1e6,
+            mean_queue: doomed_stats.mean_queue_len,
+            overlap: doomed_stats.overlap_fraction,
             loss,
         });
     });
@@ -188,17 +215,17 @@ fn run_cell(
 pub fn format_crash_sweep(cfg: &CrashConfig, cells: &[CrashCell]) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "crash sweep: trace {} | {} cuts | seed {} | scale {}\n",
-        cfg.trace.name, cfg.cuts, cfg.seed, cfg.scale
+        "crash sweep: trace {} | {} cuts | seed {} | scale {} | qd {}\n",
+        cfg.trace.name, cfg.cuts, cfg.seed, cfg.scale, cfg.queue_depth
     ));
     s.push_str(
-        "layout policy            cut    ops  rolled patched  viol  fix  post  nvram  rec-ms  lostF  lostKB  window-ms\n",
+        "layout policy            cut    ops  rolled patched  viol  fix  post  orph  nvram  qmean  ovl%  rec-ms  lostF  lostKB  window-ms\n",
     );
     let mut all_clean = true;
     for c in cells {
         all_clean &= c.violations_post == 0;
         s.push_str(&format!(
-            "{:<6} {:<17} {:>5} {:>6} {:>7} {:>7} {:>5} {:>4} {:>5} {:>6} {:>7.2} {:>6} {:>7.1} {:>10.1}\n",
+            "{:<6} {:<17} {:>5} {:>6} {:>7} {:>7} {:>5} {:>4} {:>5} {:>5} {:>6} {:>6.2} {:>5.1} {:>7.2} {:>6} {:>7.1} {:>10.1}\n",
             c.layout,
             c.policy.label(),
             c.cut_op,
@@ -208,7 +235,10 @@ pub fn format_crash_sweep(cfg: &CrashConfig, cells: &[CrashCell]) -> String {
             c.violations_pre,
             c.repairs,
             c.violations_post,
+            c.orphans_attached,
             c.nvram_replayed,
+            c.mean_queue,
+            c.overlap * 100.0,
             c.recovery_ms,
             c.loss.lost_files,
             c.loss.lost_bytes as f64 / 1024.0,
@@ -235,12 +265,14 @@ pub fn crash_cli(
     scale: f64,
     layout: Option<&str>,
     policy: Option<&str>,
+    queue_depth: u32,
 ) {
     let Some(params) = cnp_trace::preset(trace) else {
         eprintln!("unknown trace {trace} (1a|1b|2a|2b|5)");
         std::process::exit(2);
     };
     let mut cfg = CrashConfig::new(params, cuts, seed, scale);
+    cfg.queue_depth = queue_depth;
     if let Some(l) = layout {
         let Some(kind) = LayoutKind::parse(l) else {
             eprintln!("unknown layout {l} (lfs|ffs)");

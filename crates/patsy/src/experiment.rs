@@ -97,6 +97,14 @@ pub struct ExperimentConfig {
     pub no_disk_cache: bool,
     /// Driver queue scheduler name (A3; default `c-look`).
     pub iosched: String,
+    /// I/O pipeline depth (engine fan-out + device queue depth); 1 is
+    /// the legacy lock-step path.
+    pub queue_depth: u32,
+    /// Storage layout (`lfs` or `ffs`; default `lfs`, the paper's
+    /// production choice). FFS's update-in-place placement scatters
+    /// writes, which is what gives position-aware disk schedulers a
+    /// queue worth reordering.
+    pub layout: String,
 }
 
 impl ExperimentConfig {
@@ -117,6 +125,8 @@ impl ExperimentConfig {
             simple_disk: false,
             no_disk_cache: false,
             iosched: "c-look".into(),
+            queue_depth: 1,
+            layout: "lfs".into(),
         }
     }
 }
@@ -142,6 +152,14 @@ pub struct ExperimentResult {
     pub mean_queue: f64,
     /// Max queue length over all disks.
     pub max_queue: f64,
+    /// Time-weighted mean commands outstanding at the device (averaged
+    /// over disks).
+    pub mean_inflight: f64,
+    /// Fraction of device-busy time with >= 2 commands outstanding
+    /// (averaged over disks).
+    pub overlap: f64,
+    /// Mean device service time (ms) over every completed request.
+    pub mean_service_ms: f64,
     /// Engine stats summed over file systems.
     pub fs_stats: FsStats,
     /// Layout stats summed over file systems.
@@ -181,13 +199,22 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
             sched,
         );
         drivers.push(driver.clone());
-        let layout = Layout::Lfs(LfsLayout::new(&h, driver, LfsParams::default()));
+        let layout = match cfg.layout.as_str() {
+            "ffs" => Layout::Ffs(cnp_layout::FfsLayout::new(
+                &h,
+                driver,
+                cnp_layout::FfsParams::default(),
+            )),
+            "lfs" => Layout::Lfs(LfsLayout::new(&h, driver, LfsParams::default())),
+            other => panic!("unknown layout {other} (lfs|ffs)"),
+        };
         let (flush, nvram) = cfg.policy.cache_settings(cfg.nvram_bytes);
         let fs_cfg = FsConfig {
             cache: CacheConfig { block_size: 4096, mem_bytes: cfg.mem_bytes, nvram_bytes: nvram },
             replacement: cfg.replacement.clone(),
             flush: flush.to_string(),
             flush_mode: cfg.flush_mode,
+            queue_depth: cfg.queue_depth,
             data_mode: DataMode::Simulated,
             ..FsConfig::default()
         };
@@ -266,12 +293,20 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     }
     let mut mean_queue = 0.0;
     let mut max_queue: f64 = 0.0;
+    let mut mean_inflight = 0.0;
+    let mut overlap = 0.0;
+    let mut service = Histogram::latency_default();
     for d in &drivers {
         let s = d.stats();
         mean_queue += s.mean_queue_len;
         max_queue = max_queue.max(s.max_queue_len);
+        mean_inflight += s.mean_inflight;
+        overlap += s.overlap_fraction;
+        service.merge(&s.service_time);
     }
     mean_queue /= drivers.len() as f64;
+    mean_inflight /= drivers.len() as f64;
+    overlap /= drivers.len() as f64;
 
     ExperimentResult {
         policy: cfg.policy,
@@ -283,6 +318,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         blocks_flushed: fs_stats.blocks_flushed,
         mean_queue,
         max_queue,
+        mean_inflight,
+        overlap,
+        mean_service_ms: service.mean(),
         fs_stats,
         layout,
     }

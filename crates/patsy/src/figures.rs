@@ -9,32 +9,37 @@ use cnp_trace::{preset, PRESETS};
 use crate::experiment::{cdf_header, cdf_row, run_experiment, ExperimentConfig, POLICIES};
 
 /// Runs one CDF figure (2, 3 or 4) and prints the series.
-pub fn figure_cdf(trace_name: &str, scale: f64, seed: u64) {
+pub fn figure_cdf(trace_name: &str, scale: f64, seed: u64, queue_depth: u32) {
     let trace = preset(trace_name).expect("known trace");
     println!("== Figure (CDF of file-system latencies), trace {trace_name} ==");
-    println!("   (scale {scale} of the 24-hour trace; seed {seed})");
+    println!("   (scale {scale} of the 24-hour trace; seed {seed}; queue depth {queue_depth})");
     println!(
-        "{:<18} {}  {:>9} {:>7} {:>7} {:>9}",
+        "{:<18} {}  {:>9} {:>7} {:>7} {:>9} {:>6} {:>6}",
         "policy",
         cdf_header(),
         "mean(ms)",
         "hit%",
         "abs%",
-        "ops"
+        "ops",
+        "qmean",
+        "ovl%"
     );
     for policy in POLICIES {
         let mut cfg = ExperimentConfig::new(policy, trace.clone());
         cfg.scale = scale;
         cfg.seed = seed;
+        cfg.queue_depth = queue_depth;
         let r = run_experiment(&cfg);
         println!(
-            "{:<18} {}  {:>9.3} {:>7.1} {:>7.1} {:>9}",
+            "{:<18} {}  {:>9.3} {:>7.1} {:>7.1} {:>9} {:>6.2} {:>6.1}",
             policy.label(),
             cdf_row(&r.report.latency),
             r.report.mean_ms(),
             r.hit_rate * 100.0,
             r.absorption * 100.0,
             r.report.ops,
+            r.mean_queue,
+            r.overlap * 100.0,
         );
     }
     println!();
@@ -72,13 +77,24 @@ pub fn figure5(scale: f64, seed: u64) {
 }
 
 /// One experiment with full detail (the `run` subcommand).
-pub fn run_one(trace_name: &str, policy: crate::Policy, scale: f64, seed: u64) {
+pub fn run_one(
+    trace_name: &str,
+    policy: crate::Policy,
+    scale: f64,
+    seed: u64,
+    queue_depth: u32,
+    layout: Option<&str>,
+) {
     let trace = preset(trace_name).expect("known trace");
     let mut cfg = ExperimentConfig::new(policy, trace);
     cfg.scale = scale;
     cfg.seed = seed;
+    cfg.queue_depth = queue_depth;
+    if let Some(l) = layout {
+        cfg.layout = l.to_string();
+    }
     let r = run_experiment(&cfg);
-    println!("trace {trace_name} policy {}", policy.label());
+    println!("trace {trace_name} policy {} layout {}", policy.label(), cfg.layout);
     println!("  ops {} errors {}", r.report.ops, r.report.errors);
     for e in &r.report.error_sample {
         println!("    sample error: {e}");
@@ -104,6 +120,12 @@ pub fn run_one(trace_name: &str, policy: crate::Policy, scale: f64, seed: u64) {
     println!(
         "  flushed {} blocks, queue mean {:.2} max {:.0}",
         r.blocks_flushed, r.mean_queue, r.max_queue
+    );
+    println!(
+        "  device: mean in-flight {:.2}, overlap {:.1}%, mean service {:.3} ms",
+        r.mean_inflight,
+        r.overlap * 100.0,
+        r.mean_service_ms
     );
     println!(
         "  layout: {} segments written, {} cleaned, {} ckpts",

@@ -14,6 +14,8 @@ pub mod ablate;
 pub mod crash;
 pub mod experiment;
 pub mod figures;
+pub mod qdsweep;
 
 pub use crash::{format_crash_sweep, run_crash_sweep, CrashCell, CrashConfig};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Policy, POLICIES};
+pub use qdsweep::{run_depth_cell, sweep_queue_depth, trace_footprint, QdCell};

@@ -1,0 +1,186 @@
+//! The queue-depth × I/O-scheduler sweep.
+//!
+//! This is the experiment the pipelined I/O path exists for: the same
+//! trace-derived request stream, replayed closed-loop against the
+//! scheduled driver with a fixed number of requests outstanding. At
+//! queue depth 1 the device never sees a queue and every scheduler
+//! degenerates to FCFS order; from depth ~8 the position-aware policies
+//! (SSTF/SCAN/C-LOOK) measurably beat FCFS on mean service time.
+//!
+//! Placement follows the paper's *educated guess* model (§2): each file
+//! named by the trace gets a sticky random home on the disk, so the
+//! request stream is scattered the way a real aged file system's is —
+//! exactly the workload shape disk schedulers were invented for.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cnp_disk::{scheduler_by_name, sim_disk_driver, Hp97560, IoOp, Payload};
+use cnp_sim::{Sim, SimTime};
+use cnp_trace::{preset, SyntheticSprite, TraceOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One disk request derived from a trace record.
+pub type BlockReq = (IoOp, u64, u32); // (op, lba, sectors)
+
+/// Sectors per 4 KB file-system block on a 512-byte-sector disk.
+const SECTORS_PER_BLOCK: u32 = 8;
+
+/// Largest per-request transfer the footprint generator emits (blocks).
+const MAX_RUN_BLOCKS: u64 = 16;
+
+/// Derives the block-level footprint of a trace: every read/write
+/// becomes a request at the file's sticky random home (sim-guess
+/// placement), deterministically from `seed`.
+pub fn trace_footprint(
+    trace_name: &str,
+    scale: f64,
+    seed: u64,
+    capacity_sectors: u64,
+) -> Vec<BlockReq> {
+    let params = preset(trace_name).expect("known trace");
+    let records = SyntheticSprite::new(params, seed ^ 0xabcd).generate(scale);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0f00d);
+    let mut homes: HashMap<String, u64> = HashMap::new();
+    // A request can start at block offset 64*MAX_RUN_BLOCKS - 1 past the
+    // home and still transfer MAX_RUN_BLOCKS blocks; reserve the full
+    // reach so no request can run past the last sector.
+    let max_file_sectors = (64 * MAX_RUN_BLOCKS + MAX_RUN_BLOCKS) * SECTORS_PER_BLOCK as u64;
+    let span = capacity_sectors.saturating_sub(max_file_sectors).max(1);
+    let mut out = Vec::new();
+    for r in records {
+        let (op, path, offset, len) = match &r.op {
+            TraceOp::Read { path, offset, len } => (IoOp::Read, path, *offset, *len),
+            TraceOp::Write { path, offset, len } => (IoOp::Write, path, *offset, *len),
+            _ => continue,
+        };
+        if len == 0 {
+            continue;
+        }
+        let home = *homes.entry(path.clone()).or_insert_with(|| {
+            rng.gen_range(0..span) / SECTORS_PER_BLOCK as u64 * SECTORS_PER_BLOCK as u64
+        });
+        let first_blk = offset / 4096;
+        let nblocks = len.div_ceil(4096).min(MAX_RUN_BLOCKS);
+        let lba = home + (first_blk % (64 * MAX_RUN_BLOCKS)) * SECTORS_PER_BLOCK as u64;
+        out.push((op, lba, nblocks as u32 * SECTORS_PER_BLOCK));
+    }
+    out
+}
+
+/// Outcome of one (scheduler, depth) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct QdCell {
+    /// Mean device service time (ms).
+    pub mean_service_ms: f64,
+    /// Mean end-to-end request latency (ms): queue + service.
+    pub mean_latency_ms: f64,
+    /// Virtual completion time of the whole stream (ms).
+    pub makespan_ms: f64,
+    /// Time-weighted mean driver queue length.
+    pub mean_queue: f64,
+    /// Fraction of device-busy time with >= 2 commands outstanding.
+    pub overlap: f64,
+}
+
+/// Replays `reqs` closed-loop at `depth` outstanding requests against a
+/// driver scheduled by `sched_name`. Deterministic in (reqs, seed).
+pub fn run_depth_cell(reqs: &[BlockReq], sched_name: &str, depth: u32, seed: u64) -> QdCell {
+    let sim = Sim::new(seed);
+    let h = sim.handle();
+    let sched = scheduler_by_name(sched_name).expect("known scheduler");
+    let driver = sim_disk_driver(&h, "qd0", Box::new(Hp97560::new()), sched);
+    // Mirror the engine's wiring: the device keeps at most two commands
+    // (bus/mechanics overlap); the rest of the window waits in the
+    // scheduled driver queue.
+    driver.set_max_inflight(depth.min(2));
+    let queue: Rc<RefCell<std::collections::VecDeque<BlockReq>>> =
+        Rc::new(RefCell::new(reqs.iter().copied().collect()));
+    let latency_ns: Rc<RefCell<(u128, u64)>> = Rc::new(RefCell::new((0, 0)));
+    for w in 0..depth.max(1) {
+        let d = driver.clone();
+        let q = queue.clone();
+        let h2 = h.clone();
+        let lat = latency_ns.clone();
+        h.spawn(&format!("qd-worker{w}"), async move {
+            loop {
+                let next = q.borrow_mut().pop_front();
+                let Some((op, lba, sectors)) = next else { break };
+                let t0 = h2.now();
+                let payload = Payload::Simulated(sectors * 512);
+                // A healthy disk must serve every in-bounds request; a
+                // silent drop here would skew the sweep's means.
+                d.submit(op, lba, sectors, payload)
+                    .await
+                    .unwrap_or_else(|e| panic!("sweep request at lba {lba} failed: {e}"));
+                let mut l = lat.borrow_mut();
+                l.0 += (h2.now() - t0).as_nanos() as u128;
+                l.1 += 1;
+            }
+        });
+    }
+    sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+    let stats = driver.stats();
+    let (total_ns, count) = *latency_ns.borrow();
+    QdCell {
+        mean_service_ms: stats.service_time.mean(),
+        mean_latency_ms: if count == 0 { 0.0 } else { total_ns as f64 / count as f64 / 1e6 },
+        makespan_ms: sim.now().as_nanos() as f64 / 1e6,
+        mean_queue: stats.mean_queue_len,
+        overlap: stats.overlap_fraction,
+    }
+}
+
+/// Runs and prints the sweep table.
+pub fn sweep_queue_depth(trace_name: &str, scale: f64, seed: u64) {
+    let capacity = {
+        // One throwaway sim to learn the disk capacity.
+        let sim = Sim::new(0);
+        let d = sim_disk_driver(
+            &sim.handle(),
+            "probe",
+            Box::new(Hp97560::new()),
+            scheduler_by_name("fcfs").expect("fcfs"),
+        );
+        let c = d.capacity_sectors();
+        d.shutdown();
+        sim.run();
+        c
+    };
+    let reqs = trace_footprint(trace_name, scale, seed, capacity);
+    println!(
+        "== Queue-depth sweep, trace {trace_name} ({} requests, sim-guess placement) ==",
+        reqs.len()
+    );
+    println!("   (scale {scale}; seed {seed}; closed-loop; cells: service-mean ms / makespan s / mean queue)");
+    let depths = [1u32, 2, 4, 8, 16];
+    print!("{:<8}", "sched");
+    for d in depths {
+        print!("{:>22}", format!("qd={d}"));
+    }
+    println!();
+    for sched in ["fcfs", "sstf", "scan", "c-look"] {
+        print!("{sched:<8}");
+        for d in depths {
+            let c = run_depth_cell(&reqs, sched, d, seed);
+            print!(
+                "{:>22}",
+                format!(
+                    "{:.2} / {:.0}s / q\u{0304}{:.1}",
+                    c.mean_service_ms,
+                    c.makespan_ms / 1000.0,
+                    c.mean_queue,
+                )
+            );
+        }
+        println!();
+    }
+    println!();
+    println!("Reading the table: within a column (fixed depth), a lower service");
+    println!("mean / makespan is a better scheduler. At qd=1 the rows coincide —");
+    println!("with no queue every policy serves in arrival order; the spread");
+    println!("opens as the outstanding set deepens and the position-aware");
+    println!("policies (SSTF/SCAN) pull ahead of FCFS.");
+}

@@ -1,0 +1,374 @@
+//! Deterministic fan-out combinators for simulated tasks.
+//!
+//! The executor is strictly single-threaded and cooperative, and every
+//! synchronization primitive registers the *task* (not a waker chain),
+//! so a future that polls several children from one task composes
+//! naturally: any child that blocks registers the parent task, and the
+//! parent re-polls its pending children when it is next made runnable.
+//!
+//! [`join_all`] drives a set of futures to completion and returns every
+//! output in input order; [`Unordered`] is the `FuturesUnordered`-style
+//! counterpart that yields outputs in *completion* order. Both poll
+//! their pending children in insertion order, so — together with the
+//! seeded scheduler that decides when the owning task runs — fan-out
+//! stays a pure function of (configuration, seed).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Drives every future to completion; outputs are returned in the order
+/// the futures were passed in.
+///
+/// # Examples
+///
+/// ```
+/// use cnp_sim::{join_all, Sim, SimDuration};
+///
+/// let sim = Sim::new(7);
+/// let h = sim.handle();
+/// let h2 = h.clone();
+/// h.spawn("fan-out", async move {
+///     let sleeps: Vec<_> = [30u64, 10, 20]
+///         .into_iter()
+///         .map(|ms| {
+///             let h3 = h2.clone();
+///             async move {
+///                 h3.sleep(SimDuration::from_millis(ms)).await;
+///                 ms
+///             }
+///         })
+///         .collect();
+///     // All three sleeps overlap: total virtual time is max, not sum.
+///     let out = join_all(sleeps).await;
+///     assert_eq!(out, vec![30, 10, 20]);
+///     assert_eq!(h2.now().as_millis(), 30);
+/// });
+/// sim.run();
+/// ```
+pub fn join_all<I>(futures: I) -> JoinAll<<I as IntoIterator>::Item>
+where
+    I: IntoIterator,
+    <I as IntoIterator>::Item: Future,
+{
+    let children: Vec<_> = futures.into_iter().map(|f| Child::Pending(Box::pin(f))).collect();
+    JoinAll { children }
+}
+
+enum Child<F: Future> {
+    Pending(Pin<Box<F>>),
+    Done(Option<F::Output>),
+}
+
+/// Future returned by [`join_all`].
+pub struct JoinAll<F: Future> {
+    children: Vec<Child<F>>,
+}
+
+// The children are heap-pinned (`Pin<Box<F>>`), so moving the `JoinAll`
+// itself never moves a polled future: safe impl, no unsafe involved.
+impl<F: Future> Unpin for JoinAll<F> {}
+
+impl<F: Future> Future for JoinAll<F> {
+    type Output = Vec<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut all_done = true;
+        for child in &mut this.children {
+            if let Child::Pending(fut) = child {
+                match fut.as_mut().poll(cx) {
+                    Poll::Ready(out) => *child = Child::Done(Some(out)),
+                    Poll::Pending => all_done = false,
+                }
+            }
+        }
+        if !all_done {
+            return Poll::Pending;
+        }
+        let out = this
+            .children
+            .iter_mut()
+            .map(|c| match c {
+                Child::Done(v) => v.take().expect("join_all polled after completion"),
+                Child::Pending(_) => unreachable!("all_done checked"),
+            })
+            .collect();
+        Poll::Ready(out)
+    }
+}
+
+/// A growable set of in-flight futures yielding outputs in completion
+/// order (`FuturesUnordered`-style), deterministically: pending children
+/// are polled in insertion order each time the owner runs, and ties are
+/// broken by insertion order.
+///
+/// The common bounded-fan-out pattern keeps at most `depth` children in
+/// flight, pushing a replacement every time one completes:
+///
+/// ```
+/// use cnp_sim::{Sim, SimDuration, Unordered};
+///
+/// let sim = Sim::new(3);
+/// let h = sim.handle();
+/// let h2 = h.clone();
+/// h.spawn("bounded", async move {
+///     let mut work = (0..8u64).map(|i| {
+///         let h3 = h2.clone();
+///         async move { h3.sleep(SimDuration::from_millis(i + 1)).await }
+///     });
+///     let mut inflight = Unordered::new();
+///     for _ in 0..3 {
+///         if let Some(f) = work.next() {
+///             inflight.push(Box::pin(f));
+///         }
+///     }
+///     let mut done = 0;
+///     while let Some(()) = inflight.next().await {
+///         done += 1;
+///         if let Some(f) = work.next() {
+///             inflight.push(Box::pin(f));
+///         }
+///     }
+///     assert_eq!(done, 8);
+/// });
+/// sim.run();
+/// ```
+pub struct Unordered<F: Future + Unpin> {
+    pending: Vec<F>,
+}
+
+impl<F: Future + Unpin> Default for Unordered<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Future + Unpin> Unordered<F> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Unordered { pending: Vec::new() }
+    }
+
+    /// Adds a future to the set.
+    pub fn push(&mut self, fut: F) {
+        self.pending.push(fut);
+    }
+
+    /// Number of futures still in flight.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Resolves to the next completed future's output, or `None` when
+    /// the set is empty.
+    // Not `Iterator::next`: this is the awaitable `FuturesUnordered`-
+    // style method, named for that familiarity.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Next<'_, F> {
+        Next { set: self }
+    }
+}
+
+/// Future returned by [`Unordered::next`].
+pub struct Next<'a, F: Future + Unpin> {
+    set: &'a mut Unordered<F>,
+}
+
+impl<F: Future + Unpin> Future for Next<'_, F> {
+    type Output = Option<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let set = &mut self.get_mut().set;
+        if set.pending.is_empty() {
+            return Poll::Ready(None);
+        }
+        for i in 0..set.pending.len() {
+            if let Poll::Ready(out) = Pin::new(&mut set.pending[i]).poll(cx) {
+                // `remove` keeps insertion order for the survivors, so
+                // the poll sequence stays deterministic.
+                set.pending.remove(i);
+                return Poll::Ready(Some(out));
+            }
+        }
+        Poll::Pending
+    }
+}
+
+/// Runs every future produced by `work`, keeping at most `depth` in
+/// flight, and returns the outputs in completion order.
+///
+/// `depth == 1` degenerates to awaiting each future in sequence, which
+/// is exactly the pre-pipelining serial behaviour.
+pub async fn for_each_limit<I, F>(depth: usize, work: I) -> Vec<F::Output>
+where
+    I: IntoIterator<Item = F>,
+    F: Future,
+{
+    let depth = depth.max(1);
+    let mut work = work.into_iter();
+    let mut inflight: Unordered<Pin<Box<F>>> = Unordered::new();
+    let mut out = Vec::new();
+    for _ in 0..depth {
+        match work.next() {
+            Some(f) => inflight.push(Box::pin(f)),
+            None => break,
+        }
+    }
+    while let Some(v) = inflight.next().await {
+        out.push(v);
+        if let Some(f) = work.next() {
+            inflight.push(Box::pin(f));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn join_all_overlaps_sleeps() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let futs: Vec<_> = (1..=4u64)
+                .map(|i| {
+                    let h3 = h2.clone();
+                    async move {
+                        h3.sleep(SimDuration::from_millis(i * 10)).await;
+                        i
+                    }
+                })
+                .collect();
+            let out = join_all(futs).await;
+            assert_eq!(out, vec![1, 2, 3, 4]);
+            // Concurrent: 40 ms (the max), not 100 ms (the sum).
+            assert_eq!(h2.now().as_millis(), 40);
+        });
+        assert_eq!(sim.run(), crate::executor::RunResult::Completed);
+    }
+
+    #[test]
+    fn join_all_empty_is_immediate() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        h.spawn("t", async move {
+            let out: Vec<u8> = join_all(Vec::<std::future::Ready<u8>>::new()).await;
+            assert!(out.is_empty());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn unordered_yields_in_completion_order() {
+        let sim = Sim::new(1);
+        let h = sim.handle();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let mut set = Unordered::new();
+            for ms in [30u64, 10, 20] {
+                let h3 = h2.clone();
+                set.push(Box::pin(async move {
+                    h3.sleep(SimDuration::from_millis(ms)).await;
+                    ms
+                }));
+            }
+            let mut got = Vec::new();
+            while let Some(ms) = set.next().await {
+                got.push(ms);
+            }
+            assert_eq!(got, vec![10, 20, 30]);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn for_each_limit_bounds_inflight() {
+        let sim = Sim::new(5);
+        let h = sim.handle();
+        let h2 = h.clone();
+        let active = Rc::new(RefCell::new((0usize, 0usize))); // (current, peak)
+        let a2 = active.clone();
+        h.spawn("t", async move {
+            let jobs = (0..10u64).map(|_| {
+                let h3 = h2.clone();
+                let a = a2.clone();
+                async move {
+                    {
+                        let mut g = a.borrow_mut();
+                        g.0 += 1;
+                        g.1 = g.1.max(g.0);
+                    }
+                    h3.sleep(SimDuration::from_millis(5)).await;
+                    a.borrow_mut().0 -= 1;
+                }
+            });
+            let out = for_each_limit(3, jobs).await;
+            assert_eq!(out.len(), 10);
+        });
+        sim.run();
+        assert_eq!(active.borrow().0, 0);
+        let peak = active.borrow().1;
+        assert!(peak <= 3, "depth bound violated: peak {peak}");
+        assert!(peak >= 2, "no overlap happened at all");
+    }
+
+    #[test]
+    fn depth_one_is_serial() {
+        let sim = Sim::new(5);
+        let h = sim.handle();
+        let h2 = h.clone();
+        h.spawn("t", async move {
+            let jobs = (0..4u64).map(|_| {
+                let h3 = h2.clone();
+                async move { h3.sleep(SimDuration::from_millis(10)).await }
+            });
+            for_each_limit(1, jobs).await;
+            // Serial: the sum, not the max.
+            assert_eq!(h2.now().as_millis(), 40);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn same_seed_same_completion_order() {
+        fn run(seed: u64) -> Vec<u64> {
+            let sim = Sim::new(seed);
+            let h = sim.handle();
+            let out = Rc::new(RefCell::new(Vec::new()));
+            let o2 = out.clone();
+            let h2 = h.clone();
+            h.spawn("t", async move {
+                let mut set = Unordered::new();
+                for i in 0..8u64 {
+                    let h3 = h2.clone();
+                    set.push(Box::pin(async move {
+                        // All deadlines equal: completion order is decided
+                        // by poll order, which must be deterministic.
+                        h3.sleep(SimDuration::from_millis(5)).await;
+                        i
+                    }));
+                }
+                while let Some(i) = set.next().await {
+                    o2.borrow_mut().push(i);
+                }
+            });
+            sim.run();
+            let v = out.borrow().clone();
+            v
+        }
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -17,13 +17,21 @@ fn main() {
     let h = sim.handle();
 
     // An HP 97560 that will lose power while serving its 400th request,
-    // tearing the write it lands on after 4 sectors.
-    let plan = FaultPlanBuilder::new(42).power_cut_at_op(400).torn_write_sectors(4).build();
+    // tearing the write it lands on after 4 sectors. The engine runs
+    // pipelined (queue depth 8), so the cut lands on an in-flight batch
+    // — and the dying electronics still retire a seeded prefix of the
+    // outstanding writes, unacknowledged.
+    let plan = FaultPlanBuilder::new(42)
+        .power_cut_at_op(400)
+        .torn_write_sectors(4)
+        .random_cut_retire(8)
+        .build();
+    println!("fault plan: cut at op 400, retire up to {} in-flight writes", plan.cut_retire_ops);
     let (driver, disk) =
         FaultyDisk::new(Box::new(Hp97560::new()), plan).spawn(&h, "doomed", Box::new(CLook));
 
     let layout = LayoutKind::Lfs.build(&h, driver.clone());
-    let cfg = FsConfig { data_mode: DataMode::Real, ..FsConfig::default() };
+    let cfg = FsConfig { data_mode: DataMode::Real, queue_depth: 8, ..FsConfig::default() };
     let fs = FileSystem::new(&h, layout, cfg.clone());
 
     let fs2 = fs.clone();

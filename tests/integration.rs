@@ -153,6 +153,51 @@ fn crash_sweep_is_deterministic_and_verifies_clean() {
 }
 
 #[test]
+fn queue_depth_8_differentiates_schedulers_on_trace_1a() {
+    use cut_and_paste::disk::{DiskModel, Hp97560};
+    use cut_and_paste::patsy::{run_depth_cell, trace_footprint};
+
+    let capacity = Hp97560::new().geometry().capacity_sectors();
+    let reqs = trace_footprint("1a", 0.005, 365, capacity);
+    assert!(reqs.len() > 500, "trace footprint too small: {}", reqs.len());
+
+    // Queue depth 1: no queue ever forms, so every policy serves in
+    // arrival order and the measurements coincide exactly.
+    let fcfs1 = run_depth_cell(&reqs, "fcfs", 1, 7);
+    let sstf1 = run_depth_cell(&reqs, "sstf", 1, 7);
+    let scan1 = run_depth_cell(&reqs, "scan", 1, 7);
+    assert_eq!(fcfs1.mean_service_ms.to_bits(), sstf1.mean_service_ms.to_bits());
+    assert_eq!(fcfs1.mean_service_ms.to_bits(), scan1.mean_service_ms.to_bits());
+    assert_eq!(fcfs1.makespan_ms.to_bits(), sstf1.makespan_ms.to_bits());
+
+    // Queue depth 8: the outstanding set gives position-aware policies
+    // something to reorder; SSTF and SCAN must beat FCFS on mean
+    // device service time (and finish the stream sooner).
+    let fcfs8 = run_depth_cell(&reqs, "fcfs", 8, 7);
+    let sstf8 = run_depth_cell(&reqs, "sstf", 8, 7);
+    let scan8 = run_depth_cell(&reqs, "scan", 8, 7);
+    assert!(
+        sstf8.mean_service_ms < fcfs8.mean_service_ms,
+        "sstf {:.3} ms should beat fcfs {:.3} ms at depth 8",
+        sstf8.mean_service_ms,
+        fcfs8.mean_service_ms
+    );
+    assert!(
+        scan8.mean_service_ms < fcfs8.mean_service_ms,
+        "scan {:.3} ms should beat fcfs {:.3} ms at depth 8",
+        scan8.mean_service_ms,
+        fcfs8.mean_service_ms
+    );
+    assert!(sstf8.makespan_ms < fcfs8.makespan_ms);
+    assert!(fcfs8.mean_queue > 2.0, "depth 8 must actually build a queue");
+
+    // Seeded replays stay bit-identical, pipelined or not.
+    let again = run_depth_cell(&reqs, "sstf", 8, 7);
+    assert_eq!(again.mean_service_ms.to_bits(), sstf8.mean_service_ms.to_bits());
+    assert_eq!(again.makespan_ms.to_bits(), sstf8.makespan_ms.to_bits());
+}
+
+#[test]
 fn nvram_policy_bounds_dirty_data() {
     run_to_completion(13, |h| async move {
         let cfg = FsConfig {

@@ -179,7 +179,7 @@ proptest! {
         let mut cache = BlockCache::new(
             cfg,
             Box::new(Lru::new(frames)),
-            Box::new(WriteSaving { whole_file: true }),
+            Box::new(WriteSaving { whole_file: true, batch: 1 }),
         );
         let mut t = 0u64;
         for (file, block, action) in ops {
@@ -337,6 +337,78 @@ proptest! {
             }
             fs2.shutdown();
         });
+    }
+
+    /// The pipelined I/O path is an exact functional oracle of the
+    /// serial path: the same operation sequence produces byte-identical
+    /// file contents at queue depth 1 and queue depth 8, and the
+    /// depth-1 run itself is byte-identical across invocations (the
+    /// pipelined code collapses to the legacy serial event sequence).
+    #[test]
+    fn pipelined_path_is_exact_oracle_of_serial(
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec((0u64..3, 0u64..10, 1u64..3), 1..16),
+    ) {
+        /// Final file contents plus the platter image of one replay.
+        type OracleOutcome = (Vec<Vec<u8>>, cut_and_paste::disk::DiskImage);
+
+        /// Replays `ops`, returns (final file contents, platter image).
+        fn run_once(
+            seed: u64,
+            ops: &[(u64, u64, u64)],
+            queue_depth: u32,
+            kind: LayoutKind,
+        ) -> OracleOutcome {
+            let out: Rc<Cell<Option<OracleOutcome>>> = Rc::new(Cell::new(None));
+            let out2 = out.clone();
+            let ops = ops.to_vec();
+            let sim = Sim::new(seed);
+            let h = sim.handle();
+            let (driver, disk) = FaultyDisk::new(Box::new(Hp97560::new()), FaultPlan::default())
+                .spawn(&h, "o0", Box::new(CLook));
+            let layout = kind.build(&h, driver.clone());
+            let cfg = FsConfig {
+                queue_depth,
+                data_mode: DataMode::Real,
+                ..FsConfig::default()
+            };
+            let fs = FileSystem::new(&h, layout, cfg);
+            h.spawn("oracle", async move {
+                fs.format().await.unwrap();
+                let mut inos = Vec::new();
+                for i in 0..3u64 {
+                    inos.push(fs.create(&format!("/f{i}"), FileKind::Regular).await.unwrap());
+                }
+                for (i, (fidx, blk, nblocks)) in ops.iter().enumerate() {
+                    let tag = ((i * 13 + 7) % 251) as u8;
+                    let len = nblocks * 4096;
+                    fs.write(inos[*fidx as usize], blk * 4096, len, Some(&vec![tag; len as usize]))
+                        .await
+                        .unwrap();
+                }
+                fs.sync().await.unwrap();
+                let mut contents = Vec::new();
+                for (i, &ino) in inos.iter().enumerate() {
+                    let size = fs.stat(&format!("/f{i}")).await.unwrap().size;
+                    let (_, data) = fs.read(ino, 0, size).await.unwrap();
+                    contents.push(data.unwrap_or_default());
+                }
+                fs.unmount().await.unwrap();
+                let image = disk.platter_image();
+                fs.shutdown();
+                out2.set(Some((contents, image)));
+            });
+            sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+            out.take().expect("oracle run did not complete")
+        }
+        for kind in [LayoutKind::Lfs, LayoutKind::Ffs] {
+            let (serial, image_a) = run_once(seed, &ops, 1, kind);
+            let (serial_again, image_b) = run_once(seed, &ops, 1, kind);
+            prop_assert_eq!(&serial, &serial_again, "depth-1 contents must replay identically");
+            prop_assert_eq!(image_a, image_b, "depth-1 platter must replay byte-identically");
+            let (pipelined, _image) = run_once(seed, &ops, 8, kind);
+            prop_assert_eq!(serial, pipelined, "queue depth must not change file contents");
+        }
     }
 
     /// Histogram quantiles are monotone and bounded by min/max.
