@@ -108,6 +108,21 @@ fn bench_queue_depth(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_multi_client(c: &mut Criterion) {
+    use cnp_bench::client_cell_throughput;
+    let mut g = c.benchmark_group("multi_client");
+    g.sample_size(10);
+    // The closed-loop client-count axis: one client (the legacy shape)
+    // vs a fleet on the same shared engine. Regressions in the engine's
+    // interior locking or the per-client attribution path land here.
+    for (workload, clients) in [("zipf", 1u32), ("zipf", 8), ("mail", 8), ("scan", 4)] {
+        g.bench_function(format!("{workload}_c{clients}"), |b| {
+            b.iter(|| std::hint::black_box(client_cell_throughput(workload, clients)))
+        });
+    }
+    g.finish();
+}
+
 fn bench_crash_recovery(c: &mut Criterion) {
     use cnp_patsy::CrashConfig;
     let mut g = c.benchmark_group("crash_recovery");
@@ -134,6 +149,7 @@ criterion_group!(
     bench_fig5_means,
     bench_components,
     bench_queue_depth,
+    bench_multi_client,
     bench_crash_recovery
 );
 criterion_main!(figures);

@@ -40,6 +40,17 @@ pub fn qd_service_mean(reqs: &[cnp_patsy::qdsweep::BlockReq], sched: &str, depth
     cnp_patsy::run_depth_cell(reqs, sched, depth, BENCH_SEED).mean_service_ms
 }
 
+/// One multi-client cell at bench scale: `clients` closed-loop clients
+/// of `workload` on a fresh shared engine; returns the aggregate
+/// throughput in completed operations per second of makespan.
+pub fn client_cell_throughput(workload: &str, clients: u32) -> f64 {
+    use cnp_patsy::ClientSweepConfig;
+    use cnp_workload::WorkloadKind;
+    let kind = WorkloadKind::parse(workload).expect("known workload");
+    let cfg = ClientSweepConfig::new(kind, vec![clients], BENCH_SEED, 2.0 * BENCH_SCALE);
+    cnp_patsy::run_client_cell(&cfg, clients).agg_ops_per_sec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,6 +59,13 @@ mod tests {
     fn fig_experiment_runs_and_reports_positive_latency() {
         let ms = fig_experiment("1a", Policy::Ups);
         assert!(ms > 0.0, "mean latency must be positive, got {ms}");
+    }
+
+    #[test]
+    fn client_cell_runs_and_is_deterministic() {
+        let a = client_cell_throughput("zipf", 4);
+        assert!(a > 0.0, "throughput must be positive, got {a}");
+        assert_eq!(a.to_bits(), client_cell_throughput("zipf", 4).to_bits());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! (async) I/O, then reports back. That keeps flushing synchronous or
 //! asynchronous at the caller's choice — the very design lesson of §5.2.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use cnp_sim::{SimDuration, SimTime};
 
@@ -22,6 +22,12 @@ use crate::policy::{AccessMeta, ReplacementPolicy};
 
 /// Maximum per-frame access history kept (for LRU-K).
 const HISTORY: usize = 4;
+
+/// Owner tag for dirty data nobody claimed: engine-internal writes
+/// (directories, symlink targets, NVRAM replay) and single-client
+/// callers that never attribute. Multi-client attribution uses the
+/// dirtying client's id instead.
+pub const UNATTRIBUTED: u32 = u32::MAX;
 
 /// Block lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +57,9 @@ struct Frame {
     data: Option<Vec<u8>>,
     /// Re-dirtied while a flush was in flight.
     redirtied: bool,
+    /// Client that last dirtied this block ([`UNATTRIBUTED`] when no
+    /// client claimed it); flush work is attributed to this owner.
+    owner: u32,
 }
 
 /// Cache counters.
@@ -158,6 +167,9 @@ pub struct BlockCache {
     /// Dirty + flushing blocks charged against NVRAM.
     nvram_used: u64,
     stats: CacheStats,
+    /// Blocks handed to the flusher, per dirtying client (ordered so
+    /// reports are deterministic).
+    flushed_by_owner: BTreeMap<u32, u64>,
 }
 
 struct QueryView<'a> {
@@ -221,6 +233,7 @@ impl BlockCache {
                 history: Vec::new(),
                 data: None,
                 redirtied: false,
+                owner: UNATTRIBUTED,
             })
             .collect();
         BlockCache {
@@ -234,6 +247,7 @@ impl BlockCache {
             dirty_blocks: 0,
             nvram_used: 0,
             stats: CacheStats::default(),
+            flushed_by_owner: BTreeMap::new(),
         }
     }
 
@@ -371,6 +385,7 @@ impl BlockCache {
             history: Vec::with_capacity(HISTORY),
             data,
             redirtied: false,
+            owner: UNATTRIBUTED,
         };
         self.map.insert(key, frame);
         self.stats.insertions += 1;
@@ -383,7 +398,10 @@ impl BlockCache {
         self.free.push(frame);
     }
 
-    /// Marks a resident block dirty, enforcing the NVRAM budget.
+    /// Marks a resident block dirty, enforcing the NVRAM budget. The
+    /// block's flush-attribution owner is left as it was (engine
+    /// retries and internal metadata writes must not steal attribution
+    /// from the client whose data the block carries).
     pub fn mark_dirty(&mut self, key: BlockKey, now: SimTime) -> DirtyOutcome {
         let frame = *self.map.get(&key).expect("mark_dirty on non-resident block");
         match self.frames[frame as usize].state {
@@ -416,6 +434,25 @@ impl BlockCache {
         }
     }
 
+    /// [`BlockCache::mark_dirty`] with flush attribution: on success the
+    /// block's owner becomes `owner` (last writer wins), so the flush
+    /// work it later causes is charged to that client.
+    pub fn mark_dirty_for(&mut self, key: BlockKey, now: SimTime, owner: u32) -> DirtyOutcome {
+        let outcome = self.mark_dirty(key, now);
+        if outcome == DirtyOutcome::Ok {
+            if let Some(&frame) = self.map.get(&key) {
+                self.frames[frame as usize].owner = owner;
+            }
+        }
+        outcome
+    }
+
+    /// Blocks handed to the flusher per dirtying client, ordered by
+    /// client id; engine-internal traffic appears as [`UNATTRIBUTED`].
+    pub fn flushes_by_client(&self) -> Vec<(u32, u64)> {
+        self.flushed_by_owner.iter().map(|(&c, &n)| (c, n)).collect()
+    }
+
     /// Takes blocks out of the dirty set for flushing.
     ///
     /// Returns the keys actually transitioned (already-clean or missing
@@ -432,6 +469,7 @@ impl BlockCache {
             self.dirty_age.remove(frame);
             self.dirty_blocks -= 1;
             self.stats.flushes += 1;
+            *self.flushed_by_owner.entry(self.frames[frame as usize].owner).or_insert(0) += 1;
             out.push(key);
         }
         out
@@ -747,6 +785,30 @@ mod tests {
         insert(&mut c, key(1, 0), t(0));
         let started = c.begin_flush(&[key(1, 0), key(5, 5)]);
         assert!(started.is_empty());
+    }
+
+    #[test]
+    fn flush_attribution_follows_last_dirtier() {
+        let mut c = small_cache(8, None);
+        insert(&mut c, key(1, 0), t(0));
+        insert(&mut c, key(1, 1), t(1));
+        insert(&mut c, key(2, 0), t(2));
+        // Client 3 dirties two blocks, client 5 one; an unattributed
+        // engine write dirties nothing new on 1:0 (retry path).
+        assert_eq!(c.mark_dirty_for(key(1, 0), t(3), 3), DirtyOutcome::Ok);
+        assert_eq!(c.mark_dirty_for(key(1, 1), t(4), 3), DirtyOutcome::Ok);
+        assert_eq!(c.mark_dirty_for(key(2, 0), t(5), 5), DirtyOutcome::Ok);
+        assert_eq!(c.mark_dirty(key(1, 0), t(6)), DirtyOutcome::Ok);
+        let started = c.begin_flush(&[key(1, 0), key(1, 1), key(2, 0)]);
+        assert_eq!(started.len(), 3);
+        assert_eq!(c.flushes_by_client(), vec![(3, 2), (5, 1)]);
+        // A redirty by another client while flushing reattributes.
+        for k in started {
+            c.end_flush(k, t(7));
+        }
+        assert_eq!(c.mark_dirty_for(key(1, 0), t(8), 9), DirtyOutcome::Ok);
+        c.begin_flush(&[key(1, 0)]);
+        assert_eq!(c.flushes_by_client(), vec![(3, 2), (5, 1), (9, 1)]);
     }
 
     #[test]

@@ -19,7 +19,9 @@ mod key;
 mod list;
 pub mod policy;
 
-pub use engine::{BlockCache, BlockState, CacheConfig, CacheStats, DirtyOutcome, Reserve};
+pub use engine::{
+    BlockCache, BlockState, CacheConfig, CacheStats, DirtyOutcome, Reserve, UNATTRIBUTED,
+};
 pub use flush::{
     flush_by_name, flush_by_name_batched, CacheQuery, FlushPolicy, NvramFlush, PeriodicUpdate,
     WriteSaving,

@@ -89,6 +89,12 @@ struct Shared {
     io: cnp_layout::BlockIo,
     driver: DiskDriver,
     inodes: RefCell<HashMap<Ino, Rc<RefCell<Inode>>>>,
+    /// Per-inode count of completed size-relevant ops (writes,
+    /// truncates). A failed write's speculative size extension may only
+    /// roll back if nothing else completed in between — otherwise the
+    /// rollback could clobber a concurrent client's acked extension to
+    /// the same end.
+    write_gen: RefCell<HashMap<Ino, u64>>,
     open_counts: RefCell<HashMap<Ino, u32>>,
     inflight: RefCell<HashMap<BlockKey, Event>>,
     /// Per-block failed-flush counts (bounded retry bookkeeping).
@@ -146,6 +152,7 @@ impl FileSystem {
             io,
             driver,
             inodes: RefCell::new(HashMap::new()),
+            write_gen: RefCell::new(HashMap::new()),
             open_counts: RefCell::new(HashMap::new()),
             inflight: RefCell::new(HashMap::new()),
             flush_retry: RefCell::new(HashMap::new()),
@@ -223,6 +230,31 @@ impl FileSystem {
     /// Driver statistics (queue/service/rotation histograms).
     pub fn driver_stats(&self) -> cnp_disk::DriverStats {
         self.s.driver.stats()
+    }
+
+    /// Blocks handed to the flusher per dirtying client, ordered by
+    /// client id. Engine-internal traffic (directories, symlink targets)
+    /// and unattributed writes appear as [`cnp_cache::UNATTRIBUTED`].
+    pub fn flushes_by_client(&self) -> Vec<(u32, u64)> {
+        self.s.cache.borrow().flushes_by_client()
+    }
+
+    /// A per-client handle onto this (shared) engine: the same file
+    /// system, with write traffic attributed to `id`. Clients interleave
+    /// at the engine's block-I/O await points under its interior locks —
+    /// the namespace lock for directory read-modify-write, the layout
+    /// mutex for mapping/allocation, and the in-flight table for
+    /// duplicate block loads.
+    ///
+    /// `id` must not be [`cnp_cache::UNATTRIBUTED`] (`u32::MAX`) — that
+    /// value is the engine-internal sentinel, and a client using it
+    /// would silently merge into the unattributed flush bucket.
+    pub fn client(&self, id: u32) -> ClientFs {
+        debug_assert!(
+            id != cnp_cache::UNATTRIBUTED,
+            "client id {id} collides with the UNATTRIBUTED sentinel"
+        );
+        ClientFs { fs: self.clone(), id }
     }
 
     /// Layout statistics; `None` while the layout lock is held.
@@ -520,6 +552,21 @@ impl FileSystem {
         len: u64,
         data: Option<&[u8]>,
     ) -> FsResult<u64> {
+        self.write_for(cnp_cache::UNATTRIBUTED, ino, offset, len, data).await
+    }
+
+    /// [`FileSystem::write`] attributed to a client: the dirty blocks
+    /// this write leaves behind are charged to `client` in the cache's
+    /// flush accounting ([`FileSystem::flushes_by_client`]). The
+    /// multi-client handle ([`FileSystem::client`]) routes here.
+    pub async fn write_for(
+        &self,
+        client: u32,
+        ino: Ino,
+        offset: u64,
+        len: u64,
+        data: Option<&[u8]>,
+    ) -> FsResult<u64> {
         self.op_begin().await;
         {
             let mut st = self.s.stats.borrow_mut();
@@ -532,25 +579,57 @@ impl FileSystem {
         }
         let rc = self.get_inode_rc(ino).await?;
         let old_size = rc.borrow().size;
+        // Extend the size *before* dirtying any block: a cache under
+        // NVRAM pressure (its own, or another client's on the shared
+        // engine) may flush this file's blocks mid-write, and the
+        // flushed inode must already cover them — otherwise the write
+        // acks with its data durable but unreachable behind a stale
+        // size, and a later crash loses it (caught by the multi-client
+        // crash test).
+        if len > 0 && end > old_size {
+            rc.borrow_mut().size = end;
+        }
+        let gen0 = self.s.write_gen.borrow().get(&ino).copied().unwrap_or(0);
         let first = offset / bs;
         let last = if len == 0 { first } else { (end - 1) / bs };
+        let mut failed: Option<FsError> = None;
         if len > 0 && self.s.cfg.queue_depth > 1 && last > first {
             // Pipelined path: per-block cache commits (and any
             // read-modify loads for partial blocks) proceed with up to
             // queue_depth in flight.
             let work = (first..=last)
-                .map(|blk| self.write_one_block(ino, blk, offset, end, old_size, data));
+                .map(|blk| self.write_one_block(client, ino, blk, offset, end, old_size, data));
             for r in cnp_sim::for_each_limit(self.s.cfg.queue_depth as usize, work).await {
-                r?;
+                if let Err(e) = r {
+                    failed = Some(e);
+                    break;
+                }
             }
         } else {
             let mut pos = offset;
             while pos < end {
                 let blk = pos / bs;
                 let hi = ((end - blk * bs).min(bs)) as usize;
-                self.write_one_block(ino, blk, offset, end, old_size, data).await?;
+                if let Err(e) =
+                    self.write_one_block(client, ino, blk, offset, end, old_size, data).await
+                {
+                    failed = Some(e);
+                    break;
+                }
                 pos = blk * bs + hi as u64;
             }
+        }
+        if let Some(e) = failed {
+            // Roll the speculative extension back so a *failed* write
+            // does not leave a phantom size — but only if no other
+            // size-relevant op completed meanwhile: a concurrent client
+            // acking a write to the same `end` must keep its coverage.
+            let untouched = self.s.write_gen.borrow().get(&ino).copied().unwrap_or(0) == gen0;
+            let mut inode = rc.borrow_mut();
+            if end > old_size && inode.size == end && untouched {
+                inode.size = old_size;
+            }
+            return Err(e);
         }
         {
             let mut inode = rc.borrow_mut();
@@ -559,6 +638,7 @@ impl FileSystem {
             }
             inode.mtime = self.s.handle.now().as_nanos();
         }
+        *self.s.write_gen.borrow_mut().entry(ino).or_insert(0) += 1;
         self.s.stats.borrow_mut().bytes_written += len;
         Ok(len)
     }
@@ -582,6 +662,7 @@ impl FileSystem {
             inode.indirect = copy.indirect;
             inode.size = new_size;
         }
+        *self.s.write_gen.borrow_mut().entry(ino).or_insert(0) += 1;
         Ok(())
     }
 
@@ -601,6 +682,7 @@ impl FileSystem {
         let absorbed = self.s.cache.borrow_mut().remove_file(FileId(entry.ino.0));
         self.s.stats.borrow_mut().absorbed_blocks += absorbed;
         self.s.inodes.borrow_mut().remove(&entry.ino);
+        self.s.write_gen.borrow_mut().remove(&entry.ino);
         let g = self.s.layout.lock().await;
         g.get_mut().free_inode(entry.ino).await?;
         Ok(())
@@ -799,7 +881,7 @@ impl FileSystem {
             let mut block = vec![0u8; bs];
             block[..hi - lo].copy_from_slice(&bytes[lo..hi]);
             // Directory content is metadata: always real bytes.
-            self.write_block_cached(ino, blk, Some(block)).await?;
+            self.write_block_cached(cnp_cache::UNATTRIBUTED, ino, blk, Some(block)).await?;
         }
         {
             let mut inode = rc.borrow_mut();
@@ -823,8 +905,10 @@ impl FileSystem {
     /// One block of a client write: compute the block's new content
     /// (read-modify for partial overwrites in real mode) and push it
     /// through the cache. Shared by the lock-step and pipelined paths.
+    #[allow(clippy::too_many_arguments)]
     async fn write_one_block(
         &self,
+        owner: u32,
         ino: Ino,
         blk: u64,
         offset: u64,
@@ -856,7 +940,7 @@ impl FileSystem {
                 Some(base)
             }
         };
-        self.write_block_cached(ino, blk, block_data).await
+        self.write_block_cached(owner, ino, blk, block_data).await
     }
 
     /// Pipelined multi-block read: classify each block (cache hit, load
@@ -1190,8 +1274,15 @@ impl FileSystem {
         Ok(data)
     }
 
-    /// Writes one whole block through the cache (dirtying it).
-    async fn write_block_cached(&self, ino: Ino, blk: u64, data: Option<Vec<u8>>) -> FsResult<()> {
+    /// Writes one whole block through the cache (dirtying it); the dirty
+    /// block is attributed to `owner` for flush accounting.
+    async fn write_block_cached(
+        &self,
+        owner: u32,
+        ino: Ino,
+        blk: u64,
+        data: Option<Vec<u8>>,
+    ) -> FsResult<()> {
         let key = BlockKey::new(FileId(ino.0), blk);
         loop {
             let present = self.s.cache.borrow().peek(key).is_some();
@@ -1208,7 +1299,7 @@ impl FileSystem {
             // Dirty it, honouring the NVRAM budget.
             let outcome = {
                 let mut cache = self.s.cache.borrow_mut();
-                cache.mark_dirty(key, self.s.handle.now())
+                cache.mark_dirty_for(key, self.s.handle.now(), owner)
             };
             match outcome {
                 DirtyOutcome::Ok => {
@@ -1464,6 +1555,102 @@ impl FileSystem {
     }
 }
 
+/// A client's view of a shared [`FileSystem`]: every engine handle is
+/// the same cache + layout + driver, but operations issued through a
+/// `ClientFs` are attributed to its client id (today: dirty-block flush
+/// accounting; the attribution point for any future per-client QoS).
+///
+/// Cloneable and cheap — a multi-client workload clones the engine once
+/// per client task and drives the abstract client interface through it.
+#[derive(Clone)]
+pub struct ClientFs {
+    fs: FileSystem,
+    id: u32,
+}
+
+impl ClientFs {
+    /// The client id carried by this handle.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The underlying shared engine.
+    pub fn fs(&self) -> &FileSystem {
+        &self.fs
+    }
+
+    /// Resolves a path to an inode number.
+    pub async fn lookup(&self, path: &str) -> FsResult<Ino> {
+        self.fs.lookup(path).await
+    }
+
+    /// Creates a regular (or typed) file.
+    pub async fn create(&self, path: &str, kind: FileKind) -> FsResult<Ino> {
+        self.fs.create(path, kind).await
+    }
+
+    /// Creates a directory.
+    pub async fn mkdir(&self, path: &str) -> FsResult<Ino> {
+        self.fs.mkdir(path).await
+    }
+
+    /// Lists a directory.
+    pub async fn readdir(&self, path: &str) -> FsResult<Vec<Dirent>> {
+        self.fs.readdir(path).await
+    }
+
+    /// Opens a file.
+    pub async fn open(&self, path: &str) -> FsResult<Ino> {
+        self.fs.open(path).await
+    }
+
+    /// Closes an open file.
+    pub async fn close(&self, ino: Ino) -> FsResult<()> {
+        self.fs.close(ino).await
+    }
+
+    /// Stats a file by path.
+    pub async fn stat(&self, path: &str) -> FsResult<Inode> {
+        self.fs.stat(path).await
+    }
+
+    /// Reads `len` bytes at `offset`.
+    pub async fn read(&self, ino: Ino, offset: u64, len: u64) -> FsResult<(u64, Option<Vec<u8>>)> {
+        self.fs.read(ino, offset, len).await
+    }
+
+    /// Writes `len` bytes at `offset`, attributed to this client.
+    pub async fn write(
+        &self,
+        ino: Ino,
+        offset: u64,
+        len: u64,
+        data: Option<&[u8]>,
+    ) -> FsResult<u64> {
+        self.fs.write_for(self.id, ino, offset, len, data).await
+    }
+
+    /// Truncates a file to `new_size` bytes.
+    pub async fn truncate(&self, ino: Ino, new_size: u64) -> FsResult<()> {
+        self.fs.truncate(ino, new_size).await
+    }
+
+    /// Removes a file.
+    pub async fn unlink(&self, path: &str) -> FsResult<()> {
+        self.fs.unlink(path).await
+    }
+
+    /// Removes an empty directory.
+    pub async fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.fs.rmdir(path).await
+    }
+
+    /// Renames a file or directory.
+    pub async fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        self.fs.rename(from, to).await
+    }
+}
+
 /// Pads a string into a whole metadata block (symlink storage).
 fn bytes_padded(s: &str) -> Vec<u8> {
     let mut v = s.as_bytes().to_vec();
@@ -1628,6 +1815,23 @@ mod tests {
             assert_eq!(n, 8192);
             assert!(data.is_none());
             assert_eq!(fs.stats().bytes_written, 8192);
+        });
+    }
+
+    #[test]
+    fn client_handles_attribute_flush_traffic() {
+        run_fs(DataMode::Simulated, |fs| async move {
+            let a = fs.client(0);
+            let b = fs.client(1);
+            let ia = a.create("/a.dat", FileKind::Regular).await.unwrap();
+            let ib = b.create("/b.dat", FileKind::Regular).await.unwrap();
+            a.write(ia, 0, 8 * 4096, None).await.unwrap();
+            b.write(ib, 0, 4 * 4096, None).await.unwrap();
+            fs.sync().await.unwrap();
+            let attr = fs.flushes_by_client();
+            let of = |id: u32| attr.iter().find(|(c, _)| *c == id).map(|&(_, n)| n).unwrap_or(0);
+            assert!(of(0) >= 8, "client 0 flushes missing: {attr:?}");
+            assert!(of(1) >= 4, "client 1 flushes missing: {attr:?}");
         });
     }
 

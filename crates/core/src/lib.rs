@@ -15,4 +15,4 @@ mod fs;
 
 pub use config::{DataMode, FlushMode, FsConfig};
 pub use error::{FsError, FsResult};
-pub use fs::{FileSystem, FsStats, NvramSnapshot};
+pub use fs::{ClientFs, FileSystem, FsStats, NvramSnapshot};

@@ -7,114 +7,88 @@
 //!       ablate-diskcache|ablate-nvram|ablate-cleaner
 //! patsy run --trace 1a --policy ups    # one experiment, full detail
 //! patsy sweep-qd --trace 1a            # I/O schedulers x queue depths
+//! patsy sweep-clients --workload zipf --clients 1,4,16 --qd 8
 //! patsy crash --trace 1a --cuts 16 --seed 42   # crash-recovery sweep
 //! options: --scale 0.05 --seed 365 --cuts 16 --layout lfs|ffs --qd 1
 //! ```
 
-use cnp_patsy::{ablate, crash, figures, Policy};
+use cnp_patsy::cli::{parse_cli, usage};
+use cnp_patsy::{ablate, clients, crash, figures, Policy};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        usage();
+        eprintln!("{}", usage());
         return;
     }
-    let mut scale = 0.05f64;
-    let mut seed = 365u64;
-    let mut trace = "1a".to_string();
-    let mut policy = "ups".to_string();
-    let mut cuts = 16u32;
-    let mut layout: Option<String> = None;
-    let mut qd = 1u32;
-    let mut scale_set = false;
-    let mut policy_set = false;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                i += 1;
-                scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("bad --scale");
-                    std::process::exit(2);
-                });
-                scale_set = true;
-            }
-            "--cuts" => {
-                i += 1;
-                cuts = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("bad --cuts");
-                    std::process::exit(2);
-                });
-            }
-            "--layout" => {
-                i += 1;
-                layout = args.get(i).cloned();
-            }
-            "--qd" => {
-                i += 1;
-                qd = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("bad --qd");
-                    std::process::exit(2);
-                });
-            }
-            "--seed" => {
-                i += 1;
-                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("bad --seed");
-                    std::process::exit(2);
-                });
-            }
-            "--trace" => {
-                i += 1;
-                trace = args.get(i).cloned().unwrap_or_default();
-            }
-            "--policy" => {
-                i += 1;
-                policy = args.get(i).cloned().unwrap_or_default();
-                policy_set = true;
-            }
-            other => {
-                eprintln!("unknown option {other}");
-                std::process::exit(2);
-            }
+    let a = match parse_cli(&args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
         }
-        i += 1;
-    }
-    match args[0].as_str() {
-        "fig2" => figures::figure_cdf("1a", scale, seed, qd),
-        "fig3" => figures::figure_cdf("1b", scale, seed, qd),
-        "fig4" => figures::figure_cdf("5", scale, seed, qd),
-        "fig5" => figures::figure5(scale, seed),
-        "sweep-qd" => cnp_patsy::qdsweep::sweep_queue_depth(&trace, scale, seed),
-        "ablate-diskmodel" => ablate::ablate_diskmodel(scale, seed),
-        "ablate-flushmode" => ablate::ablate_flushmode(scale, seed),
-        "ablate-iosched" => ablate::ablate_iosched(scale, seed),
-        "ablate-diskcache" => ablate::ablate_diskcache(scale, seed),
-        "ablate-nvram" => ablate::ablate_nvram(scale, seed),
-        "ablate-cleaner" => ablate::ablate_cleaner(scale, seed),
+    };
+    match a.cmd.as_str() {
+        "fig2" => figures::figure_cdf("1a", a.scale, a.seed, a.qd),
+        "fig3" => figures::figure_cdf("1b", a.scale, a.seed, a.qd),
+        "fig4" => figures::figure_cdf("5", a.scale, a.seed, a.qd),
+        "fig5" => figures::figure5(a.scale, a.seed),
+        "sweep-qd" => cnp_patsy::qdsweep::sweep_queue_depth(&a.trace, a.scale, a.seed),
+        "sweep-clients" => {
+            // Client cells are numerous and closed-loop; the default
+            // full-figure scale would run minutes per cell. The sweep
+            // defaults to qd 8 — the depth where client count separates
+            // the schedulers — while everything else keeps lock-step 1.
+            let scale = if a.scale_set { a.scale } else { 0.02 };
+            let qd = if a.qd_set { a.qd } else { 8 };
+            let workload = cnp_workload::WorkloadKind::parse(&a.workload)
+                .expect("workload name validated by parse_cli");
+            clients::sweep_clients_cli(
+                workload,
+                &a.clients,
+                a.seed,
+                scale,
+                qd,
+                a.layout.as_deref(),
+                a.policy_set.then_some(a.policy.as_str()),
+            );
+        }
+        "ablate-diskmodel" => ablate::ablate_diskmodel(a.scale, a.seed),
+        "ablate-flushmode" => ablate::ablate_flushmode(a.scale, a.seed),
+        "ablate-iosched" => ablate::ablate_iosched(a.scale, a.seed),
+        "ablate-diskcache" => ablate::ablate_diskcache(a.scale, a.seed),
+        "ablate-nvram" => ablate::ablate_nvram(a.scale, a.seed),
+        "ablate-cleaner" => ablate::ablate_cleaner(a.scale, a.seed),
         "run" => {
-            let p = Policy::parse(&policy).unwrap_or_else(|| {
-                eprintln!("unknown policy {policy} (write-delay|ups|nvram-whole|nvram-partial)");
+            let p = Policy::parse(&a.policy).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown policy {} (write-delay|ups|nvram-whole|nvram-partial)",
+                    a.policy
+                );
                 std::process::exit(2);
             });
-            figures::run_one(&trace, p, scale, seed, qd, layout.as_deref());
+            figures::run_one(&a.trace, p, a.scale, a.seed, a.qd, a.layout.as_deref());
         }
         "crash" => {
             // Crash cells are numerous (layouts × policies × cuts); a
             // smaller default workload keeps the sweep snappy.
-            let crash_scale = if scale_set { scale } else { 0.002 };
-            let policy_filter = policy_set.then_some(policy.as_str());
-            crash::crash_cli(&trace, cuts, seed, crash_scale, layout.as_deref(), policy_filter, qd);
+            let crash_scale = if a.scale_set { a.scale } else { 0.002 };
+            let policy_filter = a.policy_set.then_some(a.policy.as_str());
+            crash::crash_cli(
+                &a.trace,
+                a.cuts,
+                a.seed,
+                crash_scale,
+                a.layout.as_deref(),
+                policy_filter,
+                a.qd,
+            );
         }
-        _ => usage(),
+        other => {
+            eprintln!("unknown subcommand {other}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
     }
-}
-
-fn usage() {
-    eprintln!(
-        "usage: patsy <fig2|fig3|fig4|fig5|ablate-diskmodel|ablate-flushmode|\
-         ablate-iosched|ablate-diskcache|ablate-nvram|ablate-cleaner|run|sweep-qd|crash> \
-         [--trace 1a] [--policy ups] [--scale 0.05] [--seed 365] \
-         [--cuts 16] [--layout lfs|ffs] [--qd 1]"
-    );
 }

@@ -1,0 +1,262 @@
+//! Command-line parsing and validation for the `patsy` binary.
+//!
+//! Lives in the library so every rejected value is unit-testable: the
+//! binary used to accept nonsensical flags silently (`--scale 0`
+//! generated an empty workload, `--qd 0` a stalled pipeline) and report
+//! misleading results; now each flag is range-checked and rejected with
+//! a usage message.
+
+use cnp_workload::WorkloadKind;
+
+/// Parsed and validated command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// Subcommand (first positional argument).
+    pub cmd: String,
+    /// `--scale` (fraction of the nominal workload; 0 < scale ≤ 10).
+    pub scale: f64,
+    /// Whether `--scale` was given explicitly.
+    pub scale_set: bool,
+    /// `--seed`.
+    pub seed: u64,
+    /// `--trace` preset name.
+    pub trace: String,
+    /// `--policy` name.
+    pub policy: String,
+    /// Whether `--policy` was given explicitly.
+    pub policy_set: bool,
+    /// `--cuts` (crash sweep; ≥ 1).
+    pub cuts: u32,
+    /// `--layout` (lfs|ffs) when given.
+    pub layout: Option<String>,
+    /// `--qd` queue depth (≥ 1).
+    pub qd: u32,
+    /// Whether `--qd` was given explicitly (sweep-clients defaults to
+    /// 8 when it was not; everything else keeps the lock-step 1).
+    pub qd_set: bool,
+    /// `--clients` counts (comma-separated; each ≥ 1).
+    pub clients: Vec<u32>,
+    /// `--workload` scenario name (sweep-clients).
+    pub workload: String,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            cmd: String::new(),
+            scale: 0.05,
+            scale_set: false,
+            seed: 365,
+            trace: "1a".to_string(),
+            policy: "ups".to_string(),
+            policy_set: false,
+            cuts: 16,
+            layout: None,
+            qd: 1,
+            qd_set: false,
+            clients: vec![1, 4, 16],
+            workload: "zipf".to_string(),
+        }
+    }
+}
+
+/// Parses `args` (subcommand first, no program name). Returns a usage
+/// error naming the offending flag and the accepted range.
+pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
+    let mut out = CliArgs::default();
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".to_string());
+    };
+    out.cmd = cmd.clone();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1).ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--scale" => {
+                let v: f64 = value(i)?
+                    .parse()
+                    .map_err(|_| format!("bad --scale {:?}: not a number", args[i + 1]))?;
+                if !v.is_finite() || v <= 0.0 || v > 10.0 {
+                    return Err(format!(
+                        "bad --scale {v}: must satisfy 0 < scale <= 10 (fraction of the nominal workload)"
+                    ));
+                }
+                out.scale = v;
+                out.scale_set = true;
+                i += 2;
+            }
+            "--seed" => {
+                out.seed =
+                    value(i)?.parse().map_err(|_| format!("bad --seed {:?}", args[i + 1]))?;
+                i += 2;
+            }
+            "--cuts" => {
+                let v: u32 =
+                    value(i)?.parse().map_err(|_| format!("bad --cuts {:?}", args[i + 1]))?;
+                if v == 0 {
+                    return Err("bad --cuts 0: a crash sweep needs at least one cut".to_string());
+                }
+                out.cuts = v;
+                i += 2;
+            }
+            "--qd" => {
+                let v: u32 =
+                    value(i)?.parse().map_err(|_| format!("bad --qd {:?}", args[i + 1]))?;
+                if v == 0 {
+                    return Err(
+                        "bad --qd 0: queue depth must be >= 1 (1 = lock-step pipeline)".to_string()
+                    );
+                }
+                out.qd = v;
+                out.qd_set = true;
+                i += 2;
+            }
+            "--clients" => {
+                let raw = value(i)?;
+                let mut clients = Vec::new();
+                for part in raw.split(',') {
+                    let n: u32 = part
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad --clients {raw:?}: expected N or N,M,…"))?;
+                    if n == 0 {
+                        return Err(
+                            "bad --clients 0: every cell needs at least one client".to_string()
+                        );
+                    }
+                    clients.push(n);
+                }
+                if clients.is_empty() {
+                    return Err(format!("bad --clients {raw:?}: empty list"));
+                }
+                out.clients = clients;
+                i += 2;
+            }
+            "--workload" => {
+                let w = value(i)?.clone();
+                if WorkloadKind::parse(&w).is_none() {
+                    return Err(format!("bad --workload {w:?} (zipf|mail|build|scan|web)"));
+                }
+                out.workload = w;
+                i += 2;
+            }
+            "--trace" => {
+                out.trace = value(i)?.clone();
+                i += 2;
+            }
+            "--policy" => {
+                out.policy = value(i)?.clone();
+                out.policy_set = true;
+                i += 2;
+            }
+            "--layout" => {
+                out.layout = Some(value(i)?.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(out)
+}
+
+/// The usage banner the binary prints on a parse error.
+pub fn usage() -> String {
+    "usage: patsy <fig2|fig3|fig4|fig5|ablate-diskmodel|ablate-flushmode|\
+     ablate-iosched|ablate-diskcache|ablate-nvram|ablate-cleaner|run|sweep-qd|\
+     sweep-clients|crash> \
+     [--trace 1a] [--policy ups] [--scale 0.05] [--seed 365] [--cuts 16] \
+     [--layout lfs|ffs] [--qd 1] [--workload zipf|mail|build|scan|web] \
+     [--clients 1,4,16]"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliArgs, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_cli(&v)
+    }
+
+    #[test]
+    fn defaults_and_happy_path() {
+        let a = parse(&["sweep-clients", "--workload", "mail", "--clients", "1,4,16", "--qd", "8"])
+            .unwrap();
+        assert_eq!(a.cmd, "sweep-clients");
+        assert_eq!(a.workload, "mail");
+        assert_eq!(a.clients, vec![1, 4, 16]);
+        assert_eq!(a.qd, 8);
+        assert!(a.qd_set);
+        assert!(!a.scale_set);
+        assert_eq!(a.scale, 0.05);
+        let b = parse(&["sweep-clients"]).unwrap();
+        assert!(!b.qd_set, "qd default must be distinguishable from an explicit --qd");
+    }
+
+    #[test]
+    fn rejects_scale_zero() {
+        let e = parse(&["fig2", "--scale", "0"]).unwrap_err();
+        assert!(e.contains("--scale"), "{e}");
+    }
+
+    #[test]
+    fn rejects_negative_scale() {
+        let e = parse(&["fig2", "--scale", "-0.5"]).unwrap_err();
+        assert!(e.contains("--scale"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_and_non_finite_scale() {
+        assert!(parse(&["fig2", "--scale", "lots"]).is_err());
+        assert!(parse(&["fig2", "--scale", "nan"]).is_err());
+        assert!(parse(&["fig2", "--scale", "inf"]).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_scale() {
+        let e = parse(&["fig2", "--scale", "11"]).unwrap_err();
+        assert!(e.contains("--scale"), "{e}");
+    }
+
+    #[test]
+    fn rejects_clients_zero() {
+        let e = parse(&["sweep-clients", "--clients", "0"]).unwrap_err();
+        assert!(e.contains("--clients"), "{e}");
+        let e = parse(&["sweep-clients", "--clients", "1,0,4"]).unwrap_err();
+        assert!(e.contains("--clients"), "{e}");
+    }
+
+    #[test]
+    fn rejects_garbage_clients_list() {
+        assert!(parse(&["sweep-clients", "--clients", "1,,4"]).is_err());
+        assert!(parse(&["sweep-clients", "--clients", "many"]).is_err());
+    }
+
+    #[test]
+    fn rejects_qd_zero() {
+        let e = parse(&["sweep-qd", "--qd", "0"]).unwrap_err();
+        assert!(e.contains("--qd"), "{e}");
+    }
+
+    #[test]
+    fn rejects_cuts_zero() {
+        let e = parse(&["crash", "--cuts", "0"]).unwrap_err();
+        assert!(e.contains("--cuts"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_workload_and_option() {
+        assert!(parse(&["sweep-clients", "--workload", "bogus"]).is_err());
+        assert!(parse(&["fig2", "--frobnicate", "1"]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value_and_missing_subcommand() {
+        assert!(parse(&["fig2", "--scale"]).is_err());
+        assert!(parse(&[]).is_err());
+    }
+}

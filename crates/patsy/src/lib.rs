@@ -11,11 +11,16 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod cli;
+pub mod clients;
 pub mod crash;
 pub mod experiment;
 pub mod figures;
 pub mod qdsweep;
 
+pub use clients::{
+    format_client_sweep, run_client_cell, run_client_sweep, ClientCell, ClientSweepConfig,
+};
 pub use crash::{format_crash_sweep, run_crash_sweep, CrashCell, CrashConfig};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Policy, POLICIES};
 pub use qdsweep::{run_depth_cell, sweep_queue_depth, trace_footprint, QdCell};

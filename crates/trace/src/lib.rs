@@ -10,13 +10,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adapter;
 pub mod codec;
 mod record;
 mod replay;
 pub mod sprite;
 
+pub use adapter::records_from_streams;
 pub use record::{TraceOp, TraceRecord};
-pub use replay::{replay, replay_with, AckedFile, ReplayOptions, ReplayReport};
+pub use replay::{apply_op, replay, replay_with, AckedFile, ReplayOptions, ReplayReport};
 pub use sprite::{
     preset, trace_1a, trace_1b, trace_2a, trace_2b, trace_5, SpriteParams, SyntheticSprite, PRESETS,
 };

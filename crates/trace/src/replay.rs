@@ -17,7 +17,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-use cnp_core::{FileSystem, FsError};
+use cnp_core::{ClientFs, FileSystem, FsError};
 use cnp_layout::{FileKind, Ino};
 use cnp_sim::stats::{Histogram, IntervalReporter, IntervalRow};
 use cnp_sim::{Handle, SimDuration, SimTime};
@@ -167,6 +167,8 @@ async fn client_thread(
 ) {
     // Per-client open-file table (path → ino).
     let mut open: HashMap<String, Ino> = HashMap::new();
+    let client_id = recs.first().map(|r| r.client).unwrap_or(0);
+    let cfs = fs.client(client_id);
     for rec in recs {
         let due = epoch + SimDuration::from_nanos(rec.time_ns);
         if h.now() < due {
@@ -179,7 +181,7 @@ async fn client_thread(
         }
         budget.set(remaining - 1);
         let t0 = h.now();
-        let result = execute(&fs, &rec.op, &mut open).await;
+        let result = apply_op(&cfs, &rec.op, &mut open).await;
         let latency = h.now() - t0;
         let mut st = state.borrow_mut();
         match result {
@@ -223,9 +225,14 @@ async fn client_thread(
     }
 }
 
-/// Maps one trace op onto the abstract client interface.
-async fn execute(
-    fs: &FileSystem,
+/// Maps one trace op onto the abstract client interface through a
+/// per-client engine handle. `open` is the client's open-file table
+/// (path → ino), created files are created on demand, and races lost to
+/// other clients (create-exists, stat-after-delete) count as served —
+/// the shared vocabulary of the replay engine and the closed-loop
+/// workload runner (`cnp-workload`).
+pub async fn apply_op(
+    fs: &ClientFs,
     op: &TraceOp,
     open: &mut HashMap<String, Ino>,
 ) -> Result<(), FsError> {
@@ -279,7 +286,7 @@ async fn execute(
 }
 
 async fn ensure_open(
-    fs: &FileSystem,
+    fs: &ClientFs,
     path: &str,
     open: &mut HashMap<String, Ino>,
 ) -> Result<Ino, FsError> {

@@ -17,7 +17,9 @@
 //! * [`core`] — the abstract client interface and file-system engine;
 //! * [`trace`] — Sprite-like workload generation, codecs, and replay;
 //! * [`fault`] — deterministic fault injection, crash-state capture,
-//!   and recovery verification (fsck walker, NVRAM replay).
+//!   and recovery verification (fsck walker, NVRAM replay);
+//! * [`workload`] — seeded scenario generation (Zipf / mail / build /
+//!   scan / web) and the closed-loop multi-client engine.
 //!
 //! See `DESIGN.md` for the full inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -31,3 +33,4 @@ pub use cnp_patsy as patsy;
 pub use cnp_pfs as pfs;
 pub use cnp_sim as sim;
 pub use cnp_trace as trace;
+pub use cnp_workload as workload;

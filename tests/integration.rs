@@ -198,6 +198,142 @@ fn queue_depth_8_differentiates_schedulers_on_trace_1a() {
 }
 
 #[test]
+fn multi_client_sweep_is_deterministic_and_throughput_scales() {
+    use cut_and_paste::patsy::{format_client_sweep, run_client_sweep, ClientSweepConfig};
+    use cut_and_paste::workload::WorkloadKind;
+
+    // The acceptance sweep: zipf at queue depth 8 (the config default),
+    // client counts 1/4/16, seed 42.
+    let cfg = ClientSweepConfig::new(WorkloadKind::Zipf, vec![1, 4, 16], 42, 0.01);
+    assert_eq!(cfg.queue_depth, 8);
+    let cells = run_client_sweep(&cfg);
+    assert_eq!(cells.len(), 3);
+    for c in &cells {
+        assert_eq!(c.report.errors, 0, "clients {}: {:?}", c.clients, c.report.error_sample);
+        assert_eq!(c.report.per_client.len() as u32, c.clients);
+        assert!(
+            c.fairness >= 1.0 && c.fairness < 3.0,
+            "clients {}: fairness {} out of range",
+            c.clients,
+            c.fairness
+        );
+    }
+    // Closed-loop scaling: more clients, more aggregate throughput
+    // while the disk has headroom.
+    assert!(
+        cells[1].agg_ops_per_sec > cells[0].agg_ops_per_sec,
+        "4 clients ({:.1} ops/s) must out-run 1 ({:.1})",
+        cells[1].agg_ops_per_sec,
+        cells[0].agg_ops_per_sec
+    );
+    assert!(
+        cells[2].agg_ops_per_sec > cells[1].agg_ops_per_sec,
+        "16 clients ({:.1} ops/s) must out-run 4 ({:.1})",
+        cells[2].agg_ops_per_sec,
+        cells[1].agg_ops_per_sec
+    );
+    // Every client shows up in the cache's flush attribution.
+    let attributed: Vec<u32> = cells[2]
+        .flush_attr
+        .iter()
+        .map(|&(c, _)| c)
+        .filter(|&c| c != cut_and_paste::cache::UNATTRIBUTED)
+        .collect();
+    assert_eq!(attributed.len(), 16, "attribution rows: {:?}", cells[2].flush_attr);
+    // Byte-identical report across invocations.
+    let again = run_client_sweep(&cfg);
+    assert_eq!(
+        format_client_sweep(&cfg, &cells),
+        format_client_sweep(&cfg, &again),
+        "client sweeps must be bit-identical for the same seed"
+    );
+}
+
+#[test]
+fn multi_client_crash_preserves_acked_writes_under_nvram_whole() {
+    use cut_and_paste::disk::{FaultPlan, Hp97560};
+    use cut_and_paste::fault::{
+        crash::measure_loss, recover_and_check, replay_nvram, CrashState, FaultyDisk, LayoutKind,
+    };
+    use cut_and_paste::trace::TraceOp;
+    use cut_and_paste::workload::{run_clients, RunOptions, Scenario, WorkloadKind};
+
+    run_to_completion(4242, |h| async move {
+        let (driver, disk) = FaultyDisk::new(Box::new(Hp97560::new()), FaultPlan::default()).spawn(
+            &h,
+            "mcc0",
+            Box::new(CLook),
+        );
+        let layout = LayoutKind::Lfs.build(&h, driver.clone());
+        let cfg = FsConfig {
+            cache: CacheConfig {
+                block_size: 4096,
+                mem_bytes: 256 * 4096,
+                nvram_bytes: Some(32 * 4096),
+            },
+            flush: "nvram-whole".into(),
+            queue_depth: 8,
+            data_mode: DataMode::Simulated,
+            ..FsConfig::default()
+        };
+        let fs = FileSystem::new(&h, layout, cfg.clone());
+        fs.format().await.unwrap();
+
+        // Make the namespace durable up front (zipf keeps it stable:
+        // no deletes), so post-crash loss accounting judges write
+        // durability, not file-identity roll-forward.
+        let scenario = Scenario::generate(WorkloadKind::Zipf, 4, 4242, 0.005);
+        let mut dirs = std::collections::BTreeSet::new();
+        let mut files = std::collections::BTreeSet::new();
+        for plan in &scenario.plans {
+            for cop in &plan.ops {
+                match &cop.op {
+                    TraceOp::Mkdir { path } => {
+                        dirs.insert(path.clone());
+                    }
+                    op => {
+                        files.insert(op.path().to_string());
+                    }
+                }
+            }
+        }
+        for d in &dirs {
+            fs.mkdir(d).await.unwrap();
+        }
+        for f in &files {
+            fs.create(f, FileKind::Regular).await.unwrap();
+        }
+        fs.sync().await.unwrap();
+
+        // The power cut lands mid-run: half the offered operations.
+        let cut = scenario.total_ops() / 2;
+        let report =
+            run_clients(&h, &fs, &scenario, RunOptions { max_ops: Some(cut), track_acks: true })
+                .await;
+        assert!(report.ops > 0, "the workload must have run before the cut");
+        assert!(!report.acked.is_empty(), "clients must have acked writes at the cut");
+        let state = CrashState::capture(&fs, &disk).await;
+        fs.shutdown();
+
+        // Power-on: recover, verify clean, replay NVRAM, account loss.
+        let (driver2, _disk2) = state.restore_hp(&h, "mcc1");
+        let mut layout2 = LayoutKind::Lfs.build(&h, driver2.clone());
+        let outcome = recover_and_check(&h, &mut layout2).await.expect("recovery");
+        assert!(
+            outcome.post.clean(),
+            "post-recovery fsck must be clean: {:?}",
+            outcome.post.violations
+        );
+        let fs2 = FileSystem::new(&h, layout2, cfg);
+        replay_nvram(&fs2, &state.nvram).await.expect("nvram replay");
+        let loss = measure_loss(&fs2, &report.acked, state.cut_at).await;
+        assert_eq!(loss.lost_files, 0, "no client's acked file may vanish: {loss:?}");
+        assert_eq!(loss.lost_bytes, 0, "no client's acked write may be lost: {loss:?}");
+        fs2.shutdown();
+    });
+}
+
+#[test]
 fn nvram_policy_bounds_dirty_data() {
     run_to_completion(13, |h| async move {
         let cfg = FsConfig {

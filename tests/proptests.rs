@@ -12,9 +12,21 @@ use cut_and_paste::fault::{recover_and_check, CrashState, FaultyDisk, LayoutKind
 use cut_and_paste::layout::dir::{decode, encode, Dirent};
 use cut_and_paste::layout::{FileKind, Ino, Inode};
 use cut_and_paste::sim::stats::Histogram;
-use cut_and_paste::sim::{Handle, Sim, SimTime};
+use cut_and_paste::sim::{Handle, Sim, SimDuration, SimTime};
 use cut_and_paste::trace::codec;
 use cut_and_paste::trace::{TraceOp, TraceRecord};
+use cut_and_paste::workload::{Scenario, WORKLOADS};
+
+/// Queue depths the multi-client differential test sweeps. CI pins one
+/// depth per matrix leg via `CNP_TEST_QD`; locally both run, so the
+/// qd=1 leg doubles as the serial-oracle regression for the pipelined
+/// path.
+fn qd_matrix() -> Vec<u32> {
+    match std::env::var("CNP_TEST_QD") {
+        Ok(s) => vec![s.trim().parse().expect("CNP_TEST_QD must be a queue depth >= 1")],
+        Err(_) => vec![1, 8],
+    }
+}
 
 /// Runs a closure on a fresh virtual-time sim to completion.
 fn run_sim<F, Fut>(seed: u64, f: F)
@@ -409,6 +421,179 @@ proptest! {
             let (pipelined, _image) = run_once(seed, &ops, 8, kind);
             prop_assert_eq!(serial, pipelined, "queue depth must not change file contents");
         }
+    }
+
+    /// Model-based differential test of the multi-client engine: N
+    /// concurrent clients run random programs against their own
+    /// namespace shards on one shared `FileSystem`, while a flat
+    /// in-memory model applies the same programs in per-client order.
+    /// Whatever the interleaving the scheduler picks, every read, stat,
+    /// and final read-back must match the model byte-for-byte — for
+    /// both layouts, at queue depth 1 (the serial oracle) and 8 (the
+    /// pipelined path).
+    #[test]
+    fn multi_client_differential_matches_flat_model(
+        seed in 0u64..1_000_000,
+        programs in prop::collection::vec(
+            // (file 0..3, action 0..6, block 0..6, blocks 1..3)
+            prop::collection::vec((0usize..3, 0u8..6, 0u64..6, 1u64..3), 1..12),
+            1..4,
+        ),
+    ) {
+        type Program = Vec<(usize, u8, u64, u64)>;
+
+        async fn client_program(
+            h: Handle,
+            fs: cut_and_paste::core::FileSystem,
+            c: usize,
+            prog: Program,
+        ) {
+            let cfs = fs.client(c as u32);
+            let shard = format!("/m{c}");
+            cfs.mkdir(&shard).await.unwrap();
+            // The flat model: per-file byte images, program order.
+            let mut model: Vec<Option<Vec<u8>>> = vec![None; 3];
+            for (i, &(fi, action, blk, nblocks)) in prog.iter().enumerate() {
+                let path = format!("{shard}/f{fi}");
+                // A data-derived think time varies the interleavings.
+                let think = (i as u64 * 37 + blk * 11 + c as u64 * 101) % 300 + 1;
+                h.sleep(SimDuration::from_micros(think)).await;
+                match action {
+                    0 | 1 => {
+                        // Write `nblocks` tagged blocks at `blk`.
+                        if model[fi].is_none() {
+                            cfs.create(&path, FileKind::Regular).await.unwrap();
+                            model[fi] = Some(Vec::new());
+                        }
+                        let ino = cfs.lookup(&path).await.unwrap();
+                        let tag = ((c * 41 + i * 13 + 7) % 251) as u8;
+                        let off = (blk * 4096) as usize;
+                        let len = (nblocks * 4096) as usize;
+                        cfs.write(ino, off as u64, len as u64, Some(&vec![tag; len]))
+                            .await
+                            .unwrap();
+                        let m = model[fi].as_mut().unwrap();
+                        if m.len() < off + len {
+                            m.resize(off + len, 0);
+                        }
+                        m[off..off + len].fill(tag);
+                    }
+                    2 => {
+                        // Read the whole file and compare to the model.
+                        if let Some(m) = &model[fi] {
+                            let ino = cfs.lookup(&path).await.unwrap();
+                            let (n, data) = cfs.read(ino, 0, m.len() as u64).await.unwrap();
+                            assert_eq!(n, m.len() as u64, "client {c} op {i}: short read");
+                            assert_eq!(&data.unwrap(), m, "client {c} op {i}: content diverged");
+                        }
+                    }
+                    3 => {
+                        // Shrinking truncate.
+                        if let Some(m) = &mut model[fi] {
+                            let new = (blk * 4096).min(m.len() as u64);
+                            let ino = cfs.lookup(&path).await.unwrap();
+                            cfs.truncate(ino, new).await.unwrap();
+                            m.truncate(new as usize);
+                        }
+                    }
+                    4 => {
+                        // Unlink; the next write may recreate.
+                        if model[fi].is_some() {
+                            cfs.unlink(&path).await.unwrap();
+                            model[fi] = None;
+                        }
+                    }
+                    _ => {
+                        // Stat: sizes must agree mid-flight.
+                        if let Some(m) = &model[fi] {
+                            let inode = cfs.stat(&path).await.unwrap();
+                            assert_eq!(inode.size, m.len() as u64, "client {c} op {i}: size");
+                        }
+                    }
+                }
+            }
+            // Final read-back: the shard must equal the model exactly.
+            for (fi, m) in model.iter().enumerate() {
+                let path = format!("{shard}/f{fi}");
+                match m {
+                    Some(m) => {
+                        let ino = cfs.lookup(&path).await.unwrap();
+                        let (n, data) = cfs.read(ino, 0, m.len() as u64).await.unwrap();
+                        assert_eq!(n, m.len() as u64, "client {c} file {fi}: final size");
+                        assert_eq!(&data.unwrap(), m, "client {c} file {fi}: final content");
+                    }
+                    None => {
+                        assert!(
+                            cfs.lookup(&path).await.is_err(),
+                            "client {c} file {fi}: deleted file resurfaced"
+                        );
+                    }
+                }
+            }
+        }
+
+        fn run_once(seed: u64, programs: &[Program], kind: LayoutKind, queue_depth: u32) {
+            let sim = Sim::new(seed);
+            let h = sim.handle();
+            let driver = cut_and_paste::disk::sim_disk_driver(
+                &h,
+                "diff0",
+                Box::new(Hp97560::new()),
+                Box::new(CLook),
+            );
+            let layout = kind.build(&h, driver);
+            let cfg = FsConfig { data_mode: DataMode::Real, queue_depth, ..FsConfig::default() };
+            let fs = FileSystem::new(&h, layout, cfg);
+            let done = Rc::new(Cell::new(false));
+            let done2 = done.clone();
+            let programs = programs.to_vec();
+            let h2 = h.clone();
+            h.spawn("differential", async move {
+                fs.format().await.unwrap();
+                let mut handles = Vec::new();
+                for (c, prog) in programs.into_iter().enumerate() {
+                    let h3 = h2.clone();
+                    let fs2 = fs.clone();
+                    handles.push(h2.spawn(&format!("dc{c}"), async move {
+                        client_program(h3, fs2, c, prog).await;
+                    }));
+                }
+                for jh in handles {
+                    jh.await;
+                }
+                fs.sync().await.unwrap();
+                done2.set(true);
+                fs.shutdown();
+            });
+            sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+            assert!(done.get(), "differential run did not complete");
+        }
+
+        for kind in [LayoutKind::Lfs, LayoutKind::Ffs] {
+            for qd in qd_matrix() {
+                run_once(seed, &programs, kind, qd);
+            }
+        }
+    }
+
+    /// Workload-generated scenarios survive both trace codecs losslessly
+    /// (the hand-picked codec cases don't cover generated paths, op
+    /// mixes, or timestamp shapes).
+    #[test]
+    fn workload_scenarios_round_trip_codecs(
+        seed in 0u64..u64::MAX / 2,
+        kidx in 0usize..5,
+        clients in 1u32..4,
+    ) {
+        let scenario = Scenario::generate(WORKLOADS[kidx], clients, seed, 0.002);
+        let records = scenario.to_trace_records();
+        prop_assert!(!records.is_empty());
+        let mut text = Vec::new();
+        codec::write_text(&mut text, &records).unwrap();
+        prop_assert_eq!(&codec::read_text(std::io::BufReader::new(&text[..])).unwrap(), &records);
+        let mut bin = Vec::new();
+        codec::write_binary(&mut bin, &records).unwrap();
+        prop_assert_eq!(&codec::read_binary(&bin[..]).unwrap(), &records);
     }
 
     /// Histogram quantiles are monotone and bounded by min/max.
