@@ -507,7 +507,13 @@ impl BlockCache {
     /// that a block is overwritten through truncate and delete calls in
     /// memory rather than on disk." (§1)
     pub fn remove_file(&mut self, file: FileId) -> u64 {
-        let keys: Vec<BlockKey> = self.map.keys().filter(|k| k.file == file).copied().collect();
+        // Sorted: `map` is a HashMap, and the removal order decides the
+        // order frames return to the free list — which decides where
+        // later blocks land and what index-sweeping replacement
+        // policies evict. Persistence paths must not inherit hasher
+        // state (two seeded runs must produce byte-identical platters).
+        let mut keys: Vec<BlockKey> = self.map.keys().filter(|k| k.file == file).copied().collect();
+        keys.sort_unstable();
         let mut absorbed = 0;
         for key in keys {
             let was_dirty = matches!(self.state_of(key), Some(BlockState::Dirty { .. }));

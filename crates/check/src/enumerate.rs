@@ -1,0 +1,416 @@
+//! The bounded crash-point enumerator: every op boundary × every legal
+//! retire prefix of the in-flight write batch, across layout × flush
+//! policy cells — the sampled crash sweep made exhaustive.
+//!
+//! For a bounded workload prefix of `budget` operations the enumerator
+//! runs, per (layout, policy):
+//!
+//! 1. a **boundary cell** at every op boundary `k ∈ 1..=budget` — the
+//!    machine stops at op `k` and the power dies (graceful capture of
+//!    platter + NVRAM); and
+//! 2. for every boundary whose cut found `b` writes still in flight, a
+//!    **retire cell** per legal arrival-order prefix `r ∈ 0..=b` — a
+//!    disk-level power cut at the same instant that durably retires
+//!    `r` unacknowledged writes ([`cnp_disk::FaultPlan::cut_retire_ops`]).
+//!
+//! Every failing cell is minimized (delta-debugging the op prefix, then
+//! the retire subset) and emitted as a self-contained repro blob
+//! (`crate::repro`).
+
+use cnp_fault::LayoutKind;
+use cnp_trace::{bounded_prefix, TraceRecord};
+
+use crate::cell::{run_cell, run_cell_at, CellOutcome, CellSpec, CutSpec};
+use crate::repro::Repro;
+
+/// One flush-policy column of the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicySpec {
+    /// Report label.
+    pub label: &'static str,
+    /// Cache flush-policy name.
+    pub flush: &'static str,
+    /// Battery-backed cache bound applies.
+    pub nvram: bool,
+}
+
+/// The paper's four §5.1 write-saving policies.
+pub fn standard_policies() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec { label: "write-delay-30s", flush: "write-delay", nvram: false },
+        PolicySpec { label: "ups", flush: "ups", nvram: false },
+        PolicySpec { label: "nvram-whole-file", flush: "nvram-whole", nvram: true },
+        PolicySpec { label: "nvram-partial", flush: "nvram-partial", nvram: true },
+    ]
+}
+
+/// Enumeration configuration.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// The full workload; the enumerator bounds it to `budget` ops.
+    pub records: Vec<TraceRecord>,
+    /// Report label for the workload (e.g. the trace preset name).
+    pub workload_label: String,
+    /// Bounded-prefix length: op boundaries `1..=budget` are enumerated.
+    pub budget: usize,
+    /// Layouts to sweep.
+    pub layouts: Vec<LayoutKind>,
+    /// Flush policies to sweep.
+    pub policies: Vec<PolicySpec>,
+    /// I/O pipeline depth for every cell.
+    pub queue_depth: u32,
+    /// Base seed; each (layout, policy) derives its own sim seed.
+    pub seed: u64,
+    /// Cache memory per cell.
+    pub mem_bytes: u64,
+    /// NVRAM bound for the NVRAM policies.
+    pub nvram_bytes: u64,
+    /// Reintroduce the stale-size write bug (self-test only).
+    pub plant_stale_size_bug: bool,
+    /// Extra cell runs the minimizer may spend per failure.
+    pub minimize_runs: usize,
+}
+
+impl CheckConfig {
+    /// Defaults: LFS, all four policies — and a deliberately *small*
+    /// cache (64 frames) with a 16-block NVRAM. The crash sweep keeps
+    /// the paper's 8 MB/4 MB for fidelity; the checker's job is
+    /// adversarial coverage, and a bounded prefix only exercises flush
+    /// pressure, mid-write stalls, and in-flight batches at crash
+    /// instants when the cache is small relative to the workload.
+    pub fn new(records: Vec<TraceRecord>, workload_label: &str, budget: usize) -> CheckConfig {
+        CheckConfig {
+            records,
+            workload_label: workload_label.to_string(),
+            budget,
+            layouts: vec![LayoutKind::Lfs],
+            policies: standard_policies(),
+            queue_depth: 1,
+            seed: 42,
+            mem_bytes: 64 * 4096,
+            nvram_bytes: 16 * 4096,
+            plant_stale_size_bug: false,
+            minimize_runs: 128,
+        }
+    }
+
+    fn cell_spec(&self, layout: LayoutKind, li: usize, policy: &PolicySpec, pi: usize) -> CellSpec {
+        CellSpec {
+            layout,
+            flush: policy.flush.to_string(),
+            nvram_bytes: policy.nvram.then_some(self.nvram_bytes),
+            mem_bytes: self.mem_bytes,
+            queue_depth: self.queue_depth,
+            sim_seed: self
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(((li as u64) << 24) ^ ((pi as u64) << 8)),
+            plant_stale_size_bug: self.plant_stale_size_bug,
+        }
+    }
+}
+
+/// A failing cell, minimized and packaged.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Layout name.
+    pub layout: &'static str,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Op boundary the violation first appeared at.
+    pub cut_op: usize,
+    /// Crash kind.
+    pub cut: CutSpec,
+    /// The violations, rendered.
+    pub violations: Vec<String>,
+    /// Ops in the minimized prefix (≤ `cut_op`).
+    pub minimized_ops: usize,
+    /// Cell runs the minimizer spent.
+    pub minimize_runs: usize,
+    /// Self-contained repro blob for the **minimized** cell.
+    pub repro: String,
+}
+
+/// One (layout, policy) row of the enumeration.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// Layout name.
+    pub layout: &'static str,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Boundary (graceful) cells run.
+    pub boundary_cells: usize,
+    /// Retire (disk-level power cut) cells run.
+    pub retire_cells: usize,
+    /// Cells with oracle violations.
+    pub violating_cells: usize,
+    /// Boundary cells whose cut found writes in flight.
+    pub inflight_boundaries: usize,
+    /// Largest in-flight write batch seen at any boundary.
+    pub max_inflight_batch: u64,
+    /// Boundary cells with (allowed) acked loss — the volatile
+    /// policies' data-loss window, reported but not punished.
+    pub lossy_cells: usize,
+    /// First failure, minimized (None = row verified clean).
+    pub first_failure: Option<Failure>,
+}
+
+/// The whole enumeration's outcome.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Per-(layout, policy) rows, sweep order.
+    pub rows: Vec<PolicyRow>,
+    /// Total cells run (boundary + retire).
+    pub cells: usize,
+    /// Total cells with violations.
+    pub violations: usize,
+}
+
+impl CheckReport {
+    /// True if every cell verified clean.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// All repro blobs (one per failing row), for artifact upload.
+    pub fn repro_blobs(&self) -> Vec<String> {
+        self.rows.iter().filter_map(|r| r.first_failure.as_ref().map(|f| f.repro.clone())).collect()
+    }
+}
+
+/// Runs the full bounded enumeration. Deterministic in `cfg`: the same
+/// configuration produces a byte-identical [`format_check_report`].
+pub fn run_check(cfg: &CheckConfig) -> CheckReport {
+    let prefix_cap = cfg.budget.min(cfg.records.len());
+    let mut rows = Vec::new();
+    let mut cells = 0usize;
+    let mut violations = 0usize;
+    for (li, &layout) in cfg.layouts.iter().enumerate() {
+        for (pi, policy) in cfg.policies.iter().enumerate() {
+            let spec = cfg.cell_spec(layout, li, policy, pi);
+            let mut row = PolicyRow {
+                layout: layout.name(),
+                policy: policy.label,
+                boundary_cells: 0,
+                retire_cells: 0,
+                violating_cells: 0,
+                inflight_boundaries: 0,
+                max_inflight_batch: 0,
+                lossy_cells: 0,
+                first_failure: None,
+            };
+            for k in 1..=prefix_cap {
+                let records = bounded_prefix(&cfg.records, k, &[]);
+                let boundary = run_cell(&spec, &records, CutSpec::Graceful);
+                row.boundary_cells += 1;
+                cells += 1;
+                if boundary.loss.lost_files > 0 || boundary.loss.lost_bytes > 0 {
+                    row.lossy_cells += 1;
+                }
+                note_outcome(
+                    &mut row,
+                    &mut violations,
+                    &spec,
+                    &records,
+                    CutSpec::Graceful,
+                    &boundary,
+                    cfg,
+                );
+                // Every legal retire prefix of the in-flight batch at
+                // the boundary op's scheduled arrival.
+                let batch = boundary.inflight_batch;
+                if batch > 0 {
+                    row.inflight_boundaries += 1;
+                    row.max_inflight_batch = row.max_inflight_batch.max(batch);
+                }
+                for retire in 0..=batch {
+                    let cut = CutSpec::PowerCut { retire };
+                    let outcome = run_cell_at(&spec, &records, boundary.arrival_ns, retire);
+                    row.retire_cells += 1;
+                    cells += 1;
+                    note_outcome(&mut row, &mut violations, &spec, &records, cut, &outcome, cfg);
+                }
+            }
+            rows.push(row);
+        }
+    }
+    CheckReport { rows, cells, violations }
+}
+
+/// Books one cell outcome into the row; on the row's first violation,
+/// minimizes and packages the failure.
+#[allow(clippy::too_many_arguments)]
+fn note_outcome(
+    row: &mut PolicyRow,
+    violations: &mut usize,
+    spec: &CellSpec,
+    records: &[TraceRecord],
+    cut: CutSpec,
+    outcome: &CellOutcome,
+    cfg: &CheckConfig,
+) {
+    if outcome.clean() {
+        return;
+    }
+    row.violating_cells += 1;
+    *violations += 1;
+    if row.first_failure.is_some() {
+        return;
+    }
+    let (minimized, min_cut, runs) = minimize(spec, records, cut, cfg.minimize_runs);
+    let repro = Repro { spec: spec.clone(), cut: min_cut, records: minimized.clone() }.encode();
+    row.first_failure = Some(Failure {
+        layout: row.layout,
+        policy: row.policy,
+        cut_op: records.len(),
+        cut: min_cut,
+        violations: outcome.violations.iter().map(|v| v.to_string()).collect(),
+        minimized_ops: minimized.len(),
+        minimize_runs: runs,
+        repro,
+    });
+}
+
+/// Delta-debugs a failing cell: greedily drops ops (newest first, so
+/// the structure-establishing early ops survive longest) while the cell
+/// still fails, then — for power cuts — shrinks the retire prefix to
+/// the smallest still-failing value. The enumeration already visits
+/// boundaries in ascending order, so the failing `cut_op` is minimal by
+/// construction and only the prefix *content* is left to shrink.
+/// Budgeted in cell runs; returns (minimized records, minimized cut,
+/// runs spent).
+pub fn minimize(
+    spec: &CellSpec,
+    records: &[TraceRecord],
+    cut: CutSpec,
+    max_runs: usize,
+) -> (Vec<TraceRecord>, CutSpec, usize) {
+    let mut kept = records.to_vec();
+    let mut runs = 0usize;
+    // Power-cut candidates need the cut's virtual instant: the arrival
+    // of the candidate's last op. The post-format replay epoch depends
+    // only on the spec (not the records), so one graceful probe up
+    // front prices every candidate — re-probing per candidate would
+    // silently double the budgeted cost.
+    let epoch_ns = match cut {
+        CutSpec::PowerCut { .. } => {
+            runs += 1;
+            let probe = run_cell(spec, records, CutSpec::Graceful);
+            Some(probe.arrival_ns - records.last().map(|r| r.time_ns).unwrap_or(0))
+        }
+        CutSpec::Graceful => None,
+    };
+    let run_candidate = |candidate: &[TraceRecord], cut: CutSpec| match (cut, epoch_ns) {
+        (CutSpec::PowerCut { retire }, Some(epoch)) => {
+            let last = candidate.last().map(|r| r.time_ns).unwrap_or(0);
+            run_cell_at(spec, candidate, epoch + last, retire)
+        }
+        _ => run_cell(spec, candidate, cut),
+    };
+    let mut i = kept.len();
+    while i > 0 {
+        i -= 1;
+        if kept.len() == 1 || runs >= max_runs {
+            break;
+        }
+        let mut candidate = kept.clone();
+        candidate.remove(i);
+        runs += 1;
+        if !run_candidate(&candidate, cut).clean() {
+            kept = candidate;
+        }
+    }
+    let mut min_cut = cut;
+    if let CutSpec::PowerCut { retire } = cut {
+        // The retire dimension: the smallest still-failing prefix wins.
+        for r in 0..retire {
+            if runs >= max_runs {
+                break;
+            }
+            runs += 1;
+            if !run_candidate(&kept, CutSpec::PowerCut { retire: r }).clean() {
+                min_cut = CutSpec::PowerCut { retire: r };
+                break;
+            }
+        }
+    }
+    (kept, min_cut, runs)
+}
+
+/// Formats the enumeration as the stable report `patsy check` prints.
+pub fn format_check_report(cfg: &CheckConfig, report: &CheckReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "check: workload {} | budget {} (prefix {}) | seed {} | qd {} | layouts {}\n",
+        cfg.workload_label,
+        cfg.budget,
+        cfg.budget.min(cfg.records.len()),
+        cfg.seed,
+        cfg.queue_depth,
+        cfg.layouts.iter().map(|l| l.name()).collect::<Vec<_>>().join("+"),
+    ));
+    s.push_str("layout policy            boundary  retire  inflight  maxbatch  lossy  viol\n");
+    for row in &report.rows {
+        s.push_str(&format!(
+            "{:<6} {:<17} {:>8} {:>7} {:>9} {:>9} {:>6} {:>5}\n",
+            row.layout,
+            row.policy,
+            row.boundary_cells,
+            row.retire_cells,
+            row.inflight_boundaries,
+            row.max_inflight_batch,
+            row.lossy_cells,
+            row.violating_cells,
+        ));
+    }
+    s.push_str(&format!(
+        "cells: {} | violations: {}\n",
+        report.cells,
+        if report.clean() {
+            "none (every crash point verified)".to_string()
+        } else {
+            format!("{}", report.violations)
+        }
+    ));
+    for row in &report.rows {
+        if let Some(f) = &row.first_failure {
+            s.push_str(&format!(
+                "FAIL {}/{} at op {} ({}): {} — minimized to {} ops in {} runs\n",
+                f.layout,
+                f.policy,
+                f.cut_op,
+                f.cut.label(),
+                f.violations.join("; "),
+                f.minimized_ops,
+                f.minimize_runs,
+            ));
+            s.push_str(&format!("REPRO {}\n", f.repro));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnp_trace::{preset, SyntheticSprite};
+
+    fn small_cfg(budget: usize) -> CheckConfig {
+        let records = SyntheticSprite::new(preset("1a").unwrap(), 42 ^ 0xabcd).generate(0.002);
+        let mut cfg = CheckConfig::new(records, "1a", budget);
+        cfg.queue_depth = 8;
+        cfg.policies = vec![PolicySpec { label: "ups", flush: "ups", nvram: false }];
+        cfg
+    }
+
+    #[test]
+    fn small_enumeration_is_clean_and_deterministic() {
+        let cfg = small_cfg(12);
+        let a = run_check(&cfg);
+        let b = run_check(&cfg);
+        assert!(a.clean(), "{:?}", a.rows);
+        assert_eq!(a.cells, b.cells);
+        assert_eq!(format_check_report(&cfg, &a), format_check_report(&cfg, &b));
+        assert_eq!(a.rows[0].boundary_cells, 12);
+    }
+}

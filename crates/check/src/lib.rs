@@ -1,0 +1,50 @@
+//! # cnp-check — bounded crash-point model checking and a
+//! linearizability oracle
+//!
+//! The paper's premise is that pasting a simulator into a file system
+//! makes behavior *inspectable and repeatable*; this crate turns that
+//! determinism into an exhaustive verifier instead of a sampled one:
+//!
+//! * [`cell`] — one crash cell as a pure function: replay a bounded
+//!   workload prefix, crash (gracefully or with a disk-level power cut
+//!   retiring an arrival-order prefix of the in-flight write batch),
+//!   remount, recover, fsck, replay NVRAM, account acked losses;
+//! * [`enumerate`] — every op boundary × every legal retire prefix,
+//!   across layout × flush-policy cells, with delta-debugging
+//!   minimization of failures;
+//! * [`repro`] — every failure as a self-contained one-line blob that
+//!   `patsy check --repro` replays with no other inputs;
+//! * [`model`] + [`linearize`] — the flat sequential model and the
+//!   memoized Wing–Gong witness search over recorded multi-client
+//!   *(invoke, ack)* histories;
+//! * [`linrun`] — the history leg: run a multi-client scenario with
+//!   recording on and demand a sequential witness.
+//!
+//! The oracle: every crash point must recover fsck-clean, and
+//! battery-backed (NVRAM) configurations must lose **zero**
+//! acknowledged writes whenever the NVRAM-resident staging buffer
+//! survived the cut. Volatile policies trade a bounded loss window for
+//! performance — the report shows their losses without punishing them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod enumerate;
+pub mod linearize;
+pub mod linrun;
+pub mod model;
+pub mod repro;
+
+pub use cell::{run_cell, run_cell_at, CellOutcome, CellSpec, CellViolation, CutSpec};
+pub use enumerate::{
+    format_check_report, minimize, run_check, standard_policies, CheckConfig, CheckReport, Failure,
+    PolicyRow, PolicySpec,
+};
+pub use linearize::{check_history, LinConfig, LinOutcome};
+pub use linrun::{
+    format_history_report, record_history, run_history_check, HistoryCheckConfig,
+    HistoryCheckReport,
+};
+pub use model::FlatModel;
+pub use repro::Repro;

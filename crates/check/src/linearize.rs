@@ -1,0 +1,306 @@
+//! The linearizability witness search over multi-client histories.
+//!
+//! A history is linearizable iff there is a sequential order of its
+//! operations that (a) respects real time — an operation acknowledged
+//! before another was invoked must precede it — and (b) is consistent
+//! with the flat sequential model ([`crate::FlatModel`]). The search is
+//! the classic Wing & Gong tree walk with two standard strengthenings:
+//! per-client operations are already totally ordered (each client is a
+//! closed loop), so candidates are only the per-client frontier, and
+//! visited `(progress vector, model state)` pairs are memoized so the
+//! exponential blowup collapses for commuting operations (clients in
+//! disjoint namespace shards commute almost everywhere).
+//!
+//! The search is budgeted in **applied-operation steps, not wall-clock
+//! time**: a deterministic simulator deserves a deterministic verifier,
+//! and a time-based cap would make the same history pass on a fast
+//! machine and flake on a loaded CI runner.
+
+use std::collections::HashSet;
+
+use cnp_core::HistoryEvent;
+
+use crate::model::{FlatModel, Fnv};
+
+/// Search controls.
+#[derive(Debug, Clone)]
+pub struct LinConfig {
+    /// Budget in model-application steps (deterministic, not time).
+    pub max_steps: u64,
+}
+
+impl Default for LinConfig {
+    fn default() -> Self {
+        LinConfig { max_steps: 2_000_000 }
+    }
+}
+
+/// Witness-search verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinOutcome {
+    /// A valid sequential witness exists; `witness` lists indices into
+    /// the acked-events slice in linearization order.
+    Linearizable {
+        /// Indices of acked events in witness order.
+        witness: Vec<usize>,
+        /// Model applications performed.
+        steps: u64,
+    },
+    /// The full search space was exhausted without finding a witness:
+    /// the history is **not** linearizable.
+    NotLinearizable {
+        /// Model applications performed.
+        steps: u64,
+    },
+    /// The step budget ran out before the search finished — no verdict.
+    BudgetExhausted {
+        /// The configured budget.
+        steps: u64,
+    },
+}
+
+impl LinOutcome {
+    /// True when a witness was found.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, LinOutcome::Linearizable { .. })
+    }
+}
+
+/// Checks a recorded multi-client history for linearizability against
+/// the flat model. Failed (un-acked) operations are excluded: their
+/// effects are indeterminate, so they cannot constrain the witness
+/// (crash histories are judged by the loss accounting instead).
+pub fn check_history(events: &[HistoryEvent], cfg: &LinConfig) -> LinOutcome {
+    // Keep acked events only, remembering their original positions.
+    let acked: Vec<(usize, &HistoryEvent)> =
+        events.iter().enumerate().filter(|(_, e)| e.acked()).collect();
+    // Per-client frontier queues, preserving per-client order.
+    let mut clients: Vec<u32> = acked.iter().map(|(_, e)| e.client).collect();
+    clients.sort_unstable();
+    clients.dedup();
+    let queues: Vec<Vec<usize>> = clients
+        .iter()
+        .map(|&c| {
+            acked.iter().enumerate().filter(|(_, (_, e))| e.client == c).map(|(i, _)| i).collect()
+        })
+        .collect();
+    let mut s = Search {
+        acked: &acked,
+        queues,
+        progress: vec![0; clients.len()],
+        model: FlatModel::new(),
+        witness: Vec::new(),
+        visited: HashSet::new(),
+        steps: 0,
+        max_steps: cfg.max_steps,
+    };
+    match s.dfs() {
+        Verdict::Found => LinOutcome::Linearizable { witness: s.witness, steps: s.steps },
+        Verdict::Dead => LinOutcome::NotLinearizable { steps: s.steps },
+        Verdict::Budget => LinOutcome::BudgetExhausted { steps: s.max_steps },
+    }
+}
+
+enum Verdict {
+    Found,
+    Dead,
+    Budget,
+}
+
+struct Search<'a> {
+    /// (original index, event), acked only.
+    acked: &'a [(usize, &'a HistoryEvent)],
+    /// Per-client indices into `acked`, client order.
+    queues: Vec<Vec<usize>>,
+    /// Next unlinearized position per client queue.
+    progress: Vec<usize>,
+    model: FlatModel,
+    /// Chosen order (original event indices).
+    witness: Vec<usize>,
+    visited: HashSet<u64>,
+    steps: u64,
+    max_steps: u64,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self) -> Verdict {
+        if self.progress.iter().zip(&self.queues).all(|(&p, q)| p == q.len()) {
+            return Verdict::Found;
+        }
+        let key = self.state_key();
+        if !self.visited.insert(key) {
+            return Verdict::Dead; // Equivalent state already explored.
+        }
+        for c in 0..self.queues.len() {
+            let Some(&ai) = self.queues[c].get(self.progress[c]) else { continue };
+            let (orig, event) = self.acked[ai];
+            if !self.enabled(c, event) {
+                continue;
+            }
+            self.steps += 1;
+            if self.steps > self.max_steps {
+                return Verdict::Budget;
+            }
+            let Some(undo) = self.model.apply(event) else { continue };
+            self.progress[c] += 1;
+            self.witness.push(orig);
+            match self.dfs() {
+                Verdict::Found => return Verdict::Found,
+                Verdict::Budget => return Verdict::Budget,
+                Verdict::Dead => {}
+            }
+            self.witness.pop();
+            self.progress[c] -= 1;
+            self.model.undo(undo);
+        }
+        Verdict::Dead
+    }
+
+    /// Real-time order: `event` may be linearized next iff no pending
+    /// operation of another client was acknowledged strictly before
+    /// `event` was invoked. (A client's own pending ops follow it by
+    /// program order, so only other clients constrain.) Each client's
+    /// pending acks are non-decreasing, so its frontier op carries the
+    /// client's minimum pending ack.
+    fn enabled(&self, c: usize, event: &HistoryEvent) -> bool {
+        self.queues.iter().enumerate().all(|(d, q)| {
+            if d == c {
+                return true;
+            }
+            match q.get(self.progress[d]) {
+                Some(&ai) => self.acked[ai].1.ack_ns >= event.invoke_ns,
+                None => true,
+            }
+        })
+    }
+
+    fn state_key(&self) -> u64 {
+        let mut h = Fnv::new();
+        for &p in &self.progress {
+            h.write_u64(p as u64);
+        }
+        h.write_u64(self.model.fingerprint());
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnp_core::{FsError, HistOp, HistOutcome};
+
+    fn ev(client: u32, t: (u64, u64), op: HistOp, outcome: HistOutcome) -> HistoryEvent {
+        HistoryEvent { client, invoke_ns: t.0, ack_ns: t.1, op, outcome }
+    }
+
+    fn create(client: u32, t: (u64, u64), path: &str, ino: u64) -> HistoryEvent {
+        ev(client, t, HistOp::Create { path: path.into() }, HistOutcome::Ino(ino))
+    }
+
+    fn write(client: u32, t: (u64, u64), ino: u64, len: u64) -> HistoryEvent {
+        ev(client, t, HistOp::Write { ino, offset: 0, len }, HistOutcome::Ok)
+    }
+
+    fn stat(client: u32, t: (u64, u64), path: &str, size: u64) -> HistoryEvent {
+        ev(client, t, HistOp::Stat { path: path.into() }, HistOutcome::Size(size))
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let h = vec![
+            create(0, (0, 1), "/f", 5),
+            write(0, (2, 3), 5, 4096),
+            stat(0, (4, 5), "/f", 4096),
+        ];
+        let out = check_history(&h, &LinConfig::default());
+        match out {
+            LinOutcome::Linearizable { witness, .. } => assert_eq!(witness, vec![0, 1, 2]),
+            other => panic!("expected witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_stat_may_see_either_state() {
+        // The stat overlaps the write, so size 0 and size 4096 are both
+        // linearizable observations.
+        for observed in [0, 4096] {
+            let h = vec![
+                create(0, (0, 1), "/f", 5),
+                write(0, (2, 10), 5, 4096),
+                stat(1, (3, 9), "/f", observed),
+            ];
+            assert!(
+                check_history(&h, &LinConfig::default()).is_linearizable(),
+                "overlapping stat observing {observed} must linearize"
+            );
+        }
+    }
+
+    /// The flake-guard regression: a deliberately non-linearizable
+    /// history (a stat invoked after a write's ack observes the
+    /// pre-write size) must be *rejected*, and rejected within the
+    /// deterministic step budget.
+    #[test]
+    fn stale_read_after_ack_is_rejected_within_budget() {
+        let h = vec![
+            create(0, (0, 1), "/f", 5),
+            write(0, (2, 3), 5, 4096),
+            // Invoked at 10 > ack 3: must observe the write. Sees 0.
+            stat(1, (10, 11), "/f", 0),
+        ];
+        let cfg = LinConfig { max_steps: 10_000 };
+        match check_history(&h, &cfg) {
+            LinOutcome::NotLinearizable { steps } => {
+                assert!(steps <= cfg.max_steps, "rejection must fit the budget: {steps}");
+            }
+            other => panic!("expected NotLinearizable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_not_hung() {
+        let h = vec![create(0, (0, 1), "/f", 5), write(0, (2, 3), 5, 4096)];
+        let out = check_history(&h, &LinConfig { max_steps: 1 });
+        assert_eq!(out, LinOutcome::BudgetExhausted { steps: 1 });
+    }
+
+    #[test]
+    fn failed_ops_do_not_constrain_the_witness() {
+        let h = vec![
+            create(0, (0, 1), "/f", 5),
+            // A failed (power-cut) write: indeterminate, excluded.
+            ev(
+                0,
+                (2, 3),
+                HistOp::Write { ino: 5, offset: 0, len: 4096 },
+                HistOutcome::Failed(FsError::Disk(cnp_disk::IoError::PowerCut)),
+            ),
+            stat(1, (10, 11), "/f", 0),
+        ];
+        assert!(check_history(&h, &LinConfig::default()).is_linearizable());
+    }
+
+    #[test]
+    fn disjoint_clients_commute_cheaply() {
+        // Two clients in disjoint shards: memoization keeps the search
+        // linear-ish rather than exponential.
+        let mut h = Vec::new();
+        let mut t = 0u64;
+        for c in 0..2u32 {
+            h.push(create(c, (t, t + 1), &format!("/c{c}/f"), 10 + c as u64));
+            t += 2;
+        }
+        for i in 0..40u64 {
+            let c = (i % 2) as u32;
+            h.push(write(c, (t, t + 1), 10 + c as u64, 4096 * (i / 2 + 1)));
+            t += 2;
+        }
+        let out = check_history(&h, &LinConfig::default());
+        match out {
+            LinOutcome::Linearizable { steps, .. } => {
+                assert!(steps < 10_000, "memoized search must stay small: {steps} steps");
+            }
+            other => panic!("expected witness, got {other:?}"),
+        }
+    }
+}

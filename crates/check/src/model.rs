@@ -1,0 +1,329 @@
+//! The flat sequential model: the specification a linearizability
+//! witness must satisfy.
+//!
+//! The model is the simplest correct file system imaginable — a name
+//! table and a size per inode — applied one operation at a time. An
+//! operation's recorded observables (inode numbers, byte counts,
+//! sizes) either match what the model predicts at this point of the
+//! candidate sequential order, or the candidate order is wrong. Sizes
+//! are the data observable because the engine's off-line mode is
+//! length-only; the byte-level differential proptest covers content.
+
+use std::collections::BTreeMap;
+
+use cnp_core::{HistOp, HistOutcome, HistoryEvent};
+
+/// A path binding in the flat model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Binding {
+    ino: u64,
+    dir: bool,
+}
+
+/// The flat in-memory file system the witness search replays against.
+#[derive(Debug, Clone, Default)]
+pub struct FlatModel {
+    /// path → binding.
+    names: BTreeMap<String, Binding>,
+    /// ino → size (regular files).
+    files: BTreeMap<u64, u64>,
+}
+
+/// Everything needed to reverse one applied event (the witness search
+/// backtracks instead of cloning the model per frame). Opaque: produce
+/// it with [`FlatModel::apply`], consume it with [`FlatModel::undo`].
+#[derive(Debug)]
+pub struct Undo(UndoKind);
+
+#[derive(Debug)]
+enum UndoKind {
+    /// Nothing changed (read-only op).
+    None,
+    /// Restore a possibly-previous name binding.
+    Name {
+        /// Bound path.
+        path: String,
+        /// Previous binding (None = was absent).
+        prev: Option<Binding>,
+    },
+    /// Restore a name binding and a file-size entry.
+    NameAndFile {
+        /// Bound path.
+        path: String,
+        /// Previous binding.
+        prev: Option<Binding>,
+        /// Affected inode.
+        ino: u64,
+        /// Previous size entry (None = was absent).
+        prev_size: Option<u64>,
+    },
+    /// Restore a file-size entry.
+    File {
+        /// Affected inode.
+        ino: u64,
+        /// Previous size entry (None = was absent).
+        prev_size: Option<u64>,
+    },
+    /// Restore both ends of a rename.
+    Rename {
+        /// Source path.
+        from: String,
+        /// Source's previous binding.
+        prev_from: Option<Binding>,
+        /// Destination path.
+        to: String,
+        /// Destination's previous binding.
+        prev_to: Option<Binding>,
+    },
+}
+
+impl FlatModel {
+    /// An empty model (fresh file system).
+    pub fn new() -> FlatModel {
+        FlatModel::default()
+    }
+
+    /// Tries to apply `event` next in the candidate sequential order.
+    /// Returns the undo record if the event's observables are
+    /// consistent with the model at this point, `None` otherwise.
+    ///
+    /// Failed (un-acked) operations must be filtered out before the
+    /// search: their effects are indeterminate (a power-cut write may
+    /// or may not have reached the cache), so they do not constrain the
+    /// witness.
+    pub fn apply(&mut self, event: &HistoryEvent) -> Option<Undo> {
+        match (&event.op, &event.outcome) {
+            (HistOp::Lookup { path }, HistOutcome::Ino(ino)) => {
+                (self.names.get(path)?.ino == *ino).then_some(Undo(UndoKind::None))
+            }
+            (HistOp::Open { path }, HistOutcome::Ino(ino)) => {
+                (self.names.get(path)?.ino == *ino).then_some(Undo(UndoKind::None))
+            }
+            (HistOp::Create { path }, HistOutcome::Ino(ino)) => {
+                if self.names.contains_key(path) {
+                    return None;
+                }
+                let prev = self.names.insert(path.clone(), Binding { ino: *ino, dir: false });
+                let prev_size = self.files.insert(*ino, 0);
+                Some(Undo(UndoKind::NameAndFile { path: path.clone(), prev, ino: *ino, prev_size }))
+            }
+            (HistOp::Mkdir { path }, HistOutcome::Ino(ino)) => {
+                if self.names.contains_key(path) {
+                    return None;
+                }
+                let prev = self.names.insert(path.clone(), Binding { ino: *ino, dir: true });
+                Some(Undo(UndoKind::Name { path: path.clone(), prev }))
+            }
+            (HistOp::Close { .. }, HistOutcome::Ok) => Some(Undo(UndoKind::None)),
+            (HistOp::Read { ino, offset, len }, HistOutcome::Bytes(n)) => {
+                let size = *self.files.get(ino)?;
+                let expect = if *offset >= size { 0 } else { (*len).min(size - *offset) };
+                (*n == expect).then_some(Undo(UndoKind::None))
+            }
+            (HistOp::Write { ino, offset, len }, HistOutcome::Ok) => {
+                let size = *self.files.get(ino)?;
+                let new = if *len > 0 { size.max(offset + len) } else { size };
+                let prev_size = self.files.insert(*ino, new);
+                Some(Undo(UndoKind::File { ino: *ino, prev_size }))
+            }
+            (HistOp::Truncate { ino, size }, HistOutcome::Ok) => {
+                if !self.files.contains_key(ino) {
+                    return None;
+                }
+                let prev_size = self.files.insert(*ino, *size);
+                Some(Undo(UndoKind::File { ino: *ino, prev_size }))
+            }
+            (HistOp::Unlink { path }, HistOutcome::Ok) => {
+                let binding = *self.names.get(path)?;
+                if binding.dir {
+                    return None;
+                }
+                let prev = self.names.remove(path);
+                let prev_size = self.files.remove(&binding.ino);
+                Some(Undo(UndoKind::NameAndFile {
+                    path: path.clone(),
+                    prev,
+                    ino: binding.ino,
+                    prev_size,
+                }))
+            }
+            (HistOp::Rmdir { path }, HistOutcome::Ok) => {
+                let binding = *self.names.get(path)?;
+                if !binding.dir {
+                    return None;
+                }
+                let prev = self.names.remove(path);
+                Some(Undo(UndoKind::Name { path: path.clone(), prev }))
+            }
+            (HistOp::Rename { from, to }, HistOutcome::Ok) => {
+                let binding = *self.names.get(from)?;
+                if self.names.contains_key(to) {
+                    return None;
+                }
+                let prev_from = self.names.remove(from);
+                let prev_to = self.names.insert(to.clone(), binding);
+                Some(Undo(UndoKind::Rename {
+                    from: from.clone(),
+                    prev_from,
+                    to: to.clone(),
+                    prev_to,
+                }))
+            }
+            (HistOp::Stat { path }, HistOutcome::Size(size)) => {
+                let binding = *self.names.get(path)?;
+                if binding.dir {
+                    // Directory sizes are codec detail, not modeled.
+                    return Some(Undo(UndoKind::None));
+                }
+                (self.files.get(&binding.ino) == Some(size)).then_some(Undo(UndoKind::None))
+            }
+            // Any other (op, outcome) pairing is malformed input.
+            _ => None,
+        }
+    }
+
+    /// Reverses one applied event.
+    pub fn undo(&mut self, undo: Undo) {
+        match undo.0 {
+            UndoKind::None => {}
+            UndoKind::Name { path, prev } => {
+                restore(&mut self.names, path, prev);
+            }
+            UndoKind::NameAndFile { path, prev, ino, prev_size } => {
+                restore(&mut self.names, path, prev);
+                restore(&mut self.files, ino, prev_size);
+            }
+            UndoKind::File { ino, prev_size } => {
+                restore(&mut self.files, ino, prev_size);
+            }
+            UndoKind::Rename { from, prev_from, to, prev_to } => {
+                restore(&mut self.names, to, prev_to);
+                restore(&mut self.names, from, prev_from);
+            }
+        }
+    }
+
+    /// Deterministic fingerprint of the model state (FNV-1a over the
+    /// sorted contents) — the memoization key half the witness search
+    /// hashes alongside its progress vector.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for (path, b) in &self.names {
+            h.write(path.as_bytes());
+            h.write_u64(b.ino);
+            h.write_u64(b.dir as u64);
+        }
+        h.write_u64(0xdead_beef);
+        for (&ino, &size) in &self.files {
+            h.write_u64(ino);
+            h.write_u64(size);
+        }
+        h.finish()
+    }
+}
+
+fn restore<K: Ord, V>(map: &mut BTreeMap<K, V>, key: K, prev: Option<V>) {
+    match prev {
+        Some(v) => {
+            map.insert(key, v);
+        }
+        None => {
+            map.remove(&key);
+        }
+    }
+}
+
+/// Minimal FNV-1a (deterministic across runs and platforms; the std
+/// `DefaultHasher` makes no stability promise).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(client: u32, t: (u64, u64), op: HistOp, outcome: HistOutcome) -> HistoryEvent {
+        HistoryEvent { client, invoke_ns: t.0, ack_ns: t.1, op, outcome }
+    }
+
+    #[test]
+    fn apply_and_undo_round_trip() {
+        let mut m = FlatModel::new();
+        let before = m.fingerprint();
+        let create = ev(0, (0, 1), HistOp::Create { path: "/f".into() }, HistOutcome::Ino(7));
+        let u1 = m.apply(&create).expect("create applies");
+        let write = ev(0, (2, 3), HistOp::Write { ino: 7, offset: 0, len: 5000 }, HistOutcome::Ok);
+        let u2 = m.apply(&write).expect("write applies");
+        let stat = ev(1, (4, 5), HistOp::Stat { path: "/f".into() }, HistOutcome::Size(5000));
+        assert!(m.apply(&stat).is_some(), "consistent stat must apply");
+        let bad = ev(1, (4, 5), HistOp::Stat { path: "/f".into() }, HistOutcome::Size(1));
+        assert!(m.apply(&bad).is_none(), "wrong size must be rejected");
+        m.undo(u2);
+        m.undo(u1);
+        assert_eq!(m.fingerprint(), before, "undo must restore the exact state");
+    }
+
+    #[test]
+    fn reads_clamp_to_size() {
+        let mut m = FlatModel::new();
+        m.apply(&ev(0, (0, 1), HistOp::Create { path: "/f".into() }, HistOutcome::Ino(3))).unwrap();
+        m.apply(&ev(0, (2, 3), HistOp::Write { ino: 3, offset: 0, len: 4096 }, HistOutcome::Ok))
+            .unwrap();
+        let full =
+            ev(0, (4, 5), HistOp::Read { ino: 3, offset: 0, len: 9999 }, HistOutcome::Bytes(4096));
+        assert!(m.apply(&full).is_some());
+        let beyond =
+            ev(0, (6, 7), HistOp::Read { ino: 3, offset: 8192, len: 10 }, HistOutcome::Bytes(0));
+        assert!(m.apply(&beyond).is_some());
+        let wrong =
+            ev(0, (8, 9), HistOp::Read { ino: 3, offset: 0, len: 10 }, HistOutcome::Bytes(4096));
+        assert!(m.apply(&wrong).is_none());
+    }
+
+    #[test]
+    fn namespace_rules() {
+        let mut m = FlatModel::new();
+        m.apply(&ev(0, (0, 1), HistOp::Mkdir { path: "/d".into() }, HistOutcome::Ino(2))).unwrap();
+        // Creating over an existing name is inconsistent.
+        assert!(m
+            .apply(&ev(0, (2, 3), HistOp::Create { path: "/d".into() }, HistOutcome::Ino(9)))
+            .is_none());
+        m.apply(&ev(0, (2, 3), HistOp::Create { path: "/d/f".into() }, HistOutcome::Ino(9)))
+            .unwrap();
+        m.apply(&ev(
+            0,
+            (4, 5),
+            HistOp::Rename { from: "/d/f".into(), to: "/d/g".into() },
+            HistOutcome::Ok,
+        ))
+        .unwrap();
+        assert!(m
+            .apply(&ev(0, (6, 7), HistOp::Open { path: "/d/f".into() }, HistOutcome::Ino(9)))
+            .is_none());
+        m.apply(&ev(0, (6, 7), HistOp::Open { path: "/d/g".into() }, HistOutcome::Ino(9))).unwrap();
+        m.apply(&ev(0, (8, 9), HistOp::Unlink { path: "/d/g".into() }, HistOutcome::Ok)).unwrap();
+        assert!(m
+            .apply(&ev(0, (10, 11), HistOp::Stat { path: "/d/g".into() }, HistOutcome::Size(0)))
+            .is_none());
+    }
+}

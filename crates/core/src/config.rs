@@ -58,6 +58,13 @@ pub struct FsConfig {
     /// Resident-block cap for multimedia files (their derived cache
     /// policy keeps them from flooding the cache, §2).
     pub mm_resident_cap: u64,
+    /// Test-only: reintroduce the pre-fix stale-size write ordering
+    /// (size extended only *after* all blocks are dirtied, so a
+    /// mid-write flush persists a stale size and the acked tail is
+    /// unreachable after a crash). Exists so `cnp-check` can prove its
+    /// crash-point enumeration catches this class of bug; never set it
+    /// outside a checker self-test.
+    pub plant_stale_size_bug: bool,
 }
 
 impl Default for FsConfig {
@@ -73,6 +80,7 @@ impl Default for FsConfig {
             op_overhead: SimDuration::from_micros(100),
             mm_prefetch: 8,
             mm_resident_cap: 64,
+            plant_stale_size_bug: false,
         }
     }
 }

@@ -32,6 +32,7 @@ use cnp_sim::{channel, Event, Handle, Receiver, Sender, SimMutex};
 
 use crate::config::{DataMode, FlushMode, FsConfig};
 use crate::error::{FsError, FsResult};
+use crate::history::{HistOp, HistOutcome, HistoryEvent, HistoryLog};
 
 /// Engine-level counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -254,7 +255,7 @@ impl FileSystem {
             id != cnp_cache::UNATTRIBUTED,
             "client id {id} collides with the UNATTRIBUTED sentinel"
         );
-        ClientFs { fs: self.clone(), id }
+        ClientFs { fs: self.clone(), id, history: None }
     }
 
     /// Layout statistics; `None` while the layout lock is held.
@@ -315,6 +316,22 @@ impl FileSystem {
             .filter_map(|ino| inodes.get(&Ino(ino)).map(|rc| (ino, rc.borrow().size)))
             .collect();
         NvramSnapshot { blocks, sizes }
+    }
+
+    /// Crash-recovery helper: re-establishes one cached block exactly
+    /// as an NVRAM snapshot preserved it — real bytes when the snapshot
+    /// has them (metadata is always real, even off-line), length-only
+    /// otherwise — and dirties it so the next flush persists it.
+    ///
+    /// NVRAM replay must NOT route through [`FileSystem::write`]: in
+    /// [`DataMode::Simulated`] the write path deliberately drops
+    /// payload bytes, which would replace a battery-backed *directory*
+    /// block with a simulated payload and destroy the namespace the
+    /// snapshot was meant to restore.
+    pub async fn restore_block(&self, ino: Ino, blk: u64, data: Option<Vec<u8>>) -> FsResult<()> {
+        // Surface a dead identity as BadInode (the caller skips those).
+        let _ = self.get_inode_rc(ino).await?;
+        self.write_block_cached(cnp_cache::UNATTRIBUTED, ino, blk, data).await
     }
 
     /// Restores a file's logical size (crash-recovery helper: NVRAM
@@ -585,8 +602,10 @@ impl FileSystem {
         // flushed inode must already cover them — otherwise the write
         // acks with its data durable but unreachable behind a stale
         // size, and a later crash loses it (caught by the multi-client
-        // crash test).
-        if len > 0 && end > old_size {
+        // crash test). `plant_stale_size_bug` reintroduces the broken
+        // ordering so the crash-point enumerator can prove it catches
+        // this bug class.
+        if len > 0 && end > old_size && !self.s.cfg.plant_stale_size_bug {
             rc.borrow_mut().size = end;
         }
         let gen0 = self.s.write_gen.borrow().get(&ino).copied().unwrap_or(0);
@@ -875,6 +894,16 @@ impl FileSystem {
         let old_blocks = rc.borrow().blocks();
         let bs = BLOCK_SIZE as usize;
         let new_blocks = bytes.len().div_ceil(bs) as u64;
+        // Extend the size *before* dirtying any block — the directory
+        // twin of the stale-size write race: a mid-update NVRAM
+        // pressure flush (e.g. another client's) snapshots the inode
+        // while its dirty content block is already selected, and a
+        // stale size makes the acked dirent durable but unreachable
+        // after a crash (found by cnp-check's crash-point enumeration
+        // on the zipf multi-client workload).
+        if bytes.len() as u64 > rc.borrow().size {
+            rc.borrow_mut().size = bytes.len() as u64;
+        }
         for blk in 0..new_blocks {
             let lo = blk as usize * bs;
             let hi = (lo + bs).min(bytes.len());
@@ -1500,6 +1529,27 @@ impl FileSystem {
         }
     }
 
+    /// Exports the layout's staging buffer as the device writes that
+    /// would seal it ([`cnp_layout::StorageLayout::staged_image`]) —
+    /// the dead-disk crash-capture hook: when a power cut killed the
+    /// disk first, [`FileSystem::seal_nvram_staging`] cannot write, so
+    /// the battery-backed staging content is applied to the captured
+    /// image directly.
+    pub async fn staging_image(&self) -> Vec<(BlockAddr, Payload)> {
+        let g = self.s.layout.lock().await;
+        let staged = g.get().staged_image();
+        staged
+    }
+
+    /// Non-blocking [`FileSystem::staging_image`]: `None` while the
+    /// layout lock is held. A crash-instant probe must not wait for an
+    /// in-flight (doomed) operation to release the lock — by then the
+    /// staging buffer no longer reflects what the battery preserved at
+    /// the cut.
+    pub fn try_staging_image(&self) -> Option<Vec<(BlockAddr, Payload)>> {
+        self.s.layout.try_lock().map(|g| g.get().staged_image())
+    }
+
     /// Crash-capture hook for NVRAM configurations: the layout's staging
     /// buffer (the LFS in-memory segment) is modelled as residing in the
     /// same battery-backed memory as the dirty cache, so a power cut
@@ -1562,10 +1612,17 @@ impl FileSystem {
 ///
 /// Cloneable and cheap — a multi-client workload clones the engine once
 /// per client task and drives the abstract client interface through it.
+///
+/// With a [`HistoryLog`] attached ([`ClientFs::with_history`]), every
+/// operation is additionally recorded as an *(invoke, ack)* interval
+/// plus its observable outcome — the multi-client history a
+/// linearizability checker consumes. A failed operation is recorded
+/// with its error and never reads as acknowledged.
 #[derive(Clone)]
 pub struct ClientFs {
     fs: FileSystem,
     id: u32,
+    history: Option<HistoryLog>,
 }
 
 impl ClientFs {
@@ -1579,19 +1636,68 @@ impl ClientFs {
         &self.fs
     }
 
+    /// Attaches a history log: every subsequent operation through this
+    /// handle is recorded into `log` (shared across clones, so N
+    /// clients recording into one log form a single history).
+    pub fn with_history(mut self, log: HistoryLog) -> ClientFs {
+        self.history = Some(log);
+        self
+    }
+
+    /// Invoke timestamp, taken only when a history is attached.
+    fn invoke_ns(&self) -> Option<u64> {
+        self.history.as_ref().map(|_| self.fs.s.handle.now().as_nanos())
+    }
+
+    /// Records one completed operation (no-op without a history).
+    fn record(
+        &self,
+        invoke_ns: Option<u64>,
+        op: impl FnOnce() -> HistOp,
+        outcome: impl FnOnce() -> HistOutcome,
+    ) {
+        let (Some(log), Some(invoke_ns)) = (self.history.as_ref(), invoke_ns) else { return };
+        log.record(HistoryEvent {
+            client: self.id,
+            invoke_ns,
+            ack_ns: self.fs.s.handle.now().as_nanos(),
+            op: op(),
+            outcome: outcome(),
+        });
+    }
+
     /// Resolves a path to an inode number.
     pub async fn lookup(&self, path: &str) -> FsResult<Ino> {
-        self.fs.lookup(path).await
+        let t0 = self.invoke_ns();
+        let r = self.fs.lookup(path).await;
+        self.record(t0, || HistOp::Lookup { path: path.to_string() }, || ino_outcome(&r));
+        r
     }
 
     /// Creates a regular (or typed) file.
     pub async fn create(&self, path: &str, kind: FileKind) -> FsResult<Ino> {
-        self.fs.create(path, kind).await
+        let t0 = self.invoke_ns();
+        let r = self.fs.create(path, kind).await;
+        self.record(
+            t0,
+            || {
+                if kind == FileKind::Directory {
+                    HistOp::Mkdir { path: path.to_string() }
+                } else {
+                    HistOp::Create { path: path.to_string() }
+                }
+            },
+            || ino_outcome(&r),
+        );
+        r
     }
 
     /// Creates a directory.
     pub async fn mkdir(&self, path: &str) -> FsResult<Ino> {
-        self.fs.mkdir(path).await
+        let t0 = self.invoke_ns();
+        let r = self.fs.mkdir(path).await;
+        self.record(t0, || HistOp::Mkdir { path: path.to_string() }, || ino_outcome(&r));
+        r
     }
 
     /// Lists a directory.
@@ -1601,22 +1707,48 @@ impl ClientFs {
 
     /// Opens a file.
     pub async fn open(&self, path: &str) -> FsResult<Ino> {
-        self.fs.open(path).await
+        let t0 = self.invoke_ns();
+        let r = self.fs.open(path).await;
+        self.record(t0, || HistOp::Open { path: path.to_string() }, || ino_outcome(&r));
+        r
     }
 
     /// Closes an open file.
     pub async fn close(&self, ino: Ino) -> FsResult<()> {
-        self.fs.close(ino).await
+        let t0 = self.invoke_ns();
+        let r = self.fs.close(ino).await;
+        self.record(t0, || HistOp::Close { ino: ino.0 }, || unit_outcome(&r));
+        r
     }
 
     /// Stats a file by path.
     pub async fn stat(&self, path: &str) -> FsResult<Inode> {
-        self.fs.stat(path).await
+        let t0 = self.invoke_ns();
+        let r = self.fs.stat(path).await;
+        self.record(
+            t0,
+            || HistOp::Stat { path: path.to_string() },
+            || match &r {
+                Ok(inode) => HistOutcome::Size(inode.size),
+                Err(e) => HistOutcome::Failed(e.clone()),
+            },
+        );
+        r
     }
 
     /// Reads `len` bytes at `offset`.
     pub async fn read(&self, ino: Ino, offset: u64, len: u64) -> FsResult<(u64, Option<Vec<u8>>)> {
-        self.fs.read(ino, offset, len).await
+        let t0 = self.invoke_ns();
+        let r = self.fs.read(ino, offset, len).await;
+        self.record(
+            t0,
+            || HistOp::Read { ino: ino.0, offset, len },
+            || match &r {
+                Ok((n, _)) => HistOutcome::Bytes(*n),
+                Err(e) => HistOutcome::Failed(e.clone()),
+            },
+        );
+        r
     }
 
     /// Writes `len` bytes at `offset`, attributed to this client.
@@ -1627,27 +1759,69 @@ impl ClientFs {
         len: u64,
         data: Option<&[u8]>,
     ) -> FsResult<u64> {
-        self.fs.write_for(self.id, ino, offset, len, data).await
+        let t0 = self.invoke_ns();
+        let r = self.fs.write_for(self.id, ino, offset, len, data).await;
+        self.record(
+            t0,
+            || HistOp::Write { ino: ino.0, offset, len },
+            || match &r {
+                Ok(_) => HistOutcome::Ok,
+                Err(e) => HistOutcome::Failed(e.clone()),
+            },
+        );
+        r
     }
 
     /// Truncates a file to `new_size` bytes.
     pub async fn truncate(&self, ino: Ino, new_size: u64) -> FsResult<()> {
-        self.fs.truncate(ino, new_size).await
+        let t0 = self.invoke_ns();
+        let r = self.fs.truncate(ino, new_size).await;
+        self.record(t0, || HistOp::Truncate { ino: ino.0, size: new_size }, || unit_outcome(&r));
+        r
     }
 
     /// Removes a file.
     pub async fn unlink(&self, path: &str) -> FsResult<()> {
-        self.fs.unlink(path).await
+        let t0 = self.invoke_ns();
+        let r = self.fs.unlink(path).await;
+        self.record(t0, || HistOp::Unlink { path: path.to_string() }, || unit_outcome(&r));
+        r
     }
 
     /// Removes an empty directory.
     pub async fn rmdir(&self, path: &str) -> FsResult<()> {
-        self.fs.rmdir(path).await
+        let t0 = self.invoke_ns();
+        let r = self.fs.rmdir(path).await;
+        self.record(t0, || HistOp::Rmdir { path: path.to_string() }, || unit_outcome(&r));
+        r
     }
 
     /// Renames a file or directory.
     pub async fn rename(&self, from: &str, to: &str) -> FsResult<()> {
-        self.fs.rename(from, to).await
+        let t0 = self.invoke_ns();
+        let r = self.fs.rename(from, to).await;
+        self.record(
+            t0,
+            || HistOp::Rename { from: from.to_string(), to: to.to_string() },
+            || unit_outcome(&r),
+        );
+        r
+    }
+}
+
+/// Outcome of an ino-returning operation.
+fn ino_outcome(r: &FsResult<Ino>) -> HistOutcome {
+    match r {
+        Ok(ino) => HistOutcome::Ino(ino.0),
+        Err(e) => HistOutcome::Failed(e.clone()),
+    }
+}
+
+/// Outcome of a unit operation.
+fn unit_outcome(r: &FsResult<()>) -> HistOutcome {
+    match r {
+        Ok(()) => HistOutcome::Ok,
+        Err(e) => HistOutcome::Failed(e.clone()),
     }
 }
 

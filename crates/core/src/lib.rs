@@ -12,7 +12,9 @@
 mod config;
 mod error;
 mod fs;
+pub mod history;
 
 pub use config::{DataMode, FlushMode, FsConfig};
 pub use error::{FsError, FsResult};
 pub use fs::{ClientFs, FileSystem, FsStats, NvramSnapshot};
+pub use history::{HistOp, HistOutcome, HistoryEvent, HistoryLog};

@@ -56,6 +56,15 @@ pub struct FaultPlan {
     /// whole outstanding set). Derive it from a seed via
     /// `cnp-fault`'s builder to sample crash interleavings.
     pub cut_retire_ops: u64,
+    /// When the power cut fires, retire the controller's acked
+    /// immediate-report write buffer to the platter instead of losing
+    /// it — the battery-backed-controller-cache assumption the rest of
+    /// the framework states for graceful capture
+    /// ([`DiskClient::image_with_write_buffer`]). Default `false`: a
+    /// volatile buffer dies with the electronics. The crash-point
+    /// enumerator sets it so disk-level cuts and boundary captures
+    /// judge the same durability contract.
+    pub cut_preserves_buffer: bool,
     /// Latent sector errors: reads touching these LBA ranges fail with a
     /// media error until the sector is rewritten (which heals it).
     pub latent_ranges: Vec<(u64, u64)>,
@@ -391,7 +400,7 @@ impl DiskTask {
     }
 
     /// Fires a time-scheduled power cut if its moment has come,
-    /// discarding the volatile write buffer.
+    /// discarding (or battery-preserving) the write buffer.
     fn check_time_cut(&mut self) {
         if self.dead.get() {
             return;
@@ -399,8 +408,32 @@ impl DiskTask {
         if let Some(t) = self.faults.power_cut_at {
             if self.handle.now() >= t {
                 self.dead.set(true);
-                self.pending.borrow_mut().clear();
+                self.drop_or_preserve_buffer();
             }
+        }
+    }
+
+    /// The write buffer's fate at a power cut: volatile buffers die
+    /// with the electronics; a battery-backed buffer
+    /// ([`FaultPlan::cut_preserves_buffer`]) retires its acked
+    /// contents to the platter — instantaneous state transfer, no
+    /// simulated time, so pre-cut replays stay bit-identical.
+    fn drop_or_preserve_buffer(&mut self) {
+        let mut pending = self.pending.borrow_mut();
+        if self.faults.cut_preserves_buffer {
+            let mut platter = self.platter.borrow_mut();
+            for (lba, entry) in pending.drain() {
+                match entry {
+                    Some(bytes) => {
+                        platter.insert(lba, bytes);
+                    }
+                    None => {
+                        platter.remove(&lba);
+                    }
+                }
+            }
+        } else {
+            pending.clear();
         }
     }
 
@@ -450,8 +483,9 @@ impl DiskTask {
                 }
                 self.dead.set(true);
                 just_cut = true;
-                // The controller's volatile write buffer dies with it.
-                self.pending.borrow_mut().clear();
+                // The controller's write buffer dies with it (unless
+                // the plan models it battery-backed).
+                self.drop_or_preserve_buffer();
             }
         }
         if self.dead.get() {

@@ -163,6 +163,12 @@ struct DriverInner {
     max_inflight: u32,
     /// Commands currently outstanding at the back-end.
     inflight: u32,
+    /// Write commands dispatched to the back-end and not yet completed.
+    /// Together with the queued writes this is the in-flight write
+    /// batch a power cut lands on — the set whose arrival-order
+    /// prefixes the crash-point enumerator iterates
+    /// ([`FaultPlan::cut_retire_ops`](crate::FaultPlan::cut_retire_ops)).
+    inflight_writes: u32,
     // Plug-in statistics (paper: queue-size and rotational-delay
     // histograms are standard detailed statistics objects).
     qlen: TimeWeighted,
@@ -264,6 +270,7 @@ impl DiskDriver {
             shutdown: false,
             max_inflight: 1,
             inflight: 0,
+            inflight_writes: 0,
             qlen: TimeWeighted::new(now, 0.0),
             inflight_tw: TimeWeighted::new(now, 0.0),
             busy_time: cnp_sim::SimDuration::ZERO,
@@ -416,6 +423,18 @@ impl DiskDriver {
         self.inner.borrow().queue.len()
     }
 
+    /// Write commands currently outstanding: queued at the driver plus
+    /// dispatched to the device and not yet completed. This is the
+    /// in-flight write batch a power cut at this instant lands on; a
+    /// crash-point enumerator iterates its legal retire prefixes
+    /// `0..=outstanding_writes()` via
+    /// [`FaultPlan::cut_retire_ops`](crate::FaultPlan::cut_retire_ops).
+    pub fn outstanding_writes(&self) -> u64 {
+        let inner = self.inner.borrow();
+        let queued = inner.queue.iter().filter(|q| q.req.op == IoOp::Write).count() as u64;
+        queued + inner.inflight_writes as u64
+    }
+
     /// Asks the dispatcher to exit once the queue drains.
     pub fn shutdown(&self) {
         self.inner.borrow_mut().shutdown = true;
@@ -478,6 +497,9 @@ impl DiskDriver {
                 let now = self.handle.now();
                 let depth = inner.queue.len() as f64;
                 inner.qlen.set(now, depth);
+                if q.req.op == IoOp::Write {
+                    inner.inflight_writes += 1;
+                }
                 (q.req, q.reply, inner.max_inflight)
             };
             req.issued_at = self.handle.now();
@@ -579,7 +601,10 @@ impl DiskDriver {
         inner.completed += 1;
         match op {
             IoOp::Read => inner.reads += 1,
-            IoOp::Write => inner.writes += 1,
+            IoOp::Write => {
+                inner.writes += 1;
+                inner.inflight_writes = inner.inflight_writes.saturating_sub(1);
+            }
         }
         if completion.result.is_err() {
             inner.errors += 1;

@@ -167,10 +167,18 @@ pub async fn recover_and_check(handle: &Handle, layout: &mut Layout) -> FsResult
 }
 
 /// Replays an NVRAM snapshot into a recovered file system: dirty blocks
-/// are rewritten (clamped to each file's acknowledged size), sizes are
-/// restored, and everything is synced. Returns the number of blocks
-/// replayed; blocks of files whose identity did not survive (created
-/// after the last durable namespace update) are skipped.
+/// are re-established exactly as the battery-backed cache preserved
+/// them (real bytes for metadata, length-only for simulated payloads),
+/// sizes are restored, and everything is synced. Returns the number of
+/// blocks replayed; blocks of files whose identity did not survive
+/// (created after the last durable namespace update) are skipped.
+///
+/// Restoration goes through [`FileSystem::restore_block`], not the
+/// client write path: in simulated-payload mode `write` drops payload
+/// bytes by design, which would replace an NVRAM-resident *directory*
+/// block with a simulated payload and lose the very namespace the
+/// snapshot preserved (every file under that directory then read as
+/// crash loss — the bug the crash-point enumerator surfaced).
 pub async fn replay_nvram(fs: &FileSystem, snap: &NvramSnapshot) -> FsResult<u64> {
     if snap.is_empty() {
         return Ok(0);
@@ -180,14 +188,11 @@ pub async fn replay_nvram(fs: &FileSystem, snap: &NvramSnapshot) -> FsResult<u64
     for (ino, blk, data) in &snap.blocks {
         let size =
             snap.sizes.iter().find(|(i, _)| i == ino).map(|&(_, s)| s).unwrap_or((blk + 1) * bs);
-        let offset = blk * bs;
-        let len = size.saturating_sub(offset).min(bs);
-        if len == 0 {
+        if size <= blk * bs {
             continue; // Beyond the acknowledged size: nothing to restore.
         }
-        let slice = data.as_ref().map(|d| &d[..(len as usize).min(d.len())]);
-        match fs.write(Ino(*ino), offset, len, slice).await {
-            Ok(_) => replayed += 1,
+        match fs.restore_block(Ino(*ino), *blk, data.clone()).await {
+            Ok(()) => replayed += 1,
             // Only a missing inode means the file's identity died with
             // the crash; any other failure must surface, or loss
             // accounting would blame the crash for replay bugs.
@@ -203,6 +208,78 @@ pub async fn replay_nvram(fs: &FileSystem, snap: &NvramSnapshot) -> FsResult<u64
     }
     fs.sync().await?;
     Ok(replayed)
+}
+
+/// Applies a staging-buffer export ([`cnp_core::FileSystem::staging_image`])
+/// to a captured disk image — the dead-disk equivalent of
+/// [`cnp_core::FileSystem::seal_nvram_staging`]. A battery-backed
+/// staging segment survives a cut that killed the disk first; since the
+/// dead disk can take no writes, its would-be seal writes are applied
+/// to the image directly (simulated payloads erase their sectors,
+/// matching the platter store's real-bytes-only contract).
+pub fn apply_staged_to_image(
+    image: &mut DiskImage,
+    staged: &[(cnp_layout::BlockAddr, cnp_disk::Payload)],
+    sector_size: u32,
+) {
+    let spb = (BLOCK_SIZE / sector_size) as u64;
+    let ss = sector_size as usize;
+    for (addr, payload) in staged {
+        let base = addr.0 * spb;
+        match payload.bytes() {
+            Some(bytes) => {
+                for s in 0..spb {
+                    let lo = (s as usize) * ss;
+                    let mut sector = vec![0u8; ss];
+                    if lo < bytes.len() {
+                        let hi = (lo + ss).min(bytes.len());
+                        sector[..hi - lo].copy_from_slice(&bytes[lo..hi]);
+                    }
+                    image.insert(base + s, sector.into_boxed_slice());
+                }
+            }
+            None => {
+                for s in 0..spb {
+                    image.remove(&(base + s));
+                }
+            }
+        }
+    }
+}
+
+/// One crash state's full verification: restore the disk, run the
+/// layout's recovery, walk + repair with fsck, replay NVRAM into a
+/// fresh engine, and account acknowledged losses. This is the shared
+/// phase-B of the crash sweep and the `cnp-check` crash-point
+/// enumerator — one cell, from captured state to verdict.
+#[derive(Debug, Clone)]
+pub struct VerifiedRecovery {
+    /// Recovery + fsck outcome.
+    pub outcome: RecoveryOutcome,
+    /// NVRAM blocks replayed into the recovered system.
+    pub nvram_replayed: u64,
+    /// Acknowledged-write loss accounting.
+    pub loss: LossReport,
+}
+
+/// Runs recovery + fsck + NVRAM replay + loss accounting on one
+/// captured crash state. `cfg` must match the crashed engine's
+/// configuration (the recovered engine is built from it).
+pub async fn verify_crash_state(
+    handle: &Handle,
+    kind: LayoutKind,
+    state: &CrashState,
+    acked: &[AckedFile],
+    cfg: cnp_core::FsConfig,
+) -> FsResult<VerifiedRecovery> {
+    let (driver, _disk) = state.restore_hp(handle, "verify");
+    let mut layout = kind.build(handle, driver.clone());
+    let outcome = recover_and_check(handle, &mut layout).await?;
+    let fs = FileSystem::new(handle, layout, cfg);
+    let nvram_replayed = replay_nvram(&fs, &state.nvram).await?;
+    let loss = measure_loss(&fs, acked, state.cut_at).await;
+    fs.shutdown();
+    Ok(VerifiedRecovery { outcome, nvram_replayed, loss })
 }
 
 /// Acknowledged-write loss accounting for one crash cell.

@@ -35,8 +35,8 @@ pub mod plan;
 
 pub use check::{check, repair, FsckReport, RepairReport, Violation};
 pub use crash::{
-    measure_loss, recover_and_check, replay_nvram, CrashState, LayoutKind, LossReport,
-    RecoveryOutcome,
+    apply_staged_to_image, measure_loss, recover_and_check, replay_nvram, verify_crash_state,
+    CrashState, LayoutKind, LossReport, RecoveryOutcome, VerifiedRecovery,
 };
 pub use faulty::FaultyDisk;
 pub use plan::{cut_points, jittered_cut_points, FaultPlanBuilder};

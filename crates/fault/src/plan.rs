@@ -61,6 +61,15 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Models the controller's immediate-report write buffer as
+    /// battery-backed: at the cut its acked contents retire to the
+    /// platter instead of dying with the electronics (the assumption
+    /// graceful crash capture already states).
+    pub fn cut_preserves_buffer(mut self) -> Self {
+        self.plan.cut_preserves_buffer = true;
+        self
+    }
+
     /// Draws the retired-prefix length uniformly from `[0, max_ops]`,
     /// deterministically from the seed — every crash replay samples a
     /// different (but replayable) interleaving of the outstanding set.

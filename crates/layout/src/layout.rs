@@ -163,6 +163,16 @@ pub trait StorageLayout {
         None
     }
 
+    /// Exports the whole staging buffer as the device writes that would
+    /// seal it, without touching the device — the dead-disk half of
+    /// crash capture ([`StorageLayout::flush_staged`] needs a live
+    /// disk; a battery-backed staging buffer survives a cut that killed
+    /// the disk first, so capture applies these to the image directly).
+    /// Write-through layouts stage nothing.
+    fn staged_image(&self) -> Vec<(BlockAddr, Payload)> {
+        Vec::new()
+    }
+
     /// Reads one file block (`None` for a hole).
     async fn read_file_block(&mut self, inode: &Inode, blk: u64) -> LResult<Option<Payload>>;
 
@@ -297,6 +307,10 @@ impl StorageLayout for Layout {
 
     fn staged_block(&self, addr: BlockAddr) -> Option<Payload> {
         dispatch!(self, staged_block, addr)
+    }
+
+    fn staged_image(&self) -> Vec<(BlockAddr, Payload)> {
+        dispatch!(self, staged_image)
     }
 
     async fn read_file_block(&mut self, inode: &Inode, blk: u64) -> LResult<Option<Payload>> {

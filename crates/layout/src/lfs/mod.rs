@@ -285,16 +285,48 @@ impl LfsLayout {
         self.log_seq += 1;
         let summary =
             SegSummary { gen: self.sb.gen, epoch: self.epoch, seq: self.log_seq, entries };
-        let run: Vec<Payload> = self.cur.entries.drain(..).map(|(_, p)| p).collect();
+        // The staging entries stay put until the media writes succeed:
+        // the battery-backed-staging model (and dead-disk crash capture
+        // via `staged_image`) must not lose acked blocks to a seal that
+        // died mid-flight — a failed flush retries into place.
+        let run: Vec<Payload> = self.cur.entries.iter().map(|(_, p)| p.clone()).collect();
         let start = self.seg_start(self.cur.seg);
         // Crash-ordering invariant: payloads reach the media before the
         // checksummed summary that describes them, so a parseable
         // summary certifies the whole segment.
         self.io.write_run(BlockAddr(start + 1), run).await?;
         self.io.write_block(BlockAddr(start), Payload::Data(summary_to_block(&summary))).await?;
+        self.cur.entries.clear();
         self.stats.segments_written += 1;
         self.stats.meta_writes += 1; // Summary block.
         Ok(())
+    }
+
+    /// Exports the staging buffer as the exact device writes that would
+    /// seal it — summary first at the segment head, payloads behind —
+    /// without touching the device. The dead-disk half of crash
+    /// capture: a power-cut disk takes no writes, so the battery-backed
+    /// staging segment is applied to the captured image directly.
+    fn staged_writes(&self) -> Vec<(BlockAddr, Payload)> {
+        if self.cur.entries.is_empty() {
+            return Vec::new();
+        }
+        let mut entries: Vec<(SumEntry, Payload)> = self.cur.entries.clone();
+        if let Some(open) = &self.cur.open_inode {
+            entries[open.slot_idx].1 = Payload::Data(open.bytes.clone());
+        }
+        let summary = SegSummary {
+            gen: self.sb.gen,
+            epoch: self.epoch,
+            seq: self.log_seq + 1,
+            entries: entries.iter().map(|(e, _)| *e).collect(),
+        };
+        let start = self.seg_start(self.cur.seg);
+        let mut out = vec![(BlockAddr(start), Payload::Data(summary_to_block(&summary)))];
+        out.extend(
+            entries.into_iter().enumerate().map(|(i, (_, p))| (BlockAddr(start + 1 + i as u64), p)),
+        );
+        out
     }
 
     fn pick_free_segment(&self) -> LResult<u32> {
@@ -923,6 +955,10 @@ impl StorageLayout for LfsLayout {
                 Ok(if v == BlockAddr::NONE.0 { None } else { Some(BlockAddr(v)) })
             }
         }
+    }
+
+    fn staged_image(&self) -> Vec<(BlockAddr, Payload)> {
+        self.staged_writes()
     }
 
     fn staged_block(&self, addr: BlockAddr) -> Option<Payload> {

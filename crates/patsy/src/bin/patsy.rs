@@ -9,9 +9,13 @@
 //! patsy sweep-qd --trace 1a            # I/O schedulers x queue depths
 //! patsy sweep-clients --workload zipf --clients 1,4,16 --qd 8
 //! patsy crash --trace 1a --cuts 16 --seed 42   # crash-recovery sweep
+//! patsy check --trace 1a --qd 8 --budget 500   # exhaustive crash-point
+//!                                              # enumeration + history leg
+//! patsy check --repro cnpc1:...                # replay one failing cell
 //! options: --scale 0.05 --seed 365 --cuts 16 --layout lfs|ffs --qd 1
 //! ```
 
+use cnp_patsy::check::{check_cli, repro_cli, CheckCliConfig};
 use cnp_patsy::cli::{parse_cli, usage};
 use cnp_patsy::{ablate, clients, crash, figures, Policy};
 
@@ -84,6 +88,30 @@ fn main() {
                 policy_filter,
                 a.qd,
             );
+        }
+        "check" => {
+            if let Some(blob) = &a.repro {
+                std::process::exit(repro_cli(blob));
+            }
+            // Enumeration replays O(budget²) prefix ops per cell: the
+            // crash sweep's small default workload keeps it exhaustive
+            // *and* tractable.
+            let check_scale = if a.scale_set { a.scale } else { 0.002 };
+            let workload = cnp_workload::WorkloadKind::parse(&a.workload)
+                .expect("workload name validated by parse_cli");
+            let cfg = CheckCliConfig {
+                trace: a.trace.clone(),
+                budget: a.budget,
+                seed: a.seed,
+                scale: check_scale,
+                layout: a.layout.clone(),
+                policy: a.policy_set.then(|| a.policy.clone()),
+                queue_depth: a.qd,
+                workload,
+                clients: if a.clients_set { a.clients[0] } else { 4 },
+                repro_out: a.repro_out.clone(),
+            };
+            std::process::exit(check_cli(&cfg));
         }
         other => {
             eprintln!("unknown subcommand {other}");

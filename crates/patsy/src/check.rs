@@ -1,0 +1,129 @@
+//! The `patsy check` subcommand: bounded crash-point model checking
+//! plus the multi-client history (linearizability) leg.
+//!
+//! `patsy crash` *samples* cut points; `check` *enumerates* them — for
+//! a bounded workload prefix, every op boundary and every legal retire
+//! prefix of the in-flight write batch, per layout × flush-policy cell
+//! — then runs a multi-client scenario with history recording and
+//! demands a sequential witness. Deterministic: the same flags print
+//! byte-identical reports. Exit status 1 when any cell or the witness
+//! search found a violation (CI turns that into a red build and
+//! uploads the emitted repro blobs).
+
+use cnp_check::{
+    format_check_report, format_history_report, run_check, run_history_check, CheckConfig,
+    HistoryCheckConfig, LinConfig, Repro,
+};
+use cnp_fault::LayoutKind;
+use cnp_trace::SyntheticSprite;
+use cnp_workload::WorkloadKind;
+
+use crate::experiment::Policy;
+
+/// Everything `check` needs, parsed and validated.
+pub struct CheckCliConfig {
+    /// Trace preset name.
+    pub trace: String,
+    /// Bounded-prefix length (op boundaries enumerated).
+    pub budget: u32,
+    /// Base seed.
+    pub seed: u64,
+    /// Trace scale.
+    pub scale: f64,
+    /// Layout filter (None = LFS, the default enumeration target).
+    pub layout: Option<String>,
+    /// Policy filter (None = all four §5.1 policies).
+    pub policy: Option<String>,
+    /// I/O pipeline depth.
+    pub queue_depth: u32,
+    /// History-leg scenario family.
+    pub workload: WorkloadKind,
+    /// History-leg client count.
+    pub clients: u32,
+    /// Failing repro blobs are written to this file, replacing any
+    /// previous contents (CI artifacts; use distinct paths per run).
+    pub repro_out: Option<String>,
+}
+
+/// Runs the full `check`: enumeration + history leg. Returns the
+/// process exit code (0 = everything verified).
+pub fn check_cli(cfg: &CheckCliConfig) -> i32 {
+    let Some(params) = cnp_trace::preset(&cfg.trace) else {
+        eprintln!("unknown trace {} (1a|1b|2a|2b|5)", cfg.trace);
+        return 2;
+    };
+    let records = SyntheticSprite::new(params, cfg.seed ^ 0xabcd).generate(cfg.scale);
+    let mut check = CheckConfig::new(records, &cfg.trace, cfg.budget as usize);
+    check.queue_depth = cfg.queue_depth;
+    check.seed = cfg.seed;
+    if let Some(l) = &cfg.layout {
+        let Some(kind) = LayoutKind::parse(l) else {
+            eprintln!("unknown layout {l} (lfs|ffs)");
+            return 2;
+        };
+        check.layouts = vec![kind];
+    }
+    if let Some(p) = &cfg.policy {
+        let Some(policy) = Policy::parse(p) else {
+            eprintln!("unknown policy {p} (write-delay|ups|nvram-whole|nvram-partial)");
+            return 2;
+        };
+        check.policies.retain(|spec| spec.label == policy.label());
+    }
+    let report = run_check(&check);
+    print!("{}", format_check_report(&check, &report));
+
+    let lin_cfg = HistoryCheckConfig {
+        kind: cfg.workload,
+        clients: cfg.clients,
+        seed: cfg.seed,
+        scale: cfg.scale,
+        layout: check.layouts[0],
+        queue_depth: cfg.queue_depth,
+        lin: LinConfig::default(),
+    };
+    let lin = run_history_check(&lin_cfg);
+    print!("{}", format_history_report(&lin_cfg, &lin));
+
+    let blobs = report.repro_blobs();
+    if let (Some(path), false) = (&cfg.repro_out, blobs.is_empty()) {
+        if let Err(e) = std::fs::write(path, blobs.join("\n") + "\n") {
+            eprintln!("failed to write {path}: {e}");
+        }
+    }
+    if report.clean() && lin.outcome.is_linearizable() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Re-runs one cell from a repro blob; returns the exit code (0 = the
+/// cell now verifies clean — i.e. the bug is fixed; 1 = it reproduces).
+pub fn repro_cli(blob: &str) -> i32 {
+    let repro = match Repro::parse(blob) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bad repro blob: {e}");
+            return 2;
+        }
+    };
+    let outcome = repro.run();
+    println!(
+        "repro: {} ops | layout {} | flush {} | qd {} | cut {}",
+        repro.records.len(),
+        repro.spec.layout.name(),
+        repro.spec.flush,
+        repro.spec.queue_depth,
+        repro.cut.label(),
+    );
+    if outcome.clean() {
+        println!("cell verifies clean (the original violation no longer reproduces)");
+        0
+    } else {
+        for v in &outcome.violations {
+            println!("VIOLATION {v}");
+        }
+        1
+    }
+}

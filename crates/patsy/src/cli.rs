@@ -36,8 +36,19 @@ pub struct CliArgs {
     pub qd_set: bool,
     /// `--clients` counts (comma-separated; each ≥ 1).
     pub clients: Vec<u32>,
-    /// `--workload` scenario name (sweep-clients).
+    /// Whether `--clients` was given explicitly (`check` uses a small
+    /// fixed fleet unless asked).
+    pub clients_set: bool,
+    /// `--workload` scenario name (sweep-clients, check).
     pub workload: String,
+    /// `--budget` bounded-prefix length for `check` (≥ 1).
+    pub budget: u32,
+    /// `--repro` blob for `check` (re-runs one cell instead of the
+    /// enumeration).
+    pub repro: Option<String>,
+    /// `--repro-out` path: `check` writes failing repro blobs here (CI
+    /// uploads them as artifacts).
+    pub repro_out: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -55,7 +66,11 @@ impl Default for CliArgs {
             qd: 1,
             qd_set: false,
             clients: vec![1, 4, 16],
+            clients_set: false,
             workload: "zipf".to_string(),
+            budget: 200,
+            repro: None,
+            repro_out: None,
         }
     }
 }
@@ -89,8 +104,28 @@ pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
                 i += 2;
             }
             "--seed" => {
-                out.seed =
-                    value(i)?.parse().map_err(|_| format!("bad --seed {:?}", args[i + 1]))?;
+                out.seed = value(i)?
+                    .parse()
+                    .map_err(|_| format!("bad --seed {:?}: not a u64", args[i + 1]))?;
+                i += 2;
+            }
+            "--budget" => {
+                let v: u32 =
+                    value(i)?.parse().map_err(|_| format!("bad --budget {:?}", args[i + 1]))?;
+                if v == 0 {
+                    return Err(
+                        "bad --budget 0: the bounded prefix needs at least one op".to_string()
+                    );
+                }
+                out.budget = v;
+                i += 2;
+            }
+            "--repro" => {
+                out.repro = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--repro-out" => {
+                out.repro_out = Some(value(i)?.clone());
                 i += 2;
             }
             "--cuts" => {
@@ -133,6 +168,7 @@ pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
                     return Err(format!("bad --clients {raw:?}: empty list"));
                 }
                 out.clients = clients;
+                out.clients_set = true;
                 i += 2;
             }
             "--workload" => {
@@ -144,7 +180,11 @@ pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
                 i += 2;
             }
             "--trace" => {
-                out.trace = value(i)?.clone();
+                let t = value(i)?.clone();
+                if cnp_trace::preset(&t).is_none() {
+                    return Err(format!("bad --trace {t:?} (1a|1b|2a|2b|5)"));
+                }
+                out.trace = t;
                 i += 2;
             }
             "--policy" => {
@@ -166,10 +206,10 @@ pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
 pub fn usage() -> String {
     "usage: patsy <fig2|fig3|fig4|fig5|ablate-diskmodel|ablate-flushmode|\
      ablate-iosched|ablate-diskcache|ablate-nvram|ablate-cleaner|run|sweep-qd|\
-     sweep-clients|crash> \
+     sweep-clients|crash|check> \
      [--trace 1a] [--policy ups] [--scale 0.05] [--seed 365] [--cuts 16] \
      [--layout lfs|ffs] [--qd 1] [--workload zipf|mail|build|scan|web] \
-     [--clients 1,4,16]"
+     [--clients 1,4,16] [--budget 200] [--repro <blob>] [--repro-out <path>]"
         .to_string()
 }
 
@@ -258,5 +298,68 @@ mod tests {
     fn rejects_missing_value_and_missing_subcommand() {
         assert!(parse(&["fig2", "--scale"]).is_err());
         assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric_seed() {
+        let e = parse(&["fig2", "--seed", "lots"]).unwrap_err();
+        assert!(e.contains("--seed"), "{e}");
+    }
+
+    #[test]
+    fn rejects_negative_seed() {
+        let e = parse(&["fig2", "--seed", "-1"]).unwrap_err();
+        assert!(e.contains("--seed"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_trace() {
+        let e = parse(&["crash", "--trace", "9z"]).unwrap_err();
+        assert!(e.contains("--trace"), "{e}");
+        // Every real preset parses.
+        for t in ["1a", "1b", "2a", "2b", "5"] {
+            assert_eq!(parse(&["crash", "--trace", t]).unwrap().trace, t);
+        }
+    }
+
+    #[test]
+    fn rejects_budget_zero() {
+        let e = parse(&["check", "--budget", "0"]).unwrap_err();
+        assert!(e.contains("--budget"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_budget() {
+        let e = parse(&["check", "--budget", "many"]).unwrap_err();
+        assert!(e.contains("--budget"), "{e}");
+    }
+
+    #[test]
+    fn check_flags_parse() {
+        let a = parse(&[
+            "check",
+            "--trace",
+            "1a",
+            "--qd",
+            "8",
+            "--budget",
+            "500",
+            "--repro-out",
+            "blobs.txt",
+            "--clients",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(a.cmd, "check");
+        assert_eq!(a.budget, 500);
+        assert_eq!(a.repro_out.as_deref(), Some("blobs.txt"));
+        assert!(a.clients_set);
+        assert_eq!(a.clients, vec![4]);
+        assert!(a.repro.is_none());
+        let b = parse(&["check"]).unwrap();
+        assert_eq!(b.budget, 200, "check needs a sane default budget");
+        assert!(!b.clients_set, "default fleet must be distinguishable from an explicit one");
+        let c = parse(&["check", "--repro", "cnpc1:xyz"]).unwrap();
+        assert_eq!(c.repro.as_deref(), Some("cnpc1:xyz"));
     }
 }

@@ -16,10 +16,7 @@ use std::rc::Rc;
 use cnp_cache::CacheConfig;
 use cnp_core::{DataMode, FileSystem, FlushMode, FsConfig};
 use cnp_disk::{CLook, FaultPlan, Hp97560};
-use cnp_fault::{
-    crash::measure_loss, cut_points, recover_and_check, replay_nvram, CrashState, FaultyDisk,
-    LayoutKind, LossReport,
-};
+use cnp_fault::{cut_points, verify_crash_state, CrashState, FaultyDisk, LayoutKind, LossReport};
 use cnp_sim::{Sim, SimTime};
 use cnp_trace::{replay_with, ReplayOptions, SpriteParams, SyntheticSprite};
 
@@ -174,16 +171,15 @@ fn run_cell(
         let state = CrashState::capture(&fs, &disk).await;
         fs.shutdown();
 
-        // Phase B: power-on, recover, verify, replay NVRAM, account.
-        let (driver2, _disk2) = state.restore_hp(&h2, "crash1");
-        let mut layout2 = layout_kind.build(&h2, driver2.clone());
-        let outcome = recover_and_check(&h2, &mut layout2).await.expect("recovery");
-        let fs2 = FileSystem::new(&h2, layout2, fs_cfg);
-        // Replay failures must abort the cell loudly: a half-replayed
-        // file system would misattribute replay bugs as crash loss.
-        let nvram_replayed = replay_nvram(&fs2, &state.nvram).await.expect("nvram replay");
-        let loss = measure_loss(&fs2, &report.acked, state.cut_at).await;
-        fs2.shutdown();
+        // Phase B: power-on, recover, verify, replay NVRAM, account —
+        // the same cell verification the cnp-check enumerator runs.
+        // Failures must abort the cell loudly: a half-replayed file
+        // system would misattribute replay bugs as crash loss.
+        let verified = verify_crash_state(&h2, layout_kind, &state, &report.acked, fs_cfg)
+            .await
+            .expect("recovery + nvram replay");
+        let (outcome, nvram_replayed, loss) =
+            (verified.outcome, verified.nvram_replayed, verified.loss);
 
         *out2.borrow_mut() = Some(CrashCell {
             layout: layout_kind.name(),

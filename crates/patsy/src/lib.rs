@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod check;
 pub mod cli;
 pub mod clients;
 pub mod crash;

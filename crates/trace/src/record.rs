@@ -101,6 +101,23 @@ pub struct TraceRecord {
     pub op: TraceOp,
 }
 
+/// The bounded-prefix projection: the first `limit` records of a trace
+/// with the listed indices (relative to the full trace) dropped.
+///
+/// This is the workload view a crash-point enumerator iterates — cut
+/// the prefix one op later each cell — and the shape a delta-debugging
+/// minimizer shrinks: dropping an index keeps every other record's
+/// timestamp, so the surviving ops replay at their original instants.
+pub fn bounded_prefix(records: &[TraceRecord], limit: usize, drop: &[usize]) -> Vec<TraceRecord> {
+    records
+        .iter()
+        .take(limit)
+        .enumerate()
+        .filter(|(i, _)| !drop.contains(i))
+        .map(|(_, r)| r.clone())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +128,26 @@ mod tests {
         assert_eq!(r.mnemonic(), "read");
         assert_eq!(r.path(), "/a/b");
         assert_eq!(TraceOp::Mkdir { path: "/d".into() }.mnemonic(), "mkdir");
+    }
+
+    #[test]
+    fn bounded_prefix_cuts_and_drops() {
+        let records: Vec<TraceRecord> = (0..6)
+            .map(|i| TraceRecord {
+                time_ns: i * 10,
+                client: 0,
+                op: TraceOp::Stat { path: format!("/f{i}") },
+            })
+            .collect();
+        let cut = bounded_prefix(&records, 4, &[]);
+        assert_eq!(cut.len(), 4);
+        assert_eq!(cut[3], records[3]);
+        let dropped = bounded_prefix(&records, 4, &[1, 2]);
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(dropped[0], records[0]);
+        // Surviving records keep their original timestamps.
+        assert_eq!(dropped[1], records[3]);
+        // A limit beyond the trace takes everything.
+        assert_eq!(bounded_prefix(&records, 100, &[]).len(), 6);
     }
 }

@@ -66,6 +66,12 @@ pub struct ReplayReport {
     pub error_sample: Vec<String>,
     /// Acknowledged per-file state ([`ReplayOptions::track_acks`]).
     pub acked: Vec<AckedFile>,
+    /// Paths whose *destructive* operations (delete, truncate) failed —
+    /// e.g. cut off mid-flight by a power loss. Their on-disk state is
+    /// indeterminate: the op was never acknowledged, yet its effects
+    /// may have partially persisted, so crash oracles must not judge
+    /// these files against the acked map. Sorted, deduplicated.
+    pub indeterminate: Vec<String>,
 }
 
 impl ReplayReport {
@@ -85,6 +91,8 @@ struct ReplayState {
     error_sample: Vec<String>,
     /// path → (acked size, last ack time); None when not tracking.
     acked: Option<BTreeMap<String, (u64, u64)>>,
+    /// Paths of failed destructive ops (indeterminate outcome).
+    indeterminate: std::collections::BTreeSet<String>,
 }
 
 /// Replays a trace against a file system; resolves when every client
@@ -114,6 +122,7 @@ pub async fn replay_with(
         errors: 0,
         error_sample: Vec::new(),
         acked: if opts.track_acks { Some(BTreeMap::new()) } else { None },
+        indeterminate: std::collections::BTreeSet::new(),
     }));
     let budget = Rc::new(Cell::new(opts.max_ops.unwrap_or(u64::MAX)));
     // Split records per client, preserving order. A BTreeMap keeps the
@@ -154,6 +163,7 @@ pub async fn replay_with(
         errors: st.errors,
         error_sample: st.error_sample,
         acked,
+        indeterminate: st.indeterminate.into_iter().collect(),
     }
 }
 
@@ -219,6 +229,12 @@ async fn client_thread(
                 st.errors += 1;
                 if st.error_sample.len() < 5 {
                     st.error_sample.push(format!("{e} on {:?}", rec.op.mnemonic()));
+                }
+                // A failed delete/truncate leaves the file's durable
+                // state indeterminate (the op may have partially
+                // persisted without ever being acknowledged).
+                if matches!(rec.op, TraceOp::Delete { .. } | TraceOp::Truncate { .. }) {
+                    st.indeterminate.insert(rec.op.path().to_string());
                 }
             }
         }

@@ -36,6 +36,10 @@ pub struct RunOptions {
     pub max_ops: Option<u64>,
     /// Track per-file acknowledged sizes (crash loss accounting).
     pub track_acks: bool,
+    /// Record every client operation as an *(invoke, ack)* interval
+    /// into this shared log — the multi-client history the
+    /// linearizability checker consumes (`cnp-check`).
+    pub history: Option<cnp_core::HistoryLog>,
 }
 
 /// One client's measurements.
@@ -148,8 +152,12 @@ pub async fn run_clients(
         let state = state.clone();
         let budget = budget.clone();
         let plan = plan.clone();
+        let history = opts.history.clone();
         handles.push(handle.spawn(&format!("wl-client{}", plan.client), async move {
-            let cfs = fs.client(plan.client);
+            let cfs = match history {
+                Some(log) => fs.client(plan.client).with_history(log),
+                None => fs.client(plan.client),
+            };
             let mut open: HashMap<String, Ino> = HashMap::new();
             for cop in &plan.ops {
                 if cop.think_ns > 0 {
@@ -320,7 +328,7 @@ mod tests {
         h.spawn("harness", async move {
             fs.format().await.unwrap();
             let scenario = Scenario::generate(WorkloadKind::Zipf, 2, 5, 0.005);
-            let opts = RunOptions { max_ops: Some(20), track_acks: true };
+            let opts = RunOptions { max_ops: Some(20), track_acks: true, history: None };
             let report = run_clients(&h2, &fs, &scenario, opts).await;
             *out2.borrow_mut() = Some(report);
             fs.shutdown();

@@ -19,12 +19,16 @@
 //! * [`fault`] — deterministic fault injection, crash-state capture,
 //!   and recovery verification (fsck walker, NVRAM replay);
 //! * [`workload`] — seeded scenario generation (Zipf / mail / build /
-//!   scan / web) and the closed-loop multi-client engine.
+//!   scan / web) and the closed-loop multi-client engine;
+//! * [`check`] — bounded crash-point model checking (every op boundary
+//!   × every legal retire prefix of the in-flight write batch) and a
+//!   linearizability witness search over multi-client histories.
 //!
 //! See `DESIGN.md` for the full inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
 
 pub use cnp_cache as cache;
+pub use cnp_check as check;
 pub use cnp_core as core;
 pub use cnp_disk as disk;
 pub use cnp_fault as fault;

@@ -35,6 +35,81 @@ where
     assert!(done.get(), "test body did not complete");
 }
 
+/// Determinism audit regression: two seeded runs must produce
+/// byte-identical platter images, per layout. The mail workload's
+/// create/append/unlink churn drives `BlockCache::remove_file`, whose
+/// HashMap key iteration used to feed hasher-dependent removal order
+/// into the free-list (and from there into frame placement and the
+/// LFS log) — persistence paths must not inherit hasher state.
+#[test]
+fn seeded_runs_produce_byte_identical_platters_per_layout() {
+    use cut_and_paste::workload::{run_clients, RunOptions, Scenario, WorkloadKind};
+
+    fn image_once(layout_name: &'static str) -> cut_and_paste::disk::DiskImage {
+        let sim = Sim::new(909);
+        let h = sim.handle();
+        let (driver, disk) = {
+            use cut_and_paste::disk::{
+                spawn_disk, Backend, DiskDriver, DiskOpts, ScsiBus, SimBackend,
+            };
+            let bus = ScsiBus::new(&h);
+            let disk = spawn_disk(
+                &h,
+                "disk:det0",
+                Box::new(Hp97560::new()),
+                bus.clone(),
+                DiskOpts::default(),
+                cut_and_paste::disk::FaultPlan::default(),
+            );
+            let driver = DiskDriver::new(
+                &h,
+                "det0",
+                Backend::Sim(SimBackend { bus, disk: disk.clone(), host_id: 7 }),
+                Box::new(CLook),
+            );
+            (driver, disk)
+        };
+        let layout = match layout_name {
+            "lfs" => Layout::Lfs(LfsLayout::new(&h, driver, LfsParams::default())),
+            _ => Layout::Ffs(FfsLayout::new(&h, driver, FfsParams { ninodes: 4096, ngroups: 8 })),
+        };
+        let cfg = FsConfig {
+            // Small cache: evictions + replacement churn on top of the
+            // mail workload's delete-driven remove_file traffic.
+            cache: CacheConfig { block_size: 4096, mem_bytes: 48 * 4096, nvram_bytes: None },
+            data_mode: DataMode::Simulated,
+            queue_depth: 8,
+            ..FsConfig::default()
+        };
+        let fs = FileSystem::new(&h, layout, cfg);
+        let out: Rc<Cell<Option<cut_and_paste::disk::DiskImage>>> = Rc::new(Cell::new(None));
+        let out2 = out.clone();
+        let h2 = h.clone();
+        h.spawn("det", async move {
+            fs.format().await.unwrap();
+            let scenario = Scenario::generate(WorkloadKind::Mail, 3, 909, 0.004);
+            let report = run_clients(&h2, &fs, &scenario, RunOptions::default()).await;
+            assert_eq!(report.errors, 0, "{:?}", report.error_sample);
+            fs.unmount().await.unwrap();
+            out2.set(Some(disk.platter_image()));
+            fs.shutdown();
+        });
+        sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+        out.take().expect("determinism run did not finish")
+    }
+
+    for layout in ["lfs", "ffs"] {
+        let a = image_once(layout);
+        let b = image_once(layout);
+        assert_eq!(a.len(), b.len(), "{layout}: platter sector counts differ");
+        let mut keys: Vec<u64> = a.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            assert_eq!(a.get(&k), b.get(&k), "{layout}: sector {k} differs between seeded runs");
+        }
+    }
+}
+
 #[test]
 fn full_stack_trace_replay_no_errors() {
     run_to_completion(1, |h| async move {
@@ -307,9 +382,13 @@ fn multi_client_crash_preserves_acked_writes_under_nvram_whole() {
 
         // The power cut lands mid-run: half the offered operations.
         let cut = scenario.total_ops() / 2;
-        let report =
-            run_clients(&h, &fs, &scenario, RunOptions { max_ops: Some(cut), track_acks: true })
-                .await;
+        let report = run_clients(
+            &h,
+            &fs,
+            &scenario,
+            RunOptions { max_ops: Some(cut), track_acks: true, ..RunOptions::default() },
+        )
+        .await;
         assert!(report.ops > 0, "the workload must have run before the cut");
         assert!(!report.acked.is_empty(), "clients must have acked writes at the cut");
         let state = CrashState::capture(&fs, &disk).await;

@@ -576,6 +576,44 @@ proptest! {
         }
     }
 
+    /// The linearizability oracle over random multi-client runs: the
+    /// workload runner records every operation's *(invoke, ack)*
+    /// interval and observable outcome, and the witness search must
+    /// find a sequential order explaining all of them — the order-free
+    /// replacement for fixed-interleaving comparisons: instead of
+    /// asserting one precomputed interleaving, it accepts any history a
+    /// linearizable engine could produce and rejects everything else.
+    #[test]
+    fn multi_client_histories_are_linearizable(
+        seed in 0u64..1_000_000,
+        kidx in 0usize..5,
+        clients in 1u32..4,
+        layout_sel in 0u8..2,
+    ) {
+        use cut_and_paste::check::{run_history_check, HistoryCheckConfig, LinConfig};
+
+        for qd in qd_matrix() {
+            let cfg = HistoryCheckConfig {
+                kind: WORKLOADS[kidx],
+                clients,
+                seed,
+                scale: 0.0005,
+                layout: if layout_sel == 1 { LayoutKind::Ffs } else { LayoutKind::Lfs },
+                queue_depth: qd,
+                lin: LinConfig::default(),
+            };
+            let report = run_history_check(&cfg);
+            prop_assert!(
+                report.outcome.is_linearizable(),
+                "qd={qd} {}x{}: {:?}",
+                cfg.kind.name(),
+                clients,
+                report.outcome
+            );
+            prop_assert!(report.acked > 0, "history must contain acked work");
+        }
+    }
+
     /// Workload-generated scenarios survive both trace codecs losslessly
     /// (the hand-picked codec cases don't cover generated paths, op
     /// mixes, or timestamp shapes).
