@@ -17,7 +17,6 @@ use cnp_sim::{SimDuration, SimTime};
 
 use crate::flush::{CacheQuery, FlushPolicy};
 use crate::key::{BlockKey, FileId};
-use crate::list::FrameList;
 use crate::policy::{AccessMeta, ReplacementPolicy};
 
 /// Maximum per-frame access history kept (for LRU-K).
@@ -153,15 +152,36 @@ pub enum DirtyOutcome {
 }
 
 /// The block cache.
+///
+/// Key-indexed structures — the resident map and the dirty-age
+/// bookkeeping — are partitioned into `shards` by a deterministic hash
+/// of the block key ([`BlockKey::shard_image`]): in a multi-core port
+/// each shard is an independent lock domain, and even single-threaded
+/// the partition bounds any one structure's size. The *frame pool*,
+/// the replacement policy, and the NVRAM budget stay global: capacity
+/// is one battery and one memory, and a striped free list would make
+/// eviction timing depend on the shard count.
+///
+/// Determinism: every dirtying is stamped with a globally monotone
+/// sequence number, and flush-policy selection merges the per-shard
+/// dirty sets in ascending sequence order. That stable shard-merge
+/// order reconstructs exactly the unsharded oldest-first age list, so
+/// seeded runs are byte-identical at every shard count.
 pub struct BlockCache {
     cfg: CacheConfig,
     frames: Vec<Frame>,
-    map: HashMap<BlockKey, u32>,
+    /// Resident map, sharded by key hash (shard walk order is stable;
+    /// in-shard iteration order is not — persistence paths sort).
+    maps: Vec<HashMap<BlockKey, u32>>,
     free: Vec<u32>,
     clean: Box<dyn ReplacementPolicy>,
-    /// Dirty frames in age order (front = oldest). Flushing frames are
-    /// *not* on this list.
-    dirty_age: FrameList,
+    /// Per-shard dirty frames keyed by global dirty sequence (ascending
+    /// = age order). Flushing frames are *not* in these sets.
+    dirty_shards: Vec<BTreeMap<u64, u32>>,
+    /// The dirty-sequence stamp of each frame (valid while Dirty).
+    frame_seq: Vec<u64>,
+    /// Globally monotone dirtying counter — the stable merge key.
+    next_seq: u64,
     flush_policy: Box<dyn FlushPolicy>,
     dirty_blocks: u64,
     /// Dirty + flushing blocks charged against NVRAM.
@@ -174,12 +194,14 @@ pub struct BlockCache {
 
 struct QueryView<'a> {
     frames: &'a [Frame],
-    dirty_age: &'a FrameList,
+    /// Dirty frames merged across shards in ascending sequence order —
+    /// identical to the unsharded age list.
+    merged: Vec<u32>,
 }
 
 impl CacheQuery for QueryView<'_> {
     fn oldest_dirty(&self) -> Option<(BlockKey, SimTime)> {
-        let f = self.dirty_age.front()?;
+        let f = *self.merged.first()?;
         let frame = &self.frames[f as usize];
         match frame.state {
             BlockState::Dirty { since } => Some((frame.key, since)),
@@ -188,20 +210,20 @@ impl CacheQuery for QueryView<'_> {
     }
 
     fn dirty_of_file(&self, file: FileId) -> Vec<BlockKey> {
-        self.dirty_age
+        self.merged
             .iter()
-            .map(|f| &self.frames[f as usize])
+            .map(|&f| &self.frames[f as usize])
             .filter(|fr| fr.key.file == file)
             .map(|fr| fr.key)
             .collect()
     }
 
     fn dirty_count(&self) -> usize {
-        self.dirty_age.len()
+        self.merged.len()
     }
 
     fn oldest_dirty_excluding(&self, excluded: &[BlockKey]) -> Option<(BlockKey, SimTime)> {
-        for f in self.dirty_age.iter() {
+        for &f in self.merged.iter() {
             let frame = &self.frames[f as usize];
             if excluded.contains(&frame.key) {
                 continue;
@@ -212,15 +234,42 @@ impl CacheQuery for QueryView<'_> {
         }
         None
     }
+
+    fn dirty_oldest_first(&self) -> Vec<(BlockKey, SimTime)> {
+        self.merged
+            .iter()
+            .filter_map(|&f| {
+                let frame = &self.frames[f as usize];
+                match frame.state {
+                    BlockState::Dirty { since } => Some((frame.key, since)),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
 }
 
 impl BlockCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unsharded cache (one shard — the legacy
+    /// configuration every pre-sharding test exercises).
     pub fn new(
         cfg: CacheConfig,
         clean: Box<dyn ReplacementPolicy>,
         flush_policy: Box<dyn FlushPolicy>,
     ) -> Self {
+        Self::with_shards(cfg, clean, flush_policy, 1)
+    }
+
+    /// Creates an empty cache whose key-indexed tables are partitioned
+    /// into `shards` (≥ 1 enforced). Behaviour is byte-identical at
+    /// every shard count — see the type-level docs.
+    pub fn with_shards(
+        cfg: CacheConfig,
+        clean: Box<dyn ReplacementPolicy>,
+        flush_policy: Box<dyn FlushPolicy>,
+        shards: usize,
+    ) -> Self {
+        assert!(shards >= 1, "the cache needs at least one shard");
         let n = cfg.frames();
         assert!(n > 0, "cache must hold at least one block");
         let mut free: Vec<u32> = (0..n as u32).collect();
@@ -239,16 +288,69 @@ impl BlockCache {
         BlockCache {
             cfg,
             frames,
-            map: HashMap::new(),
+            maps: (0..shards).map(|_| HashMap::new()).collect(),
             free,
             clean,
-            dirty_age: FrameList::new(n),
+            dirty_shards: (0..shards).map(|_| BTreeMap::new()).collect(),
+            frame_seq: vec![0; n],
+            next_seq: 0,
             flush_policy,
             dirty_blocks: 0,
             nvram_used: 0,
             stats: CacheStats::default(),
             flushed_by_owner: BTreeMap::new(),
         }
+    }
+
+    /// Fixed key → shard routing: the same Fibonacci spread over
+    /// [`BlockKey::shard_image`] that the engine's lock stripes use —
+    /// never the std `HashMap` hasher, so routing is stable across runs.
+    fn shard_of(&self, key: BlockKey) -> usize {
+        let spread = key.shard_image().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (spread % self.maps.len() as u64) as usize
+    }
+
+    fn map_get(&self, key: BlockKey) -> Option<u32> {
+        self.maps[self.shard_of(key)].get(&key).copied()
+    }
+
+    fn map_insert(&mut self, key: BlockKey, frame: u32) {
+        let s = self.shard_of(key);
+        self.maps[s].insert(key, frame);
+    }
+
+    fn map_remove(&mut self, key: BlockKey) -> Option<u32> {
+        let s = self.shard_of(key);
+        self.maps[s].remove(&key)
+    }
+
+    /// Stamps `frame` with the next global dirty sequence and files it
+    /// in its shard's dirty set (the unsharded `push_back`).
+    fn dirty_insert(&mut self, frame: u32) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.frame_seq[frame as usize] = seq;
+        let s = self.shard_of(self.frames[frame as usize].key);
+        self.dirty_shards[s].insert(seq, frame);
+    }
+
+    fn dirty_remove(&mut self, frame: u32) {
+        let s = self.shard_of(self.frames[frame as usize].key);
+        self.dirty_shards[s].remove(&self.frame_seq[frame as usize]);
+    }
+
+    /// Dirty frames merged across shards in ascending sequence order —
+    /// the exact oldest-first age list an unsharded cache keeps.
+    fn merged_dirty(&self) -> Vec<u32> {
+        let mut pairs: Vec<(u64, u32)> =
+            self.dirty_shards.iter().flat_map(|s| s.iter().map(|(&seq, &f)| (seq, f))).collect();
+        pairs.sort_unstable_by_key(|&(seq, _)| seq);
+        pairs.into_iter().map(|(_, f)| f).collect()
+    }
+
+    /// Number of shards the key-indexed tables are partitioned into.
+    pub fn shards(&self) -> usize {
+        self.maps.len()
     }
 
     /// Engine configuration.
@@ -273,12 +375,12 @@ impl BlockCache {
 
     /// Dirty block count (excludes in-flight flushes).
     pub fn dirty_count(&self) -> usize {
-        self.dirty_age.len()
+        self.dirty_blocks as usize
     }
 
     /// Total blocks resident.
     pub fn resident(&self) -> usize {
-        self.map.len()
+        self.maps.iter().map(|m| m.len()).sum()
     }
 
     /// NVRAM occupancy in blocks (dirty + flushing).
@@ -297,7 +399,7 @@ impl BlockCache {
 
     /// Looks a block up; a hit refreshes recency and returns the frame.
     pub fn lookup(&mut self, key: BlockKey, now: SimTime) -> Option<u32> {
-        match self.map.get(&key).copied() {
+        match self.map_get(key) {
             Some(frame) => {
                 self.stats.hits += 1;
                 self.record_access(frame, now);
@@ -320,7 +422,7 @@ impl BlockCache {
 
     /// Peeks without stats or recency updates.
     pub fn peek(&self, key: BlockKey) -> Option<u32> {
-        self.map.get(&key).copied()
+        self.map_get(key)
     }
 
     /// Returns the block bytes of a resident frame (None if simulated).
@@ -345,7 +447,7 @@ impl BlockCache {
 
     /// The state of a resident block.
     pub fn state_of(&self, key: BlockKey) -> Option<BlockState> {
-        self.map.get(&key).map(|&f| self.frames[f as usize].state)
+        self.map_get(key).map(|f| self.frames[f as usize].state)
     }
 
     /// Reserves a frame for a new block.
@@ -358,12 +460,13 @@ impl BlockCache {
         }
         if let Some(victim) = self.clean.take_victim() {
             let key = self.frames[victim as usize].key;
-            self.map.remove(&key);
+            self.map_remove(key);
             self.stats.evictions += 1;
             return Reserve::Frame(victim);
         }
         self.stats.alloc_stalls += 1;
-        let q = QueryView { frames: &self.frames, dirty_age: &self.dirty_age };
+        let merged = self.merged_dirty();
+        let q = QueryView { frames: &self.frames, merged };
         let picks = self.flush_policy.on_demand(&q);
         Reserve::NeedFlush(picks)
     }
@@ -377,7 +480,7 @@ impl BlockCache {
     ///
     /// Panics if `key` is already resident.
     pub fn commit(&mut self, frame: u32, key: BlockKey, data: Option<Vec<u8>>, now: SimTime) {
-        assert!(!self.map.contains_key(&key), "block {key} already resident");
+        assert!(self.map_get(key).is_none(), "block {key} already resident");
         self.frames[frame as usize] = Frame {
             key,
             state: BlockState::Clean,
@@ -387,7 +490,7 @@ impl BlockCache {
             redirtied: false,
             owner: UNATTRIBUTED,
         };
-        self.map.insert(key, frame);
+        self.map_insert(key, frame);
         self.stats.insertions += 1;
         self.record_access(frame, now);
         self.clean.insert(frame, AccessMeta { now, count: 1, history: &[now] });
@@ -403,7 +506,7 @@ impl BlockCache {
     /// retries and internal metadata writes must not steal attribution
     /// from the client whose data the block carries).
     pub fn mark_dirty(&mut self, key: BlockKey, now: SimTime) -> DirtyOutcome {
-        let frame = *self.map.get(&key).expect("mark_dirty on non-resident block");
+        let frame = self.map_get(key).expect("mark_dirty on non-resident block");
         match self.frames[frame as usize].state {
             BlockState::Dirty { .. } => {
                 self.stats.overwrites += 1;
@@ -419,13 +522,14 @@ impl BlockCache {
             BlockState::Clean => {
                 if self.nvram_used >= self.cfg.nvram_blocks() {
                     self.stats.nvram_stalls += 1;
-                    let q = QueryView { frames: &self.frames, dirty_age: &self.dirty_age };
+                    let merged = self.merged_dirty();
+                    let q = QueryView { frames: &self.frames, merged };
                     let picks = self.flush_policy.on_nvram_full(&q);
                     return DirtyOutcome::NeedFlush(picks);
                 }
                 self.clean.remove(frame);
                 self.frames[frame as usize].state = BlockState::Dirty { since: now };
-                self.dirty_age.push_back(frame);
+                self.dirty_insert(frame);
                 self.dirty_blocks += 1;
                 self.nvram_used += 1;
                 self.stats.dirtied += 1;
@@ -440,7 +544,7 @@ impl BlockCache {
     pub fn mark_dirty_for(&mut self, key: BlockKey, now: SimTime, owner: u32) -> DirtyOutcome {
         let outcome = self.mark_dirty(key, now);
         if outcome == DirtyOutcome::Ok {
-            if let Some(&frame) = self.map.get(&key) {
+            if let Some(frame) = self.map_get(key) {
                 self.frames[frame as usize].owner = owner;
             }
         }
@@ -460,13 +564,13 @@ impl BlockCache {
     pub fn begin_flush(&mut self, keys: &[BlockKey]) -> Vec<BlockKey> {
         let mut out = Vec::with_capacity(keys.len());
         for &key in keys {
-            let Some(&frame) = self.map.get(&key) else { continue };
+            let Some(frame) = self.map_get(key) else { continue };
             let BlockState::Dirty { since } = self.frames[frame as usize].state else {
                 continue;
             };
             self.frames[frame as usize].state = BlockState::Flushing { since };
             self.frames[frame as usize].redirtied = false;
-            self.dirty_age.remove(frame);
+            self.dirty_remove(frame);
             self.dirty_blocks -= 1;
             self.stats.flushes += 1;
             *self.flushed_by_owner.entry(self.frames[frame as usize].owner).or_insert(0) += 1;
@@ -478,13 +582,15 @@ impl BlockCache {
     /// Completes a flush: the block becomes clean (or returns to the
     /// dirty list if it was re-dirtied mid-flight).
     pub fn end_flush(&mut self, key: BlockKey, now: SimTime) {
-        let Some(&frame) = self.map.get(&key) else { return };
+        let Some(frame) = self.map_get(key) else { return };
         let f = &mut self.frames[frame as usize];
         let BlockState::Flushing { .. } = f.state else { return };
         if f.redirtied {
             f.redirtied = false;
             f.state = BlockState::Dirty { since: now };
-            self.dirty_age.push_back(frame);
+            // A fresh sequence stamp: the re-dirtied block rejoins the
+            // age order at the tail, exactly like the old `push_back`.
+            self.dirty_insert(frame);
             self.dirty_blocks += 1;
             // NVRAM stays charged: the block is still dirty.
             return;
@@ -497,7 +603,7 @@ impl BlockCache {
 
     /// Drops one block (truncate); dirty blocks count as absorbed writes.
     pub fn remove_block(&mut self, key: BlockKey) {
-        let Some(frame) = self.map.remove(&key) else { return };
+        let Some(frame) = self.map_remove(key) else { return };
         self.drop_frame(frame);
     }
 
@@ -507,12 +613,13 @@ impl BlockCache {
     /// that a block is overwritten through truncate and delete calls in
     /// memory rather than on disk." (§1)
     pub fn remove_file(&mut self, file: FileId) -> u64 {
-        // Sorted: `map` is a HashMap, and the removal order decides the
-        // order frames return to the free list — which decides where
+        // Sorted: the shards are HashMaps, and the removal order decides
+        // the order frames return to the free list — which decides where
         // later blocks land and what index-sweeping replacement
         // policies evict. Persistence paths must not inherit hasher
         // state (two seeded runs must produce byte-identical platters).
-        let mut keys: Vec<BlockKey> = self.map.keys().filter(|k| k.file == file).copied().collect();
+        let mut keys: Vec<BlockKey> =
+            self.maps.iter().flat_map(|m| m.keys().filter(|k| k.file == file).copied()).collect();
         keys.sort_unstable();
         let mut absorbed = 0;
         for key in keys {
@@ -531,7 +638,7 @@ impl BlockCache {
                 self.clean.remove(frame);
             }
             BlockState::Dirty { .. } => {
-                self.dirty_age.remove(frame);
+                self.dirty_remove(frame);
                 self.dirty_blocks -= 1;
                 self.nvram_used -= 1;
                 self.stats.absorbed += 1;
@@ -550,13 +657,14 @@ impl BlockCache {
 
     /// Runs the flush policy's periodic scan; returns blocks to flush.
     pub fn tick(&mut self, now: SimTime) -> Vec<BlockKey> {
-        let q = QueryView { frames: &self.frames, dirty_age: &self.dirty_age };
+        let merged = self.merged_dirty();
+        let q = QueryView { frames: &self.frames, merged };
         self.flush_policy.on_tick(&q, now)
     }
 
     /// All dirty block keys, oldest first (for sync/unmount).
     pub fn all_dirty(&self) -> Vec<BlockKey> {
-        self.dirty_age.iter().map(|f| self.frames[f as usize].key).collect()
+        self.merged_dirty().into_iter().map(|f| self.frames[f as usize].key).collect()
     }
 
     /// Snapshot of every dirty or in-flush block with its bytes, in
@@ -565,8 +673,9 @@ impl BlockCache {
     /// included because their writes may not have retired yet.
     pub fn dirty_snapshot(&self) -> Vec<(BlockKey, Option<Vec<u8>>)> {
         let mut out: Vec<(BlockKey, Option<Vec<u8>>)> = self
-            .map
+            .maps
             .iter()
+            .flat_map(|m| m.iter())
             .filter_map(|(&key, &frame)| {
                 let f = &self.frames[frame as usize];
                 match f.state {
@@ -583,7 +692,8 @@ impl BlockCache {
 
     /// Dirty blocks of one file, oldest first.
     pub fn dirty_of_file(&self, file: FileId) -> Vec<BlockKey> {
-        let q = QueryView { frames: &self.frames, dirty_age: &self.dirty_age };
+        let merged = self.merged_dirty();
+        let q = QueryView { frames: &self.frames, merged };
         q.dirty_of_file(file)
     }
 }
@@ -815,6 +925,60 @@ mod tests {
         assert_eq!(c.mark_dirty_for(key(1, 0), t(8), 9), DirtyOutcome::Ok);
         c.begin_flush(&[key(1, 0)]);
         assert_eq!(c.flushes_by_client(), vec![(3, 2), (5, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn sharded_cache_matches_unsharded_selection() {
+        // Drive an identical dirty/flush/redirty/absorb script through an
+        // unsharded cache and 4- and 16-shard caches: the age list, the
+        // demand-flush picks, and every counter must be byte-identical —
+        // the global dirty sequence makes shard merge order equal the
+        // unsharded oldest-first order by construction.
+        let run = |shards: usize| {
+            let cfg =
+                CacheConfig { block_size: 4096, mem_bytes: 16 * 4096, nvram_bytes: Some(6 * 4096) };
+            let n = cfg.frames();
+            let mut c = BlockCache::with_shards(
+                cfg,
+                Box::new(Lru::new(n)),
+                Box::new(WriteSaving::default()),
+                shards,
+            );
+            let mut log: Vec<String> = Vec::new();
+            for i in 0..12u64 {
+                let k = key(i % 5, i / 5);
+                if c.peek(k).is_none() {
+                    insert(&mut c, k, t(i));
+                }
+                match c.mark_dirty(k, t(i + 100)) {
+                    DirtyOutcome::Ok => {}
+                    DirtyOutcome::NeedFlush(picks) => {
+                        log.push(format!("stall {picks:?}"));
+                        let started = c.begin_flush(&picks);
+                        // Redirty one mid-flight to exercise the re-stamp.
+                        if let Some(&first) = started.first() {
+                            c.mark_dirty(first, t(i + 101));
+                        }
+                        for fk in started {
+                            c.end_flush(fk, t(i + 102));
+                        }
+                        c.mark_dirty(k, t(i + 103));
+                    }
+                }
+            }
+            log.push(format!("age {:?}", c.all_dirty()));
+            log.push(format!("absorbed {}", c.remove_file(FileId(2))));
+            log.push(format!("age2 {:?}", c.all_dirty()));
+            let s = c.stats();
+            log.push(format!(
+                "dirtied {} overwrites {} flushes {} stalls {}",
+                s.dirtied, s.overwrites, s.flushes, s.nvram_stalls
+            ));
+            log
+        };
+        let base = run(1);
+        assert_eq!(run(4), base, "4-shard cache diverged from unsharded");
+        assert_eq!(run(16), base, "16-shard cache diverged from unsharded");
     }
 
     #[test]

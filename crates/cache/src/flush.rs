@@ -14,6 +14,8 @@
 //!   (partial-file) or every dirty block of the oldest block's file
 //!   (whole-file).
 
+use std::collections::{HashMap, HashSet};
+
 use cnp_sim::{SimDuration, SimTime};
 
 use crate::key::{BlockKey, FileId};
@@ -40,6 +42,24 @@ pub trait CacheQuery {
         } else {
             Some((k, t))
         }
+    }
+
+    /// Every dirty block, oldest first, with its dirty-since stamp.
+    ///
+    /// Selection loops walk this snapshot once instead of re-querying
+    /// `oldest_dirty_excluding` per group — at fleet scale (tens of
+    /// thousands of dirty blocks at unmount) the repeated exclusion
+    /// scan is quadratic and dominates wall clock. The default derives
+    /// the list from the exclusion walk (fine for small mocks); engines
+    /// with an age list override it with a single walk.
+    fn dirty_oldest_first(&self) -> Vec<(BlockKey, SimTime)> {
+        let mut keys: Vec<BlockKey> = Vec::new();
+        let mut out = Vec::new();
+        while let Some((k, t)) = self.oldest_dirty_excluding(&keys) {
+            keys.push(k);
+            out.push((k, t));
+        }
+        out
     }
 }
 
@@ -82,20 +102,36 @@ fn oldest_selection(q: &dyn CacheQuery, whole_file: bool) -> Vec<BlockKey> {
 /// go, so a stalled writer pays one flush round-trip instead of
 /// `batch` of them.
 fn batched_selection(q: &dyn CacheQuery, whole_file: bool, batch: usize) -> Vec<BlockKey> {
+    // One age-ordered snapshot, walked once: the oldest not-yet-taken
+    // block starts each group, exactly as the exclusion loop picked it.
+    // The hash structures are membership-only (iteration order never
+    // feeds the output), so determinism rests on the snapshot order.
+    let age = q.dirty_oldest_first();
+    let mut by_file: HashMap<FileId, Vec<BlockKey>> = HashMap::new();
+    if whole_file {
+        for &(k, _) in &age {
+            by_file.entry(k.file).or_default().push(k);
+        }
+    }
     let mut out: Vec<BlockKey> = Vec::new();
-    for _ in 0..batch.max(1) {
-        let Some((key, _since)) = q.oldest_dirty_excluding(&out) else { break };
+    let mut taken: HashSet<BlockKey> = HashSet::new();
+    let mut groups = 0;
+    for &(key, _since) in &age {
+        if groups >= batch.max(1) {
+            break;
+        }
+        if taken.contains(&key) {
+            continue;
+        }
+        groups += 1;
         if whole_file {
-            let before = out.len();
-            for k in q.dirty_of_file(key.file) {
-                if !out.contains(&k) {
+            for &k in &by_file[&key.file] {
+                if taken.insert(k) {
                     out.push(k);
                 }
             }
-            if out.len() == before {
-                out.push(key);
-            }
         } else {
+            taken.insert(key);
             out.push(key);
         }
     }
@@ -134,30 +170,37 @@ impl FlushPolicy for PeriodicUpdate {
     }
 
     fn on_tick(&mut self, q: &dyn CacheQuery, now: SimTime) -> Vec<BlockKey> {
+        // Flush the file of every dirty block that exceeded max_age:
+        // one walk of the age-ordered snapshot, collecting file groups
+        // in oldest-block order (a whole-file group may pull in younger
+        // blocks of the same file; they are then skipped when the walk
+        // reaches them). The break is sound because the walk is oldest
+        // first. Membership is hash-based but never iterated, so the
+        // output order is the snapshot's.
+        let age = q.dirty_oldest_first();
+        let mut by_file: HashMap<FileId, Vec<BlockKey>> = HashMap::new();
+        if self.whole_file {
+            for &(k, _) in &age {
+                by_file.entry(k.file).or_default().push(k);
+            }
+        }
         let mut out = Vec::new();
-        // Flush the file of every dirty block that exceeded max_age.
-        // Walk by repeatedly consulting the oldest entry, collecting file
-        // groups (the query reflects pre-flush state, so guard against
-        // re-collecting the same file).
-        let mut seen_files = Vec::new();
-        while let Some((key, since)) = q.oldest_dirty_excluding(&out) {
+        let mut taken: HashSet<BlockKey> = HashSet::new();
+        for &(key, since) in &age {
+            if taken.contains(&key) {
+                continue;
+            }
             if now.saturating_since(since) < self.max_age {
                 break;
             }
-            if seen_files.contains(&key.file) {
-                // Same file still oldest: flush the lone block to make
-                // progress (shouldn't happen — dirty_of_file collects all).
-                out.push(key);
-                continue;
-            }
-            seen_files.push(key.file);
             if self.whole_file {
-                for k in q.dirty_of_file(key.file) {
-                    if !out.contains(&k) {
+                for &k in &by_file[&key.file] {
+                    if taken.insert(k) {
                         out.push(k);
                     }
                 }
             } else {
+                taken.insert(key);
                 out.push(key);
             }
         }

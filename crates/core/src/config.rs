@@ -58,6 +58,17 @@ pub struct FsConfig {
     /// Resident-block cap for multimedia files (their derived cache
     /// policy keeps them from flooding the cache, §2).
     pub mm_resident_cap: u64,
+    /// Lock/table shard count for the engine's interior concurrency
+    /// structures: the namespace lock (striped by parent directory
+    /// inode), the inode table, the block in-flight table, the layout
+    /// extent-range locks, and the cache's key-indexed structures.
+    /// `1` (the default) is the unsharded legacy configuration and
+    /// replays pre-sharding runs exactly; raising it lets independent
+    /// clients' operations proceed past each other. Single-client
+    /// seeded runs are byte-identical at every shard count (enforced
+    /// by proptest): shard routing partitions structures, it never
+    /// reorders decisions.
+    pub shards: u32,
     /// Test-only: reintroduce the pre-fix stale-size write ordering
     /// (size extended only *after* all blocks are dirtied, so a
     /// mid-write flush persists a stale size and the acked tail is
@@ -80,6 +91,7 @@ impl Default for FsConfig {
             op_overhead: SimDuration::from_micros(100),
             mm_prefetch: 8,
             mm_resident_cap: 64,
+            shards: 1,
             plant_stale_size_bug: false,
         }
     }

@@ -10,9 +10,10 @@
 
 // RefMut-across-await in this module is deliberate: the engine runs on
 // the cnp-sim executor, which is strictly single-threaded and
-// cooperative, and every such borrow sits under the layout's SimMutex,
-// so no other task can reach the RefCell while the borrow is live.
-// Scoped to this module so new cnp-core code elsewhere keeps the lint.
+// cooperative, and every such borrow sits under the layout's core
+// mutex, so no other task can reach the RefCell while the borrow is
+// live. Scoped to this module so new cnp-core code elsewhere keeps the
+// lint.
 #![allow(clippy::await_holding_refcell_ref)]
 
 use std::cell::{Cell, RefCell};
@@ -28,11 +29,12 @@ use cnp_layout::{
     BlockAddr, FileKind, Ino, Inode, Layout, LayoutError, LayoutStats, StorageLayout, BLOCK_SIZE,
     MAX_FILE_BLOCKS,
 };
-use cnp_sim::{channel, Event, Handle, Receiver, Sender, SimMutex};
+use cnp_sim::{channel, Event, Handle, LockStats, Receiver, Sender, ShardedMutex, TrackedMutex};
 
 use crate::config::{DataMode, FlushMode, FsConfig};
 use crate::error::{FsError, FsResult};
 use crate::history::{HistOp, HistOutcome, HistoryEvent, HistoryLog};
+use crate::shard::ShardedTable;
 
 /// Engine-level counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -86,10 +88,24 @@ struct Shared {
     handle: Handle,
     cfg: FsConfig,
     cache: RefCell<BlockCache>,
-    layout: SimMutex<Layout>,
+    /// The layout core lock: held across *individual* layout calls on
+    /// the hot paths (mapping, allocation, one flush's write batch) and
+    /// across whole operations only on the cold control paths (format,
+    /// mount, recover, sync, unmount). The LFS cleaner runs inside a
+    /// `write_file_blocks` call and therefore holds this lock for its
+    /// duration — the deliberate "global lock only for
+    /// format/recover/cleaner" residue.
+    layout: TrackedMutex<Layout>,
+    /// Per-extent-range locks (striped by owning inode): serialize
+    /// mutating extent sequences — allocation + inode persist, flush
+    /// write-back, truncate, free — on the same file against each
+    /// other, so the core lock above no longer has to be held across
+    /// multi-call sequences. Cold paths take every stripe (ascending,
+    /// the family's deadlock-free order) before the core lock.
+    layout_ranges: ShardedMutex<()>,
     io: cnp_layout::BlockIo,
     driver: DiskDriver,
-    inodes: RefCell<HashMap<Ino, Rc<RefCell<Inode>>>>,
+    inodes: ShardedTable<Ino, Rc<RefCell<Inode>>>,
     /// Per-inode count of completed size-relevant ops (writes,
     /// truncates). A failed write's speculative size extension may only
     /// roll back if nothing else completed in between — otherwise the
@@ -97,11 +113,16 @@ struct Shared {
     /// the same end.
     write_gen: RefCell<HashMap<Ino, u64>>,
     open_counts: RefCell<HashMap<Ino, u32>>,
-    inflight: RefCell<HashMap<BlockKey, Event>>,
+    inflight: ShardedTable<BlockKey, Event>,
     /// Per-block failed-flush counts (bounded retry bookkeeping).
     flush_retry: RefCell<HashMap<BlockKey, u8>>,
-    /// Serializes directory read-modify-write sequences.
-    ns_lock: SimMutex<()>,
+    /// Serializes directory read-modify-write sequences, striped by the
+    /// *parent directory* inode: clients mutating distinct directories
+    /// (each sweep client owns its `/w<c>` shard) proceed past each
+    /// other; two mutations of one directory still exclude. `rename`
+    /// and `rmdir` need two directories and take `lock_pair`
+    /// (ascending stripe order — deadlock-free).
+    ns_lock: ShardedMutex<()>,
     flush_tx: RefCell<Option<Sender<Vec<BlockKey>>>>,
     flush_done: Event,
     shutdown: Cell<bool>,
@@ -133,7 +154,8 @@ impl FileSystem {
         // them as a concurrent scatter-gather batch.
         let flush = flush_by_name_batched(&cfg.flush, cfg.queue_depth as usize)
             .unwrap_or_else(|| panic!("unknown flush policy {}", cfg.flush));
-        let cache = BlockCache::new(cfg.cache.clone(), replacement, flush);
+        let shards = cfg.shards.max(1);
+        let cache = BlockCache::with_shards(cfg.cache.clone(), replacement, flush, shards as usize);
         let driver = layout.driver().clone();
         // One knob drives the whole pipeline: the engine fans multi-block
         // operations out in windows of `queue_depth`, which builds the
@@ -149,15 +171,16 @@ impl FileSystem {
             handle: handle.clone(),
             cfg,
             cache: RefCell::new(cache),
-            layout: SimMutex::new(handle, layout),
+            layout: TrackedMutex::new(handle, layout),
+            layout_ranges: ShardedMutex::new(handle, shards as usize, |_| ()),
             io,
             driver,
-            inodes: RefCell::new(HashMap::new()),
+            inodes: ShardedTable::new(shards),
             write_gen: RefCell::new(HashMap::new()),
             open_counts: RefCell::new(HashMap::new()),
-            inflight: RefCell::new(HashMap::new()),
+            inflight: ShardedTable::new(shards),
             flush_retry: RefCell::new(HashMap::new()),
-            ns_lock: SimMutex::new(handle, ()),
+            ns_lock: ShardedMutex::new(handle, shards as usize, |_| ()),
             flush_tx: RefCell::new(None),
             flush_done: Event::new(handle),
             shutdown: Cell::new(false),
@@ -233,6 +256,24 @@ impl FileSystem {
         self.s.driver.stats()
     }
 
+    /// Per-lock contention counters, by lock family: `ns` (namespace
+    /// stripes, merged), `layout` (the core layout lock), and
+    /// `layout-range` (extent-range stripes, merged). Wait time is
+    /// simulated time tasks spent blocked acquiring; hold time is
+    /// simulated time the lock was held.
+    pub fn lock_stats(&self) -> Vec<(&'static str, LockStats)> {
+        vec![
+            ("ns", self.s.ns_lock.stats()),
+            ("layout", self.s.layout.stats()),
+            ("layout-range", self.s.layout_ranges.stats()),
+        ]
+    }
+
+    /// Configured shard count for the interior locks and tables.
+    pub fn shards(&self) -> u32 {
+        self.s.cfg.shards.max(1)
+    }
+
     /// Blocks handed to the flusher per dirtying client, ordered by
     /// client id. Engine-internal traffic (directories, symlink targets)
     /// and unattributed writes appear as [`cnp_cache::UNATTRIBUTED`].
@@ -270,6 +311,7 @@ impl FileSystem {
 
     /// Formats the underlying layout (mkfs) and writes an empty root.
     pub async fn format(&self) -> FsResult<()> {
+        let _all = self.s.layout_ranges.lock_all().await;
         let g = self.s.layout.lock().await;
         g.get_mut().format().await?;
         Ok(())
@@ -277,6 +319,7 @@ impl FileSystem {
 
     /// Mounts an existing file system.
     pub async fn mount(&self) -> FsResult<()> {
+        let _all = self.s.layout_ranges.lock_all().await;
         let g = self.s.layout.lock().await;
         g.get_mut().mount().await?;
         Ok(())
@@ -285,6 +328,7 @@ impl FileSystem {
     /// Mounts after a crash, running the layout's recovery path (LFS
     /// checkpoint + roll-forward, FFS bitmap rebuild).
     pub async fn recover(&self) -> FsResult<cnp_layout::RecoveryStats> {
+        let _all = self.s.layout_ranges.lock_all().await;
         let g = self.s.layout.lock().await;
         let stats = g.get_mut().recover().await?;
         Ok(stats)
@@ -310,10 +354,11 @@ impl FileSystem {
             blocks.push((key.file.0, key.block, data));
         }
         files.sort_unstable();
-        let inodes = self.s.inodes.borrow();
         let sizes = files
             .into_iter()
-            .filter_map(|ino| inodes.get(&Ino(ino)).map(|rc| (ino, rc.borrow().size)))
+            .filter_map(|ino| {
+                self.s.inodes.shard(ino).get(&Ino(ino)).map(|rc| (ino, rc.borrow().size))
+            })
             .collect();
         NvramSnapshot { blocks, sizes }
     }
@@ -347,6 +392,7 @@ impl FileSystem {
             inode.size = size;
         }
         let copy = rc.borrow().clone();
+        let _rg = self.s.layout_ranges.lock(ino.0).await;
         let g = self.s.layout.lock().await;
         g.get_mut().put_inode(&copy).await?;
         Ok(())
@@ -360,17 +406,15 @@ impl FileSystem {
             self.s.flush_done.signal();
         }
         // Persist in-memory inodes (sizes may be newer than last flush).
-        // Sorted: HashMap iteration order varies between instances, and
-        // the put order shapes the LFS log — replays must not depend on
-        // hasher state.
-        let mut inos: Vec<Ino> = self.s.inodes.borrow().keys().copied().collect();
+        // Sorted: HashMap iteration order varies between instances (and
+        // shard walk order groups by shard), and the put order shapes
+        // the LFS log — replays must not depend on hasher state.
+        let mut inos: Vec<Ino> = self.s.inodes.keys();
         inos.sort_unstable();
+        let _all = self.s.layout_ranges.lock_all().await;
         let g = self.s.layout.lock().await;
         for ino in inos {
-            let inode = {
-                let t = self.s.inodes.borrow();
-                t.get(&ino).map(|rc| rc.borrow().clone())
-            };
+            let inode = self.s.inodes.shard(ino.0).get(&ino).map(|rc| rc.borrow().clone());
             if let Some(inode) = inode {
                 match g.get_mut().put_inode(&inode).await {
                     Ok(()) | Err(LayoutError::BadInode(_)) => {}
@@ -385,6 +429,7 @@ impl FileSystem {
     /// Syncs and unmounts.
     pub async fn unmount(&self) -> FsResult<()> {
         self.sync().await?;
+        let _all = self.s.layout_ranges.lock_all().await;
         let g = self.s.layout.lock().await;
         g.get_mut().unmount().await?;
         Ok(())
@@ -405,8 +450,13 @@ impl FileSystem {
         if kind == FileKind::Directory {
             return self.mkdir_inner(path).await;
         }
-        let _ns = self.s.ns_lock.lock().await;
+        // Resolve before locking: the stripe key is the parent
+        // directory's inode. The entries re-read below happens under
+        // the stripe, so the read-modify-write stays atomic per
+        // directory; a racing remove of the parent surfaces as a clean
+        // BadInode/NotFound.
         let (dir_ino, name) = self.resolve_parent(path).await?;
+        let _ns = self.s.ns_lock.lock(dir_ino.0).await;
         let mut entries = self.read_dir_entries(dir_ino).await?;
         if dir::find(&entries, &name).is_some() {
             return Err(FsError::Exists(path.to_string()));
@@ -418,8 +468,9 @@ impl FileSystem {
             inode
         };
         let ino = inode.ino;
-        self.s.inodes.borrow_mut().insert(ino, Rc::new(RefCell::new(inode.clone())));
+        self.s.inodes.shard_mut(ino.0).insert(ino, Rc::new(RefCell::new(inode.clone())));
         {
+            let _rg = self.s.layout_ranges.lock(ino.0).await;
             let g = self.s.layout.lock().await;
             g.get_mut().put_inode(&inode).await?;
         }
@@ -436,8 +487,8 @@ impl FileSystem {
     }
 
     async fn mkdir_inner(&self, path: &str) -> FsResult<Ino> {
-        let _ns = self.s.ns_lock.lock().await;
         let (dir_ino, name) = self.resolve_parent(path).await?;
+        let _ns = self.s.ns_lock.lock(dir_ino.0).await;
         let mut entries = self.read_dir_entries(dir_ino).await?;
         if dir::find(&entries, &name).is_some() {
             return Err(FsError::Exists(path.to_string()));
@@ -450,7 +501,7 @@ impl FileSystem {
             inode
         };
         let ino = inode.ino;
-        self.s.inodes.borrow_mut().insert(ino, Rc::new(RefCell::new(inode)));
+        self.s.inodes.shard_mut(ino.0).insert(ino, Rc::new(RefCell::new(inode)));
         dir::add_entry(&mut entries, Dirent { ino, kind: FileKind::Directory, name })
             .map_err(FsError::BadPath)?;
         self.write_dir_entries(dir_ino, &entries).await?;
@@ -673,6 +724,7 @@ impl FileSystem {
             self.s.cache.borrow_mut().remove_block(BlockKey::new(FileId(ino.0), blk));
         }
         {
+            let _rg = self.s.layout_ranges.lock(ino.0).await;
             let g = self.s.layout.lock().await;
             let mut copy = rc.borrow().clone();
             g.get_mut().truncate(&mut copy, new_blocks).await?;
@@ -689,8 +741,8 @@ impl FileSystem {
     pub async fn unlink(&self, path: &str) -> FsResult<()> {
         self.op_begin().await;
         self.s.stats.borrow_mut().deletes += 1;
-        let _ns = self.s.ns_lock.lock().await;
         let (dir_ino, name) = self.resolve_parent(path).await?;
+        let _ns = self.s.ns_lock.lock(dir_ino.0).await;
         let mut entries = self.read_dir_entries(dir_ino).await?;
         let entry = dir::remove_entry(&mut entries, &name)
             .ok_or_else(|| FsError::NotFound(path.to_string()))?;
@@ -700,8 +752,9 @@ impl FileSystem {
         self.write_dir_entries(dir_ino, &entries).await?;
         let absorbed = self.s.cache.borrow_mut().remove_file(FileId(entry.ino.0));
         self.s.stats.borrow_mut().absorbed_blocks += absorbed;
-        self.s.inodes.borrow_mut().remove(&entry.ino);
+        self.s.inodes.shard_mut(entry.ino.0).remove(&entry.ino);
         self.s.write_gen.borrow_mut().remove(&entry.ino);
+        let _rg = self.s.layout_ranges.lock(entry.ino.0).await;
         let g = self.s.layout.lock().await;
         g.get_mut().free_inode(entry.ino).await?;
         Ok(())
@@ -711,33 +764,52 @@ impl FileSystem {
     pub async fn rmdir(&self, path: &str) -> FsResult<()> {
         self.op_begin().await;
         self.s.stats.borrow_mut().deletes += 1;
-        let _ns = self.s.ns_lock.lock().await;
         let (dir_ino, name) = self.resolve_parent(path).await?;
-        let mut entries = self.read_dir_entries(dir_ino).await?;
-        let entry =
-            dir::find(&entries, &name).ok_or_else(|| FsError::NotFound(path.to_string()))?.clone();
-        if entry.kind != FileKind::Directory {
-            return Err(FsError::NotADirectory(path.to_string()));
+        // The victim's stripe must be held too: its emptiness check has
+        // to exclude a concurrent create *inside* the victim, which
+        // holds only the victim's stripe. The victim ino is discovered
+        // by an unlocked probe, then both stripes are taken in the
+        // family's deadlock-free order and the lookup revalidated.
+        loop {
+            let probe = {
+                let entries = self.read_dir_entries(dir_ino).await?;
+                dir::find(&entries, &name).cloned()
+            };
+            let victim = probe.ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            let _ns = self.s.ns_lock.lock_pair(dir_ino.0, victim.ino.0).await;
+            let mut entries = self.read_dir_entries(dir_ino).await?;
+            let entry = dir::find(&entries, &name)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?
+                .clone();
+            if entry.ino != victim.ino {
+                // Raced: the name now points at a different inode, so
+                // the held victim stripe is the wrong one. Re-probe.
+                continue;
+            }
+            if entry.kind != FileKind::Directory {
+                return Err(FsError::NotADirectory(path.to_string()));
+            }
+            if !self.read_dir_entries(entry.ino).await?.is_empty() {
+                return Err(FsError::NotEmpty(path.to_string()));
+            }
+            dir::remove_entry(&mut entries, &name);
+            self.write_dir_entries(dir_ino, &entries).await?;
+            let absorbed = self.s.cache.borrow_mut().remove_file(FileId(entry.ino.0));
+            self.s.stats.borrow_mut().absorbed_blocks += absorbed;
+            self.s.inodes.shard_mut(entry.ino.0).remove(&entry.ino);
+            let _rg = self.s.layout_ranges.lock(entry.ino.0).await;
+            let g = self.s.layout.lock().await;
+            g.get_mut().free_inode(entry.ino).await?;
+            return Ok(());
         }
-        if !self.read_dir_entries(entry.ino).await?.is_empty() {
-            return Err(FsError::NotEmpty(path.to_string()));
-        }
-        dir::remove_entry(&mut entries, &name);
-        self.write_dir_entries(dir_ino, &entries).await?;
-        let absorbed = self.s.cache.borrow_mut().remove_file(FileId(entry.ino.0));
-        self.s.stats.borrow_mut().absorbed_blocks += absorbed;
-        self.s.inodes.borrow_mut().remove(&entry.ino);
-        let g = self.s.layout.lock().await;
-        g.get_mut().free_inode(entry.ino).await?;
-        Ok(())
     }
 
     /// Renames a file or directory (same-parent and cross-parent).
     pub async fn rename(&self, from: &str, to: &str) -> FsResult<()> {
         self.op_begin().await;
-        let _ns = self.s.ns_lock.lock().await;
         let (from_dir, from_name) = self.resolve_parent(from).await?;
         let (to_dir, to_name) = self.resolve_parent(to).await?;
+        let _ns = self.s.ns_lock.lock_pair(from_dir.0, to_dir.0).await;
         if !dir::valid_name(&to_name) {
             return Err(FsError::BadPath(to.to_string()));
         }
@@ -854,7 +926,7 @@ impl FileSystem {
     }
 
     async fn get_inode_rc(&self, ino: Ino) -> FsResult<Rc<RefCell<Inode>>> {
-        if let Some(rc) = self.s.inodes.borrow().get(&ino) {
+        if let Some(rc) = self.s.inodes.shard(ino.0).get(&ino) {
             return Ok(rc.clone());
         }
         let inode = {
@@ -863,8 +935,8 @@ impl FileSystem {
             inode
         };
         let rc = Rc::new(RefCell::new(inode));
-        self.s.inodes.borrow_mut().entry(ino).or_insert_with(|| rc.clone());
-        Ok(self.s.inodes.borrow().get(&ino).expect("just inserted").clone())
+        let mut shard = self.s.inodes.shard_mut(ino.0);
+        Ok(shard.entry(ino).or_insert_with(|| rc.clone()).clone())
     }
 
     async fn read_dir_entries(&self, ino: Ino) -> FsResult<Vec<Dirent>> {
@@ -1031,16 +1103,16 @@ impl FileSystem {
                     continue;
                 }
             }
-            if self.s.inflight.borrow().contains_key(&key) {
+            if self.s.inflight.shard(key.shard_image()).contains_key(&key) {
                 theirs.push((i as usize, blk));
                 continue;
             }
             let ev = Event::new(&self.s.handle);
-            self.s.inflight.borrow_mut().insert(key, ev.clone());
+            self.s.inflight.shard_mut(key.shard_image()).insert(key, ev.clone());
             match self.reserve_frame().await {
                 Ok(frame) => ours.push((i as usize, blk, frame, ev)),
                 Err(e) => {
-                    self.s.inflight.borrow_mut().remove(&key);
+                    self.s.inflight.shard_mut(key.shard_image()).remove(&key);
                     ev.signal();
                     self.abort_window(ino, &ours);
                     return Err(e);
@@ -1100,7 +1172,7 @@ impl FileSystem {
                         );
                         out[base + slot] = data;
                         filled[slot] = true;
-                        self.s.inflight.borrow_mut().remove(&key);
+                        self.s.inflight.shard_mut(key.shard_image()).remove(&key);
                         ev.signal();
                         addrs[idx] = None; // Done: not a device read.
                     }
@@ -1148,7 +1220,7 @@ impl FileSystem {
                     self.s.cache.borrow_mut().commit(frame, key, data.clone(), self.s.handle.now());
                     out[base + slot] = data;
                     filled[slot] = true;
-                    self.s.inflight.borrow_mut().remove(&key);
+                    self.s.inflight.shard_mut(key.shard_image()).remove(&key);
                     ev.signal();
                 }
             }
@@ -1177,7 +1249,7 @@ impl FileSystem {
                             );
                             out[base + slot] = data;
                             filled[slot] = true;
-                            self.s.inflight.borrow_mut().remove(&key);
+                            self.s.inflight.shard_mut(key.shard_image()).remove(&key);
                             ev.signal();
                         }
                     }
@@ -1204,7 +1276,7 @@ impl FileSystem {
         for (_slot, blk, frame, ev) in entries {
             let key = BlockKey::new(FileId(ino.0), *blk);
             self.s.cache.borrow_mut().release_reserved(*frame);
-            self.s.inflight.borrow_mut().remove(&key);
+            self.s.inflight.shard_mut(key.shard_image()).remove(&key);
             ev.signal();
         }
     }
@@ -1225,15 +1297,15 @@ impl FileSystem {
                 }
             }
             // Miss: dedup concurrent loads of the same block.
-            let waiter = self.s.inflight.borrow().get(&key).cloned();
+            let waiter = self.s.inflight.shard(key.shard_image()).get(&key).cloned();
             if let Some(ev) = waiter {
                 ev.wait().await;
                 continue;
             }
             let ev = Event::new(&self.s.handle);
-            self.s.inflight.borrow_mut().insert(key, ev.clone());
+            self.s.inflight.shard_mut(key.shard_image()).insert(key, ev.clone());
             let result = self.load_block(ino, blk, key).await;
-            self.s.inflight.borrow_mut().remove(&key);
+            self.s.inflight.shard_mut(key.shard_image()).remove(&key);
             ev.signal();
             match result {
                 Ok(data) => {
@@ -1445,6 +1517,11 @@ impl FileSystem {
                 }
             };
             let result = {
+                // The file's extent-range stripe serializes this
+                // write-back against truncate/free of the same file;
+                // the core lock below covers the single layout call
+                // (which may run the cleaner — the global residue).
+                let _rg = self.s.layout_ranges.lock(file).await;
                 let g = self.s.layout.lock().await;
                 let mut copy = rc.borrow().clone();
                 let r = g.get_mut().write_file_blocks(&mut copy, blocks).await;
@@ -1458,7 +1535,7 @@ impl FileSystem {
                 // anything reads through the stale ones.
                 let relocated = g.get_mut().take_relocated();
                 for rino in relocated {
-                    let cached = self.s.inodes.borrow().get(&rino).cloned();
+                    let cached = self.s.inodes.shard(rino.0).get(&rino).cloned();
                     if let Some(rc2) = cached {
                         if let Ok(fresh) = g.get_mut().get_inode(rino).await {
                             let mut inode = rc2.borrow_mut();

@@ -13,6 +13,7 @@ mod config;
 mod error;
 mod fs;
 pub mod history;
+mod shard;
 
 pub use config::{DataMode, FlushMode, FsConfig};
 pub use error::{FsError, FsResult};

@@ -26,10 +26,12 @@ mod structs;
 
 pub use structs::{SegSummary, SegUsage, SumEntry};
 
-use std::collections::{BTreeMap, HashMap};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::rc::Rc;
 
 use cnp_disk::{DiskDriver, Payload};
-use cnp_sim::Handle;
+use cnp_sim::{Event, Handle};
 
 use crate::error::{LResult, LayoutError};
 use crate::inode::{Inode, INODES_PER_BLOCK, INODE_SIZE};
@@ -65,6 +67,18 @@ pub struct LfsParams {
     pub clean_low_water: u32,
     /// Clean until this many segments are free.
     pub clean_high_water: u32,
+    /// Seal segments through a background writer task instead of
+    /// stalling the sealer: `append_block` hands a full segment to the
+    /// writer and returns immediately, so an engine holding its layout
+    /// lock across a seal no longer serializes every client behind one
+    /// media write. Sealed-but-unwritten segments stay part of the
+    /// staging buffer (served by [`StorageLayout::staged_block`],
+    /// exported by [`StorageLayout::staged_image`]) until their writes
+    /// complete, and durability points (`sync`/`flush_staged`/
+    /// checkpoint) drain the queue — the crash-ordering invariant
+    /// (payloads before summary, summaries in log order) is preserved
+    /// because one writer serves the queue in seal order.
+    pub background_seal: bool,
 }
 
 impl Default for LfsParams {
@@ -74,8 +88,84 @@ impl Default for LfsParams {
             cleaner: CleanerPolicy::CostBenefit,
             clean_low_water: 4,
             clean_high_water: 8,
+            background_seal: false,
         }
     }
+}
+
+/// A sealed segment queued for its media write (background-seal mode).
+struct PendingSeal {
+    /// Segment index (excluded from free/victim selection while queued).
+    seg: u32,
+    /// Device address of the summary block (the segment head).
+    start: u64,
+    /// Serialized summary block.
+    summary: Vec<u8>,
+    /// Payload blocks in slot order.
+    payloads: Vec<Payload>,
+}
+
+/// State shared between the layout and its background seal writer.
+struct SealShared {
+    /// Sealed-but-unwritten segments, oldest first.
+    pending: RefCell<VecDeque<PendingSeal>>,
+    /// Signalled when a seal is queued.
+    work: Event,
+    /// Signalled after each attempted media write.
+    done: Event,
+    /// First media-write error; poisons later seals and durability
+    /// points (the failed segment stays queued, so the battery-backed
+    /// staging image still holds its blocks).
+    failed: RefCell<Option<LayoutError>>,
+}
+
+impl SealShared {
+    /// Whether `seg` is sealed but not yet on the media.
+    fn holds(&self, seg: u32) -> bool {
+        self.pending.borrow().iter().any(|p| p.seg == seg)
+    }
+}
+
+/// Spawns the writer task draining `shared.pending` in seal order.
+fn spawn_seal_writer(handle: &Handle, io: BlockIo, shared: Rc<SealShared>) {
+    handle.spawn("lfs:seal-writer", async move {
+        loop {
+            let job = shared
+                .pending
+                .borrow()
+                .front()
+                .map(|p| (p.start, p.summary.clone(), p.payloads.clone()));
+            let Some((start, summary, payloads)) = job else {
+                // Check-then-wait has no await between, so a concurrent
+                // seal cannot slip by unnoticed (cooperative scheduler).
+                shared.work.wait().await;
+                continue;
+            };
+            // Payloads reach the media before the checksummed summary
+            // that describes them — the same crash-ordering invariant as
+            // the synchronous seal.
+            let r: LResult<()> = async {
+                io.write_run(BlockAddr(start + 1), payloads).await?;
+                io.write_block(BlockAddr(start), Payload::Data(summary)).await?;
+                Ok(())
+            }
+            .await;
+            match r {
+                Ok(()) => {
+                    shared.pending.borrow_mut().pop_front();
+                    shared.done.signal();
+                }
+                Err(e) => {
+                    // A dead or cut device takes no retries; leave the
+                    // segment staged and stop (fault campaigns run the
+                    // synchronous seal, so this is a terminal state).
+                    *shared.failed.borrow_mut() = Some(e);
+                    shared.done.signal();
+                    return;
+                }
+            }
+        }
+    });
 }
 
 /// An open (accumulating) packed-inode block in the current segment.
@@ -131,6 +221,8 @@ pub struct LfsLayout {
     /// free (nothing reachable charges them) until pointer patching
     /// claims them.
     protected_segs: std::collections::BTreeSet<u32>,
+    /// Background seal-writer state; `None` in synchronous-seal mode.
+    seal: Option<Rc<SealShared>>,
     stats: LayoutStats,
 }
 
@@ -149,6 +241,16 @@ impl LfsLayout {
         let nsegs = ((blocks - DATA_START) / params.seg_blocks as u64) as u32;
         assert!(nsegs > params.clean_high_water + 2, "disk too small for LFS");
         let sb = SuperBlock { seg_blocks: params.seg_blocks, nsegs, gen: 0 };
+        let seal = params.background_seal.then(|| {
+            let shared = Rc::new(SealShared {
+                pending: RefCell::new(VecDeque::new()),
+                work: Event::new(handle),
+                done: Event::new(handle),
+                failed: RefCell::new(None),
+            });
+            spawn_seal_writer(handle, io.clone(), shared.clone());
+            shared
+        });
         LfsLayout {
             handle: handle.clone(),
             io,
@@ -169,6 +271,7 @@ impl LfsLayout {
             relocated: std::collections::BTreeSet::new(),
             stale_pointers: std::collections::BTreeSet::new(),
             protected_segs: std::collections::BTreeSet::new(),
+            seal,
             stats: LayoutStats::default(),
         }
     }
@@ -183,7 +286,9 @@ impl LfsLayout {
         self.usage
             .iter()
             .enumerate()
-            .filter(|(s, u)| *s as u32 != self.cur.seg && u.live == 0)
+            .filter(|(s, u)| {
+                *s as u32 != self.cur.seg && u.live == 0 && !self.seal_pending(*s as u32)
+            })
             .count() as u32
     }
 
@@ -289,8 +394,28 @@ impl LfsLayout {
         // the battery-backed-staging model (and dead-disk crash capture
         // via `staged_image`) must not lose acked blocks to a seal that
         // died mid-flight — a failed flush retries into place.
-        let run: Vec<Payload> = self.cur.entries.iter().map(|(_, p)| p.clone()).collect();
         let start = self.seg_start(self.cur.seg);
+        if let Some(seal) = self.seal.clone() {
+            // Background seal: queue the whole segment for the writer
+            // task and return without touching the device. The segment
+            // stays staged (and its frames stay readable through
+            // `staged_block`) until the write lands.
+            if let Some(e) = seal.failed.borrow().clone() {
+                return Err(e);
+            }
+            let payloads: Vec<Payload> = self.cur.entries.drain(..).map(|(_, p)| p).collect();
+            seal.pending.borrow_mut().push_back(PendingSeal {
+                seg: self.cur.seg,
+                start,
+                summary: summary_to_block(&summary),
+                payloads,
+            });
+            seal.work.signal();
+            self.stats.segments_written += 1;
+            self.stats.meta_writes += 1; // Summary block.
+            return Ok(());
+        }
+        let run: Vec<Payload> = self.cur.entries.iter().map(|(_, p)| p.clone()).collect();
         // Crash-ordering invariant: payloads reach the media before the
         // checksummed summary that describes them, so a parseable
         // summary certifies the whole segment.
@@ -302,14 +427,40 @@ impl LfsLayout {
         Ok(())
     }
 
+    /// Waits until every background-sealed segment is on the media
+    /// (no-op in synchronous-seal mode).
+    async fn drain_seals(&self) -> LResult<()> {
+        let Some(seal) = &self.seal else { return Ok(()) };
+        loop {
+            if let Some(e) = seal.failed.borrow().clone() {
+                return Err(e);
+            }
+            if seal.pending.borrow().is_empty() {
+                return Ok(());
+            }
+            seal.done.wait().await;
+        }
+    }
+
     /// Exports the staging buffer as the exact device writes that would
     /// seal it — summary first at the segment head, payloads behind —
     /// without touching the device. The dead-disk half of crash
     /// capture: a power-cut disk takes no writes, so the battery-backed
     /// staging segment is applied to the captured image directly.
     fn staged_writes(&self) -> Vec<(BlockAddr, Payload)> {
+        // Sealed-but-unwritten segments are still battery-backed staging:
+        // a dead-disk crash capture must apply them too.
+        let mut queued: Vec<(BlockAddr, Payload)> = Vec::new();
+        if let Some(seal) = &self.seal {
+            for p in seal.pending.borrow().iter() {
+                queued.push((BlockAddr(p.start), Payload::Data(p.summary.clone())));
+                for (i, pl) in p.payloads.iter().enumerate() {
+                    queued.push((BlockAddr(p.start + 1 + i as u64), pl.clone()));
+                }
+            }
+        }
         if self.cur.entries.is_empty() {
-            return Vec::new();
+            return queued;
         }
         let mut entries: Vec<(SumEntry, Payload)> = self.cur.entries.clone();
         if let Some(open) = &self.cur.open_inode {
@@ -322,11 +473,16 @@ impl LfsLayout {
             entries: entries.iter().map(|(e, _)| *e).collect(),
         };
         let start = self.seg_start(self.cur.seg);
-        let mut out = vec![(BlockAddr(start), Payload::Data(summary_to_block(&summary)))];
-        out.extend(
+        queued.push((BlockAddr(start), Payload::Data(summary_to_block(&summary))));
+        queued.extend(
             entries.into_iter().enumerate().map(|(i, (_, p))| (BlockAddr(start + 1 + i as u64), p)),
         );
-        out
+        queued
+    }
+
+    /// Whether `seg` is sealed but still queued for its media write.
+    fn seal_pending(&self, seg: u32) -> bool {
+        self.seal.as_ref().is_some_and(|s| s.holds(seg))
     }
 
     fn pick_free_segment(&self) -> LResult<u32> {
@@ -336,6 +492,7 @@ impl LfsLayout {
             if s != self.cur.seg
                 && self.usage[s as usize].live == 0
                 && !self.protected_segs.contains(&s)
+                && !self.seal_pending(s)
             {
                 return Ok(s);
             }
@@ -390,7 +547,9 @@ impl LfsLayout {
         let mut best: Option<(f64, u32)> = None;
         for (s, u) in self.usage.iter().enumerate() {
             let s = s as u32;
-            if s == self.cur.seg || u.live == 0 {
+            // A sealed-but-unwritten segment cannot be cleaned: its
+            // bytes are not on the media yet.
+            if s == self.cur.seg || u.live == 0 || self.seal_pending(s) {
                 continue;
             }
             // Never clean a segment holding live checkpoint metadata: the
@@ -516,6 +675,18 @@ impl LfsLayout {
         if let Some(t) = self.indirect.get(&addr.0) {
             return Ok(t.clone());
         }
+        // A staged indirect block (unflushed segment, or queued at the
+        // background seal writer) is not on the media yet.
+        if let Some(p) = self.staged_block(addr) {
+            let bytes =
+                p.bytes().ok_or_else(|| LayoutError::Corrupt("staged indirect lost".into()))?;
+            let mut table = Vec::with_capacity(NINDIRECT);
+            for i in 0..NINDIRECT {
+                table.push(crate::types::codec::get_u64(bytes, i * 8));
+            }
+            self.cache_indirect(addr, table.clone());
+            return Ok(table);
+        }
         let payload = self.io.read_block(addr).await?;
         self.stats.meta_reads += 1;
         let bytes =
@@ -618,21 +789,18 @@ impl LfsLayout {
                     .ok_or_else(|| LayoutError::Corrupt("open inode slot".into()));
             }
         }
-        // The block may still be in the unflushed segment.
-        let seg_start = self.seg_start(self.cur.seg);
-        if addr.0 > seg_start && addr.0 <= seg_start + self.payload_per_seg() as u64 {
-            let idx = (addr.0 - seg_start - 1) as usize;
-            if idx < self.cur.entries.len() {
-                if let Some(bytes) = self.cur.entries[idx].1.bytes() {
-                    let off = slot * INODE_SIZE;
-                    if bytes.len() < off + INODE_SIZE {
-                        return Err(LayoutError::Corrupt(format!(
-                            "staged inode block at {addr} too short"
-                        )));
-                    }
-                    return Inode::from_bytes(&bytes[off..off + INODE_SIZE])
-                        .ok_or_else(|| LayoutError::Corrupt("staged inode slot".into()));
+        // The block may still be staged: in the unflushed segment, or in
+        // one queued at the background seal writer.
+        if let Some(p) = self.staged_block(addr) {
+            if let Some(bytes) = p.bytes() {
+                let off = slot * INODE_SIZE;
+                if bytes.len() < off + INODE_SIZE {
+                    return Err(LayoutError::Corrupt(format!(
+                        "staged inode block at {addr} too short"
+                    )));
                 }
+                return Inode::from_bytes(&bytes[off..off + INODE_SIZE])
+                    .ok_or_else(|| LayoutError::Corrupt("staged inode slot".into()));
             }
         }
         let payload = self.io.read_block(addr).await?;
@@ -685,8 +853,10 @@ impl LfsLayout {
             self.stats.meta_writes += 1;
             usage_addrs.push(addr.0);
         }
-        // Metadata must be durable before the checkpoint references it.
+        // Metadata must be durable before the checkpoint references it —
+        // including any segments still queued at the background writer.
         self.roll_segment().await?;
+        self.drain_seals().await?;
         self.ckpt_meta = imap_addrs.iter().chain(usage_addrs.iter()).copied().collect();
         self.ckpt_seq += 1;
         let ckpt = Checkpoint {
@@ -899,6 +1069,9 @@ impl StorageLayout for LfsLayout {
         if !self.cur.entries.is_empty() {
             self.roll_segment().await?;
         }
+        // Media durability, not just seal: wait out the background
+        // writer so "staging flushed" means "on the platter".
+        self.drain_seals().await?;
         Ok(())
     }
 
@@ -976,18 +1149,24 @@ impl StorageLayout for LfsLayout {
                 return Some(self.cur.entries[idx].1.clone());
             }
         }
+        // Sealed segments still queued at the background writer serve
+        // reads from staging until their media write lands.
+        if let Some(seal) = &self.seal {
+            for p in seal.pending.borrow().iter() {
+                if addr.0 > p.start && addr.0 <= p.start + p.payloads.len() as u64 {
+                    return Some(p.payloads[(addr.0 - p.start - 1) as usize].clone());
+                }
+            }
+        }
         None
     }
 
     async fn read_file_block(&mut self, inode: &Inode, blk: u64) -> LResult<Option<Payload>> {
         let Some(addr) = self.map_block(inode, blk).await? else { return Ok(None) };
-        // Serve from the unflushed segment if the block is still staged.
-        let seg_start = self.seg_start(self.cur.seg);
-        if addr.0 > seg_start && addr.0 <= seg_start + self.payload_per_seg() as u64 {
-            let idx = (addr.0 - seg_start - 1) as usize;
-            if idx < self.cur.entries.len() {
-                return Ok(Some(self.cur.entries[idx].1.clone()));
-            }
+        // Serve from staging if the block has not reached the media yet
+        // (the open segment, or one queued at the background writer).
+        if let Some(p) = self.staged_block(addr) {
+            return Ok(Some(p));
         }
         self.stats.data_reads += 1;
         Ok(Some(self.io.read_block(addr).await?))

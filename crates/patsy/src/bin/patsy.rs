@@ -56,6 +56,8 @@ fn main() {
                 qd,
                 a.layout.as_deref(),
                 a.policy_set.then_some(a.policy.as_str()),
+                a.shards,
+                a.json,
             );
         }
         "ablate-diskmodel" => ablate::ablate_diskmodel(a.scale, a.seed),
@@ -110,6 +112,7 @@ fn main() {
                 workload,
                 clients: if a.clients_set { a.clients[0] } else { 4 },
                 repro_out: a.repro_out.clone(),
+                json: a.json,
             };
             std::process::exit(check_cli(&cfg));
         }

@@ -43,6 +43,8 @@ pub struct CheckCliConfig {
     /// Failing repro blobs are written to this file, replacing any
     /// previous contents (CI artifacts; use distinct paths per run).
     pub repro_out: Option<String>,
+    /// Emit a machine-readable JSON summary instead of the text report.
+    pub json: bool,
 }
 
 /// Runs the full `check`: enumeration + history leg. Returns the
@@ -71,8 +73,6 @@ pub fn check_cli(cfg: &CheckCliConfig) -> i32 {
         check.policies.retain(|spec| spec.label == policy.label());
     }
     let report = run_check(&check);
-    print!("{}", format_check_report(&check, &report));
-
     let lin_cfg = HistoryCheckConfig {
         kind: cfg.workload,
         clients: cfg.clients,
@@ -83,7 +83,12 @@ pub fn check_cli(cfg: &CheckCliConfig) -> i32 {
         lin: LinConfig::default(),
     };
     let lin = run_history_check(&lin_cfg);
-    print!("{}", format_history_report(&lin_cfg, &lin));
+    if cfg.json {
+        print!("{}", format_check_json(cfg, &report, &lin));
+    } else {
+        print!("{}", format_check_report(&check, &report));
+        print!("{}", format_history_report(&lin_cfg, &lin));
+    }
 
     let blobs = report.repro_blobs();
     if let (Some(path), false) = (&cfg.repro_out, blobs.is_empty()) {
@@ -96,6 +101,52 @@ pub fn check_cli(cfg: &CheckCliConfig) -> i32 {
     } else {
         1
     }
+}
+
+/// Formats the check outcome as a JSON summary (stable bytes across
+/// identical runs; hand-rolled — the repo carries no serialization
+/// dependency). Names come from fixed internal vocabularies, so no
+/// string escaping is needed.
+fn format_check_json(
+    cfg: &CheckCliConfig,
+    report: &cnp_check::CheckReport,
+    lin: &cnp_check::HistoryCheckReport,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"trace\": \"{}\",\n", cfg.trace));
+    s.push_str(&format!("  \"budget\": {},\n", cfg.budget));
+    s.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    s.push_str(&format!("  \"queue_depth\": {},\n", cfg.queue_depth));
+    s.push_str("  \"enumeration\": {\n");
+    s.push_str(&format!("    \"cells\": {},\n", report.cells));
+    s.push_str(&format!("    \"violations\": {},\n", report.violations));
+    s.push_str("    \"rows\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"layout\": \"{}\", \"policy\": \"{}\", \"boundary_cells\": {}, \
+             \"retire_cells\": {}, \"violating_cells\": {}, \"lossy_cells\": {}}}{}\n",
+            r.layout,
+            r.policy,
+            r.boundary_cells,
+            r.retire_cells,
+            r.violating_cells,
+            r.lossy_cells,
+            if i + 1 < report.rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("    ]\n  },\n");
+    s.push_str("  \"history\": {\n");
+    s.push_str(&format!("    \"workload\": \"{}\",\n", cfg.workload.name()));
+    s.push_str(&format!("    \"clients\": {},\n", cfg.clients));
+    s.push_str(&format!("    \"events\": {},\n", lin.events));
+    s.push_str(&format!("    \"acked\": {},\n", lin.acked));
+    s.push_str(&format!("    \"failed\": {},\n", lin.failed));
+    s.push_str(&format!("    \"linearizable\": {}\n", lin.outcome.is_linearizable()));
+    s.push_str("  },\n");
+    s.push_str(&format!("  \"clean\": {}\n", report.clean() && lin.outcome.is_linearizable()));
+    s.push_str("}\n");
+    s
 }
 
 /// Re-runs one cell from a repro blob; returns the exit code (0 = the

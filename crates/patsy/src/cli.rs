@@ -49,6 +49,11 @@ pub struct CliArgs {
     /// `--repro-out` path: `check` writes failing repro blobs here (CI
     /// uploads them as artifacts).
     pub repro_out: Option<String>,
+    /// `--shards` lock/table stripe count (1 ≤ shards ≤ 4096); `None`
+    /// derives it from the cell's client count.
+    pub shards: Option<u32>,
+    /// `--json`: machine-readable report instead of the table.
+    pub json: bool,
 }
 
 impl Default for CliArgs {
@@ -71,6 +76,8 @@ impl Default for CliArgs {
             budget: 200,
             repro: None,
             repro_out: None,
+            shards: None,
+            json: false,
         }
     }
 }
@@ -162,6 +169,13 @@ pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
                             "bad --clients 0: every cell needs at least one client".to_string()
                         );
                     }
+                    if n > 4096 {
+                        return Err(format!(
+                            "bad --clients {n}: at most 4096 clients per cell (the engine \
+                             shards by client namespace; beyond that the sweep measures \
+                             the host, not the file system)"
+                        ));
+                    }
                     clients.push(n);
                 }
                 if clients.is_empty() {
@@ -170,6 +184,22 @@ pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
                 out.clients = clients;
                 out.clients_set = true;
                 i += 2;
+            }
+            "--shards" => {
+                let v: u32 =
+                    value(i)?.parse().map_err(|_| format!("bad --shards {:?}", args[i + 1]))?;
+                if v == 0 {
+                    return Err("bad --shards 0: the engine needs at least one shard".to_string());
+                }
+                if v > 4096 {
+                    return Err(format!("bad --shards {v}: at most 4096 stripes"));
+                }
+                out.shards = Some(v);
+                i += 2;
+            }
+            "--json" => {
+                out.json = true;
+                i += 1;
             }
             "--workload" => {
                 let w = value(i)?.clone();
@@ -209,7 +239,8 @@ pub fn usage() -> String {
      sweep-clients|crash|check> \
      [--trace 1a] [--policy ups] [--scale 0.05] [--seed 365] [--cuts 16] \
      [--layout lfs|ffs] [--qd 1] [--workload zipf|mail|build|scan|web] \
-     [--clients 1,4,16] [--budget 200] [--repro <blob>] [--repro-out <path>]"
+     [--clients 1,4,16] [--shards N] [--budget 200] [--json] \
+     [--repro <blob>] [--repro-out <path>]"
         .to_string()
 }
 
@@ -268,6 +299,40 @@ mod tests {
         assert!(e.contains("--clients"), "{e}");
         let e = parse(&["sweep-clients", "--clients", "1,0,4"]).unwrap_err();
         assert!(e.contains("--clients"), "{e}");
+    }
+
+    #[test]
+    fn rejects_oversized_clients() {
+        let e = parse(&["sweep-clients", "--clients", "4097"]).unwrap_err();
+        assert!(e.contains("--clients"), "{e}");
+        let e = parse(&["sweep-clients", "--clients", "64,100000"]).unwrap_err();
+        assert!(e.contains("--clients"), "{e}");
+        // The boundary itself is accepted.
+        let a = parse(&["sweep-clients", "--clients", "4096"]).unwrap();
+        assert_eq!(a.clients, vec![4096]);
+    }
+
+    #[test]
+    fn shards_flag_parses_and_validates() {
+        let a = parse(&["sweep-clients", "--shards", "16"]).unwrap();
+        assert_eq!(a.shards, Some(16));
+        let b = parse(&["sweep-clients"]).unwrap();
+        assert_eq!(b.shards, None, "default must be derivable from the client count");
+        let e = parse(&["sweep-clients", "--shards", "0"]).unwrap_err();
+        assert!(e.contains("--shards"), "{e}");
+        let e = parse(&["sweep-clients", "--shards", "4097"]).unwrap_err();
+        assert!(e.contains("--shards"), "{e}");
+        assert!(parse(&["sweep-clients", "--shards", "many"]).is_err());
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        let a = parse(&["sweep-clients", "--json"]).unwrap();
+        assert!(a.json);
+        let b = parse(&["check", "--json", "--budget", "500"]).unwrap();
+        assert!(b.json);
+        assert_eq!(b.budget, 500, "--json must not eat the following flag");
+        assert!(!parse(&["sweep-clients"]).unwrap().json);
     }
 
     #[test]

@@ -18,9 +18,9 @@ use std::rc::Rc;
 
 use cnp_cache::CacheConfig;
 use cnp_core::{DataMode, FileSystem, FlushMode, FsConfig};
-use cnp_disk::{sim_disk_driver, CLook, Hp97560};
+use cnp_disk::{sim_disk_driver, CLook, Hp97560, Hp97560Params};
 use cnp_fault::LayoutKind;
-use cnp_sim::{Sim, SimTime};
+use cnp_sim::{LockStats, Sim, SimTime};
 use cnp_workload::{run_clients, RunOptions, Scenario, WorkloadKind, WorkloadReport};
 
 use crate::experiment::Policy;
@@ -42,6 +42,9 @@ pub struct ClientSweepConfig {
     pub layout: LayoutKind,
     /// Flush policy.
     pub policy: Policy,
+    /// Engine lock/table stripe count; `None` derives it per cell from
+    /// the client count ([`derive_shards`]).
+    pub shards: Option<u32>,
 }
 
 impl ClientSweepConfig {
@@ -55,8 +58,18 @@ impl ClientSweepConfig {
             queue_depth: 8,
             layout: LayoutKind::Lfs,
             policy: Policy::Ups,
+            shards: None,
         }
     }
+}
+
+/// Default stripe count for an `n`-client cell: the next power of two,
+/// capped at 64. Enough stripes that independent clients rarely collide
+/// (the birthday bound at 64 stripes keeps pairwise collision per op
+/// low), capped because stripes beyond the disk's concurrency only add
+/// bookkeeping.
+pub fn derive_shards(n: u32) -> u32 {
+    n.next_power_of_two().min(64)
 }
 
 /// One client-count cell's outcome.
@@ -78,6 +91,28 @@ pub struct ClientCell {
     pub overlap: f64,
     /// Per-client flush attribution `(client, blocks)` from the cache.
     pub flush_attr: Vec<(u32, u64)>,
+    /// Engine lock contention, per lock family (`ns`, `layout`,
+    /// `layout-range`), stripes rolled up.
+    pub lock_stats: Vec<(&'static str, LockStats)>,
+    /// Stripe count the cell ran with.
+    pub shards: u32,
+}
+
+impl ClientCell {
+    /// Total simulated milliseconds spent waiting on engine locks.
+    pub fn lock_wait_ms(&self) -> f64 {
+        self.lock_stats.iter().map(|(_, s)| s.wait.as_millis_f64()).sum()
+    }
+
+    /// Total simulated milliseconds engine locks were held.
+    pub fn lock_hold_ms(&self) -> f64 {
+        self.lock_stats.iter().map(|(_, s)| s.hold.as_millis_f64()).sum()
+    }
+
+    /// Total contended acquisitions across every engine lock.
+    pub fn lock_contentions(&self) -> u64 {
+        self.lock_stats.iter().map(|(_, s)| s.contentions).sum()
+    }
 }
 
 /// Runs one cell: `n` clients of the configured scenario on a fresh
@@ -88,24 +123,46 @@ pub fn run_client_cell(cfg: &ClientSweepConfig, n: u32) -> ClientCell {
     // programs are identical across cells.
     let sim = Sim::new(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(n as u64));
     let h = sim.handle();
-    let driver = sim_disk_driver(&h, &format!("mc{n}"), Box::new(Hp97560::new()), Box::new(CLook));
-    let layout = cfg.layout.build(&h, driver.clone());
+    // One published HP 97560 is ~1.3 GB — a 1024-client fleet's live
+    // file set (≈4 MB/client plus LFS cleaning headroom) does not fit
+    // on one 1992-era disk; a real deployment would stripe several.
+    // Scale the cylinder count so per-client capacity matches the
+    // 256-client cell; cells ≤ 256 keep the published geometry (and
+    // with it their historical baselines, byte for byte). Pure
+    // function of `n`, so cells stay deterministic and replayable.
+    let mut disk_params = Hp97560Params::default();
+    disk_params.geometry.cylinders *= n.div_ceil(256).next_power_of_two().max(1);
+    let disk = Hp97560::with_params(disk_params);
+    let driver = sim_disk_driver(&h, &format!("mc{n}"), Box::new(disk), Box::new(CLook));
+    // `build_scaled`: LFS seals segments through its background writer.
+    // Without it every seal is one ~500 KB media write performed while
+    // the sealer holds the layout core (and, for creates, an ns stripe)
+    // — at fleet size each seal halts all clients for the duration and
+    // throughput plateaus regardless of stripe counts.
+    let layout = cfg.layout.build_scaled(&h, driver.clone());
     let (flush, nvram) = cfg.policy.cache_settings(8 * 1024 * 1024);
-    // Server-sized cache: the sweep studies concurrency scaling, so the
-    // hot sets of every swept client count must fit — at 16 MB the
-    // 16-client cell thrashes and measures the cache, not the clients.
+    // Server-sized cache, scaled with the fleet: the sweep studies
+    // concurrency scaling, so every swept client count's hot set must
+    // fit — a fixed 64 MB thrashes from ~64 clients up and the sweep
+    // measures the cache, not the clients. 4 MB/client matches the
+    // per-client footprint of the scenario generator; the 64 MB floor
+    // keeps the small cells (and their historical baselines) unchanged.
+    let mem_bytes = (64u64 << 20).max(n as u64 * (4 << 20));
+    let shards = cfg.shards.unwrap_or_else(|| derive_shards(n));
     let fs_cfg = FsConfig {
-        cache: CacheConfig { block_size: 4096, mem_bytes: 64 * 1024 * 1024, nvram_bytes: nvram },
+        cache: CacheConfig { block_size: 4096, mem_bytes, nvram_bytes: nvram },
         flush: flush.to_string(),
         flush_mode: FlushMode::Async,
         queue_depth: cfg.queue_depth,
         data_mode: DataMode::Simulated,
+        shards,
         ..FsConfig::default()
     };
     let fs = FileSystem::new(&h, layout, fs_cfg);
     let scenario = Scenario::generate(cfg.workload, n, cfg.seed, cfg.scale);
-    /// A cell's raw outcome: the run report + per-client flush counts.
-    type CellOut = Option<(WorkloadReport, Vec<(u32, u64)>)>;
+    /// A cell's raw outcome: the run report + per-client flush counts
+    /// + engine lock contention counters.
+    type CellOut = Option<(WorkloadReport, Vec<(u32, u64)>, Vec<(&'static str, LockStats)>)>;
     let out: Rc<RefCell<CellOut>> = Rc::new(RefCell::new(None));
     let out2 = out.clone();
     let h2 = h.clone();
@@ -113,11 +170,12 @@ pub fn run_client_cell(cfg: &ClientSweepConfig, n: u32) -> ClientCell {
         fs.format().await.expect("format");
         let report = run_clients(&h2, &fs, &scenario, RunOptions::default()).await;
         fs.sync().await.expect("sync");
-        *out2.borrow_mut() = Some((report, fs.flushes_by_client()));
+        *out2.borrow_mut() = Some((report, fs.flushes_by_client(), fs.lock_stats()));
         fs.shutdown();
     });
     sim.run_until(SimTime::from_nanos(u64::MAX / 2));
-    let (report, flush_attr) = out.borrow_mut().take().expect("client cell did not finish");
+    let (report, flush_attr, lock_stats) =
+        out.borrow_mut().take().expect("client cell did not finish");
     let d = driver.stats();
     ClientCell {
         clients: n,
@@ -127,6 +185,8 @@ pub fn run_client_cell(cfg: &ClientSweepConfig, n: u32) -> ClientCell {
         mean_inflight: d.mean_inflight,
         overlap: d.overlap_fraction,
         flush_attr,
+        lock_stats,
+        shards,
         report,
     }
 }
@@ -150,8 +210,9 @@ pub fn format_client_sweep(cfg: &ClientSweepConfig, cells: &[ClientCell]) -> Str
         cfg.scale,
     ));
     s.push_str(&format!(
-        "{:>7} {:>8} {:>5} {:>9} {:>9} {:>10} {:>6} {:>6} {:>6} {:>6} {:>14}\n",
+        "{:>7} {:>6} {:>8} {:>5} {:>9} {:>9} {:>10} {:>6} {:>6} {:>6} {:>6} {:>9} {:>9} {:>14}\n",
         "clients",
+        "shards",
         "ops",
         "err",
         "mean-ms",
@@ -161,6 +222,8 @@ pub fn format_client_sweep(cfg: &ClientSweepConfig, cells: &[ClientCell]) -> Str
         "qmean",
         "infl",
         "ovl%",
+        "lockw-ms",
+        "lockh-ms",
         "flush max/min",
     ));
     for c in cells {
@@ -179,8 +242,10 @@ pub fn format_client_sweep(cfg: &ClientSweepConfig, cells: &[ClientCell]) -> Str
             by_client.iter().copied().min().unwrap_or(0),
         );
         s.push_str(&format!(
-            "{:>7} {:>8} {:>5} {:>9.3} {:>9.3} {:>10.1} {:>6.2} {:>6.2} {:>6.2} {:>6.1} {:>14}\n",
+            "{:>7} {:>6} {:>8} {:>5} {:>9.3} {:>9.3} {:>10.1} {:>6.2} {:>6.2} {:>6.2} {:>6.1} \
+             {:>9.1} {:>9.1} {:>14}\n",
             c.clients,
+            c.shards,
             c.report.ops,
             c.report.errors,
             c.report.mean_ms(),
@@ -190,6 +255,8 @@ pub fn format_client_sweep(cfg: &ClientSweepConfig, cells: &[ClientCell]) -> Str
             c.mean_queue,
             c.mean_inflight,
             c.overlap * 100.0,
+            c.lock_wait_ms(),
+            c.lock_hold_ms(),
             format!("{fmax}/{fmin}"),
         ));
     }
@@ -197,14 +264,82 @@ pub fn format_client_sweep(cfg: &ClientSweepConfig, cells: &[ClientCell]) -> Str
         "\nReading the table: agg-ops/s should climb with the client count while\n\
          the disk has headroom (the closed loop offers more concurrency), p99\n\
          stretches as queueing sets in, and fair(max/min per-client ops/s)\n\
-         staying near 1.00 means no client starves on the shared engine.\n",
+         staying near 1.00 means no client starves on the shared engine.\n\
+         lockw-ms/lockh-ms total the simulated time clients spent waiting on\n\
+         vs holding the engine's striped locks — wait growing faster than the\n\
+         client count means a stripe (or the layout core) is saturating.\n",
     );
+    s
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats the sweep as a JSON document (stable bytes, like the table:
+/// two identical runs emit identical JSON). Hand-rolled — the repo
+/// carries no serialization dependency.
+pub fn format_client_sweep_json(cfg: &ClientSweepConfig, cells: &[ClientCell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"workload\": \"{}\",\n", json_escape(cfg.workload.name())));
+    s.push_str(&format!("  \"layout\": \"{}\",\n", json_escape(cfg.layout.name())));
+    s.push_str(&format!("  \"policy\": \"{}\",\n", json_escape(cfg.policy.label())));
+    s.push_str(&format!("  \"queue_depth\": {},\n", cfg.queue_depth));
+    s.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    s.push_str(&format!("  \"scale\": {},\n", cfg.scale));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"clients\": {},\n", c.clients));
+        s.push_str(&format!("      \"shards\": {},\n", c.shards));
+        s.push_str(&format!("      \"ops\": {},\n", c.report.ops));
+        s.push_str(&format!("      \"errors\": {},\n", c.report.errors));
+        s.push_str(&format!("      \"mean_ms\": {:.6},\n", c.report.mean_ms()));
+        s.push_str(&format!("      \"p99_ms\": {:.6},\n", c.report.p99_ms()));
+        s.push_str(&format!("      \"agg_ops_per_sec\": {:.6},\n", c.agg_ops_per_sec));
+        s.push_str(&format!("      \"fairness\": {:.6},\n", c.fairness));
+        s.push_str(&format!("      \"mean_queue\": {:.6},\n", c.mean_queue));
+        s.push_str(&format!("      \"mean_inflight\": {:.6},\n", c.mean_inflight));
+        s.push_str(&format!("      \"overlap\": {:.6},\n", c.overlap));
+        s.push_str(&format!("      \"lock_wait_ms\": {:.6},\n", c.lock_wait_ms()));
+        s.push_str(&format!("      \"lock_hold_ms\": {:.6},\n", c.lock_hold_ms()));
+        s.push_str(&format!("      \"lock_contentions\": {},\n", c.lock_contentions()));
+        s.push_str("      \"locks\": [\n");
+        for (j, (name, ls)) in c.lock_stats.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"name\": \"{}\", \"acquisitions\": {}, \"contentions\": {}, \
+                 \"wait_ms\": {:.6}, \"hold_ms\": {:.6}, \"max_wait_ms\": {:.6}}}{}\n",
+                json_escape(name),
+                ls.acquisitions,
+                ls.contentions,
+                ls.wait.as_millis_f64(),
+                ls.hold.as_millis_f64(),
+                ls.max_wait.as_millis_f64(),
+                if j + 1 < c.lock_stats.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("      ]\n");
+        s.push_str(&format!("    }}{}\n", if i + 1 < cells.len() { "," } else { "" }));
+    }
+    s.push_str("  ]\n}\n");
     s
 }
 
 /// CLI entry: runs the sweep and prints the report. `workload` arrives
 /// already parsed — the CLI layer (`cnp_patsy::cli`) owns name
 /// validation.
+#[allow(clippy::too_many_arguments)]
 pub fn sweep_clients_cli(
     workload: WorkloadKind,
     clients: &[u32],
@@ -213,9 +348,12 @@ pub fn sweep_clients_cli(
     qd: u32,
     layout: Option<&str>,
     policy: Option<&str>,
+    shards: Option<u32>,
+    json: bool,
 ) {
     let mut cfg = ClientSweepConfig::new(workload, clients.to_vec(), seed, scale);
     cfg.queue_depth = qd;
+    cfg.shards = shards;
     if let Some(l) = layout {
         let Some(k) = LayoutKind::parse(l) else {
             eprintln!("unknown layout {l} (lfs|ffs)");
@@ -231,5 +369,9 @@ pub fn sweep_clients_cli(
         cfg.policy = pol;
     }
     let cells = run_client_sweep(&cfg);
-    print!("{}", format_client_sweep(&cfg, &cells));
+    if json {
+        print!("{}", format_client_sweep_json(&cfg, &cells));
+    } else {
+        print!("{}", format_client_sweep(&cfg, &cells));
+    }
 }

@@ -20,7 +20,8 @@ pub mod figures;
 pub mod qdsweep;
 
 pub use clients::{
-    format_client_sweep, run_client_cell, run_client_sweep, ClientCell, ClientSweepConfig,
+    derive_shards, format_client_sweep, format_client_sweep_json, run_client_cell,
+    run_client_sweep, ClientCell, ClientSweepConfig,
 };
 pub use crash::{format_crash_sweep, run_crash_sweep, CrashCell, CrashConfig};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Policy, POLICIES};

@@ -55,7 +55,8 @@ pub use executor::{
     ClockMode, Handle, JoinHandle, RunResult, SchedPolicy, Sim, SimConfig, Sleep, TaskId, YieldNow,
 };
 pub use sync::{
-    bounded, channel, oneshot, Arbitration, Event, OneshotReceiver, OneshotSender, Permit,
-    Receiver, Resource, ResourceGuard, Semaphore, SendError, Sender, SimMutex, SimMutexGuard,
+    bounded, channel, oneshot, Arbitration, Event, LockStats, OneshotReceiver, OneshotSender,
+    Permit, Receiver, Resource, ResourceGuard, Semaphore, SendError, Sender, ShardedMutex,
+    SimMutex, SimMutexGuard, TrackedMutex, TrackedMutexGuard,
 };
 pub use time::{SimDuration, SimTime};

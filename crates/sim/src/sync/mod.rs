@@ -5,6 +5,7 @@ mod event;
 mod mutex;
 mod resource;
 mod semaphore;
+mod sharded;
 
 pub use channel::{
     bounded, channel, oneshot, OneshotReceiver, OneshotSender, Receiver, Recv, Send, SendError,
@@ -14,3 +15,4 @@ pub use event::{Event, EventWait};
 pub use mutex::{SimMutex, SimMutexGuard};
 pub use resource::{AcquireResource, Arbitration, Resource, ResourceGuard};
 pub use semaphore::{Acquire, Permit, Semaphore};
+pub use sharded::{LockStats, ShardedMutex, TrackedMutex, TrackedMutexGuard};

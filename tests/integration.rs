@@ -324,6 +324,112 @@ fn multi_client_sweep_is_deterministic_and_throughput_scales() {
     );
 }
 
+/// Sharded-engine determinism at fleet scale: two seeded 256-client
+/// runs on the fully striped engine (64 lock/table shards) must
+/// produce identical platter images and workload stats. This is the
+/// hazard the shard design had to dodge: per-shard iteration feeding
+/// flush selection or free-list order would make the platter depend on
+/// hash-bucket layout rather than the global dirty sequence.
+#[test]
+fn sharded_256_client_runs_are_byte_identical() {
+    use cut_and_paste::workload::{run_clients, RunOptions, Scenario, WorkloadKind};
+
+    fn run_once() -> (cut_and_paste::disk::DiskImage, u64, u64) {
+        let sim = Sim::new(4242);
+        let h = sim.handle();
+        let (driver, disk) = {
+            use cut_and_paste::disk::{
+                spawn_disk, Backend, DiskDriver, DiskOpts, ScsiBus, SimBackend,
+            };
+            let bus = ScsiBus::new(&h);
+            let disk = spawn_disk(
+                &h,
+                "disk:sh256",
+                Box::new(Hp97560::new()),
+                bus.clone(),
+                DiskOpts::default(),
+                cut_and_paste::disk::FaultPlan::default(),
+            );
+            let driver = DiskDriver::new(
+                &h,
+                "sh256",
+                Backend::Sim(SimBackend { bus, disk: disk.clone(), host_id: 7 }),
+                Box::new(CLook),
+            );
+            (driver, disk)
+        };
+        let layout = Layout::Lfs(LfsLayout::new(&h, driver, LfsParams::default()));
+        let cfg = FsConfig {
+            cache: CacheConfig {
+                block_size: 4096,
+                mem_bytes: 256 * 4 * 1024 * 1024,
+                nvram_bytes: None,
+            },
+            data_mode: DataMode::Simulated,
+            queue_depth: 8,
+            shards: 64,
+            ..FsConfig::default()
+        };
+        let fs = FileSystem::new(&h, layout, cfg);
+        type RunOut = (cut_and_paste::disk::DiskImage, u64, u64);
+        let out: Rc<Cell<Option<RunOut>>> = Rc::new(Cell::new(None));
+        let out2 = out.clone();
+        let h2 = h.clone();
+        h.spawn("sh256", async move {
+            fs.format().await.unwrap();
+            let scenario = Scenario::generate(WorkloadKind::Zipf, 256, 4242, 0.001);
+            let report = run_clients(&h2, &fs, &scenario, RunOptions::default()).await;
+            assert_eq!(report.errors, 0, "{:?}", report.error_sample);
+            fs.unmount().await.unwrap();
+            out2.set(Some((disk.platter_image(), report.ops, report.makespan.as_nanos())));
+            fs.shutdown();
+        });
+        sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+        out.take().expect("256-client sharded run did not finish")
+    }
+
+    let (image_a, ops_a, lat_a) = run_once();
+    let (image_b, ops_b, lat_b) = run_once();
+    assert_eq!(ops_a, ops_b, "op counts differ between seeded 256-client runs");
+    assert_eq!(lat_a, lat_b, "latency totals differ between seeded 256-client runs");
+    assert_eq!(image_a.len(), image_b.len(), "platter sector counts differ");
+    let mut keys: Vec<u64> = image_a.keys().copied().collect();
+    keys.sort_unstable();
+    for k in keys {
+        assert_eq!(image_a.get(&k), image_b.get(&k), "sector {k} differs between seeded runs");
+    }
+}
+
+/// A single client at queue depth 1 issues one op at a time, so the
+/// per-directory namespace stripes can never be contended — a nonzero
+/// ns wait would mean the engine serializes against itself (the layout
+/// and range families are excluded: the background flush daemon
+/// legitimately overlaps them with foreground ops even for one
+/// client).
+#[test]
+fn single_client_qd1_sweep_has_zero_ns_lock_waits() {
+    use cut_and_paste::patsy::{run_client_cell, ClientSweepConfig};
+    use cut_and_paste::workload::WorkloadKind;
+
+    let mut cfg = ClientSweepConfig::new(WorkloadKind::Zipf, vec![1], 42, 0.01);
+    cfg.queue_depth = 1;
+    let cell = run_client_cell(&cfg, 1);
+    assert_eq!(cell.report.errors, 0, "{:?}", cell.report.error_sample);
+    let (_, ns) = cell
+        .lock_stats
+        .iter()
+        .find(|(name, _)| *name == "ns")
+        .copied()
+        .expect("lock stats must report the ns family");
+    assert!(ns.acquisitions > 0, "the run must actually exercise the namespace locks");
+    assert_eq!(ns.contentions, 0, "single client contended an ns stripe: {ns:?}");
+    assert_eq!(
+        ns.wait,
+        cut_and_paste::sim::SimDuration::from_nanos(0),
+        "single client waited on an ns stripe: {ns:?}"
+    );
+}
+
 #[test]
 fn multi_client_crash_preserves_acked_writes_under_nvram_whole() {
     use cut_and_paste::disk::{FaultPlan, Hp97560};

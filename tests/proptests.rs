@@ -423,6 +423,87 @@ proptest! {
         }
     }
 
+    /// The engine's lock striping and table sharding must be pure
+    /// partitioning: a single-client seeded run is byte-identical —
+    /// file contents AND platter image — at every shard count. One
+    /// client can never contend, so every stripe acquisition takes the
+    /// uncontended immediate path and the schedule cannot move; the
+    /// cache's global dirty sequence keeps flush selection order
+    /// shard-count-invariant. Any divergence means sharding leaked into
+    /// scheduling or flush order.
+    #[test]
+    fn shard_count_never_changes_single_client_runs(
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec((0u64..3, 0u64..10, 1u64..3), 1..12),
+    ) {
+        /// Final file contents plus the platter image of one replay.
+        type ShardOutcome = (Vec<Vec<u8>>, cut_and_paste::disk::DiskImage);
+
+        fn run_once(
+            seed: u64,
+            ops: &[(u64, u64, u64)],
+            queue_depth: u32,
+            shards: u32,
+        ) -> ShardOutcome {
+            let out: Rc<Cell<Option<ShardOutcome>>> = Rc::new(Cell::new(None));
+            let out2 = out.clone();
+            let ops = ops.to_vec();
+            let sim = Sim::new(seed);
+            let h = sim.handle();
+            let (driver, disk) = FaultyDisk::new(Box::new(Hp97560::new()), FaultPlan::default())
+                .spawn(&h, "sh0", Box::new(CLook));
+            let layout = LayoutKind::Lfs.build(&h, driver.clone());
+            let cfg = FsConfig {
+                queue_depth,
+                data_mode: DataMode::Real,
+                shards,
+                ..FsConfig::default()
+            };
+            let fs = FileSystem::new(&h, layout, cfg);
+            h.spawn("shard-oracle", async move {
+                fs.format().await.unwrap();
+                let mut inos = Vec::new();
+                for i in 0..3u64 {
+                    inos.push(fs.create(&format!("/f{i}"), FileKind::Regular).await.unwrap());
+                }
+                for (i, (fidx, blk, nblocks)) in ops.iter().enumerate() {
+                    let tag = ((i * 13 + 7) % 251) as u8;
+                    let len = nblocks * 4096;
+                    fs.write(inos[*fidx as usize], blk * 4096, len, Some(&vec![tag; len as usize]))
+                        .await
+                        .unwrap();
+                }
+                fs.sync().await.unwrap();
+                let mut contents = Vec::new();
+                for (i, &ino) in inos.iter().enumerate() {
+                    let size = fs.stat(&format!("/f{i}")).await.unwrap().size;
+                    let (_, data) = fs.read(ino, 0, size).await.unwrap();
+                    contents.push(data.unwrap_or_default());
+                }
+                fs.unmount().await.unwrap();
+                let image = disk.platter_image();
+                fs.shutdown();
+                out2.set(Some((contents, image)));
+            });
+            sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+            out.take().expect("sharded oracle run did not complete")
+        }
+        for qd in qd_matrix() {
+            let (contents_1, image_1) = run_once(seed, &ops, qd, 1);
+            for shards in [4u32, 16] {
+                let (contents_n, image_n) = run_once(seed, &ops, qd, shards);
+                prop_assert_eq!(
+                    &contents_1, &contents_n,
+                    "qd {} shards {}: file contents diverged from unsharded", qd, shards
+                );
+                prop_assert_eq!(
+                    &image_1, &image_n,
+                    "qd {} shards {}: platter diverged from unsharded", qd, shards
+                );
+            }
+        }
+    }
+
     /// Model-based differential test of the multi-client engine: N
     /// concurrent clients run random programs against their own
     /// namespace shards on one shared `FileSystem`, while a flat
