@@ -659,7 +659,16 @@ impl BlockCache {
     pub fn tick(&mut self, now: SimTime) -> Vec<BlockKey> {
         let merged = self.merged_dirty();
         let q = QueryView { frames: &self.frames, merged };
-        self.flush_policy.on_tick(&q, now)
+        let picks = self.flush_policy.on_tick(&q, now);
+        if cnp_obs::trace::enabled() && !picks.is_empty() {
+            cnp_obs::trace::instant_on(
+                cnp_obs::trace::engine_lane("cache"),
+                "cache:flush-select",
+                now.as_nanos(),
+                vec![("blocks", cnp_obs::trace::Field::U64(picks.len() as u64))],
+            );
+        }
+        picks
     }
 
     /// All dirty block keys, oldest first (for sync/unmount).

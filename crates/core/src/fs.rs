@@ -207,6 +207,10 @@ impl FileSystem {
             let fs = self.clone();
             let h = handle.clone();
             handle.spawn("fs:update-daemon", async move {
+                if cnp_obs::trace::enabled() {
+                    let lane = cnp_obs::trace::engine_lane("update-daemon");
+                    cnp_obs::trace::set_task_lane(h.task_key(), lane);
+                }
                 loop {
                     h.sleep(interval).await;
                     if fs.s.shutdown.get() {
@@ -222,6 +226,10 @@ impl FileSystem {
     }
 
     async fn flush_daemon(&self, rx: Receiver<Vec<BlockKey>>) {
+        if cnp_obs::trace::enabled() {
+            let lane = cnp_obs::trace::engine_lane("flush-daemon");
+            cnp_obs::trace::set_task_lane(self.s.handle.task_key(), lane);
+        }
         while let Some(keys) = rx.recv().await {
             self.do_flush(keys).await;
             self.s.flush_done.signal();
@@ -279,6 +287,84 @@ impl FileSystem {
     /// and unattributed writes appear as [`cnp_cache::UNATTRIBUTED`].
     pub fn flushes_by_client(&self) -> Vec<(u32, u64)> {
         self.s.cache.borrow().flushes_by_client()
+    }
+
+    /// One [`cnp_obs::MetricsSnapshot`] absorbing every layer's native
+    /// stats — engine counters, cache, lock families, driver
+    /// histograms, layout, flush attribution — under namespaced keys
+    /// (`fs.*`, `cache.*`, `lock.<family>.*`, `disk.*`, `layout.*`,
+    /// `flush.*`). Sorted keys make the serialized bytes deterministic.
+    pub fn metrics(&self) -> cnp_obs::MetricsSnapshot {
+        let mut m = cnp_obs::MetricsSnapshot::new();
+        let st = self.stats();
+        m.counter("fs.ops", st.ops);
+        m.counter("fs.reads", st.reads);
+        m.counter("fs.writes", st.writes);
+        m.counter("fs.creates", st.creates);
+        m.counter("fs.deletes", st.deletes);
+        m.counter("fs.bytes_read", st.bytes_read);
+        m.counter("fs.bytes_written", st.bytes_written);
+        m.counter("fs.absorbed_blocks", st.absorbed_blocks);
+        m.counter("fs.flush_batches", st.flush_batches);
+        m.counter("fs.blocks_flushed", st.blocks_flushed);
+        m.counter("fs.flush_errors", st.flush_errors);
+        let cs = self.cache_stats();
+        m.counter("cache.hits", cs.hits);
+        m.counter("cache.misses", cs.misses);
+        m.gauge("cache.hit_rate", cs.hit_rate());
+        m.counter("cache.insertions", cs.insertions);
+        m.counter("cache.evictions", cs.evictions);
+        m.counter("cache.dirtied", cs.dirtied);
+        m.counter("cache.overwrites", cs.overwrites);
+        m.counter("cache.absorbed", cs.absorbed);
+        m.counter("cache.flushes", cs.flushes);
+        m.counter("cache.nvram_stalls", cs.nvram_stalls);
+        m.counter("cache.alloc_stalls", cs.alloc_stalls);
+        for (family, ls) in self.lock_stats() {
+            m.counter(&format!("lock.{family}.acquisitions"), ls.acquisitions);
+            m.counter(&format!("lock.{family}.contentions"), ls.contentions);
+            m.gauge(&format!("lock.{family}.wait_ms"), ls.wait.as_millis_f64());
+            m.gauge(&format!("lock.{family}.hold_ms"), ls.hold.as_millis_f64());
+            m.gauge(&format!("lock.{family}.max_wait_ms"), ls.max_wait.as_millis_f64());
+        }
+        let ds = self.driver_stats();
+        m.counter("disk.completed", ds.completed);
+        m.counter("disk.reads", ds.reads);
+        m.counter("disk.writes", ds.writes);
+        m.counter("disk.errors", ds.errors);
+        m.counter("disk.retries", ds.retries);
+        m.gauge("disk.mean_queue_len", ds.mean_queue_len);
+        m.gauge("disk.max_queue_len", ds.max_queue_len);
+        m.gauge("disk.mean_inflight", ds.mean_inflight);
+        m.gauge("disk.overlap_fraction", ds.overlap_fraction);
+        m.histogram("disk.queue_ms", &ds.queue_time);
+        m.histogram("disk.service_ms", &ds.service_time);
+        m.histogram("disk.rotation_ms", &ds.rotation_time);
+        if let Some(ls) = self.layout_stats() {
+            m.counter("layout.meta_reads", ls.meta_reads);
+            m.counter("layout.meta_writes", ls.meta_writes);
+            m.counter("layout.data_reads", ls.data_reads);
+            m.counter("layout.data_writes", ls.data_writes);
+            m.counter("layout.segments_written", ls.segments_written);
+            m.counter("layout.segments_cleaned", ls.segments_cleaned);
+            m.counter("layout.cleaner_moved", ls.cleaner_moved);
+            m.counter("layout.checkpoints", ls.checkpoints);
+        }
+        let mut attributed = 0u64;
+        let mut unattributed = 0u64;
+        let mut clients = 0u64;
+        for (id, n) in self.flushes_by_client() {
+            if id == cnp_cache::UNATTRIBUTED {
+                unattributed += n;
+            } else {
+                attributed += n;
+                clients += 1;
+            }
+        }
+        m.counter("flush.attributed_blocks", attributed);
+        m.counter("flush.unattributed_blocks", unattributed);
+        m.counter("flush.dirtying_clients", clients);
+        m
     }
 
     /// A per-client handle onto this (shared) engine: the same file
@@ -456,13 +542,17 @@ impl FileSystem {
         // directory; a racing remove of the parent surfaces as a clean
         // BadInode/NotFound.
         let (dir_ino, name) = self.resolve_parent(path).await?;
+        let sp = self.s.handle.trace_span("lock:ns");
         let _ns = self.s.ns_lock.lock(dir_ino.0).await;
+        self.s.handle.trace_exit(sp);
         let mut entries = self.read_dir_entries(dir_ino).await?;
         if dir::find(&entries, &name).is_some() {
             return Err(FsError::Exists(path.to_string()));
         }
         let inode = {
+            let sp = self.s.handle.trace_span("lock:core");
             let g = self.s.layout.lock().await;
+            self.s.handle.trace_exit(sp);
             let now = self.s.handle.now().as_nanos();
             let inode = g.get_mut().alloc_ino(kind, now)?;
             inode
@@ -470,8 +560,12 @@ impl FileSystem {
         let ino = inode.ino;
         self.s.inodes.shard_mut(ino.0).insert(ino, Rc::new(RefCell::new(inode.clone())));
         {
+            let sp = self.s.handle.trace_span("lock:range");
             let _rg = self.s.layout_ranges.lock(ino.0).await;
+            self.s.handle.trace_exit(sp);
+            let sp = self.s.handle.trace_span("lock:core");
             let g = self.s.layout.lock().await;
+            self.s.handle.trace_exit(sp);
             g.get_mut().put_inode(&inode).await?;
         }
         dir::add_entry(&mut entries, Dirent { ino, kind, name }).map_err(FsError::BadPath)?;
@@ -488,13 +582,17 @@ impl FileSystem {
 
     async fn mkdir_inner(&self, path: &str) -> FsResult<Ino> {
         let (dir_ino, name) = self.resolve_parent(path).await?;
+        let sp = self.s.handle.trace_span("lock:ns");
         let _ns = self.s.ns_lock.lock(dir_ino.0).await;
+        self.s.handle.trace_exit(sp);
         let mut entries = self.read_dir_entries(dir_ino).await?;
         if dir::find(&entries, &name).is_some() {
             return Err(FsError::Exists(path.to_string()));
         }
         let inode = {
+            let sp = self.s.handle.trace_span("lock:core");
             let g = self.s.layout.lock().await;
+            self.s.handle.trace_exit(sp);
             let now = self.s.handle.now().as_nanos();
             let inode = g.get_mut().alloc_ino(FileKind::Directory, now)?;
             g.get_mut().put_inode(&inode).await?;
@@ -724,8 +822,12 @@ impl FileSystem {
             self.s.cache.borrow_mut().remove_block(BlockKey::new(FileId(ino.0), blk));
         }
         {
+            let sp = self.s.handle.trace_span("lock:range");
             let _rg = self.s.layout_ranges.lock(ino.0).await;
+            self.s.handle.trace_exit(sp);
+            let sp = self.s.handle.trace_span("lock:core");
             let g = self.s.layout.lock().await;
+            self.s.handle.trace_exit(sp);
             let mut copy = rc.borrow().clone();
             g.get_mut().truncate(&mut copy, new_blocks).await?;
             let mut inode = rc.borrow_mut();
@@ -742,7 +844,9 @@ impl FileSystem {
         self.op_begin().await;
         self.s.stats.borrow_mut().deletes += 1;
         let (dir_ino, name) = self.resolve_parent(path).await?;
+        let sp = self.s.handle.trace_span("lock:ns");
         let _ns = self.s.ns_lock.lock(dir_ino.0).await;
+        self.s.handle.trace_exit(sp);
         let mut entries = self.read_dir_entries(dir_ino).await?;
         let entry = dir::remove_entry(&mut entries, &name)
             .ok_or_else(|| FsError::NotFound(path.to_string()))?;
@@ -754,8 +858,12 @@ impl FileSystem {
         self.s.stats.borrow_mut().absorbed_blocks += absorbed;
         self.s.inodes.shard_mut(entry.ino.0).remove(&entry.ino);
         self.s.write_gen.borrow_mut().remove(&entry.ino);
+        let sp = self.s.handle.trace_span("lock:range");
         let _rg = self.s.layout_ranges.lock(entry.ino.0).await;
+        self.s.handle.trace_exit(sp);
+        let sp = self.s.handle.trace_span("lock:core");
         let g = self.s.layout.lock().await;
+        self.s.handle.trace_exit(sp);
         g.get_mut().free_inode(entry.ino).await?;
         Ok(())
     }
@@ -776,7 +884,9 @@ impl FileSystem {
                 dir::find(&entries, &name).cloned()
             };
             let victim = probe.ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            let sp = self.s.handle.trace_span("lock:ns");
             let _ns = self.s.ns_lock.lock_pair(dir_ino.0, victim.ino.0).await;
+            self.s.handle.trace_exit(sp);
             let mut entries = self.read_dir_entries(dir_ino).await?;
             let entry = dir::find(&entries, &name)
                 .ok_or_else(|| FsError::NotFound(path.to_string()))?
@@ -797,8 +907,12 @@ impl FileSystem {
             let absorbed = self.s.cache.borrow_mut().remove_file(FileId(entry.ino.0));
             self.s.stats.borrow_mut().absorbed_blocks += absorbed;
             self.s.inodes.shard_mut(entry.ino.0).remove(&entry.ino);
+            let sp = self.s.handle.trace_span("lock:range");
             let _rg = self.s.layout_ranges.lock(entry.ino.0).await;
+            self.s.handle.trace_exit(sp);
+            let sp = self.s.handle.trace_span("lock:core");
             let g = self.s.layout.lock().await;
+            self.s.handle.trace_exit(sp);
             g.get_mut().free_inode(entry.ino).await?;
             return Ok(());
         }
@@ -809,7 +923,9 @@ impl FileSystem {
         self.op_begin().await;
         let (from_dir, from_name) = self.resolve_parent(from).await?;
         let (to_dir, to_name) = self.resolve_parent(to).await?;
+        let sp = self.s.handle.trace_span("lock:ns");
         let _ns = self.s.ns_lock.lock_pair(from_dir.0, to_dir.0).await;
+        self.s.handle.trace_exit(sp);
         if !dir::valid_name(&to_name) {
             return Err(FsError::BadPath(to.to_string()));
         }
@@ -1292,6 +1408,7 @@ impl FileSystem {
                 if let Some(frame) = cache.lookup(key, self.s.handle.now()) {
                     let data = cache.data(frame).map(|d| d.to_vec());
                     drop(cache);
+                    self.s.handle.trace_instant("cache:hit");
                     self.copy_delay().await;
                     return Ok(data);
                 }
@@ -1302,9 +1419,12 @@ impl FileSystem {
                 ev.wait().await;
                 continue;
             }
+            self.s.handle.trace_instant("cache:miss");
             let ev = Event::new(&self.s.handle);
             self.s.inflight.shard_mut(key.shard_image()).insert(key, ev.clone());
+            let sp = self.s.handle.trace_span("cache:load");
             let result = self.load_block(ino, blk, key).await;
+            self.s.handle.trace_exit(sp);
             self.s.inflight.shard_mut(key.shard_image()).remove(&key);
             ev.signal();
             match result {
@@ -1330,7 +1450,9 @@ impl FileSystem {
                 }
             };
             let inode = rc.borrow().clone();
+            let sp = self.s.handle.trace_span("lock:core");
             let g = self.s.layout.lock().await;
+            self.s.handle.trace_exit(sp);
             let mapped = g.get_mut().map_block(&inode, blk).await;
             match mapped {
                 Ok(Some(a)) => {
@@ -1434,6 +1556,12 @@ impl FileSystem {
     }
 
     async fn request_flush_and_wait(&self, keys: Vec<BlockKey>) {
+        let sp = self.s.handle.trace_span("flush:wait");
+        self.request_flush_and_wait_inner(keys).await;
+        self.s.handle.trace_exit(sp);
+    }
+
+    async fn request_flush_and_wait_inner(&self, keys: Vec<BlockKey>) {
         match self.s.cfg.flush_mode {
             FlushMode::Sync => {
                 // The requesting thread performs the flush itself — the
@@ -1474,6 +1602,18 @@ impl FileSystem {
 
     /// Writes the given dirty blocks out through the layout.
     async fn do_flush(&self, keys: Vec<BlockKey>) {
+        let sp = if cnp_obs::trace::enabled() {
+            let sp = self.s.handle.trace_span("flush:batch");
+            cnp_obs::trace::span_field(sp, "blocks", cnp_obs::trace::Field::U64(keys.len() as u64));
+            sp
+        } else {
+            cnp_obs::trace::SpanToken::NONE
+        };
+        self.do_flush_inner(keys).await;
+        self.s.handle.trace_exit(sp);
+    }
+
+    async fn do_flush_inner(&self, keys: Vec<BlockKey>) {
         // Group by file (ordered: deterministic flush sequence).
         let mut by_file: std::collections::BTreeMap<u64, Vec<BlockKey>> =
             std::collections::BTreeMap::new();
@@ -1521,8 +1661,12 @@ impl FileSystem {
                 // write-back against truncate/free of the same file;
                 // the core lock below covers the single layout call
                 // (which may run the cleaner — the global residue).
+                let sp = self.s.handle.trace_span("lock:range");
                 let _rg = self.s.layout_ranges.lock(file).await;
+                self.s.handle.trace_exit(sp);
+                let sp = self.s.handle.trace_span("lock:core");
                 let g = self.s.layout.lock().await;
+                self.s.handle.trace_exit(sp);
                 let mut copy = rc.borrow().clone();
                 let r = g.get_mut().write_file_blocks(&mut copy, blocks).await;
                 if r.is_ok() {
@@ -1726,6 +1870,25 @@ impl ClientFs {
         self.history.as_ref().map(|_| self.fs.s.handle.now().as_nanos())
     }
 
+    /// Opens the per-operation root span on this client's trace lane
+    /// and routes the current task there, so the engine-internal spans
+    /// the op runs through (lock waits, cache loads, flush stalls)
+    /// nest under it. Free when tracing is disabled.
+    fn op_span(&self, name: &'static str) -> cnp_obs::trace::SpanToken {
+        if !cnp_obs::trace::enabled() {
+            return cnp_obs::trace::SpanToken::NONE;
+        }
+        let h = &self.fs.s.handle;
+        let lane = cnp_obs::trace::client_lane(self.id);
+        cnp_obs::trace::set_task_lane(h.task_key(), lane);
+        cnp_obs::trace::span_enter_on(lane, name, h.now().as_nanos())
+    }
+
+    /// Closes an [`ClientFs::op_span`] root span.
+    fn op_exit(&self, tok: cnp_obs::trace::SpanToken) {
+        self.fs.s.handle.trace_exit(tok);
+    }
+
     /// Records one completed operation (no-op without a history).
     fn record(
         &self,
@@ -1745,14 +1908,17 @@ impl ClientFs {
 
     /// Resolves a path to an inode number.
     pub async fn lookup(&self, path: &str) -> FsResult<Ino> {
+        let sp = self.op_span("op:lookup");
         let t0 = self.invoke_ns();
         let r = self.fs.lookup(path).await;
         self.record(t0, || HistOp::Lookup { path: path.to_string() }, || ino_outcome(&r));
+        self.op_exit(sp);
         r
     }
 
     /// Creates a regular (or typed) file.
     pub async fn create(&self, path: &str, kind: FileKind) -> FsResult<Ino> {
+        let sp = self.op_span("op:create");
         let t0 = self.invoke_ns();
         let r = self.fs.create(path, kind).await;
         self.record(
@@ -1766,40 +1932,51 @@ impl ClientFs {
             },
             || ino_outcome(&r),
         );
+        self.op_exit(sp);
         r
     }
 
     /// Creates a directory.
     pub async fn mkdir(&self, path: &str) -> FsResult<Ino> {
+        let sp = self.op_span("op:mkdir");
         let t0 = self.invoke_ns();
         let r = self.fs.mkdir(path).await;
         self.record(t0, || HistOp::Mkdir { path: path.to_string() }, || ino_outcome(&r));
+        self.op_exit(sp);
         r
     }
 
     /// Lists a directory.
     pub async fn readdir(&self, path: &str) -> FsResult<Vec<Dirent>> {
-        self.fs.readdir(path).await
+        let sp = self.op_span("op:readdir");
+        let r = self.fs.readdir(path).await;
+        self.op_exit(sp);
+        r
     }
 
     /// Opens a file.
     pub async fn open(&self, path: &str) -> FsResult<Ino> {
+        let sp = self.op_span("op:open");
         let t0 = self.invoke_ns();
         let r = self.fs.open(path).await;
         self.record(t0, || HistOp::Open { path: path.to_string() }, || ino_outcome(&r));
+        self.op_exit(sp);
         r
     }
 
     /// Closes an open file.
     pub async fn close(&self, ino: Ino) -> FsResult<()> {
+        let sp = self.op_span("op:close");
         let t0 = self.invoke_ns();
         let r = self.fs.close(ino).await;
         self.record(t0, || HistOp::Close { ino: ino.0 }, || unit_outcome(&r));
+        self.op_exit(sp);
         r
     }
 
     /// Stats a file by path.
     pub async fn stat(&self, path: &str) -> FsResult<Inode> {
+        let sp = self.op_span("op:stat");
         let t0 = self.invoke_ns();
         let r = self.fs.stat(path).await;
         self.record(
@@ -1810,11 +1987,17 @@ impl ClientFs {
                 Err(e) => HistOutcome::Failed(e.clone()),
             },
         );
+        self.op_exit(sp);
         r
     }
 
     /// Reads `len` bytes at `offset`.
     pub async fn read(&self, ino: Ino, offset: u64, len: u64) -> FsResult<(u64, Option<Vec<u8>>)> {
+        let sp = self.op_span("op:read");
+        if !sp.is_none() {
+            cnp_obs::trace::span_field(sp, "ino", cnp_obs::trace::Field::U64(ino.0));
+            cnp_obs::trace::span_field(sp, "len", cnp_obs::trace::Field::U64(len));
+        }
         let t0 = self.invoke_ns();
         let r = self.fs.read(ino, offset, len).await;
         self.record(
@@ -1825,6 +2008,7 @@ impl ClientFs {
                 Err(e) => HistOutcome::Failed(e.clone()),
             },
         );
+        self.op_exit(sp);
         r
     }
 
@@ -1836,6 +2020,11 @@ impl ClientFs {
         len: u64,
         data: Option<&[u8]>,
     ) -> FsResult<u64> {
+        let sp = self.op_span("op:write");
+        if !sp.is_none() {
+            cnp_obs::trace::span_field(sp, "ino", cnp_obs::trace::Field::U64(ino.0));
+            cnp_obs::trace::span_field(sp, "len", cnp_obs::trace::Field::U64(len));
+        }
         let t0 = self.invoke_ns();
         let r = self.fs.write_for(self.id, ino, offset, len, data).await;
         self.record(
@@ -1846,35 +2035,43 @@ impl ClientFs {
                 Err(e) => HistOutcome::Failed(e.clone()),
             },
         );
+        self.op_exit(sp);
         r
     }
 
     /// Truncates a file to `new_size` bytes.
     pub async fn truncate(&self, ino: Ino, new_size: u64) -> FsResult<()> {
+        let sp = self.op_span("op:truncate");
         let t0 = self.invoke_ns();
         let r = self.fs.truncate(ino, new_size).await;
         self.record(t0, || HistOp::Truncate { ino: ino.0, size: new_size }, || unit_outcome(&r));
+        self.op_exit(sp);
         r
     }
 
     /// Removes a file.
     pub async fn unlink(&self, path: &str) -> FsResult<()> {
+        let sp = self.op_span("op:unlink");
         let t0 = self.invoke_ns();
         let r = self.fs.unlink(path).await;
         self.record(t0, || HistOp::Unlink { path: path.to_string() }, || unit_outcome(&r));
+        self.op_exit(sp);
         r
     }
 
     /// Removes an empty directory.
     pub async fn rmdir(&self, path: &str) -> FsResult<()> {
+        let sp = self.op_span("op:rmdir");
         let t0 = self.invoke_ns();
         let r = self.fs.rmdir(path).await;
         self.record(t0, || HistOp::Rmdir { path: path.to_string() }, || unit_outcome(&r));
+        self.op_exit(sp);
         r
     }
 
     /// Renames a file or directory.
     pub async fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let sp = self.op_span("op:rename");
         let t0 = self.invoke_ns();
         let r = self.fs.rename(from, to).await;
         self.record(
@@ -1882,6 +2079,7 @@ impl ClientFs {
             || HistOp::Rename { from: from.to_string(), to: to.to_string() },
             || unit_outcome(&r),
         );
+        self.op_exit(sp);
         r
     }
 }

@@ -249,6 +249,8 @@ pub struct DiskDriver {
     capacity_sectors: u64,
     sector_size: u32,
     wakeup: Event,
+    /// Display name; also the tracer's disk-lane label.
+    name: Rc<str>,
 }
 
 impl DiskDriver {
@@ -291,6 +293,7 @@ impl DiskDriver {
             capacity_sectors: backend.capacity_sectors(),
             sector_size: backend.sector_size(),
             wakeup: Event::new(handle),
+            name: Rc::from(name),
         };
         let d = driver.clone();
         handle.spawn(&format!("driver:{name}"), async move {
@@ -610,9 +613,31 @@ impl DiskDriver {
             inner.errors += 1;
         }
         let t = completion.timing;
-        inner.queue_time.record_duration_ms(t.queue);
-        inner.service_time.record_duration_ms(t.service());
-        inner.rotation_time.record_duration_ms(t.rotation);
+        inner.queue_time.record(t.queue.as_millis_f64());
+        inner.service_time.record(t.service().as_millis_f64());
+        inner.rotation_time.record(t.rotation.as_millis_f64());
+        drop(inner);
+        // Disk lane: one complete event per command covering its device
+        // service interval (dispatch → completion), so the flamegraph
+        // shows each disk's occupancy next to the client lanes.
+        if cnp_obs::trace::enabled() {
+            let now = self.handle.now().as_nanos();
+            let service = t.service().as_nanos();
+            let lane = cnp_obs::trace::disk_lane(&self.name);
+            cnp_obs::trace::complete_on(
+                lane,
+                match op {
+                    IoOp::Read => "io:read",
+                    IoOp::Write => "io:write",
+                },
+                now.saturating_sub(service),
+                now,
+                vec![
+                    ("queue_ms", cnp_obs::trace::Field::F64(t.queue.as_millis_f64())),
+                    ("rotation_ms", cnp_obs::trace::Field::F64(t.rotation.as_millis_f64())),
+                ],
+            );
+        }
     }
 }
 

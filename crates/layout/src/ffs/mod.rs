@@ -468,6 +468,7 @@ impl StorageLayout for FfsLayout {
         inode: &mut Inode,
         mut blocks: Vec<(u64, Payload)>,
     ) -> LResult<()> {
+        let sp = self.handle.trace_span("layout:write");
         blocks.sort_by_key(|(b, _)| *b);
         let hint_base = self.group_of(inode.ino);
         let mut table: Option<Vec<u64>> = None;
@@ -539,6 +540,7 @@ impl StorageLayout for FfsLayout {
         }
         inode.mtime = self.handle.now().as_nanos();
         self.put_inode(inode).await?;
+        self.handle.trace_exit(sp);
         Ok(())
     }
 

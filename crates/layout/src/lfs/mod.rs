@@ -128,7 +128,12 @@ impl SealShared {
 
 /// Spawns the writer task draining `shared.pending` in seal order.
 fn spawn_seal_writer(handle: &Handle, io: BlockIo, shared: Rc<SealShared>) {
+    let h = handle.clone();
     handle.spawn("lfs:seal-writer", async move {
+        if cnp_obs::trace::enabled() {
+            let lane = cnp_obs::trace::engine_lane("seal-writer");
+            cnp_obs::trace::set_task_lane(h.task_key(), lane);
+        }
         loop {
             let job = shared
                 .pending
@@ -144,12 +149,14 @@ fn spawn_seal_writer(handle: &Handle, io: BlockIo, shared: Rc<SealShared>) {
             // Payloads reach the media before the checksummed summary
             // that describes them — the same crash-ordering invariant as
             // the synchronous seal.
+            let sp = h.trace_span("layout:seal");
             let r: LResult<()> = async {
                 io.write_run(BlockAddr(start + 1), payloads).await?;
                 io.write_block(BlockAddr(start), Payload::Data(summary)).await?;
                 Ok(())
             }
             .await;
+            h.trace_exit(sp);
             match r {
                 Ok(()) => {
                     shared.pending.borrow_mut().pop_front();
@@ -579,6 +586,13 @@ impl LfsLayout {
 
     /// Moves every live block out of `seg`, leaving it free.
     async fn clean_segment(&mut self, seg: u32) -> LResult<()> {
+        let sp = self.handle.trace_span("layout:clean-seg");
+        let r = self.clean_segment_inner(seg).await;
+        self.handle.trace_exit(sp);
+        r
+    }
+
+    async fn clean_segment_inner(&mut self, seg: u32) -> LResult<()> {
         let sum_payload = self.io.read_block(BlockAddr(self.seg_start(seg))).await?;
         self.stats.meta_reads += 1;
         let bytes =
@@ -815,6 +829,13 @@ impl LfsLayout {
     /// Takes a checkpoint: push imap + usage into the log, then write the
     /// alternating checkpoint region.
     async fn checkpoint(&mut self) -> LResult<()> {
+        let sp = self.handle.trace_span("layout:checkpoint");
+        let r = self.checkpoint_inner().await;
+        self.handle.trace_exit(sp);
+        r
+    }
+
+    async fn checkpoint_inner(&mut self) -> LResult<()> {
         // Seal the current segment; appends below go to a fresh one.
         if !self.cur.entries.is_empty() {
             self.roll_segment().await?;
@@ -1177,8 +1198,11 @@ impl StorageLayout for LfsLayout {
         inode: &mut Inode,
         blocks: Vec<(u64, Payload)>,
     ) -> LResult<()> {
+        let sp = self.handle.trace_span("layout:write");
         self.ensure_space().await?;
-        self.write_blocks_inner(inode, blocks).await
+        let r = self.write_blocks_inner(inode, blocks).await;
+        self.handle.trace_exit(sp);
+        r
     }
 
     async fn truncate(&mut self, inode: &mut Inode, new_blocks: u64) -> LResult<()> {

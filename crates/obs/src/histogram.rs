@@ -1,9 +1,13 @@
 //! Histograms for the paper's "plug-in statistics objects ... with or
 //! without histograms" (disk queue sizes, rotational delays, latencies).
+//!
+//! This is the *single* histogram implementation in the tree: `cnp-sim`
+//! re-exports it as `cnp_sim::stats::Histogram`, and everything above
+//! (replay reports, driver service times, per-client workload rows)
+//! records into the same buckets, so merging across layers is always
+//! edge-for-edge exact.
 
 use std::fmt;
-
-use crate::time::SimDuration;
 
 /// A fixed-bucket histogram over `f64` samples with running moments.
 #[derive(Debug, Clone)]
@@ -84,14 +88,14 @@ impl Histogram {
         }
     }
 
-    /// Records a duration sample in milliseconds.
-    pub fn record_duration_ms(&mut self, d: SimDuration) {
-        self.record(d.as_millis_f64());
-    }
-
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
     /// Mean of recorded samples (0 if empty).
@@ -120,6 +124,12 @@ impl Histogram {
     /// Largest recorded sample (−∞ if empty).
     pub fn max(&self) -> f64 {
         self.max
+    }
+
+    /// The bucket edges (ascending uppers; the overflow bucket is
+    /// implicit). Exposed so merge compatibility can be checked.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
     }
 
     /// Approximate `q`-quantile (0 ≤ q ≤ 1) by linear interpolation
@@ -193,6 +203,11 @@ impl Histogram {
             let hi = if i < self.edges.len() { self.edges[i] } else { f64::INFINITY };
             (lo, hi, c)
         })
+    }
+
+    /// Raw per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
     }
 }
 
@@ -279,6 +294,47 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), 9.0);
         assert_eq!(a.min(), 1.0);
+    }
+
+    #[test]
+    fn merge_is_bucket_boundary_identical_to_single_recording() {
+        // The dedup contract: recording a stream into one histogram and
+        // recording a partition of the stream into two then merging must
+        // land every sample in the same bucket — boundary samples
+        // included (each edge value exactly, plus neighbours).
+        let samples: Vec<f64> = {
+            let proto = Histogram::latency_default();
+            let mut s: Vec<f64> = proto.edges().to_vec();
+            s.extend(proto.edges().iter().map(|e| e * (1.0 + 1e-9)));
+            s.extend(proto.edges().iter().map(|e| e * (1.0 - 1e-9)));
+            s.push(0.0);
+            s.push(1e12); // overflow bucket
+            s
+        };
+        let mut whole = Histogram::latency_default();
+        let mut left = Histogram::latency_default();
+        let mut right = Histogram::latency_default();
+        for (i, v) in samples.iter().enumerate() {
+            whole.record(*v);
+            if i % 2 == 0 {
+                left.record(*v);
+            } else {
+                right.record(*v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(whole.bucket_counts(), left.bucket_counts());
+        assert_eq!(whole.count(), left.count());
+        assert_eq!(whole.min(), left.min());
+        assert_eq!(whole.max(), left.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "different edges")]
+    fn merge_rejects_mismatched_edges() {
+        let mut a = Histogram::linear(0.0, 10.0, 5);
+        let b = Histogram::linear(0.0, 10.0, 4);
+        a.merge(&b);
     }
 
     #[test]

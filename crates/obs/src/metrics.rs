@@ -1,0 +1,378 @@
+//! The unified metrics registry: counters, gauges and histograms
+//! registered by name, snapshotted into one sorted-key structure.
+//!
+//! Every layer of the stack keeps its own native stats struct (they
+//! are part of each crate's API); what this module unifies is the
+//! *reporting* surface: a [`MetricsSnapshot`] holds every metric under
+//! a namespaced key (`fs.ops`, `cache.hits`, `lock.ns.wait_ms`,
+//! `disk.service_ms`, ...) in a `BTreeMap`, so iteration order — and
+//! therefore the serialized bytes — is deterministic. Two identical
+//! seeded runs print byte-identical snapshots.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::histogram::Histogram;
+
+/// One named metric's value in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A point-in-time or time-averaged level.
+    Gauge(f64),
+    /// A distribution summary (count + moments + quantiles).
+    Summary {
+        /// Number of samples.
+        count: u64,
+        /// Mean sample.
+        mean: f64,
+        /// Median.
+        p50: f64,
+        /// 90th percentile.
+        p90: f64,
+        /// 99th percentile.
+        p99: f64,
+        /// Smallest sample (0 if empty).
+        min: f64,
+        /// Largest sample (0 if empty).
+        max: f64,
+    },
+}
+
+impl Metric {
+    /// Builds a [`Metric::Summary`] from a histogram.
+    pub fn summary_of(h: &Histogram) -> Metric {
+        let empty = h.count() == 0;
+        Metric::Summary {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.quantile(0.5),
+            p90: h.quantile(0.9),
+            p99: h.quantile(0.99),
+            min: if empty { 0.0 } else { h.min() },
+            max: if empty { 0.0 } else { h.max() },
+        }
+    }
+}
+
+/// A sorted-key snapshot of every registered metric.
+///
+/// Keys are dotted paths; serialization iterates the underlying
+/// `BTreeMap`, so the emitted bytes are a pure function of the
+/// contents — the property every `--json` report in the tree relies
+/// on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, Metric>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Sets a counter.
+    pub fn counter(&mut self, name: &str, v: u64) {
+        self.entries.insert(name.to_string(), Metric::Counter(v));
+    }
+
+    /// Sets a gauge.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.entries.insert(name.to_string(), Metric::Gauge(v));
+    }
+
+    /// Sets a histogram summary.
+    pub fn histogram(&mut self, name: &str, h: &Histogram) {
+        self.entries.insert(name.to_string(), Metric::summary_of(h));
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.get(name)
+    }
+
+    /// The counter value under `name` (0 if absent or not a counter).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The gauge value under `name` (0.0 if absent or not a gauge).
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        match self.entries.get(name) {
+            Some(Metric::Gauge(v)) => *v,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of metrics held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no metric is held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, metric)` in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Absorbs every entry of `other` under `prefix.` (stripe roll-up
+    /// for multi-filesystem topologies: counters sum, gauges and
+    /// summaries are keeps-last).
+    pub fn absorb(&mut self, prefix: &str, other: &MetricsSnapshot) {
+        for (k, v) in &other.entries {
+            let key = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+            match (self.entries.get_mut(&key), v) {
+                (Some(Metric::Counter(a)), Metric::Counter(b)) => *a += b,
+                (slot, _) => {
+                    let _ = slot;
+                    self.entries.insert(key, v.clone());
+                }
+            }
+        }
+    }
+
+    /// Serializes as a JSON object with `indent` leading spaces on each
+    /// entry line (stable bytes: sorted keys, fixed float precision).
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        if self.entries.is_empty() {
+            return "{}".to_string();
+        }
+        let mut s = String::from("{\n");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            s.push_str(&inner);
+            s.push_str(&format!("\"{}\": ", json_escape(k)));
+            match v {
+                Metric::Counter(c) => s.push_str(&format!("{c}")),
+                Metric::Gauge(g) => s.push_str(&format!("{g:.6}")),
+                Metric::Summary { count, mean, p50, p90, p99, min, max } => {
+                    s.push_str(&format!(
+                        "{{\"count\": {count}, \"mean\": {mean:.6}, \"p50\": {p50:.6}, \
+                         \"p90\": {p90:.6}, \"p99\": {p99:.6}, \"min\": {min:.6}, \
+                         \"max\": {max:.6}}}"
+                    ));
+                }
+            }
+            s.push_str(if i + 1 < self.entries.len() { ",\n" } else { "\n" });
+        }
+        s.push_str(&pad);
+        s.push('}');
+        s
+    }
+
+    /// Formats as an aligned two-column table (stable bytes).
+    pub fn to_table(&self) -> String {
+        let width = self.entries.keys().map(|k| k.len()).max().unwrap_or(0);
+        let mut s = String::new();
+        for (k, v) in &self.entries {
+            match v {
+                Metric::Counter(c) => s.push_str(&format!("{k:<width$}  {c}\n")),
+                Metric::Gauge(g) => s.push_str(&format!("{k:<width$}  {g:.3}\n")),
+                Metric::Summary { count, mean, p50, p99, max, .. } => s.push_str(&format!(
+                    "{k:<width$}  n={count} mean={mean:.3} p50={p50:.3} p99={p99:.3} max={max:.3}\n"
+                )),
+            }
+        }
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A live registry: named counters/gauges/histograms handed out as
+/// cheap `Rc` handles, snapshotted on demand.
+///
+/// Registration order does not matter — snapshots sort by name — but
+/// registering the same name twice returns the same underlying cell,
+/// so two components can share a metric knowingly.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Rc<RefCell<BTreeMap<String, Rc<Cell<u64>>>>>,
+    gauges: Rc<RefCell<BTreeMap<String, Rc<Cell<f64>>>>>,
+    hists: Rc<RefCell<BTreeMap<String, Rc<RefCell<Histogram>>>>>,
+}
+
+/// A counter handle from [`MetricsRegistry::counter`].
+#[derive(Clone)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A gauge handle from [`MetricsRegistry::gauge`].
+#[derive(Clone)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// A histogram handle from [`MetricsRegistry::histogram`].
+#[derive(Clone)]
+pub struct HistogramHandle(Rc<RefCell<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one sample.
+    pub fn record(&self, v: f64) {
+        self.0.borrow_mut().record(v);
+    }
+
+    /// Runs a closure over the histogram.
+    pub fn with<R>(&self, f: impl FnOnce(&Histogram) -> R) -> R {
+        f(&self.0.borrow())
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or retrieves) a counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.borrow_mut();
+        Counter(map.entry(name.to_string()).or_default().clone())
+    }
+
+    /// Registers (or retrieves) a gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.borrow_mut();
+        Gauge(map.entry(name.to_string()).or_insert_with(|| Rc::new(Cell::new(0.0))).clone())
+    }
+
+    /// Registers (or retrieves) a histogram named `name`; `mk` builds
+    /// the bucket layout on first registration.
+    pub fn histogram(&self, name: &str, mk: impl FnOnce() -> Histogram) -> HistogramHandle {
+        let mut map = self.hists.borrow_mut();
+        HistogramHandle(
+            map.entry(name.to_string()).or_insert_with(|| Rc::new(RefCell::new(mk()))).clone(),
+        )
+    }
+
+    /// Snapshots every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        for (k, v) in self.counters.borrow().iter() {
+            out.counter(k, v.get());
+        }
+        for (k, v) in self.gauges.borrow().iter() {
+            out.gauge(k, v.get());
+        }
+        for (k, v) in self.hists.borrow().iter() {
+            out.histogram(k, &v.borrow());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_serialization_is_sorted_and_stable() {
+        let mut m = MetricsSnapshot::new();
+        m.gauge("zz.last", 1.25);
+        m.counter("aa.first", 7);
+        m.counter("mm.mid", 3);
+        let a = m.to_json(0);
+        let b = m.clone().to_json(0);
+        assert_eq!(a, b);
+        let ka = a.find("aa.first").unwrap();
+        let km = a.find("mm.mid").unwrap();
+        let kz = a.find("zz.last").unwrap();
+        assert!(ka < km && km < kz, "keys must serialize sorted: {a}");
+    }
+
+    #[test]
+    fn registry_hands_out_shared_cells() {
+        let r = MetricsRegistry::new();
+        let c1 = r.counter("hits");
+        let c2 = r.counter("hits");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(c1.get(), 3);
+        let g = r.gauge("level");
+        g.set(0.5);
+        let h = r.histogram("lat", Histogram::latency_default);
+        h.record(1.0);
+        h.record(3.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_value("hits"), 3);
+        assert!((snap.gauge_value("level") - 0.5).abs() < 1e-12);
+        match snap.get("lat") {
+            Some(Metric::Summary { count: 2, .. }) => {}
+            other => panic!("expected summary of 2 samples, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_prefixes() {
+        let mut a = MetricsSnapshot::new();
+        a.counter("fs0.ops", 5);
+        let mut fsm = MetricsSnapshot::new();
+        fsm.counter("ops", 7);
+        fsm.gauge("queue", 2.0);
+        a.absorb("fs0", &fsm);
+        assert_eq!(a.counter_value("fs0.ops"), 12);
+        assert!((a.gauge_value("fs0.queue") - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let mut m = MetricsSnapshot::new();
+        m.counter("ops", 10);
+        m.gauge("queue", 1.5);
+        let t = m.to_table();
+        assert!(t.contains("ops") && t.contains("queue"));
+    }
+}

@@ -1,0 +1,453 @@
+//! The virtual-time span tracer: structured `span_enter`/`span_exit`/
+//! `instant` events stamped with simulated time.
+//!
+//! # Model
+//!
+//! Events land on **lanes**. A lane is one row of the flamegraph:
+//! one per client (`LaneKind::Client`, tid = client id), one per disk
+//! (`LaneKind::Disk`), and engine lanes for the daemons (flush, cache,
+//! layout). Spans opened through [`span_enter`] resolve their lane via
+//! a per-task routing table ([`set_task_lane`]): a client handle binds
+//! its task to its client lane at op entry, so everything the op does
+//! on that task — lock waits, cache loads, flush stalls — nests under
+//! the op span in the client's lane.
+//!
+//! # Zero cost when disabled
+//!
+//! The tracer is installed into a thread-local slot ([`install`]); all
+//! entry points first read a thread-local `bool` and return
+//! immediately when no tracer is installed. Instrumentation sites are
+//! expected to gate any argument construction behind [`enabled`].
+//!
+//! # Determinism
+//!
+//! Timestamps are caller-supplied *simulated* nanoseconds and event
+//! order is the deterministic executor's, so two seeded runs produce
+//! byte-identical exports ([`crate::chrome::to_chrome_json`]). Tracing
+//! records but never sleeps, yields or allocates sim resources, so
+//! enabling it cannot perturb a schedule: the platter image of a
+//! traced run is byte-identical to the untraced run's.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Which process row a lane renders under in the Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LaneKind {
+    /// One lane per client (pid 1).
+    Client,
+    /// One lane per disk (pid 2).
+    Disk,
+    /// Engine daemons and shared phases (pid 3).
+    Engine,
+}
+
+impl LaneKind {
+    /// The Chrome `pid` this kind renders under.
+    pub fn pid(self) -> u32 {
+        match self {
+            LaneKind::Client => 1,
+            LaneKind::Disk => 2,
+            LaneKind::Engine => 3,
+        }
+    }
+
+    /// The process label for the `process_name` metadata event.
+    pub fn process_label(self) -> &'static str {
+        match self {
+            LaneKind::Client => "clients",
+            LaneKind::Disk => "disks",
+            LaneKind::Engine => "engine",
+        }
+    }
+}
+
+/// Index of a lane inside a tracer.
+pub type LaneId = u32;
+
+/// Handle to an open span; returned by [`span_enter`] and consumed by
+/// [`span_exit`]. [`SpanToken::NONE`] is the disabled-tracer sentinel
+/// and makes every operation on it a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanToken(u32);
+
+impl SpanToken {
+    /// The no-op token handed out while tracing is disabled.
+    pub const NONE: SpanToken = SpanToken(u32::MAX);
+
+    /// True for the disabled sentinel.
+    pub fn is_none(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+/// A typed field value attached to a span or instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String (allocates; gate behind [`enabled`]).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+pub(crate) struct Lane {
+    pub kind: LaneKind,
+    pub tid: u32,
+    pub name: String,
+}
+
+pub(crate) enum Event {
+    Complete {
+        lane: LaneId,
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        fields: Vec<(&'static str, Field)>,
+    },
+    Instant {
+        lane: LaneId,
+        name: &'static str,
+        ts_ns: u64,
+        fields: Vec<(&'static str, Field)>,
+    },
+}
+
+impl Event {
+    pub(crate) fn start_ns(&self) -> u64 {
+        match self {
+            Event::Complete { start_ns, .. } => *start_ns,
+            Event::Instant { ts_ns, .. } => *ts_ns,
+        }
+    }
+
+    pub(crate) fn lane(&self) -> LaneId {
+        match self {
+            Event::Complete { lane, .. } | Event::Instant { lane, .. } => *lane,
+        }
+    }
+}
+
+struct OpenSpan {
+    lane: LaneId,
+    name: &'static str,
+    start_ns: u64,
+    fields: Vec<(&'static str, Field)>,
+}
+
+#[derive(Default)]
+pub(crate) struct TracerInner {
+    pub(crate) lanes: Vec<Lane>,
+    /// (kind, tid) → lane, for client lanes keyed by id.
+    by_tid: BTreeMap<(u8, u32), LaneId>,
+    /// Named disk/engine lanes, interned in registration order.
+    by_name: BTreeMap<(u8, String), LaneId>,
+    next_tid: BTreeMap<u8, u32>,
+    open: Vec<Option<OpenSpan>>,
+    free: Vec<u32>,
+    pub(crate) events: Vec<Event>,
+    task_lanes: BTreeMap<u64, LaneId>,
+}
+
+fn kind_key(kind: LaneKind) -> u8 {
+    match kind {
+        LaneKind::Client => 0,
+        LaneKind::Disk => 1,
+        LaneKind::Engine => 2,
+    }
+}
+
+impl TracerInner {
+    fn lane_for_client(&mut self, client: u32) -> LaneId {
+        let key = (kind_key(LaneKind::Client), client);
+        if let Some(id) = self.by_tid.get(&key) {
+            return *id;
+        }
+        let id = self.lanes.len() as LaneId;
+        self.lanes.push(Lane {
+            kind: LaneKind::Client,
+            tid: client,
+            name: format!("client {client}"),
+        });
+        self.by_tid.insert(key, id);
+        id
+    }
+
+    fn lane_named(&mut self, kind: LaneKind, name: &str) -> LaneId {
+        let key = (kind_key(kind), name.to_string());
+        if let Some(id) = self.by_name.get(&key) {
+            return *id;
+        }
+        let tid_slot = self.next_tid.entry(kind_key(kind)).or_insert(0);
+        let tid = *tid_slot;
+        *tid_slot += 1;
+        let id = self.lanes.len() as LaneId;
+        self.lanes.push(Lane { kind, tid, name: name.to_string() });
+        self.by_name.insert(key, id);
+        id
+    }
+
+    fn enter(&mut self, lane: LaneId, name: &'static str, now_ns: u64) -> SpanToken {
+        let span = OpenSpan { lane, name, start_ns: now_ns, fields: Vec::new() };
+        if let Some(slot) = self.free.pop() {
+            self.open[slot as usize] = Some(span);
+            SpanToken(slot)
+        } else {
+            self.open.push(Some(span));
+            SpanToken((self.open.len() - 1) as u32)
+        }
+    }
+
+    fn exit(&mut self, tok: SpanToken, now_ns: u64) {
+        let Some(slot) = self.open.get_mut(tok.0 as usize) else { return };
+        let Some(span) = slot.take() else { return };
+        self.free.push(tok.0);
+        self.events.push(Event::Complete {
+            lane: span.lane,
+            name: span.name,
+            start_ns: span.start_ns,
+            dur_ns: now_ns.saturating_sub(span.start_ns),
+            fields: span.fields,
+        });
+    }
+}
+
+/// A shareable tracer; clones reference the same event buffer.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    pub(crate) inner: Rc<RefCell<TracerInner>>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Number of events recorded so far (open spans excluded).
+    pub fn event_count(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static CURRENT: RefCell<Option<Tracer>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed tracer (if any) on drop.
+pub struct InstallGuard {
+    prev: Option<Tracer>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        ENABLED.with(|e| e.set(prev.is_some()));
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Installs `t` as the thread's active tracer until the guard drops.
+pub fn install(t: &Tracer) -> InstallGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(t.clone()));
+    ENABLED.with(|e| e.set(true));
+    InstallGuard { prev }
+}
+
+/// True when a tracer is installed. Instrumentation sites should check
+/// this before building field values or formatting names.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+fn with<R>(f: impl FnOnce(&Tracer) -> R) -> Option<R> {
+    if !enabled() {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().as_ref().map(f))
+}
+
+/// Interns (or retrieves) the lane for `client`.
+pub fn client_lane(client: u32) -> LaneId {
+    with(|t| t.inner.borrow_mut().lane_for_client(client)).unwrap_or(0)
+}
+
+/// Interns (or retrieves) a disk lane named `name`.
+pub fn disk_lane(name: &str) -> LaneId {
+    with(|t| t.inner.borrow_mut().lane_named(LaneKind::Disk, name)).unwrap_or(0)
+}
+
+/// Interns (or retrieves) an engine lane named `name`.
+pub fn engine_lane(name: &str) -> LaneId {
+    with(|t| t.inner.borrow_mut().lane_named(LaneKind::Engine, name)).unwrap_or(0)
+}
+
+/// Routes subsequent [`span_enter`]/[`instant`] calls made by task
+/// `task` to `lane` (the client handle binds its task at op entry).
+pub fn set_task_lane(task: u64, lane: LaneId) {
+    with(|t| {
+        t.inner.borrow_mut().task_lanes.insert(task, lane);
+    });
+}
+
+fn task_lane(inner: &mut TracerInner, task: u64) -> LaneId {
+    if let Some(l) = inner.task_lanes.get(&task) {
+        *l
+    } else {
+        inner.lane_named(LaneKind::Engine, "engine")
+    }
+}
+
+/// Opens a span on the lane routed for `task` (see [`set_task_lane`]).
+pub fn span_enter(task: u64, name: &'static str, now_ns: u64) -> SpanToken {
+    with(|t| {
+        let mut inner = t.inner.borrow_mut();
+        let lane = task_lane(&mut inner, task);
+        inner.enter(lane, name, now_ns)
+    })
+    .unwrap_or(SpanToken::NONE)
+}
+
+/// Opens a span on an explicit lane.
+pub fn span_enter_on(lane: LaneId, name: &'static str, now_ns: u64) -> SpanToken {
+    with(|t| t.inner.borrow_mut().enter(lane, name, now_ns)).unwrap_or(SpanToken::NONE)
+}
+
+/// Attaches a typed field to an open span.
+pub fn span_field(tok: SpanToken, key: &'static str, value: Field) {
+    if tok.is_none() {
+        return;
+    }
+    with(|t| {
+        let mut inner = t.inner.borrow_mut();
+        if let Some(Some(span)) = inner.open.get_mut(tok.0 as usize) {
+            span.fields.push((key, value));
+        }
+    });
+}
+
+/// Closes a span, emitting a complete event spanning enter → now.
+pub fn span_exit(tok: SpanToken, now_ns: u64) {
+    if tok.is_none() {
+        return;
+    }
+    with(|t| t.inner.borrow_mut().exit(tok, now_ns));
+}
+
+/// Emits an instant event on the lane routed for `task`.
+pub fn instant(task: u64, name: &'static str, now_ns: u64, fields: Vec<(&'static str, Field)>) {
+    with(|t| {
+        let mut inner = t.inner.borrow_mut();
+        let lane = task_lane(&mut inner, task);
+        inner.events.push(Event::Instant { lane, name, ts_ns: now_ns, fields });
+    });
+}
+
+/// Emits an instant event on an explicit lane.
+pub fn instant_on(
+    lane: LaneId,
+    name: &'static str,
+    now_ns: u64,
+    fields: Vec<(&'static str, Field)>,
+) {
+    with(|t| {
+        t.inner.borrow_mut().events.push(Event::Instant { lane, name, ts_ns: now_ns, fields });
+    });
+}
+
+/// Emits a complete event with explicit bounds (for spans measured
+/// elsewhere — e.g. device service intervals recorded by the driver).
+pub fn complete_on(
+    lane: LaneId,
+    name: &'static str,
+    start_ns: u64,
+    end_ns: u64,
+    fields: Vec<(&'static str, Field)>,
+) {
+    with(|t| {
+        t.inner.borrow_mut().events.push(Event::Complete {
+            lane,
+            name,
+            start_ns,
+            dur_ns: end_ns.saturating_sub(start_ns),
+            fields,
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        assert!(!enabled());
+        let tok = span_enter(0, "op:test", 100);
+        assert!(tok.is_none());
+        span_exit(tok, 200);
+        instant(0, "nothing", 150, vec![]);
+        assert_eq!(client_lane(3), 0);
+    }
+
+    #[test]
+    fn spans_and_instants_record_on_lanes() {
+        let t = Tracer::new();
+        let _g = install(&t);
+        assert!(enabled());
+        let lane = client_lane(7);
+        set_task_lane(42, lane);
+        let tok = span_enter(42, "op:read", 1_000);
+        span_field(tok, "ino", Field::U64(5));
+        instant(42, "cache:hit", 1_500, vec![]);
+        span_exit(tok, 2_000);
+        drop(_g);
+        assert!(!enabled());
+        let inner = t.inner.borrow();
+        assert_eq!(inner.events.len(), 2);
+        assert_eq!(inner.lanes.len(), 1);
+        assert_eq!(inner.lanes[0].tid, 7);
+        match &inner.events[1] {
+            Event::Complete { name, start_ns, dur_ns, fields, .. } => {
+                assert_eq!(*name, "op:read");
+                assert_eq!(*start_ns, 1_000);
+                assert_eq!(*dur_ns, 1_000);
+                assert_eq!(fields.len(), 1);
+            }
+            _ => panic!("expected complete event last"),
+        }
+    }
+
+    #[test]
+    fn install_guard_restores_previous_tracer() {
+        let a = Tracer::new();
+        let b = Tracer::new();
+        let _ga = install(&a);
+        {
+            let _gb = install(&b);
+            span_exit(span_enter_on(engine_lane("x"), "inner", 0), 10);
+        }
+        span_exit(span_enter_on(engine_lane("x"), "outer", 0), 10);
+        assert_eq!(b.event_count(), 1);
+        assert_eq!(a.event_count(), 1);
+    }
+
+    #[test]
+    fn unrouted_tasks_fall_back_to_the_engine_lane() {
+        let t = Tracer::new();
+        let _g = install(&t);
+        let tok = span_enter(999, "daemon:tick", 0);
+        span_exit(tok, 5);
+        let inner = t.inner.borrow();
+        assert_eq!(inner.lanes.len(), 1);
+        assert_eq!(inner.lanes[0].kind, LaneKind::Engine);
+        assert_eq!(inner.lanes[0].name, "engine");
+    }
+}

@@ -12,12 +12,15 @@
 //! patsy check --trace 1a --qd 8 --budget 500   # exhaustive crash-point
 //!                                              # enumeration + history leg
 //! patsy check --repro cnpc1:...                # replay one failing cell
+//! patsy run --trace 1a --trace-out prof.json   # Chrome trace of virtual time
+//! patsy bench-snapshot --label pr7             # canonical perf cells ->
+//!                                              # BENCH_trajectory.json
 //! options: --scale 0.05 --seed 365 --cuts 16 --layout lfs|ffs --qd 1
 //! ```
 
 use cnp_patsy::check::{check_cli, repro_cli, CheckCliConfig};
 use cnp_patsy::cli::{parse_cli, usage};
-use cnp_patsy::{ablate, clients, crash, figures, Policy};
+use cnp_patsy::{ablate, bench, clients, crash, figures, Policy};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +41,7 @@ fn main() {
         "fig3" => figures::figure_cdf("1b", a.scale, a.seed, a.qd),
         "fig4" => figures::figure_cdf("5", a.scale, a.seed, a.qd),
         "fig5" => figures::figure5(a.scale, a.seed),
-        "sweep-qd" => cnp_patsy::qdsweep::sweep_queue_depth(&a.trace, a.scale, a.seed),
+        "sweep-qd" => cnp_patsy::qdsweep::sweep_queue_depth(&a.trace, a.scale, a.seed, a.json),
         "sweep-clients" => {
             // Client cells are numerous and closed-loop; the default
             // full-figure scale would run minutes per cell. The sweep
@@ -74,7 +77,15 @@ fn main() {
                 );
                 std::process::exit(2);
             });
-            figures::run_one(&a.trace, p, a.scale, a.seed, a.qd, a.layout.as_deref());
+            figures::run_one(
+                &a.trace,
+                p,
+                a.scale,
+                a.seed,
+                a.qd,
+                a.layout.as_deref(),
+                a.trace_out.as_deref(),
+            );
         }
         "crash" => {
             // Crash cells are numerous (layouts × policies × cuts); a
@@ -89,7 +100,15 @@ fn main() {
                 a.layout.as_deref(),
                 policy_filter,
                 a.qd,
+                a.json,
             );
+        }
+        "bench-snapshot" => {
+            std::process::exit(bench::bench_snapshot_cli(
+                a.out.as_deref(),
+                a.label.as_deref(),
+                a.baseline.as_deref(),
+            ));
         }
         "check" => {
             if let Some(blob) = &a.repro {

@@ -54,6 +54,18 @@ pub struct CliArgs {
     pub shards: Option<u32>,
     /// `--json`: machine-readable report instead of the table.
     pub json: bool,
+    /// `--trace-out` path: `run` writes a Chrome trace_event JSON file
+    /// of the virtual-time span tree here (load in Perfetto).
+    pub trace_out: Option<String>,
+    /// `--out` path: `bench-snapshot` appends its record here
+    /// (defaults to `BENCH_trajectory.json`).
+    pub out: Option<String>,
+    /// `--label` free-form tag stamped into the bench-snapshot record
+    /// (typically the PR number or commit subject).
+    pub label: Option<String>,
+    /// `--baseline` path: `bench-snapshot` reads the committed
+    /// trajectory here and fails if the tier-1 cell regressed.
+    pub baseline: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -78,6 +90,10 @@ impl Default for CliArgs {
             repro_out: None,
             shards: None,
             json: false,
+            trace_out: None,
+            out: None,
+            label: None,
+            baseline: None,
         }
     }
 }
@@ -226,6 +242,34 @@ pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
                 out.layout = Some(value(i)?.clone());
                 i += 2;
             }
+            "--trace-out" => {
+                let p = value(i)?.clone();
+                if p.is_empty() {
+                    return Err("bad --trace-out: empty path".to_string());
+                }
+                out.trace_out = Some(p);
+                i += 2;
+            }
+            "--out" => {
+                let p = value(i)?.clone();
+                if p.is_empty() {
+                    return Err("bad --out: empty path".to_string());
+                }
+                out.out = Some(p);
+                i += 2;
+            }
+            "--label" => {
+                out.label = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--baseline" => {
+                let p = value(i)?.clone();
+                if p.is_empty() {
+                    return Err("bad --baseline: empty path".to_string());
+                }
+                out.baseline = Some(p);
+                i += 2;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -236,11 +280,12 @@ pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
 pub fn usage() -> String {
     "usage: patsy <fig2|fig3|fig4|fig5|ablate-diskmodel|ablate-flushmode|\
      ablate-iosched|ablate-diskcache|ablate-nvram|ablate-cleaner|run|sweep-qd|\
-     sweep-clients|crash|check> \
+     sweep-clients|crash|check|bench-snapshot> \
      [--trace 1a] [--policy ups] [--scale 0.05] [--seed 365] [--cuts 16] \
      [--layout lfs|ffs] [--qd 1] [--workload zipf|mail|build|scan|web] \
      [--clients 1,4,16] [--shards N] [--budget 200] [--json] \
-     [--repro <blob>] [--repro-out <path>]"
+     [--repro <blob>] [--repro-out <path>] [--trace-out <prof.json>] \
+     [--out <trajectory.json>] [--label <tag>] [--baseline <trajectory.json>]"
         .to_string()
 }
 
@@ -333,6 +378,42 @@ mod tests {
         assert!(b.json);
         assert_eq!(b.budget, 500, "--json must not eat the following flag");
         assert!(!parse(&["sweep-clients"]).unwrap().json);
+    }
+
+    #[test]
+    fn trace_out_flag_parses_and_validates() {
+        let a = parse(&["run", "--trace-out", "prof.json", "--qd", "8"]).unwrap();
+        assert_eq!(a.trace_out.as_deref(), Some("prof.json"));
+        assert_eq!(a.qd, 8, "--trace-out must consume exactly one value");
+        assert_eq!(parse(&["run"]).unwrap().trace_out, None);
+        let e = parse(&["run", "--trace-out", ""]).unwrap_err();
+        assert!(e.contains("--trace-out"), "{e}");
+        assert!(parse(&["run", "--trace-out"]).is_err());
+    }
+
+    #[test]
+    fn bench_snapshot_flags_parse() {
+        let a = parse(&[
+            "bench-snapshot",
+            "--out",
+            "BENCH_trajectory.json",
+            "--label",
+            "pr7",
+            "--baseline",
+            "BENCH_trajectory.json",
+        ])
+        .unwrap();
+        assert_eq!(a.cmd, "bench-snapshot");
+        assert_eq!(a.out.as_deref(), Some("BENCH_trajectory.json"));
+        assert_eq!(a.label.as_deref(), Some("pr7"));
+        assert_eq!(a.baseline.as_deref(), Some("BENCH_trajectory.json"));
+        let b = parse(&["bench-snapshot"]).unwrap();
+        assert_eq!(b.out, None);
+        assert_eq!(b.label, None);
+        assert_eq!(b.baseline, None);
+        assert!(parse(&["bench-snapshot", "--out", ""]).is_err());
+        assert!(parse(&["bench-snapshot", "--baseline", ""]).is_err());
+        assert!(parse(&["bench-snapshot", "--label"]).is_err());
     }
 
     #[test]

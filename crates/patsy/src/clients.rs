@@ -96,6 +96,9 @@ pub struct ClientCell {
     pub lock_stats: Vec<(&'static str, LockStats)>,
     /// Stripe count the cell ran with.
     pub shards: u32,
+    /// The cell's unified metrics snapshot (captured just before
+    /// shutdown).
+    pub metrics: cnp_obs::MetricsSnapshot,
 }
 
 impl ClientCell {
@@ -161,8 +164,13 @@ pub fn run_client_cell(cfg: &ClientSweepConfig, n: u32) -> ClientCell {
     let fs = FileSystem::new(&h, layout, fs_cfg);
     let scenario = Scenario::generate(cfg.workload, n, cfg.seed, cfg.scale);
     /// A cell's raw outcome: the run report + per-client flush counts
-    /// + engine lock contention counters.
-    type CellOut = Option<(WorkloadReport, Vec<(u32, u64)>, Vec<(&'static str, LockStats)>)>;
+    /// + engine lock contention counters + the unified metrics snapshot.
+    type CellOut = Option<(
+        WorkloadReport,
+        Vec<(u32, u64)>,
+        Vec<(&'static str, LockStats)>,
+        cnp_obs::MetricsSnapshot,
+    )>;
     let out: Rc<RefCell<CellOut>> = Rc::new(RefCell::new(None));
     let out2 = out.clone();
     let h2 = h.clone();
@@ -170,11 +178,11 @@ pub fn run_client_cell(cfg: &ClientSweepConfig, n: u32) -> ClientCell {
         fs.format().await.expect("format");
         let report = run_clients(&h2, &fs, &scenario, RunOptions::default()).await;
         fs.sync().await.expect("sync");
-        *out2.borrow_mut() = Some((report, fs.flushes_by_client(), fs.lock_stats()));
+        *out2.borrow_mut() = Some((report, fs.flushes_by_client(), fs.lock_stats(), fs.metrics()));
         fs.shutdown();
     });
     sim.run_until(SimTime::from_nanos(u64::MAX / 2));
-    let (report, flush_attr, lock_stats) =
+    let (report, flush_attr, lock_stats, metrics) =
         out.borrow_mut().take().expect("client cell did not finish");
     let d = driver.stats();
     ClientCell {
@@ -187,6 +195,7 @@ pub fn run_client_cell(cfg: &ClientSweepConfig, n: u32) -> ClientCell {
         flush_attr,
         lock_stats,
         shards,
+        metrics,
         report,
     }
 }
@@ -329,7 +338,8 @@ pub fn format_client_sweep_json(cfg: &ClientSweepConfig, cells: &[ClientCell]) -
                 if j + 1 < c.lock_stats.len() { "," } else { "" },
             ));
         }
-        s.push_str("      ]\n");
+        s.push_str("      ],\n");
+        s.push_str(&format!("      \"metrics\": {}\n", c.metrics.to_json(6)));
         s.push_str(&format!("    }}{}\n", if i + 1 < cells.len() { "," } else { "" }));
     }
     s.push_str("  ]\n}\n");

@@ -95,6 +95,9 @@ pub struct CrashCell {
     pub overlap: f64,
     /// Acknowledged-write loss accounting.
     pub loss: LossReport,
+    /// Unified metrics of the doomed run, captured at the cut (what the
+    /// engine had done when power died).
+    pub metrics: cnp_obs::MetricsSnapshot,
 }
 
 /// Runs the full sweep; deterministic in `cfg` (same config + seed →
@@ -168,6 +171,7 @@ fn run_cell(
         .await;
         // The cut: everything volatile dies right now.
         let doomed_stats = fs.driver_stats();
+        let doomed_metrics = fs.metrics();
         let state = CrashState::capture(&fs, &disk).await;
         fs.shutdown();
 
@@ -199,6 +203,7 @@ fn run_cell(
             mean_queue: doomed_stats.mean_queue_len,
             overlap: doomed_stats.overlap_fraction,
             loss,
+            metrics: doomed_metrics,
         });
     });
     sim.run_until(SimTime::from_nanos(u64::MAX / 2));
@@ -253,7 +258,49 @@ pub fn format_crash_sweep(cfg: &CrashConfig, cells: &[CrashCell]) -> String {
     s
 }
 
+/// Formats the sweep as a JSON document (stable bytes, like the table).
+/// Hand-rolled — the repo carries no serialization dependency; every
+/// embedded name comes from a fixed internal vocabulary.
+pub fn format_crash_sweep_json(cfg: &CrashConfig, cells: &[CrashCell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"trace\": \"{}\",\n", cfg.trace.name));
+    s.push_str(&format!("  \"cuts\": {},\n", cfg.cuts));
+    s.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    s.push_str(&format!("  \"scale\": {},\n", cfg.scale));
+    s.push_str(&format!("  \"queue_depth\": {},\n", cfg.queue_depth));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"layout\": \"{}\",\n", c.layout));
+        s.push_str(&format!("      \"policy\": \"{}\",\n", c.policy.label()));
+        s.push_str(&format!("      \"cut_op\": {},\n", c.cut_op));
+        s.push_str(&format!("      \"ops\": {},\n", c.ops));
+        s.push_str(&format!("      \"rolled_segments\": {},\n", c.rolled_segments));
+        s.push_str(&format!("      \"patched_blocks\": {},\n", c.patched_blocks));
+        s.push_str(&format!("      \"violations_pre\": {},\n", c.violations_pre));
+        s.push_str(&format!("      \"repairs\": {},\n", c.repairs));
+        s.push_str(&format!("      \"violations_post\": {},\n", c.violations_post));
+        s.push_str(&format!("      \"nvram_replayed\": {},\n", c.nvram_replayed));
+        s.push_str(&format!("      \"orphans_attached\": {},\n", c.orphans_attached));
+        s.push_str(&format!("      \"recovery_ms\": {:.6},\n", c.recovery_ms));
+        s.push_str(&format!("      \"mean_queue\": {:.6},\n", c.mean_queue));
+        s.push_str(&format!("      \"overlap\": {:.6},\n", c.overlap));
+        s.push_str(&format!("      \"lost_files\": {},\n", c.loss.lost_files));
+        s.push_str(&format!("      \"lost_bytes\": {},\n", c.loss.lost_bytes));
+        s.push_str(&format!("      \"loss_window_ms\": {:.6},\n", c.loss.loss_window_ms));
+        s.push_str(&format!("      \"metrics\": {}\n", c.metrics.to_json(6)));
+        s.push_str(&format!("    }}{}\n", if i + 1 < cells.len() { "," } else { "" }));
+    }
+    s.push_str("  ],\n");
+    let all_clean = cells.iter().all(|c| c.violations_post == 0);
+    s.push_str(&format!("  \"clean\": {all_clean}\n"));
+    s.push_str("}\n");
+    s
+}
+
 /// CLI entry: runs the sweep and prints the report.
+#[allow(clippy::too_many_arguments)]
 pub fn crash_cli(
     trace: &str,
     cuts: u32,
@@ -262,6 +309,7 @@ pub fn crash_cli(
     layout: Option<&str>,
     policy: Option<&str>,
     queue_depth: u32,
+    json: bool,
 ) {
     let Some(params) = cnp_trace::preset(trace) else {
         eprintln!("unknown trace {trace} (1a|1b|2a|2b|5)");
@@ -284,5 +332,9 @@ pub fn crash_cli(
         cfg.policies = vec![policy];
     }
     let cells = run_crash_sweep(&cfg);
-    print!("{}", format_crash_sweep(&cfg, &cells));
+    if json {
+        print!("{}", format_crash_sweep_json(&cfg, &cells));
+    } else {
+        print!("{}", format_crash_sweep(&cfg, &cells));
+    }
 }

@@ -164,6 +164,10 @@ pub struct ExperimentResult {
     pub fs_stats: FsStats,
     /// Layout stats summed over file systems.
     pub layout: LayoutStats,
+    /// Unified metrics rolled up across file systems (counters summed;
+    /// rate gauges recomputed from the summed counters where they have
+    /// a cross-system meaning).
+    pub metrics: cnp_obs::MetricsSnapshot,
 }
 
 /// Runs one experiment to completion on a fresh virtual-time simulation.
@@ -262,7 +266,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let mut nvram_stalls = 0u64;
     let mut fs_stats = FsStats::default();
     let mut layout = LayoutStats::default();
+    let mut metrics = cnp_obs::MetricsSnapshot::new();
     for fs in &systems {
+        metrics.absorb("", &fs.metrics());
         let c = fs.cache_stats();
         hits += c.hits;
         lookups += c.hits + c.misses;
@@ -308,6 +314,16 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     mean_inflight /= drivers.len() as f64;
     overlap /= drivers.len() as f64;
 
+    // Rates lose their meaning under keep-last absorption; recompute
+    // the cross-system ones from the summed counters.
+    metrics.gauge("cache.hit_rate", if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 });
+    metrics.gauge("disk.mean_queue_len", mean_queue);
+    metrics.gauge("disk.mean_inflight", mean_inflight);
+    metrics.gauge("disk.overlap_fraction", overlap);
+    metrics.histogram("op.latency_ms", &merged.latency);
+    metrics.histogram("op.read_latency_ms", &merged.read_latency);
+    metrics.histogram("op.write_latency_ms", &merged.write_latency);
+
     ExperimentResult {
         policy: cfg.policy,
         trace: cfg.trace.name,
@@ -323,6 +339,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         mean_service_ms: service.mean(),
         fs_stats,
         layout,
+        metrics,
     }
 }
 

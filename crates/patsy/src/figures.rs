@@ -76,7 +76,10 @@ pub fn figure5(scale: f64, seed: u64) {
     println!("(dirty data clutters the cache and read hit-rates drop).");
 }
 
-/// One experiment with full detail (the `run` subcommand).
+/// One experiment with full detail (the `run` subcommand). With
+/// `trace_out`, a virtual-time span tracer is installed for the run
+/// and the resulting Chrome trace_event JSON is written to that path
+/// (load it in Perfetto; one lane per client plus one per disk).
 pub fn run_one(
     trace_name: &str,
     policy: crate::Policy,
@@ -84,6 +87,7 @@ pub fn run_one(
     seed: u64,
     queue_depth: u32,
     layout: Option<&str>,
+    trace_out: Option<&str>,
 ) {
     let trace = preset(trace_name).expect("known trace");
     let mut cfg = ExperimentConfig::new(policy, trace);
@@ -93,7 +97,10 @@ pub fn run_one(
     if let Some(l) = layout {
         cfg.layout = l.to_string();
     }
+    let tracer = trace_out.map(|_| cnp_obs::trace::Tracer::default());
+    let guard = tracer.as_ref().map(cnp_obs::trace::install);
     let r = run_experiment(&cfg);
+    drop(guard);
     println!("trace {trace_name} policy {} layout {}", policy.label(), cfg.layout);
     println!("  ops {} errors {}", r.report.ops, r.report.errors);
     for e in &r.report.error_sample {
@@ -140,5 +147,19 @@ pub fn run_one(
             row.mean,
             row.max
         );
+    }
+    println!("  metrics:");
+    for line in r.metrics.to_table().lines() {
+        println!("    {line}");
+    }
+    if let (Some(path), Some(tracer)) = (trace_out, &tracer) {
+        let json = cnp_obs::chrome::to_chrome_json(tracer);
+        match std::fs::write(path, json) {
+            Ok(()) => println!("  trace: {} events -> {path}", tracer.event_count()),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

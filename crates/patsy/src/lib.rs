@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod bench;
 pub mod check;
 pub mod cli;
 pub mod clients;
@@ -23,6 +24,8 @@ pub use clients::{
     derive_shards, format_client_sweep, format_client_sweep_json, run_client_cell,
     run_client_sweep, ClientCell, ClientSweepConfig,
 };
-pub use crash::{format_crash_sweep, run_crash_sweep, CrashCell, CrashConfig};
+pub use crash::{
+    format_crash_sweep, format_crash_sweep_json, run_crash_sweep, CrashCell, CrashConfig,
+};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Policy, POLICIES};
-pub use qdsweep::{run_depth_cell, sweep_queue_depth, trace_footprint, QdCell};
+pub use qdsweep::{run_depth_cell, run_qd_sweep, sweep_queue_depth, trace_footprint, QdCell};

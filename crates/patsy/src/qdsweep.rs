@@ -133,8 +133,15 @@ pub fn run_depth_cell(reqs: &[BlockReq], sched_name: &str, depth: u32, seed: u64
     }
 }
 
-/// Runs and prints the sweep table.
-pub fn sweep_queue_depth(trace_name: &str, scale: f64, seed: u64) {
+/// The depths the sweep visits.
+pub const SWEEP_DEPTHS: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// The schedulers the sweep visits, in reporting order.
+pub const SWEEP_SCHEDS: [&str; 4] = ["fcfs", "sstf", "scan", "c-look"];
+
+/// Runs the whole sweep: one row per scheduler, one [`QdCell`] per
+/// depth in [`SWEEP_DEPTHS`]. Deterministic in (trace, scale, seed).
+pub fn run_qd_sweep(trace_name: &str, scale: f64, seed: u64) -> Vec<(&'static str, Vec<QdCell>)> {
     let capacity = {
         // One throwaway sim to learn the disk capacity.
         let sim = Sim::new(0);
@@ -150,22 +157,38 @@ pub fn sweep_queue_depth(trace_name: &str, scale: f64, seed: u64) {
         c
     };
     let reqs = trace_footprint(trace_name, scale, seed, capacity);
-    println!(
-        "== Queue-depth sweep, trace {trace_name} ({} requests, sim-guess placement) ==",
-        reqs.len()
-    );
-    println!("   (scale {scale}; seed {seed}; closed-loop; cells: service-mean ms / makespan s / mean queue)");
-    let depths = [1u32, 2, 4, 8, 16];
-    print!("{:<8}", "sched");
-    for d in depths {
-        print!("{:>22}", format!("qd={d}"));
+    SWEEP_SCHEDS
+        .iter()
+        .map(|&sched| {
+            (sched, SWEEP_DEPTHS.iter().map(|&d| run_depth_cell(&reqs, sched, d, seed)).collect())
+        })
+        .collect()
+}
+
+/// Formats the sweep as the CLI table (stable bytes).
+pub fn format_qd_sweep(
+    trace_name: &str,
+    scale: f64,
+    seed: u64,
+    requests: usize,
+    rows: &[(&'static str, Vec<QdCell>)],
+) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "== Queue-depth sweep, trace {trace_name} ({requests} requests, sim-guess placement) ==\n"
+    ));
+    s.push_str(&format!(
+        "   (scale {scale}; seed {seed}; closed-loop; cells: service-mean ms / makespan s / mean queue)\n"
+    ));
+    s.push_str(&format!("{:<8}", "sched"));
+    for d in SWEEP_DEPTHS {
+        s.push_str(&format!("{:>22}", format!("qd={d}")));
     }
-    println!();
-    for sched in ["fcfs", "sstf", "scan", "c-look"] {
-        print!("{sched:<8}");
-        for d in depths {
-            let c = run_depth_cell(&reqs, sched, d, seed);
-            print!(
+    s.push('\n');
+    for (sched, cells) in rows {
+        s.push_str(&format!("{sched:<8}"));
+        for c in cells {
+            s.push_str(&format!(
                 "{:>22}",
                 format!(
                     "{:.2} / {:.0}s / q\u{0304}{:.1}",
@@ -173,14 +196,87 @@ pub fn sweep_queue_depth(trace_name: &str, scale: f64, seed: u64) {
                     c.makespan_ms / 1000.0,
                     c.mean_queue,
                 )
-            );
+            ));
         }
-        println!();
+        s.push('\n');
     }
-    println!();
-    println!("Reading the table: within a column (fixed depth), a lower service");
-    println!("mean / makespan is a better scheduler. At qd=1 the rows coincide —");
-    println!("with no queue every policy serves in arrival order; the spread");
-    println!("opens as the outstanding set deepens and the position-aware");
-    println!("policies (SSTF/SCAN) pull ahead of FCFS.");
+    s.push('\n');
+    s.push_str("Reading the table: within a column (fixed depth), a lower service\n");
+    s.push_str("mean / makespan is a better scheduler. At qd=1 the rows coincide —\n");
+    s.push_str("with no queue every policy serves in arrival order; the spread\n");
+    s.push_str("opens as the outstanding set deepens and the position-aware\n");
+    s.push_str("policies (SSTF/SCAN) pull ahead of FCFS.\n");
+    s
+}
+
+/// Formats the sweep as a JSON document (stable bytes; hand-rolled —
+/// the repo carries no serialization dependency, and every name comes
+/// from a fixed internal vocabulary).
+pub fn format_qd_sweep_json(
+    trace_name: &str,
+    scale: f64,
+    seed: u64,
+    requests: usize,
+    rows: &[(&'static str, Vec<QdCell>)],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"trace\": \"{trace_name}\",\n"));
+    s.push_str(&format!("  \"scale\": {scale},\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"requests\": {requests},\n"));
+    s.push_str("  \"depths\": [");
+    for (i, d) in SWEEP_DEPTHS.iter().enumerate() {
+        s.push_str(&format!("{d}{}", if i + 1 < SWEEP_DEPTHS.len() { ", " } else { "" }));
+    }
+    s.push_str("],\n");
+    s.push_str("  \"rows\": [\n");
+    for (i, (sched, cells)) in rows.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"sched\": \"{sched}\",\n"));
+        s.push_str("      \"cells\": [\n");
+        for (j, c) in cells.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"qd\": {}, \"mean_service_ms\": {:.6}, \"mean_latency_ms\": {:.6}, \
+                 \"makespan_ms\": {:.6}, \"mean_queue\": {:.6}, \"overlap\": {:.6}}}{}\n",
+                SWEEP_DEPTHS[j],
+                c.mean_service_ms,
+                c.mean_latency_ms,
+                c.makespan_ms,
+                c.mean_queue,
+                c.overlap,
+                if j + 1 < cells.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("      ]\n");
+        s.push_str(&format!("    }}{}\n", if i + 1 < rows.len() { "," } else { "" }));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// CLI entry: runs the sweep and prints the table (or JSON).
+pub fn sweep_queue_depth(trace_name: &str, scale: f64, seed: u64, json: bool) {
+    // The request count in the banner comes from the same deterministic
+    // footprint the cells replay; regenerate it cheaply for the header.
+    let capacity = {
+        let sim = Sim::new(0);
+        let d = sim_disk_driver(
+            &sim.handle(),
+            "probe",
+            Box::new(Hp97560::new()),
+            scheduler_by_name("fcfs").expect("fcfs"),
+        );
+        let c = d.capacity_sectors();
+        d.shutdown();
+        sim.run();
+        c
+    };
+    let requests = trace_footprint(trace_name, scale, seed, capacity).len();
+    let rows = run_qd_sweep(trace_name, scale, seed);
+    if json {
+        print!("{}", format_qd_sweep_json(trace_name, scale, seed, requests, &rows));
+    } else {
+        print!("{}", format_qd_sweep(trace_name, scale, seed, requests, &rows));
+    }
 }

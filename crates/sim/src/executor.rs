@@ -29,6 +29,14 @@ pub struct TaskId {
     gen: u32,
 }
 
+impl TaskId {
+    /// A stable `u64` key (slot + generation) for per-task routing
+    /// tables such as the tracer's task → lane map.
+    pub fn key(self) -> u64 {
+        ((self.gen as u64) << 32) | self.index as u64
+    }
+}
+
 impl fmt::Display for TaskId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "task{}.{}", self.index, self.gen)
@@ -544,6 +552,41 @@ impl Handle {
     /// Panics when called from outside a simulation task.
     pub fn current_task(&self) -> TaskId {
         self.kernel.borrow().current_task()
+    }
+
+    /// The current task's stable key for the tracer's lane routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from outside a simulation task.
+    pub fn task_key(&self) -> u64 {
+        self.current_task().key()
+    }
+
+    /// Opens a virtual-time tracing span on the current task's lane
+    /// (see [`cnp_obs::trace::set_task_lane`]); a no-op returning
+    /// [`cnp_obs::trace::SpanToken::NONE`] unless a tracer is installed.
+    pub fn trace_span(&self, name: &'static str) -> cnp_obs::trace::SpanToken {
+        if !cnp_obs::trace::enabled() {
+            return cnp_obs::trace::SpanToken::NONE;
+        }
+        cnp_obs::trace::span_enter(self.task_key(), name, self.now().as_nanos())
+    }
+
+    /// Closes a span opened with [`Handle::trace_span`] at virtual now.
+    pub fn trace_exit(&self, tok: cnp_obs::trace::SpanToken) {
+        if tok.is_none() {
+            return;
+        }
+        cnp_obs::trace::span_exit(tok, self.now().as_nanos());
+    }
+
+    /// Emits an instant tracing event on the current task's lane.
+    pub fn trace_instant(&self, name: &'static str) {
+        if !cnp_obs::trace::enabled() {
+            return;
+        }
+        cnp_obs::trace::instant(self.task_key(), name, self.now().as_nanos(), Vec::new());
     }
 
     pub(crate) fn kernel(&self) -> &Rc<RefCell<Kernel>> {

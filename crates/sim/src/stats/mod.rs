@@ -1,10 +1,12 @@
 //! Statistics primitives used by the plug-in statistics objects.
 
-mod histogram;
 mod interval;
 mod timeweighted;
 
-pub use histogram::Histogram;
+// The histogram lives in `cnp-obs` (the one implementation every layer
+// shares); this re-export keeps the historical `cnp_sim::stats` path
+// working for all call sites.
+pub use cnp_obs::Histogram;
 pub use interval::{IntervalReporter, IntervalRow};
 pub use timeweighted::TimeWeighted;
 

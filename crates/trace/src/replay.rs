@@ -19,7 +19,8 @@ use std::rc::Rc;
 
 use cnp_core::{ClientFs, FileSystem, FsError};
 use cnp_layout::{FileKind, Ino};
-use cnp_sim::stats::{Histogram, IntervalReporter, IntervalRow};
+use cnp_obs::Histogram;
+use cnp_sim::stats::{IntervalReporter, IntervalRow};
 use cnp_sim::{Handle, SimDuration, SimTime};
 
 use crate::record::{TraceOp, TraceRecord};

@@ -22,7 +22,7 @@ use std::rc::Rc;
 
 use cnp_core::FileSystem;
 use cnp_layout::Ino;
-use cnp_sim::stats::Histogram;
+use cnp_obs::Histogram;
 use cnp_sim::{Handle, SimDuration};
 use cnp_trace::{apply_op, AckedFile, TraceOp};
 

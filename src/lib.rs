@@ -22,7 +22,9 @@
 //!   scan / web) and the closed-loop multi-client engine;
 //! * [`check`] — bounded crash-point model checking (every op boundary
 //!   × every legal retire prefix of the in-flight write batch) and a
-//!   linearizability witness search over multi-client histories.
+//!   linearizability witness search over multi-client histories;
+//! * [`obs`] — virtual-time span tracing (Chrome trace_event export),
+//!   the unified metrics registry, and the shared histogram type.
 //!
 //! See `DESIGN.md` for the full inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
@@ -33,6 +35,7 @@ pub use cnp_core as core;
 pub use cnp_disk as disk;
 pub use cnp_fault as fault;
 pub use cnp_layout as layout;
+pub use cnp_obs as obs;
 pub use cnp_patsy as patsy;
 pub use cnp_pfs as pfs;
 pub use cnp_sim as sim;

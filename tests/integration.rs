@@ -590,3 +590,95 @@ fn write_delay_policy_flushes_old_data_in_background() {
         fs.shutdown();
     });
 }
+
+#[test]
+fn crash_sweep_json_is_stable_and_wellformed() {
+    use cut_and_paste::patsy::{format_crash_sweep_json, run_crash_sweep, CrashConfig};
+
+    let mut cfg = CrashConfig::new(trace_1a(), 2, 42, 0.002);
+    cfg.layouts = vec![cut_and_paste::fault::LayoutKind::Lfs];
+    cfg.policies = vec![cut_and_paste::patsy::Policy::Ups];
+    let a = format_crash_sweep_json(&cfg, &run_crash_sweep(&cfg));
+    let b = format_crash_sweep_json(&cfg, &run_crash_sweep(&cfg));
+    assert_eq!(a, b, "crash --json must be byte-identical for the same seed");
+    for key in [
+        "\"trace\"",
+        "\"cells\"",
+        "\"violations_post\"",
+        "\"lost_bytes\"",
+        "\"loss_window_ms\"",
+        "\"metrics\"",
+        "\"fs.ops\"",
+        "\"clean\"",
+    ] {
+        assert!(a.contains(key), "crash JSON must carry {key}: {a}");
+    }
+    assert!(a.ends_with("}\n"), "report must be one closed JSON object");
+}
+
+#[test]
+fn qd_sweep_json_is_stable_and_wellformed() {
+    use cut_and_paste::patsy::qdsweep::{format_qd_sweep_json, run_qd_sweep};
+
+    let rows = run_qd_sweep("1a", 0.002, 42);
+    let again = run_qd_sweep("1a", 0.002, 42);
+    let a = format_qd_sweep_json("1a", 0.002, 42, 100, &rows);
+    let b = format_qd_sweep_json("1a", 0.002, 42, 100, &again);
+    assert_eq!(a, b, "sweep-qd --json must be byte-identical for the same seed");
+    for key in ["\"rows\"", "\"sched\"", "\"mean_service_ms\"", "\"makespan_ms\"", "\"depths\""] {
+        assert!(a.contains(key), "qd JSON must carry {key}: {a}");
+    }
+    assert_eq!(a.matches("\"sched\"").count(), 4, "one row per scheduler");
+}
+
+/// The `run --trace-out` path end to end: a tracer installed around a
+/// full experiment yields byte-identical Chrome trace JSON on replay,
+/// and the trace accounts for (nearly) all of each op's end-to-end
+/// virtual latency — the op root span *is* the client entry/exit.
+#[test]
+fn experiment_trace_is_deterministic_and_covers_ops() {
+    use cut_and_paste::obs::chrome::to_chrome_json;
+    use cut_and_paste::obs::trace::{install, Tracer};
+    use cut_and_paste::patsy::{run_experiment, ExperimentConfig, Policy};
+    use cut_and_paste::trace::trace_1a;
+
+    fn run_once() -> (String, f64, u64) {
+        let mut cfg = ExperimentConfig::new(Policy::Ups, trace_1a());
+        cfg.scale = 0.002;
+        cfg.seed = 42;
+        cfg.queue_depth = 8;
+        let tracer = Tracer::default();
+        let guard = install(&tracer);
+        let r = run_experiment(&cfg);
+        drop(guard);
+        (to_chrome_json(&tracer), r.report.latency.sum(), r.report.ops)
+    }
+    let (json_a, total_ms, ops) = run_once();
+    let (json_b, _, _) = run_once();
+    assert_eq!(json_a, json_b, "trace-out bytes must replay identically");
+    assert!(
+        json_a.starts_with("[\n") && json_a.ends_with("]\n"),
+        "Chrome trace array format expected"
+    );
+    for name in ["\"op:write\"", "\"op:read\"", "\"io:write\"", "\"lock:ns\""] {
+        assert!(json_a.contains(name), "span {name} missing from the trace");
+    }
+    // Span coverage: summing every op:* complete-event duration must
+    // account for >= 95% of the replay's end-to-end virtual latency.
+    let mut covered_us = 0.0f64;
+    for line in json_a.lines() {
+        if !line.contains("\"name\":\"op:") {
+            continue;
+        }
+        let dur = line.split("\"dur\":").nth(1).and_then(|rest| {
+            rest.split([',', '}']).next()?.trim().parse::<f64>().ok()
+        });
+        covered_us += dur.expect("op event must carry dur");
+    }
+    let covered_ms = covered_us / 1000.0;
+    assert!(ops > 0 && total_ms > 0.0, "experiment must do work");
+    assert!(
+        covered_ms >= 0.95 * total_ms,
+        "op spans cover {covered_ms:.1} ms of {total_ms:.1} ms total (< 95%)"
+    );
+}

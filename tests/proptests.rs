@@ -715,6 +715,86 @@ proptest! {
         prop_assert_eq!(&codec::read_binary(&bin[..]).unwrap(), &records);
     }
 
+    /// The virtual-time tracer is deterministic and invisible: two
+    /// seeded runs emit byte-identical Chrome trace JSON (at queue
+    /// depth 1 and at 8), and a traced run leaves the platter image
+    /// byte-identical to an untraced run of the same seed — tracing
+    /// records but never sleeps, yields, or allocates sim resources,
+    /// so it cannot perturb a schedule.
+    #[test]
+    fn tracing_is_deterministic_and_invisible(
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec((0u64..3, 0u64..8, 1u64..3), 1..10),
+    ) {
+        /// One run's Chrome trace JSON (empty when untraced) + platter.
+        type TraceOutcome = (String, cut_and_paste::disk::DiskImage);
+
+        fn run_once(
+            seed: u64,
+            ops: &[(u64, u64, u64)],
+            queue_depth: u32,
+            traced: bool,
+        ) -> TraceOutcome {
+            let tracer = cut_and_paste::obs::trace::Tracer::default();
+            let guard = traced.then(|| cut_and_paste::obs::trace::install(&tracer));
+            let out: Rc<Cell<Option<cut_and_paste::disk::DiskImage>>> = Rc::new(Cell::new(None));
+            let out2 = out.clone();
+            let ops = ops.to_vec();
+            let sim = Sim::new(seed);
+            let h = sim.handle();
+            let (driver, disk) = FaultyDisk::new(Box::new(Hp97560::new()), FaultPlan::default())
+                .spawn(&h, "t0", Box::new(CLook));
+            let layout = LayoutKind::Lfs.build(&h, driver.clone());
+            let cfg = FsConfig {
+                queue_depth,
+                data_mode: DataMode::Real,
+                ..FsConfig::default()
+            };
+            let fs = FileSystem::new(&h, layout, cfg);
+            h.spawn("traced", async move {
+                fs.format().await.unwrap();
+                // Through the per-client handle so op spans open.
+                let cfs = fs.client(0);
+                let mut inos = Vec::new();
+                for i in 0..3u64 {
+                    inos.push(cfs.create(&format!("/f{i}"), FileKind::Regular).await.unwrap());
+                }
+                for (i, (fidx, blk, nblocks)) in ops.iter().enumerate() {
+                    let tag = ((i * 11 + 3) % 251) as u8;
+                    let len = nblocks * 4096;
+                    cfs.write(inos[*fidx as usize], blk * 4096, len, Some(&vec![tag; len as usize]))
+                        .await
+                        .unwrap();
+                    cfs.read(inos[*fidx as usize], blk * 4096, len).await.unwrap();
+                }
+                fs.sync().await.unwrap();
+                fs.unmount().await.unwrap();
+                let image = disk.platter_image();
+                fs.shutdown();
+                out2.set(Some(image));
+            });
+            sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+            let image = out.take().expect("traced run did not complete");
+            drop(guard);
+            let json = if traced {
+                cut_and_paste::obs::chrome::to_chrome_json(&tracer)
+            } else {
+                String::new()
+            };
+            (json, image)
+        }
+        for qd in [1u32, 8] {
+            let (json_a, image_a) = run_once(seed, &ops, qd, true);
+            let (json_b, image_b) = run_once(seed, &ops, qd, true);
+            prop_assert!(json_a.contains("\"op:create\""), "op spans must appear: {json_a}");
+            prop_assert_eq!(&json_a, &json_b, "trace bytes must replay identically at qd {}", qd);
+            prop_assert_eq!(&image_a, &image_b, "traced platter must replay identically");
+            let (_, image_untraced) = run_once(seed, &ops, qd, false);
+            prop_assert_eq!(&image_a, &image_untraced,
+                "tracing must not perturb the platter at qd {}", qd);
+        }
+    }
+
     /// Histogram quantiles are monotone and bounded by min/max.
     #[test]
     fn histogram_quantiles_monotone(
