@@ -16,10 +16,38 @@
 //! Every failing cell is minimized (delta-debugging the op prefix, then
 //! the retire subset) and emitted as a self-contained repro blob
 //! (`crate::repro`).
+//!
+//! ## Parallel execution and determinism
+//!
+//! A cell is a pure function of `(CellSpec, records, CutSpec)`, so the
+//! enumeration fans out across OS threads without giving up a byte of
+//! report stability: the unit of work is one boundary (the graceful
+//! cell plus all of its retire cells, which share its arrival probe),
+//! workers claim units from a shared queue, and finished units are
+//! merged back into the exact serial sweep order before any report
+//! state is touched. [`CheckReport`] is therefore byte-identical at
+//! every thread count; only [`CheckStats`] (wall time, utilization)
+//! varies. Failure minimization is deferred to the end of the merge
+//! and — being per-row pure — runs failing rows' delta-debug searches
+//! in parallel too.
+//!
+//! ## Incremental checking
+//!
+//! With a [`CellCache`] attached, every cell's inputs are content-
+//! hashed (`crate::cache`) and previously computed outcomes are
+//! replayed instead of re-simulated. An unchanged tree re-checks at
+//! cache-replay speed; mutating one record invalidates exactly the
+//! boundaries whose prefix contains it.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 use cnp_fault::LayoutKind;
 use cnp_trace::{bounded_prefix, TraceRecord};
 
+use crate::cache::{cell_key, spec_fingerprint, CellCache, PrefixHashes};
 use crate::cell::{run_cell, run_cell_at, CellOutcome, CellSpec, CutSpec};
 use crate::repro::Repro;
 
@@ -155,6 +183,85 @@ pub struct PolicyRow {
     pub first_failure: Option<Failure>,
 }
 
+/// Execution statistics of one enumeration run. Everything here is
+/// wall-clock / environment dependent and deliberately kept **out** of
+/// [`format_check_report`]: the report is byte-identical at any thread
+/// count and any cache state; the stats say how fast it got there.
+#[derive(Debug, Clone)]
+pub struct CheckStats {
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall time of the enumeration (excludes the caller's
+    /// workload generation, includes merge + minimization).
+    pub wall: Duration,
+    /// Cells actually simulated this run.
+    pub cells_run: usize,
+    /// Cells replayed from the incremental cache.
+    pub cache_hits: usize,
+    /// Per-worker busy time (time spent inside cells, not waiting on
+    /// the work queue or the channel).
+    pub worker_busy: Vec<Duration>,
+}
+
+impl Default for CheckStats {
+    fn default() -> Self {
+        CheckStats {
+            threads: 1,
+            wall: Duration::ZERO,
+            cells_run: 0,
+            cache_hits: 0,
+            worker_busy: Vec::new(),
+        }
+    }
+}
+
+impl CheckStats {
+    /// Cache hit rate over all cells (0.0 with no cache attached).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cells_run + self.cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Cells per wall-clock second (simulated + replayed).
+    pub fn cells_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            (self.cells_run + self.cache_hits) as f64 / s
+        }
+    }
+
+    /// Aggregate worker utilization: busy time over `threads × wall`.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.threads as f64 * self.wall.as_secs_f64();
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (self.worker_busy.iter().map(|d| d.as_secs_f64()).sum::<f64>() / denom).min(1.0)
+        }
+    }
+
+    /// Exports the run's execution profile through the unified metrics
+    /// registry vocabulary (`check.*` keys, sorted and stable).
+    pub fn metrics(&self) -> cnp_obs::metrics::MetricsSnapshot {
+        let mut m = cnp_obs::metrics::MetricsSnapshot::new();
+        m.counter("check.cells", (self.cells_run + self.cache_hits) as u64);
+        m.counter("check.cells_run", self.cells_run as u64);
+        m.counter("check.cache.hits", self.cache_hits as u64);
+        m.gauge("check.cache.hit_rate", self.hit_rate());
+        m.gauge("check.threads", self.threads as f64);
+        m.gauge("check.cells_per_sec", self.cells_per_sec());
+        m.gauge("check.wall_s", self.wall.as_secs_f64());
+        m.gauge("check.workers.utilization", self.utilization());
+        m
+    }
+}
+
 /// The whole enumeration's outcome.
 #[derive(Debug, Clone)]
 pub struct CheckReport {
@@ -164,6 +271,9 @@ pub struct CheckReport {
     pub cells: usize,
     /// Total cells with violations.
     pub violations: usize,
+    /// Execution profile (wall-dependent; not part of the stable
+    /// report bytes).
+    pub stats: CheckStats,
 }
 
 impl CheckReport {
@@ -178,19 +288,230 @@ impl CheckReport {
     }
 }
 
-/// Runs the full bounded enumeration. Deterministic in `cfg`: the same
-/// configuration produces a byte-identical [`format_check_report`].
+/// A progress observation, delivered every 1000 cells during the merge
+/// (in merge order, on the calling thread).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckProgress {
+    /// Cells merged so far (boundary + retire).
+    pub cells_done: usize,
+    /// Boundary units merged so far.
+    pub units_done: usize,
+    /// Total boundary units in the enumeration.
+    pub units_total: usize,
+    /// Wall time since the enumeration started.
+    pub elapsed: Duration,
+}
+
+impl CheckProgress {
+    /// Estimated seconds remaining, extrapolated from the boundary-unit
+    /// completion fraction (cell totals are not known up front — the
+    /// retire fan-out per boundary is discovered as boundaries run).
+    pub fn eta_secs(&self) -> f64 {
+        if self.units_done == 0 {
+            return 0.0;
+        }
+        let rate = self.elapsed.as_secs_f64() / self.units_done as f64;
+        rate * (self.units_total - self.units_done) as f64
+    }
+}
+
+/// Execution options for [`run_check_with`]: thread fan-out, the
+/// incremental cell cache, and a progress sink.
+#[derive(Default)]
+pub struct CheckOptions<'a> {
+    /// Worker threads (0 or 1 = serial in-place execution).
+    pub threads: usize,
+    /// Incremental cache: consulted for every cell, and rewritten on
+    /// return to hold exactly the entries this run touched.
+    pub cache: Option<&'a mut CellCache>,
+    /// Called every 1000 merged cells.
+    pub progress: Option<&'a mut dyn FnMut(CheckProgress)>,
+}
+
+impl CheckOptions<'_> {
+    /// Serial, uncached, silent — the legacy [`run_check`] behavior.
+    pub fn serial() -> CheckOptions<'static> {
+        CheckOptions::default()
+    }
+}
+
+/// Runs the full bounded enumeration serially. Deterministic in `cfg`:
+/// the same configuration produces a byte-identical
+/// [`format_check_report`]. Shorthand for [`run_check_with`] under
+/// [`CheckOptions::serial`].
 pub fn run_check(cfg: &CheckConfig) -> CheckReport {
+    run_check_with(cfg, CheckOptions::serial())
+}
+
+/// One cell's result as it travels from a worker to the merge: the
+/// outcome plus its cache identity.
+struct CellEntry {
+    cut: CutSpec,
+    key: u128,
+    hit: bool,
+    outcome: CellOutcome,
+}
+
+/// One work unit's results: the boundary cell and its retire cells, in
+/// retire order.
+struct UnitResult {
+    boundary: CellEntry,
+    retires: Vec<CellEntry>,
+}
+
+/// Runs one boundary unit: the graceful cell at prefix `records`, then
+/// every legal retire cell of its in-flight batch (sharing its arrival
+/// instant). Pure in `(spec, records)` modulo the cache.
+fn run_unit(
+    spec: &CellSpec,
+    fingerprint: &str,
+    records: &[TraceRecord],
+    prefix_hash: u128,
+    cache: Option<&CellCache>,
+) -> UnitResult {
+    let caching = cache.is_some();
+    let bkey = if caching { cell_key(fingerprint, prefix_hash, &CutSpec::Graceful) } else { 0 };
+    let (boundary, bhit) = match cache.and_then(|c| c.get(bkey)) {
+        Some(o) => (o.clone(), true),
+        None => (run_cell(spec, records, CutSpec::Graceful), false),
+    };
+    let arrival_ns = boundary.arrival_ns;
+    let batch = boundary.inflight_batch;
+    let mut retires = Vec::with_capacity(batch as usize + 1);
+    for retire in 0..=batch {
+        let cut = CutSpec::PowerCut { retire };
+        let key = if caching { cell_key(fingerprint, prefix_hash, &cut) } else { 0 };
+        let (outcome, hit) = match cache.and_then(|c| c.get(key)) {
+            Some(o) => (o.clone(), true),
+            None => (run_cell_at(spec, records, arrival_ns, retire), false),
+        };
+        retires.push(CellEntry { cut, key, hit, outcome });
+    }
+    UnitResult {
+        boundary: CellEntry { cut: CutSpec::Graceful, key: bkey, hit: bhit, outcome: boundary },
+        retires,
+    }
+}
+
+/// The first failing cell of a row, recorded during the merge and
+/// minimized after it (minimization is per-row pure, so failing rows
+/// delta-debug in parallel).
+struct FailureSite {
+    row: usize,
+    cut_op: usize,
+    cut: CutSpec,
+    violations: Vec<String>,
+}
+
+/// Folds unit results — in exact serial sweep order — into the report
+/// rows. All report state lives here; workers only compute outcomes.
+struct Merger<'a> {
+    rows: Vec<PolicyRow>,
+    cells: usize,
+    violations: usize,
+    cells_run: usize,
+    cache_hits: usize,
+    /// `Some` when caching: every entry this run touched (hit or run).
+    touched: Option<HashMap<u128, CellOutcome>>,
+    candidates: Vec<Option<FailureSite>>,
+    progress: Option<&'a mut dyn FnMut(CheckProgress)>,
+    next_progress_at: usize,
+    units_done: usize,
+    units_total: usize,
+    started: Instant,
+}
+
+impl Merger<'_> {
+    fn book(&mut self, row: usize, cut_op: usize, entry: &CellEntry) {
+        self.cells += 1;
+        if entry.hit {
+            self.cache_hits += 1;
+        } else {
+            self.cells_run += 1;
+        }
+        if let Some(touched) = &mut self.touched {
+            touched.insert(entry.key, entry.outcome.clone());
+        }
+        if entry.outcome.clean() {
+            return;
+        }
+        self.rows[row].violating_cells += 1;
+        self.violations += 1;
+        if self.candidates[row].is_none() {
+            self.candidates[row] = Some(FailureSite {
+                row,
+                cut_op,
+                cut: entry.cut,
+                violations: entry.outcome.violations.iter().map(|v| v.to_string()).collect(),
+            });
+        }
+    }
+
+    fn absorb(&mut self, row: usize, k: usize, unit: UnitResult) {
+        {
+            let r = &mut self.rows[row];
+            r.boundary_cells += 1;
+            let b = &unit.boundary.outcome;
+            if b.loss.lost_files > 0 || b.loss.lost_bytes > 0 {
+                r.lossy_cells += 1;
+            }
+            if b.inflight_batch > 0 {
+                r.inflight_boundaries += 1;
+                r.max_inflight_batch = r.max_inflight_batch.max(b.inflight_batch);
+            }
+        }
+        self.book(row, k, &unit.boundary);
+        for entry in &unit.retires {
+            self.rows[row].retire_cells += 1;
+            self.book(row, k, entry);
+        }
+        self.units_done += 1;
+        while self.cells >= self.next_progress_at {
+            let update = CheckProgress {
+                cells_done: self.cells,
+                units_done: self.units_done,
+                units_total: self.units_total,
+                elapsed: self.started.elapsed(),
+            };
+            if let Some(p) = &mut self.progress {
+                p(update);
+            }
+            self.next_progress_at += 1000;
+        }
+    }
+}
+
+/// Runs the full bounded enumeration under `opts`: fanned across
+/// `opts.threads` OS threads, incrementally against `opts.cache`, with
+/// progress delivered to `opts.progress`. The report is byte-identical
+/// to the serial run for every thread count and cache state; see the
+/// module docs for the determinism argument.
+pub fn run_check_with(cfg: &CheckConfig, mut opts: CheckOptions<'_>) -> CheckReport {
+    let started = Instant::now();
     let prefix_cap = cfg.budget.min(cfg.records.len());
-    let mut rows = Vec::new();
-    let mut cells = 0usize;
-    let mut violations = 0usize;
+    let threads = opts.threads.max(1);
+
+    // Row plans in sweep order; each carries its spec and — for the
+    // cache — the spec's canonical fingerprint.
+    let mut plans: Vec<(LayoutKind, &'static str, CellSpec)> = Vec::new();
     for (li, &layout) in cfg.layouts.iter().enumerate() {
         for (pi, policy) in cfg.policies.iter().enumerate() {
-            let spec = cfg.cell_spec(layout, li, policy, pi);
-            let mut row = PolicyRow {
+            plans.push((layout, policy.label, cfg.cell_spec(layout, li, policy, pi)));
+        }
+    }
+    let fingerprints: Vec<String> = plans.iter().map(|(_, _, s)| spec_fingerprint(s)).collect();
+    let prefix_hashes = opts.cache.is_some().then(|| PrefixHashes::over(&cfg.records, prefix_cap));
+
+    // Work units in serial sweep order: (row, boundary k).
+    let units: Vec<(usize, usize)> =
+        (0..plans.len()).flat_map(|row| (1..=prefix_cap).map(move |k| (row, k))).collect();
+
+    let mut merger = Merger {
+        rows: plans
+            .iter()
+            .map(|(layout, label, _)| PolicyRow {
                 layout: layout.name(),
-                policy: policy.label,
+                policy: label,
                 boundary_cells: 0,
                 retire_cells: 0,
                 violating_cells: 0,
@@ -198,77 +519,155 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
                 max_inflight_batch: 0,
                 lossy_cells: 0,
                 first_failure: None,
-            };
-            for k in 1..=prefix_cap {
-                let records = bounded_prefix(&cfg.records, k, &[]);
-                let boundary = run_cell(&spec, &records, CutSpec::Graceful);
-                row.boundary_cells += 1;
-                cells += 1;
-                if boundary.loss.lost_files > 0 || boundary.loss.lost_bytes > 0 {
-                    row.lossy_cells += 1;
-                }
-                note_outcome(
-                    &mut row,
-                    &mut violations,
-                    &spec,
-                    &records,
-                    CutSpec::Graceful,
-                    &boundary,
-                    cfg,
-                );
-                // Every legal retire prefix of the in-flight batch at
-                // the boundary op's scheduled arrival.
-                let batch = boundary.inflight_batch;
-                if batch > 0 {
-                    row.inflight_boundaries += 1;
-                    row.max_inflight_batch = row.max_inflight_batch.max(batch);
-                }
-                for retire in 0..=batch {
-                    let cut = CutSpec::PowerCut { retire };
-                    let outcome = run_cell_at(&spec, &records, boundary.arrival_ns, retire);
-                    row.retire_cells += 1;
-                    cells += 1;
-                    note_outcome(&mut row, &mut violations, &spec, &records, cut, &outcome, cfg);
+            })
+            .collect(),
+        cells: 0,
+        violations: 0,
+        cells_run: 0,
+        cache_hits: 0,
+        touched: opts.cache.is_some().then(HashMap::new),
+        candidates: (0..plans.len()).map(|_| None).collect(),
+        progress: opts.progress.take(),
+        next_progress_at: 1000,
+        units_done: 0,
+        units_total: units.len(),
+        started,
+    };
+
+    let cache_snapshot: Option<&CellCache> = opts.cache.as_deref();
+    let mut worker_busy = vec![Duration::ZERO; threads];
+
+    if threads == 1 {
+        let t0 = Instant::now();
+        for &(row, k) in &units {
+            let records = bounded_prefix(&cfg.records, k, &[]);
+            let ph = prefix_hashes.as_ref().map(|p| p.prefix(k)).unwrap_or(0);
+            let unit = run_unit(&plans[row].2, &fingerprints[row], &records, ph, cache_snapshot);
+            merger.absorb(row, k, unit);
+        }
+        worker_busy[0] = t0.elapsed();
+    } else {
+        enum Msg {
+            Unit(usize, UnitResult),
+            WorkerDone(usize, Duration),
+        }
+        // Workers claim units longest-prefix-first (replay cost grows
+        // with k, so the expensive units must not pile up at the tail
+        // of the run); the merge reorders by serial unit index, so the
+        // claim order is invisible in the report.
+        let mut claim_order: Vec<usize> = (0..units.len()).collect();
+        claim_order.sort_by_key(|&i| std::cmp::Reverse(units[i].1));
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<Msg>();
+        std::thread::scope(|s| {
+            for w in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let claim_order = &claim_order;
+                let units = &units;
+                let plans = &plans;
+                let fingerprints = &fingerprints;
+                let prefix_hashes = &prefix_hashes;
+                let records_all = &cfg.records;
+                s.spawn(move || {
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= claim_order.len() {
+                            break;
+                        }
+                        let i = claim_order[slot];
+                        let (row, k) = units[i];
+                        let t0 = Instant::now();
+                        let records = bounded_prefix(records_all, k, &[]);
+                        let ph = prefix_hashes.as_ref().map(|p| p.prefix(k)).unwrap_or(0);
+                        let unit = run_unit(
+                            &plans[row].2,
+                            &fingerprints[row],
+                            &records,
+                            ph,
+                            cache_snapshot,
+                        );
+                        busy += t0.elapsed();
+                        if tx.send(Msg::Unit(i, unit)).is_err() {
+                            break;
+                        }
+                    }
+                    let _ = tx.send(Msg::WorkerDone(w, busy));
+                });
+            }
+            drop(tx);
+            // K-way merge back into the exact serial order: buffer
+            // out-of-order units, fold each as soon as it becomes the
+            // next expected one.
+            let mut pending: BTreeMap<usize, UnitResult> = BTreeMap::new();
+            let mut next_merge = 0usize;
+            for msg in rx {
+                match msg {
+                    Msg::Unit(i, unit) => {
+                        pending.insert(i, unit);
+                        while let Some(unit) = pending.remove(&next_merge) {
+                            let (row, k) = units[next_merge];
+                            merger.absorb(row, k, unit);
+                            next_merge += 1;
+                        }
+                    }
+                    Msg::WorkerDone(w, busy) => worker_busy[w] = busy,
                 }
             }
-            rows.push(row);
-        }
+        });
     }
-    CheckReport { rows, cells, violations }
-}
 
-/// Books one cell outcome into the row; on the row's first violation,
-/// minimizes and packages the failure.
-#[allow(clippy::too_many_arguments)]
-fn note_outcome(
-    row: &mut PolicyRow,
-    violations: &mut usize,
-    spec: &CellSpec,
-    records: &[TraceRecord],
-    cut: CutSpec,
-    outcome: &CellOutcome,
-    cfg: &CheckConfig,
-) {
-    if outcome.clean() {
-        return;
+    // Minimize failing rows' first failures — deferred out of the merge
+    // and parallelized across rows (each search is an independent pure
+    // function of its row's spec + failing prefix).
+    let sites: Vec<FailureSite> = merger.candidates.iter_mut().filter_map(Option::take).collect();
+    let minimize_site = |site: &FailureSite| -> (usize, Failure) {
+        let spec = &plans[site.row].2;
+        let records = bounded_prefix(&cfg.records, site.cut_op, &[]);
+        let (minimized, min_cut, runs) = minimize(spec, &records, site.cut, cfg.minimize_runs);
+        let repro = Repro { spec: spec.clone(), cut: min_cut, records: minimized.clone() }.encode();
+        let failure = Failure {
+            layout: merger.rows[site.row].layout,
+            policy: merger.rows[site.row].policy,
+            cut_op: site.cut_op,
+            cut: min_cut,
+            violations: site.violations.clone(),
+            minimized_ops: minimized.len(),
+            minimize_runs: runs,
+            repro,
+        };
+        (site.row, failure)
+    };
+    let failures: Vec<(usize, Failure)> = if threads > 1 && sites.len() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> =
+                sites.iter().map(|site| s.spawn(|| minimize_site(site))).collect();
+            handles.into_iter().map(|h| h.join().expect("minimize worker panicked")).collect()
+        })
+    } else {
+        sites.iter().map(minimize_site).collect()
+    };
+    for (row, failure) in failures {
+        merger.rows[row].first_failure = Some(failure);
     }
-    row.violating_cells += 1;
-    *violations += 1;
-    if row.first_failure.is_some() {
-        return;
+
+    if let (Some(cache), Some(touched)) = (opts.cache, merger.touched.take()) {
+        cache.retain_touched(touched);
     }
-    let (minimized, min_cut, runs) = minimize(spec, records, cut, cfg.minimize_runs);
-    let repro = Repro { spec: spec.clone(), cut: min_cut, records: minimized.clone() }.encode();
-    row.first_failure = Some(Failure {
-        layout: row.layout,
-        policy: row.policy,
-        cut_op: records.len(),
-        cut: min_cut,
-        violations: outcome.violations.iter().map(|v| v.to_string()).collect(),
-        minimized_ops: minimized.len(),
-        minimize_runs: runs,
-        repro,
-    });
+
+    CheckReport {
+        rows: merger.rows,
+        cells: merger.cells,
+        violations: merger.violations,
+        stats: CheckStats {
+            threads,
+            wall: started.elapsed(),
+            cells_run: merger.cells_run,
+            cache_hits: merger.cache_hits,
+            worker_busy,
+        },
+    }
 }
 
 /// Delta-debugs a failing cell: greedily drops ops (newest first, so
@@ -412,5 +811,63 @@ mod tests {
         assert_eq!(a.cells, b.cells);
         assert_eq!(format_check_report(&cfg, &a), format_check_report(&cfg, &b));
         assert_eq!(a.rows[0].boundary_cells, 12);
+    }
+
+    #[test]
+    fn threaded_enumeration_matches_serial_bytes() {
+        let cfg = small_cfg(10);
+        let serial = run_check(&cfg);
+        let serial_bytes = format_check_report(&cfg, &serial);
+        for threads in [2, 4] {
+            let report =
+                run_check_with(&cfg, CheckOptions { threads, cache: None, progress: None });
+            assert_eq!(
+                format_check_report(&cfg, &report),
+                serial_bytes,
+                "report bytes must be identical at {threads} threads"
+            );
+            assert_eq!(report.stats.threads, threads);
+            assert_eq!(report.stats.cells_run, report.cells, "no cache => every cell simulated");
+        }
+    }
+
+    #[test]
+    fn cached_rerun_hits_every_cell_and_keeps_the_report() {
+        let cfg = small_cfg(8);
+        let mut cache = CellCache::new();
+        let cold = run_check_with(
+            &cfg,
+            CheckOptions { threads: 1, cache: Some(&mut cache), progress: None },
+        );
+        assert_eq!(cold.stats.cache_hits, 0);
+        assert_eq!(cold.stats.cells_run, cold.cells);
+        assert_eq!(cache.len(), cold.cells, "every cell must land in the cache");
+        let warm = run_check_with(
+            &cfg,
+            CheckOptions { threads: 2, cache: Some(&mut cache), progress: None },
+        );
+        assert_eq!(warm.stats.cache_hits, warm.cells, "unchanged inputs must fully hit");
+        assert_eq!(warm.stats.cells_run, 0);
+        assert!((warm.stats.hit_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(
+            format_check_report(&cfg, &warm),
+            format_check_report(&cfg, &cold),
+            "cache replay must not change a byte of the report"
+        );
+    }
+
+    #[test]
+    fn progress_fires_per_thousand_cells() {
+        let cfg = small_cfg(12);
+        let mut seen: Vec<usize> = Vec::new();
+        let mut cb = |p: CheckProgress| seen.push(p.cells_done);
+        let report =
+            run_check_with(&cfg, CheckOptions { threads: 1, cache: None, progress: Some(&mut cb) });
+        if report.cells >= 1000 {
+            assert!(!seen.is_empty(), "1000+ cells must produce progress");
+            assert!(seen[0] >= 1000);
+        } else {
+            assert!(seen.is_empty(), "progress is per-1000-cells only");
+        }
     }
 }

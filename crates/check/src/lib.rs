@@ -11,7 +11,12 @@
 //!   remount, recover, fsck, replay NVRAM, account acked losses;
 //! * [`enumerate`] — every op boundary × every legal retire prefix,
 //!   across layout × flush-policy cells, with delta-debugging
-//!   minimization of failures;
+//!   minimization of failures — fanned across OS threads with an
+//!   order-restoring merge, so the report is byte-identical at every
+//!   thread count;
+//! * [`cache`] — incremental checking: cells keyed by a content hash
+//!   of `(CellSpec, records, CutSpec)` in a persisted, versioned cache
+//!   file, so unchanged work is replayed instead of re-simulated;
 //! * [`repro`] — every failure as a self-contained one-line blob that
 //!   `patsy check --repro` replays with no other inputs;
 //! * [`model`] + [`linearize`] — the flat sequential model and the
@@ -29,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cell;
 pub mod enumerate;
 pub mod linearize;
@@ -36,10 +42,11 @@ pub mod linrun;
 pub mod model;
 pub mod repro;
 
+pub use cache::{cell_key, spec_fingerprint, CellCache, PrefixHashes};
 pub use cell::{run_cell, run_cell_at, CellOutcome, CellSpec, CellViolation, CutSpec};
 pub use enumerate::{
-    format_check_report, minimize, run_check, standard_policies, CheckConfig, CheckReport, Failure,
-    PolicyRow, PolicySpec,
+    format_check_report, minimize, run_check, run_check_with, standard_policies, CheckConfig,
+    CheckOptions, CheckProgress, CheckReport, CheckStats, Failure, PolicyRow, PolicySpec,
 };
 pub use linearize::{check_history, LinConfig, LinOutcome};
 pub use linrun::{

@@ -17,7 +17,10 @@
 
 use std::time::Instant;
 
-use cnp_check::{run_check, run_history_check, CheckConfig, HistoryCheckConfig, LinConfig};
+use cnp_check::{
+    run_check_with, run_history_check, CellCache, CheckConfig, CheckOptions, HistoryCheckConfig,
+    LinConfig,
+};
 use cnp_fault::LayoutKind;
 use cnp_trace::SyntheticSprite;
 use cnp_workload::WorkloadKind;
@@ -83,14 +86,22 @@ fn run_phases() -> Vec<Phase> {
     // history (linearizability) leg — the correctness canary. Seed and
     // queue depth mirror the committed tier-1 cell (BENCH_check.json:
     // seed 365, qd 8), so `check_clean` going false means a regression
-    // against the same cell CI already gates on.
+    // against the same cell CI already gates on. The cold leg runs
+    // threaded (the host's parallelism) and fills an in-memory cell
+    // cache; the warm leg reruns against it, so the trajectory records
+    // both the parallel wall time and the incremental replay time.
+    let threads = crate::check::default_threads();
+    let mut cell_cache = CellCache::new();
     let ((check, lin), wall_ms) = timed(|| {
         let params = cnp_trace::preset("1a").expect("known trace");
         let records = SyntheticSprite::new(params, 365 ^ 0xabcd).generate(0.002);
         let mut check_cfg = CheckConfig::new(records, "1a", 500);
         check_cfg.seed = 365;
         check_cfg.queue_depth = 8;
-        let report = run_check(&check_cfg);
+        let report = run_check_with(
+            &check_cfg,
+            CheckOptions { threads, cache: Some(&mut cell_cache), progress: None },
+        );
         let lin_cfg = HistoryCheckConfig {
             kind: workload,
             clients: 4,
@@ -110,7 +121,32 @@ fn run_phases() -> Vec<Phase> {
             ("check_cells".to_string(), format!("{}", check.cells)),
             ("check_violations".to_string(), format!("{}", check.violations)),
             ("check_clean".to_string(), format!("{}", check.clean())),
+            ("check_threads".to_string(), format!("{threads}")),
             ("linearizable".to_string(), format!("{}", lin.outcome.is_linearizable())),
+        ],
+    });
+
+    // Phase 3b: the warm-cache rerun of the same enumeration — the
+    // incremental checker's headline. Hit rate is deterministic (1.0:
+    // nothing changed between the legs); the wall time is the cost of
+    // re-verifying an unchanged tree.
+    let (warm, warm_wall_ms) = timed(|| {
+        let params = cnp_trace::preset("1a").expect("known trace");
+        let records = SyntheticSprite::new(params, 365 ^ 0xabcd).generate(0.002);
+        let mut check_cfg = CheckConfig::new(records, "1a", 500);
+        check_cfg.seed = 365;
+        check_cfg.queue_depth = 8;
+        run_check_with(
+            &check_cfg,
+            CheckOptions { threads, cache: Some(&mut cell_cache), progress: None },
+        )
+    });
+    phases.push(Phase {
+        name: "check-budget-500-warm",
+        wall_ms: warm_wall_ms,
+        values: vec![
+            ("check_warm_hit_rate".to_string(), format!("{:.6}", warm.stats.hit_rate())),
+            ("check_warm_cells".to_string(), format!("{}", warm.cells)),
         ],
     });
 

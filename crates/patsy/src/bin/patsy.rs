@@ -12,13 +12,16 @@
 //! patsy check --trace 1a --qd 8 --budget 500   # exhaustive crash-point
 //!                                              # enumeration + history leg
 //! patsy check --repro cnpc1:...                # replay one failing cell
+//! patsy check --threads 8 --cache-file cells.bin  # parallel + incremental
 //! patsy run --trace 1a --trace-out prof.json   # Chrome trace of virtual time
 //! patsy bench-snapshot --label pr7             # canonical perf cells ->
 //!                                              # BENCH_trajectory.json
 //! options: --scale 0.05 --seed 365 --cuts 16 --layout lfs|ffs --qd 1
 //! ```
 
-use cnp_patsy::check::{check_cli, repro_cli, CheckCliConfig};
+use cnp_patsy::check::{
+    check_cli, default_threads as check_default_threads, repro_cli, CheckCliConfig,
+};
 use cnp_patsy::cli::{parse_cli, usage};
 use cnp_patsy::{ablate, bench, clients, crash, figures, Policy};
 
@@ -132,6 +135,8 @@ fn main() {
                 clients: if a.clients_set { a.clients[0] } else { 4 },
                 repro_out: a.repro_out.clone(),
                 json: a.json,
+                threads: a.threads.map(|t| t as usize).unwrap_or_else(check_default_threads),
+                cache_file: a.cache_file.clone(),
             };
             std::process::exit(check_cli(&cfg));
         }

@@ -11,8 +11,8 @@
 //! uploads the emitted repro blobs).
 
 use cnp_check::{
-    format_check_report, format_history_report, run_check, run_history_check, CheckConfig,
-    HistoryCheckConfig, LinConfig, Repro,
+    format_check_report, format_history_report, run_check_with, run_history_check, CellCache,
+    CheckConfig, CheckOptions, CheckProgress, HistoryCheckConfig, LinConfig, Repro,
 };
 use cnp_fault::LayoutKind;
 use cnp_trace::SyntheticSprite;
@@ -45,6 +45,17 @@ pub struct CheckCliConfig {
     pub repro_out: Option<String>,
     /// Emit a machine-readable JSON summary instead of the text report.
     pub json: bool,
+    /// Checker worker threads (resolved; see [`default_threads`]).
+    pub threads: usize,
+    /// Incremental cell-outcome cache path (consulted and rewritten).
+    pub cache_file: Option<String>,
+}
+
+/// The `--threads` default: the host's available parallelism, capped —
+/// each worker owns a full simulation stack, so oversubscribing cores
+/// only adds scheduler noise.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(64)
 }
 
 /// Runs the full `check`: enumeration + history leg. Returns the
@@ -72,7 +83,50 @@ pub fn check_cli(cfg: &CheckCliConfig) -> i32 {
         };
         check.policies.retain(|spec| spec.label == policy.label());
     }
-    let report = run_check(&check);
+    // The incremental cache: a corrupt or version-mismatched file must
+    // never fail a check — warn and recheck cold instead.
+    let mut cache = match &cfg.cache_file {
+        Some(path) => match CellCache::load(path) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("cache-file {path} unusable ({e}); rechecking cold");
+                Some(CellCache::new())
+            }
+        },
+        None => None,
+    };
+    // Long enumerations print a progress line every 1000 cells to
+    // stderr (suppressed under --json: scripted consumers get exactly
+    // the report bytes and nothing else).
+    let mut print_progress = |p: CheckProgress| {
+        let rate = p.cells_done as f64 / p.elapsed.as_secs_f64().max(1e-9);
+        eprintln!(
+            "check: {} cells | {}/{} boundaries | {:.0} cells/s | eta {:.0}s",
+            p.cells_done,
+            p.units_done,
+            p.units_total,
+            rate,
+            p.eta_secs(),
+        );
+    };
+    let report = run_check_with(
+        &check,
+        CheckOptions {
+            threads: cfg.threads,
+            cache: cache.as_mut(),
+            progress: (!cfg.json).then_some(&mut print_progress as &mut dyn FnMut(CheckProgress)),
+        },
+    );
+    if let (Some(path), Some(cache)) = (&cfg.cache_file, &cache) {
+        if let Err(e) = cache.save(path) {
+            eprintln!("failed to write cache-file {path}: {e}");
+        }
+    }
+    if !cfg.json {
+        // Execution profile — stderr only, so the stdout report stays
+        // byte-identical at every thread count and cache state.
+        eprint!("{}", report.stats.metrics().to_table());
+    }
     let lin_cfg = HistoryCheckConfig {
         kind: cfg.workload,
         clients: cfg.clients,
@@ -104,10 +158,11 @@ pub fn check_cli(cfg: &CheckCliConfig) -> i32 {
 }
 
 /// Formats the check outcome as a JSON summary (stable bytes across
-/// identical runs; hand-rolled — the repo carries no serialization
-/// dependency). Names come from fixed internal vocabularies, so no
-/// string escaping is needed.
-fn format_check_json(
+/// identical runs — and across thread counts and cache states; the
+/// hand-rolled formatter reads only the deterministic report fields).
+/// Names come from fixed internal vocabularies, so no string escaping
+/// is needed.
+pub fn format_check_json(
     cfg: &CheckCliConfig,
     report: &cnp_check::CheckReport,
     lin: &cnp_check::HistoryCheckReport,

@@ -52,6 +52,12 @@ pub struct CliArgs {
     /// `--shards` lock/table stripe count (1 ≤ shards ≤ 4096); `None`
     /// derives it from the cell's client count.
     pub shards: Option<u32>,
+    /// `--threads` checker worker threads (1 ≤ threads ≤ 512); `None`
+    /// defaults to the host's available parallelism, capped.
+    pub threads: Option<u32>,
+    /// `--cache-file` path: `check` consults and rewrites the
+    /// incremental cell-outcome cache here.
+    pub cache_file: Option<String>,
     /// `--json`: machine-readable report instead of the table.
     pub json: bool,
     /// `--trace-out` path: `run` writes a Chrome trace_event JSON file
@@ -89,6 +95,8 @@ impl Default for CliArgs {
             repro: None,
             repro_out: None,
             shards: None,
+            threads: None,
+            cache_file: None,
             json: false,
             trace_out: None,
             out: None,
@@ -213,6 +221,32 @@ pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
                 out.shards = Some(v);
                 i += 2;
             }
+            "--threads" => {
+                let v: u32 =
+                    value(i)?.parse().map_err(|_| format!("bad --threads {:?}", args[i + 1]))?;
+                if v == 0 {
+                    return Err(
+                        "bad --threads 0: the checker needs at least one worker".to_string()
+                    );
+                }
+                if v > 512 {
+                    return Err(format!(
+                        "bad --threads {v}: at most 512 workers (each owns a full sim \
+                         stack; beyond that the fan-out measures the scheduler, not \
+                         the checker)"
+                    ));
+                }
+                out.threads = Some(v);
+                i += 2;
+            }
+            "--cache-file" => {
+                let p = value(i)?.clone();
+                if p.is_empty() {
+                    return Err("bad --cache-file: empty path".to_string());
+                }
+                out.cache_file = Some(p);
+                i += 2;
+            }
             "--json" => {
                 out.json = true;
                 i += 1;
@@ -284,6 +318,7 @@ pub fn usage() -> String {
      [--trace 1a] [--policy ups] [--scale 0.05] [--seed 365] [--cuts 16] \
      [--layout lfs|ffs] [--qd 1] [--workload zipf|mail|build|scan|web] \
      [--clients 1,4,16] [--shards N] [--budget 200] [--json] \
+     [--threads N] [--cache-file <path>] \
      [--repro <blob>] [--repro-out <path>] [--trace-out <prof.json>] \
      [--out <trajectory.json>] [--label <tag>] [--baseline <trajectory.json>]"
         .to_string()
@@ -414,6 +449,45 @@ mod tests {
         assert!(parse(&["bench-snapshot", "--out", ""]).is_err());
         assert!(parse(&["bench-snapshot", "--baseline", ""]).is_err());
         assert!(parse(&["bench-snapshot", "--label"]).is_err());
+    }
+
+    #[test]
+    fn rejects_threads_zero() {
+        let e = parse(&["check", "--threads", "0"]).unwrap_err();
+        assert!(e.contains("--threads"), "{e}");
+    }
+
+    #[test]
+    fn rejects_oversized_threads() {
+        let e = parse(&["check", "--threads", "513"]).unwrap_err();
+        assert!(e.contains("--threads"), "{e}");
+        // The boundary itself is accepted.
+        assert_eq!(parse(&["check", "--threads", "512"]).unwrap().threads, Some(512));
+    }
+
+    #[test]
+    fn rejects_non_numeric_threads() {
+        let e = parse(&["check", "--threads", "all"]).unwrap_err();
+        assert!(e.contains("--threads"), "{e}");
+    }
+
+    #[test]
+    fn threads_default_is_derivable() {
+        let a = parse(&["check"]).unwrap();
+        assert_eq!(a.threads, None, "default must be derivable from the host parallelism");
+        let b = parse(&["check", "--threads", "8"]).unwrap();
+        assert_eq!(b.threads, Some(8));
+    }
+
+    #[test]
+    fn cache_file_flag_parses_and_validates() {
+        let a = parse(&["check", "--cache-file", "cells.bin", "--budget", "50"]).unwrap();
+        assert_eq!(a.cache_file.as_deref(), Some("cells.bin"));
+        assert_eq!(a.budget, 50, "--cache-file must consume exactly one value");
+        assert_eq!(parse(&["check"]).unwrap().cache_file, None);
+        let e = parse(&["check", "--cache-file", ""]).unwrap_err();
+        assert!(e.contains("--cache-file"), "{e}");
+        assert!(parse(&["check", "--cache-file"]).is_err());
     }
 
     #[test]

@@ -670,9 +670,10 @@ fn experiment_trace_is_deterministic_and_covers_ops() {
         if !line.contains("\"name\":\"op:") {
             continue;
         }
-        let dur = line.split("\"dur\":").nth(1).and_then(|rest| {
-            rest.split([',', '}']).next()?.trim().parse::<f64>().ok()
-        });
+        let dur = line
+            .split("\"dur\":")
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next()?.trim().parse::<f64>().ok());
         covered_us += dur.expect("op event must carry dur");
     }
     let covered_ms = covered_us / 1000.0;
