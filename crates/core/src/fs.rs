@@ -282,6 +282,12 @@ impl FileSystem {
         self.s.cfg.shards.max(1)
     }
 
+    /// Configured I/O pipeline depth — the bound a serving tier above
+    /// the engine should admit concurrent requests against.
+    pub fn queue_depth(&self) -> u32 {
+        self.s.cfg.queue_depth.max(1)
+    }
+
     /// Blocks handed to the flusher per dirtying client, ordered by
     /// client id. Engine-internal traffic (directories, symlink targets)
     /// and unattributed writes appear as [`cnp_cache::UNATTRIBUTED`].
@@ -652,6 +658,16 @@ impl FileSystem {
     pub async fn stat(&self, path: &str) -> FsResult<Inode> {
         self.op_begin().await;
         let ino = self.resolve(path).await?;
+        let rc = self.get_inode_rc(ino).await?;
+        let inode = rc.borrow().clone();
+        Ok(inode)
+    }
+
+    /// Stats a file by inode number — no path walk. This is the
+    /// attribute path for handle-based front-ends (NFS fhandles): the
+    /// caller already resolved the name once and holds the ino.
+    pub async fn stat_ino(&self, ino: Ino) -> FsResult<Inode> {
+        self.op_begin().await;
         let rc = self.get_inode_rc(ino).await?;
         let inode = rc.borrow().clone();
         Ok(inode)
@@ -1987,6 +2003,16 @@ impl ClientFs {
                 Err(e) => HistOutcome::Failed(e.clone()),
             },
         );
+        self.op_exit(sp);
+        r
+    }
+
+    /// Stats a file by inode number (no path walk; not recorded in the
+    /// history — like `readdir`, it is not part of the linearizability
+    /// vocabulary).
+    pub async fn stat_ino(&self, ino: Ino) -> FsResult<Inode> {
+        let sp = self.op_span("op:stat_ino");
+        let r = self.fs.stat_ino(ino).await;
         self.op_exit(sp);
         r
     }

@@ -27,6 +27,7 @@ use cnp_workload::WorkloadKind;
 
 use crate::clients::{run_client_cell, ClientSweepConfig};
 use crate::qdsweep::{run_qd_sweep, SWEEP_DEPTHS};
+use crate::serve::{run_serve_cell, ServeBenchConfig};
 
 /// The canonical seed every bench cell derives from.
 pub const BENCH_SEED: u64 = 42;
@@ -168,6 +169,24 @@ fn run_phases() -> Vec<Phase> {
         }
     }
     phases.push(Phase { name: "sweep-qd", wall_ms, values });
+
+    // Phase 5: the serving tier — 64 NFS clients through the full wire
+    // path (XDR, sessions, file handles, admission, the attr/lookup
+    // cache). Wire throughput and cache hit rates are virtual-time
+    // figures, so they are deterministic like every other headline.
+    let serve_cfg = ServeBenchConfig::new(workload, vec![64], BENCH_SEED, 0.02);
+    let (cell, wall_ms) = timed(|| run_serve_cell(&serve_cfg, 64));
+    phases.push(Phase {
+        name: "serve-bench-64",
+        wall_ms,
+        values: vec![
+            ("serve_wire_ops_per_sec".to_string(), format!("{:.6}", cell.wire_ops_per_sec)),
+            ("serve_requests".to_string(), format!("{}", cell.wire_requests)),
+            ("serve_errors".to_string(), format!("{}", cell.errors)),
+            ("serve_lookup_hit_rate".to_string(), format!("{:.6}", cell.lookup_hit_rate)),
+            ("serve_attr_hit_rate".to_string(), format!("{:.6}", cell.attr_hit_rate)),
+        ],
+    });
 
     phases
 }

@@ -8,6 +8,8 @@
 //! patsy run --trace 1a --policy ups    # one experiment, full detail
 //! patsy sweep-qd --trace 1a            # I/O schedulers x queue depths
 //! patsy sweep-clients --workload zipf --clients 1,4,16 --qd 8
+//! patsy serve-bench --clients 256 --qd 8     # NFS clients through the
+//!                                            # full wire path
 //! patsy crash --trace 1a --cuts 16 --seed 42   # crash-recovery sweep
 //! patsy check --trace 1a --qd 8 --budget 500   # exhaustive crash-point
 //!                                              # enumeration + history leg
@@ -23,7 +25,7 @@ use cnp_patsy::check::{
     check_cli, default_threads as check_default_threads, repro_cli, CheckCliConfig,
 };
 use cnp_patsy::cli::{parse_cli, usage};
-use cnp_patsy::{ablate, bench, clients, crash, figures, Policy};
+use cnp_patsy::{ablate, bench, clients, crash, figures, serve, Policy};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +65,27 @@ fn main() {
                 a.layout.as_deref(),
                 a.policy_set.then_some(a.policy.as_str()),
                 a.shards,
+                a.json,
+            );
+        }
+        "serve-bench" => {
+            // Same sizing logic as sweep-clients: wire cells are
+            // closed-loop and numerous, so they default to the sweep's
+            // small scale and its depth-8 pipeline.
+            let scale = if a.scale_set { a.scale } else { 0.02 };
+            let qd = if a.qd_set { a.qd } else { 8 };
+            let workload = cnp_workload::WorkloadKind::parse(&a.workload)
+                .expect("workload name validated by parse_cli");
+            serve::serve_bench_cli(
+                workload,
+                &a.clients,
+                a.seed,
+                scale,
+                qd,
+                a.layout.as_deref(),
+                a.policy_set.then_some(a.policy.as_str()),
+                a.shards,
+                a.rsize,
                 a.json,
             );
         }

@@ -72,6 +72,9 @@ pub struct CliArgs {
     /// `--baseline` path: `bench-snapshot` reads the committed
     /// trajectory here and fails if the tier-1 cell regressed.
     pub baseline: Option<String>,
+    /// `--rsize` largest single wire transfer for `serve-bench`
+    /// (4096 ≤ rsize ≤ 1 MiB — NFS rsize/wsize).
+    pub rsize: u64,
 }
 
 impl Default for CliArgs {
@@ -102,6 +105,7 @@ impl Default for CliArgs {
             out: None,
             label: None,
             baseline: None,
+            rsize: 64 * 1024,
         }
     }
 }
@@ -304,6 +308,19 @@ pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
                 out.baseline = Some(p);
                 i += 2;
             }
+            "--rsize" => {
+                let v: u64 =
+                    value(i)?.parse().map_err(|_| format!("bad --rsize {:?}", args[i + 1]))?;
+                if !(4096..=(1 << 20)).contains(&v) {
+                    return Err(format!(
+                        "bad --rsize {v}: must satisfy 4096 <= rsize <= 1048576 (one NFS \
+                         transfer; below a block it only measures chunking overhead, \
+                         beyond 1 MiB it stops being a transfer cap)"
+                    ));
+                }
+                out.rsize = v;
+                i += 2;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -314,10 +331,10 @@ pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
 pub fn usage() -> String {
     "usage: patsy <fig2|fig3|fig4|fig5|ablate-diskmodel|ablate-flushmode|\
      ablate-iosched|ablate-diskcache|ablate-nvram|ablate-cleaner|run|sweep-qd|\
-     sweep-clients|crash|check|bench-snapshot> \
+     sweep-clients|serve-bench|crash|check|bench-snapshot> \
      [--trace 1a] [--policy ups] [--scale 0.05] [--seed 365] [--cuts 16] \
      [--layout lfs|ffs] [--qd 1] [--workload zipf|mail|build|scan|web] \
-     [--clients 1,4,16] [--shards N] [--budget 200] [--json] \
+     [--clients 1,4,16] [--shards N] [--rsize 65536] [--budget 200] [--json] \
      [--threads N] [--cache-file <path>] \
      [--repro <blob>] [--repro-out <path>] [--trace-out <prof.json>] \
      [--out <trajectory.json>] [--label <tag>] [--baseline <trajectory.json>]"
@@ -488,6 +505,22 @@ mod tests {
         let e = parse(&["check", "--cache-file", ""]).unwrap_err();
         assert!(e.contains("--cache-file"), "{e}");
         assert!(parse(&["check", "--cache-file"]).is_err());
+    }
+
+    #[test]
+    fn rsize_flag_parses_and_validates() {
+        let a = parse(&["serve-bench", "--rsize", "8192", "--qd", "4"]).unwrap();
+        assert_eq!(a.rsize, 8192);
+        assert_eq!(a.qd, 4, "--rsize must consume exactly one value");
+        assert_eq!(parse(&["serve-bench"]).unwrap().rsize, 65536, "default is one 64 KiB transfer");
+        // Both boundaries are accepted.
+        assert_eq!(parse(&["serve-bench", "--rsize", "4096"]).unwrap().rsize, 4096);
+        assert_eq!(parse(&["serve-bench", "--rsize", "1048576"]).unwrap().rsize, 1 << 20);
+        for bad in ["0", "4095", "1048577", "lots", "-1"] {
+            let e = parse(&["serve-bench", "--rsize", bad]).unwrap_err();
+            assert!(e.contains("--rsize"), "{e}");
+        }
+        assert!(parse(&["serve-bench", "--rsize"]).is_err());
     }
 
     #[test]

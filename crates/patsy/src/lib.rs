@@ -19,6 +19,7 @@ pub mod crash;
 pub mod experiment;
 pub mod figures;
 pub mod qdsweep;
+pub mod serve;
 
 pub use clients::{
     derive_shards, format_client_sweep, format_client_sweep_json, run_client_cell,
@@ -29,3 +30,7 @@ pub use crash::{
 };
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, Policy, POLICIES};
 pub use qdsweep::{run_depth_cell, run_qd_sweep, sweep_queue_depth, trace_footprint, QdCell};
+pub use serve::{
+    format_serve_bench, format_serve_bench_json, run_serve_bench, run_serve_cell, ServeBenchConfig,
+    ServeCell, DEFAULT_RSIZE,
+};

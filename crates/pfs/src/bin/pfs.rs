@@ -6,7 +6,7 @@
 //! pfs exercise <image>            # run a small NFS-like session
 //! ```
 
-use cnp_pfs::{client, pfs_over_file, NfsProc, NfsServer, XdrDecoder};
+use cnp_pfs::{client, pfs_over_file, Fhandle, NfsProc, NfsServer, XdrDecoder};
 use cnp_sim::Sim;
 use std::path::PathBuf;
 
@@ -33,21 +33,33 @@ fn main() {
             "exercise" => {
                 fs2.format().await.expect("format");
                 let srv = NfsServer::new(fs2.clone());
-                srv.handle(&client::path_req(NfsProc::Mkdir, "/home")).await;
-                srv.handle(&client::path_req(NfsProc::Create, "/home/hello.txt")).await;
+                let session = srv.session(1);
+                session.handle(&client::path_req(NfsProc::Mkdir, "/home")).await;
+                session.handle(&client::path_req(NfsProc::Create, "/home/hello.txt")).await;
+                // Lookup once; write and read ride the file handle.
+                let r = session.handle(&client::path_req(NfsProc::Lookup, "/home/hello.txt")).await;
+                let mut d = XdrDecoder::new(&r);
+                assert_eq!(d.get_u32().expect("status"), 0, "lookup failed");
+                let ino = d.get_u64().expect("ino");
+                let _kind = d.get_u32().expect("kind");
+                let _size = d.get_u64().expect("size");
+                let _mtime = d.get_u64().expect("mtime");
+                let gen = d.get_u32().expect("gen");
+                let fh = Fhandle { ino, gen };
                 let payload = b"PFS: same code on-line and off-line".to_vec();
-                srv.handle(&client::write_req("/home/hello.txt", 0, &payload)).await;
-                let reply = srv.handle(&client::read_req("/home/hello.txt", 0, 1024)).await;
+                session.handle(&client::write_fh_req(fh, 0, &payload)).await;
+                let reply = session.handle(&client::read_fh_req(fh, 0, 1024)).await;
                 let mut d = XdrDecoder::new(&reply);
                 let status = d.get_u32().expect("status");
                 let n = d.get_u64().expect("len");
                 let data = d.get_opaque().expect("data");
                 println!(
-                    "NFS read: status {status}, {n} bytes: {:?}",
+                    "NFS read via fh {ino}/{gen}: status {status}, {n} bytes: {:?}",
                     String::from_utf8_lossy(&data)
                 );
                 fs2.unmount().await.expect("unmount");
                 println!("cache: {:?}", fs2.cache_stats());
+                print!("{}", srv.metrics().to_table());
             }
             other => eprintln!("unknown command {other}"),
         }

@@ -8,10 +8,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod nfs;
+pub mod serve;
 pub mod xdr;
 
-pub use nfs::{client, NfsProc, NfsServer, NfsStat};
+pub use cache::{Attr, NfsCache};
+pub use nfs::{client, decode_request, Fhandle, NfsProc, NfsStat, Request};
+pub use serve::{HandleTable, NfsServer, NfsSession, ServeConfig};
 pub use xdr::{XdrDecoder, XdrEncoder};
 
 use cnp_core::{DataMode, FileSystem, FsConfig};

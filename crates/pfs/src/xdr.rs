@@ -24,11 +24,24 @@ impl XdrEncoder {
     }
 
     /// Appends a variable-length opaque with 4-byte padding.
+    ///
+    /// Panics if `data` exceeds the XDR length-prefix range (≥ 4 GiB):
+    /// the old `as u32` cast silently truncated the prefix and produced
+    /// a wire body that decoded as garbage. Use
+    /// [`XdrEncoder::try_put_opaque`] to surface the error instead.
     pub fn put_opaque(&mut self, data: &[u8]) {
-        self.put_u32(data.len() as u32);
+        self.try_put_opaque(data).expect("opaque exceeds XDR u32 length prefix");
+    }
+
+    /// Appends a variable-length opaque, rejecting lengths the u32 XDR
+    /// prefix cannot represent.
+    pub fn try_put_opaque(&mut self, data: &[u8]) -> Result<(), String> {
+        let n = opaque_len(data.len())?;
+        self.put_u32(n);
         self.buf.extend_from_slice(data);
         let pad = (4 - data.len() % 4) % 4;
         self.buf.extend(std::iter::repeat_n(0u8, pad));
+        Ok(())
     }
 
     /// Appends a string as opaque bytes.
@@ -87,13 +100,22 @@ impl<'a> XdrDecoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        if self.pos + n > self.buf.len() {
+        // Checked: a hostile length prefix near usize::MAX must read as
+        // an underrun, not wrap `pos + n` past the bound check (a real
+        // overflow on 32-bit targets, where a u32 prefix spans usize).
+        let end = self.pos.checked_add(n).ok_or_else(|| format!("xdr overflow at {}", self.pos))?;
+        if end > self.buf.len() {
             return Err(format!("xdr underrun at {} (+{n})", self.pos));
         }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(out)
     }
+}
+
+/// Validates an opaque length against the u32 XDR prefix.
+fn opaque_len(n: usize) -> Result<u32, String> {
+    u32::try_from(n).map_err(|_| format!("opaque of {n} bytes exceeds XDR u32 length prefix"))
 }
 
 #[cfg(test)]
@@ -130,5 +152,38 @@ mod tests {
         let wire = e.finish();
         // 4 (len) + 5 (data) + 3 (pad).
         assert_eq!(wire.len(), 12);
+    }
+
+    #[test]
+    fn opaque_length_guard_rejects_over_u32() {
+        // Can't allocate 4 GiB in a test; the guard is the unit.
+        assert!(opaque_len(u32::MAX as usize).is_ok());
+        if usize::BITS > 32 {
+            assert!(opaque_len(u32::MAX as usize + 1).is_err());
+            assert!(opaque_len(usize::MAX).is_err());
+        }
+    }
+
+    #[test]
+    fn hostile_opaque_prefix_is_underrun_not_overflow() {
+        // Length prefix 0xffff_ffff over a 4-byte buffer: `pos + n`
+        // must not wrap on any target width.
+        let mut e = XdrEncoder::new();
+        e.put_u32(u32::MAX);
+        let wire = e.finish();
+        let mut d = XdrDecoder::new(&wire);
+        assert!(d.get_opaque().is_err());
+    }
+
+    #[test]
+    fn take_checked_add_never_wraps() {
+        let mut d = XdrDecoder::new(&[0u8; 8]);
+        let _ = d.get_u32().unwrap();
+        // pos = 4; a request for usize::MAX - 2 bytes would wrap
+        // `pos + n` under unchecked arithmetic.
+        assert!(d.take(usize::MAX - 2).is_err());
+        // The failed take must not move the cursor.
+        assert_eq!(d.get_u32().unwrap(), 0);
+        assert!(d.is_done());
     }
 }
