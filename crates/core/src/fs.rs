@@ -159,13 +159,15 @@ impl FileSystem {
         let driver = layout.driver().clone();
         // One knob drives the whole pipeline: the engine fans multi-block
         // operations out in windows of `queue_depth`, which builds the
-        // scheduled driver queue. The *device* is capped at two
-        // outstanding commands — enough to overlap one command's bus
-        // phases with another's mechanics, while the rest wait in the
-        // driver queue where SSTF/SCAN/C-LOOK can actually reorder them
-        // (commands already shipped to the disk are served in arrival
-        // order and are beyond the scheduler's reach).
-        driver.set_max_inflight(cfg.queue_depth.min(2));
+        // scheduled driver queue. The *device* is capped at its native
+        // queue depth — the 1996 SCSI disks hold two (enough to overlap
+        // one command's bus phases with another's mechanics), a
+        // multi-channel flash device absorbs 64+, a stripe the sum of
+        // its children's — while the rest wait in the driver queue
+        // where SSTF/SCAN/C-LOOK can actually reorder them (commands
+        // already shipped to the disk are served in arrival order and
+        // are beyond the scheduler's reach).
+        driver.set_max_inflight(cfg.queue_depth.min(driver.native_depth()));
         let io = cnp_layout::BlockIo::new(driver.clone());
         let s = Rc::new(Shared {
             handle: handle.clone(),

@@ -37,6 +37,23 @@ impl Default for BusParams {
     }
 }
 
+impl BusParams {
+    /// The second hardware generation's host link: 320 MB/s with
+    /// sub-microsecond phase overheads. A multi-channel flash device
+    /// behind the 10 MB/s SCSI-2 bus would be link-bound — every
+    /// measurement would show the 1996 wire, not the device — so the
+    /// flash generation ships with the wire it shipped with.
+    pub fn flash() -> Self {
+        BusParams {
+            transfer_rate: 320_000_000,
+            arbitration: SimDuration::from_nanos(200),
+            selection: SimDuration::from_nanos(100),
+            command: SimDuration::from_micros(1),
+            status: SimDuration::from_nanos(500),
+        }
+    }
+}
+
 /// A shared SCSI bus: an arbitrated resource plus transfer timing.
 ///
 /// Disconnect/reconnect is expressed by *not* holding the bus during

@@ -171,6 +171,7 @@ pub struct DiskClient {
     tx: Sender<DiskMsg>,
     handle: Handle,
     geometry: DiskGeometry,
+    native_depth: u32,
     stats: Rc<RefCell<DiskStats>>,
     platter: Rc<RefCell<DiskImage>>,
     pending: Rc<RefCell<PendingWrites>>,
@@ -205,6 +206,11 @@ impl DiskClient {
     /// Disk geometry.
     pub fn geometry(&self) -> &DiskGeometry {
         &self.geometry
+    }
+
+    /// The model's native command-queue depth (captured at spawn).
+    pub fn native_depth(&self) -> u32 {
+        self.native_depth
     }
 
     /// Snapshot of the disk counters.
@@ -276,6 +282,7 @@ pub fn spawn_disk_with_image(
     image: DiskImage,
 ) -> DiskClient {
     let geometry = model.geometry().clone();
+    let native_depth = model.native_depth();
     let (tx, rx) = channel::<DiskMsg>(handle);
     let stats = Rc::new(RefCell::new(DiskStats::default()));
     let platter = Rc::new(RefCell::new(image));
@@ -299,7 +306,7 @@ pub fn spawn_disk_with_image(
         served: 0,
     };
     handle.spawn(name, task.run(rx));
-    DiskClient { tx, handle: handle.clone(), geometry, stats, platter, pending, dead }
+    DiskClient { tx, handle: handle.clone(), geometry, native_depth, stats, platter, pending, dead }
 }
 
 /// The HP 97560's 128 KB controller cache.
@@ -351,7 +358,7 @@ impl DiskTask {
                     // Idle-time housekeeping: drain one buffered write,
                     // then read-ahead, then block for new work.
                     if let Some((lba, sectors)) = self.cache.pop_writeback() {
-                        self.media_work(lba, sectors).await;
+                        self.media_work(lba, sectors, true).await;
                         self.retire_pending(lba, sectors);
                         self.stats.borrow_mut().writebacks += 1;
                         continue;
@@ -450,8 +457,9 @@ impl DiskTask {
         &mut self,
         lba: u64,
         sectors: u32,
+        write: bool,
     ) -> (SimDuration, SimDuration, SimDuration) {
-        let access = self.model.media_access(self.handle.now(), self.pos, lba, sectors);
+        let access = self.model.media_access_rw(self.handle.now(), self.pos, lba, sectors, write);
         self.pos = access.end_pos;
         self.stats.borrow_mut().busy += access.total();
         self.handle.sleep(access.total()).await;
@@ -543,10 +551,98 @@ impl DiskTask {
             }
         }
 
+        // Multi-channel flash serves in parallel: the serve loop only
+        // does command decode + dispatch; completion runs in a spawned
+        // task so other channels' commands overlap in time.
+        if self.model.channels() > 1 {
+            self.serve_parallel(req, timing, reply);
+            return;
+        }
         match req.op {
             IoOp::Read => self.serve_read(req, timing, reply).await,
             IoOp::Write => self.serve_write(req, timing, reply).await,
         }
+    }
+
+    /// Dispatch half of the multi-channel service path.
+    ///
+    /// The model's `media_access_rw` is consulted *at dispatch* (in
+    /// arrival order — this is what keeps the stateful flash model
+    /// deterministic); the sleep-until-done, payload transfer, and
+    /// completion reply happen in a spawned per-command task, so the
+    /// serve loop is free to dispatch the next command onto another
+    /// channel. The mechanical-era controller cache, read-ahead, and
+    /// immediate-report machinery are bypassed: channel parallelism is
+    /// the flash controller's answer to all three.
+    fn serve_parallel(
+        &mut self,
+        req: IoRequest,
+        mut timing: IoTiming,
+        reply: OneshotSender<IoCompletion>,
+    ) {
+        let write = req.op == IoOp::Write;
+        {
+            let mut s = self.stats.borrow_mut();
+            if write {
+                s.writes += 1;
+                s.write_sectors += req.sectors as u64;
+            } else {
+                s.reads += 1;
+                s.read_sectors += req.sectors as u64;
+            }
+        }
+        if write {
+            // Writes heal latent sectors exactly like the serial path.
+            self.cache.invalidate(req.lba, req.sectors);
+            if !self.faults.latent_ranges.is_empty() {
+                for s in req.lba..req.lba + req.sectors as u64 {
+                    self.healed.insert(s);
+                }
+            }
+        }
+        let access =
+            self.model.media_access_rw(self.handle.now(), self.pos, req.lba, req.sectors, write);
+        // Busy counts channel service, not queue wait: with 8 channels
+        // the device is "busy" on each in parallel.
+        self.stats.borrow_mut().busy += access.transfer;
+        timing.seek = access.seek;
+        timing.rotation = access.rotation;
+        timing.transfer = access.transfer;
+        let handle = self.handle.clone();
+        let bus = self.bus.clone();
+        let scsi_id = self.opts.scsi_id;
+        let store_data = self.opts.store_data;
+        let ssz = self.geometry().sector_size;
+        let pending = self.pending.clone();
+        let platter = self.platter.clone();
+        let dead = self.dead.clone();
+        let stats = self.stats.clone();
+        self.handle.spawn("disk:chan", async move {
+            handle.sleep(access.total()).await;
+            if dead.get() {
+                // The power died while this command was in flight: the
+                // program/read never completes and nothing is stored.
+                stats.borrow_mut().faults += 1;
+                reply.send(IoCompletion { id: req.id, result: Err(IoError::PowerCut), timing });
+                return;
+            }
+            let result = if write {
+                if store_data {
+                    store_sectors(&platter, ssz as usize, req.lba, req.sectors, &req.payload);
+                }
+                timing.bus += bus.completion_phase(scsi_id, 0).await;
+                Ok(Payload::Simulated(0))
+            } else {
+                let bytes = req.sectors as u64 * ssz as u64;
+                timing.bus += bus.completion_phase(scsi_id, bytes).await;
+                if store_data {
+                    Ok(load_sectors(&pending, &platter, ssz as usize, req.lba, req.sectors))
+                } else {
+                    Ok(Payload::Simulated(req.sectors * ssz))
+                }
+            };
+            reply.send(IoCompletion { id: req.id, result, timing });
+        });
     }
 
     async fn serve_read(
@@ -570,7 +666,7 @@ impl DiskTask {
             }
         }
         if !hit {
-            let (seek, rotation, transfer) = self.media_work(req.lba, req.sectors).await;
+            let (seek, rotation, transfer) = self.media_work(req.lba, req.sectors, false).await;
             timing.seek = seek;
             timing.rotation = rotation;
             timing.transfer = transfer;
@@ -613,7 +709,7 @@ impl DiskTask {
             while !self.cache.write_fits(req.sectors) {
                 match self.cache.pop_writeback() {
                     Some((lba, sectors)) => {
-                        let (s, r, t) = self.media_work(lba, sectors).await;
+                        let (s, r, t) = self.media_work(lba, sectors, true).await;
                         self.retire_pending(lba, sectors);
                         // Drain time delays this request: count as seek etc.
                         timing.seek += s;
@@ -635,7 +731,7 @@ impl DiskTask {
         }
         // Write-through path (or request larger than the write buffer).
         self.store_payload(req.lba, req.sectors, &req.payload);
-        let (seek, rotation, transfer) = self.media_work(req.lba, req.sectors).await;
+        let (seek, rotation, transfer) = self.media_work(req.lba, req.sectors, true).await;
         timing.seek += seek;
         timing.rotation += rotation;
         timing.transfer += transfer;
@@ -700,52 +796,78 @@ impl DiskTask {
             return;
         }
         let ssz = self.geometry().sector_size as usize;
-        let mut platter = self.platter.borrow_mut();
-        match payload.bytes() {
-            Some(bytes) => {
-                for i in 0..sectors as usize {
-                    let lo = i * ssz;
-                    let hi = ((i + 1) * ssz).min(bytes.len());
-                    let mut sector = vec![0u8; ssz];
-                    if lo < bytes.len() {
-                        sector[..hi - lo].copy_from_slice(&bytes[lo..hi]);
-                    }
-                    platter.insert(lba + i as u64, sector.into_boxed_slice());
-                }
-            }
-            None => {
-                for i in 0..sectors as u64 {
-                    platter.remove(&(lba + i));
-                }
-            }
-        }
+        store_sectors(&self.platter, ssz, lba, sectors, payload);
     }
 
     /// Returns real bytes if every sector in range is stored, else a
     /// simulated payload of the right length.
     fn load_payload(&self, lba: u64, sectors: u32) -> Payload {
         let ssz = self.geometry().sector_size as usize;
-        let total = sectors as usize * ssz;
         if !self.opts.store_data {
-            return Payload::Simulated(total as u32);
+            return Payload::Simulated((sectors as usize * ssz) as u32);
         }
-        // Buffered (not yet retired) writes shadow the platter.
-        let pending = self.pending.borrow();
-        let platter = self.platter.borrow();
-        let mut out = vec![0u8; total];
-        for i in 0..sectors as u64 {
-            let lo = i as usize * ssz;
-            match pending.get(&(lba + i)) {
-                Some(Some(sector)) => out[lo..lo + ssz].copy_from_slice(sector),
-                Some(None) => return Payload::Simulated(total as u32),
-                None => match platter.get(&(lba + i)) {
-                    Some(sector) => out[lo..lo + ssz].copy_from_slice(sector),
-                    None => return Payload::Simulated(total as u32),
-                },
+        load_sectors(&self.pending, &self.platter, ssz, lba, sectors)
+    }
+}
+
+/// Saves real bytes to a platter store; simulated payloads erase any
+/// stale real bytes in the range. Free function (over the shared
+/// `Rc<RefCell<_>>` stores) so the multi-channel completion tasks can
+/// share it with the serial serve path.
+fn store_sectors(
+    platter: &RefCell<DiskImage>,
+    ssz: usize,
+    lba: u64,
+    sectors: u32,
+    payload: &Payload,
+) {
+    let mut platter = platter.borrow_mut();
+    match payload.bytes() {
+        Some(bytes) => {
+            for i in 0..sectors as usize {
+                let lo = i * ssz;
+                let hi = ((i + 1) * ssz).min(bytes.len());
+                let mut sector = vec![0u8; ssz];
+                if lo < bytes.len() {
+                    sector[..hi - lo].copy_from_slice(&bytes[lo..hi]);
+                }
+                platter.insert(lba + i as u64, sector.into_boxed_slice());
             }
         }
-        Payload::Data(out)
+        None => {
+            for i in 0..sectors as u64 {
+                platter.remove(&(lba + i));
+            }
+        }
     }
+}
+
+/// Returns real bytes if every sector in range is stored, else a
+/// simulated payload of the right length. Buffered (not yet retired)
+/// writes shadow the platter.
+fn load_sectors(
+    pending: &RefCell<PendingWrites>,
+    platter: &RefCell<DiskImage>,
+    ssz: usize,
+    lba: u64,
+    sectors: u32,
+) -> Payload {
+    let total = sectors as usize * ssz;
+    let pending = pending.borrow();
+    let platter = platter.borrow();
+    let mut out = vec![0u8; total];
+    for i in 0..sectors as u64 {
+        let lo = i as usize * ssz;
+        match pending.get(&(lba + i)) {
+            Some(Some(sector)) => out[lo..lo + ssz].copy_from_slice(sector),
+            Some(None) => return Payload::Simulated(total as u32),
+            None => match platter.get(&(lba + i)) {
+                Some(sector) => out[lo..lo + ssz].copy_from_slice(sector),
+                None => return Payload::Simulated(total as u32),
+            },
+        }
+    }
+    Payload::Data(out)
 }
 
 #[cfg(test)]

@@ -27,6 +27,8 @@ pub enum Backend {
     Sim(SimBackend),
     /// On-line: a host file that really stores the bytes (PFS).
     File(FileBackend),
+    /// RAID-0: N simulated spindles/channels behind one address space.
+    Striped(StripedDisk),
 }
 
 impl Backend {
@@ -35,6 +37,7 @@ impl Backend {
         match self {
             Backend::Sim(b) => b.disk.geometry().capacity_sectors(),
             Backend::File(b) => b.capacity_sectors,
+            Backend::Striped(s) => s.capacity_sectors(),
         }
     }
 
@@ -43,6 +46,20 @@ impl Backend {
         match self {
             Backend::Sim(b) => b.disk.geometry().sector_size,
             Backend::File(b) => b.sector_size,
+            Backend::Striped(s) => s.sector_size(),
+        }
+    }
+
+    /// The back-end's native command-queue depth: how many commands the
+    /// device itself can absorb. The driver clamps its pipeline depth
+    /// to this. A host file has no device queue to model; it reports
+    /// the 1996 SCSI default of 2 so real-backend runs pace like the
+    /// simulated baseline they are compared to.
+    pub fn native_depth(&self) -> u32 {
+        match self {
+            Backend::Sim(b) => b.disk.native_depth(),
+            Backend::File(_) => 2,
+            Backend::Striped(s) => s.native_depth(),
         }
     }
 
@@ -66,6 +83,7 @@ impl Backend {
                 let result = b.transfer(&mut req);
                 IoCompletion { id: req.id, result, timing }
             }
+            Backend::Striped(s) => s.issue(req).await,
         }
     }
 }
@@ -142,6 +160,217 @@ impl FileBackend {
                 Ok(Payload::Simulated(0))
             }
         }
+    }
+}
+
+/// One sub-request of a striped command: which child serves which slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StripePart {
+    /// Child disk index.
+    child: usize,
+    /// First LBA in the child's address space.
+    child_lba: u64,
+    /// Offset of this slice within the parent request, in sectors.
+    offset: u64,
+    /// Slice length in sectors.
+    sectors: u32,
+}
+
+/// RAID-0 striped multi-disk back-end: N simulated disks behind one
+/// flat address space.
+///
+/// Chunks of [`chunk_sectors`](StripedDisk::chunk_sectors) round-robin
+/// across the children (`chunk c` lives on disk `c % n` at child chunk
+/// `c / n`), so the scatter-gather runs `map_extents` produces fan out
+/// across spindles/channels. A command crossing chunk boundaries splits
+/// into per-child sub-requests issued *concurrently* — the whole point
+/// of striping — and merges deterministically:
+///
+/// * sub-requests are created, issued, and joined in **ascending-LBA
+///   order** (the split order), independent of which child answered
+///   first, so the merge is a pure function of the request;
+/// * the first error in that order wins;
+/// * a read reassembles real bytes only if **every** slice returned
+///   real bytes — any simulated slice makes the whole payload
+///   simulated, exactly like a single disk with a partially-stored
+///   platter range;
+/// * the reported mechanical timing is the *critical child's* (latest
+///   completion; lowest child index on ties), bus time is the sum.
+pub struct StripedDisk {
+    children: Vec<SimBackend>,
+    chunk_sectors: u64,
+    sector_size: u32,
+    capacity_sectors: u64,
+    native_depth: u32,
+}
+
+impl StripedDisk {
+    /// Builds a stripe over `children` with `chunk_sectors`-sector
+    /// chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` is empty, `chunk_sectors` is 0, or the
+    /// children disagree on sector size.
+    pub fn new(children: Vec<SimBackend>, chunk_sectors: u64) -> StripedDisk {
+        assert!(!children.is_empty(), "striped disk needs at least one child");
+        assert!(chunk_sectors > 0, "chunk_sectors must be > 0");
+        let sector_size = children[0].disk.geometry().sector_size;
+        assert!(
+            children.iter().all(|c| c.disk.geometry().sector_size == sector_size),
+            "striped children must share a sector size"
+        );
+        // RAID-0 capacity: every child contributes the same number of
+        // whole chunks as the smallest one.
+        let min_child = children
+            .iter()
+            .map(|c| c.disk.geometry().capacity_sectors())
+            .min()
+            .expect("children non-empty");
+        let chunks_per_child = min_child / chunk_sectors;
+        let capacity_sectors = chunks_per_child * chunk_sectors * children.len() as u64;
+        let native_depth = children.iter().map(|c| c.disk.native_depth()).sum::<u32>().max(1);
+        StripedDisk { children, chunk_sectors, sector_size, capacity_sectors, native_depth }
+    }
+
+    /// Number of children in the stripe.
+    pub fn width(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Stripe chunk size in sectors.
+    pub fn chunk_sectors(&self) -> u64 {
+        self.chunk_sectors
+    }
+
+    /// Aggregate capacity in sectors.
+    pub fn capacity_sectors(&self) -> u64 {
+        self.capacity_sectors
+    }
+
+    /// Common child sector size in bytes.
+    pub fn sector_size(&self) -> u32 {
+        self.sector_size
+    }
+
+    /// Aggregate native queue depth: the sum of the children's — each
+    /// child can absorb its own native depth concurrently.
+    pub fn native_depth(&self) -> u32 {
+        self.native_depth
+    }
+
+    /// Splits `[lba, lba+sectors)` into per-child slices in ascending
+    /// LBA order, merging slices that stay contiguous on one child (the
+    /// single-child stripe degenerates to one slice).
+    fn split(&self, lba: u64, sectors: u32) -> Vec<StripePart> {
+        let n = self.children.len() as u64;
+        let mut parts: Vec<StripePart> = Vec::new();
+        let mut cur = lba;
+        let end = lba + sectors as u64;
+        while cur < end {
+            let chunk = cur / self.chunk_sectors;
+            let chunk_end = (chunk + 1) * self.chunk_sectors;
+            let take = (end.min(chunk_end) - cur) as u32;
+            let child = (chunk % n) as usize;
+            let child_lba = (chunk / n) * self.chunk_sectors + (cur - chunk * self.chunk_sectors);
+            match parts.last_mut() {
+                Some(last)
+                    if last.child == child && last.child_lba + last.sectors as u64 == child_lba =>
+                {
+                    last.sectors += take;
+                }
+                _ => parts.push(StripePart { child, child_lba, offset: cur - lba, sectors: take }),
+            }
+            cur += take as u64;
+        }
+        parts
+    }
+
+    async fn issue(&self, req: IoRequest) -> IoCompletion {
+        let timing0 = IoTiming { queue: req.issued_at - req.queued_at, ..IoTiming::default() };
+        if req.lba + req.sectors as u64 > self.capacity_sectors {
+            return IoCompletion {
+                id: req.id,
+                result: Err(IoError::OutOfRange { lba: req.lba, capacity: self.capacity_sectors }),
+                timing: timing0,
+            };
+        }
+        let ssz = self.sector_size as usize;
+        let parts = self.split(req.lba, req.sectors);
+        let subs = parts.iter().map(|p| {
+            let payload = match (&req.op, &req.payload) {
+                (IoOp::Read, _) => Payload::Simulated(0),
+                (IoOp::Write, Payload::Simulated(_)) => {
+                    Payload::Simulated(p.sectors * self.sector_size)
+                }
+                (IoOp::Write, Payload::Data(bytes)) => {
+                    // Slice the parent payload; short payloads pad with
+                    // zeroes at the child exactly like a single disk.
+                    let lo = (p.offset as usize * ssz).min(bytes.len());
+                    let hi = (lo + p.sectors as usize * ssz).min(bytes.len());
+                    Payload::Data(bytes[lo..hi].to_vec())
+                }
+            };
+            let b = &self.children[p.child];
+            let sub = IoRequest {
+                id: req.id,
+                op: req.op,
+                lba: p.child_lba,
+                sectors: p.sectors,
+                payload,
+                queued_at: req.queued_at,
+                issued_at: req.issued_at,
+            };
+            async move {
+                let write_bytes = match sub.op {
+                    IoOp::Write => sub.payload.len() as u64,
+                    IoOp::Read => 0,
+                };
+                let held = b.bus.command_phase(b.host_id, write_bytes).await;
+                let mut c = b.disk.request(sub).await;
+                c.timing.bus += held;
+                c
+            }
+        });
+        // Concurrent fan-out; results come back in split (ascending-LBA)
+        // order regardless of completion order — the deterministic merge.
+        let completions = join_all(subs).await;
+        let mut timing = timing0;
+        let mut crit_service = cnp_sim::SimDuration::ZERO;
+        let mut payloads = Vec::with_capacity(completions.len());
+        for c in &completions {
+            timing.bus += c.timing.bus;
+            let mech = c.timing.controller + c.timing.seek + c.timing.rotation + c.timing.transfer;
+            if mech > crit_service {
+                crit_service = mech;
+                timing.controller = c.timing.controller;
+                timing.seek = c.timing.seek;
+                timing.rotation = c.timing.rotation;
+                timing.transfer = c.timing.transfer;
+            }
+        }
+        for c in completions {
+            match c.result {
+                Ok(p) => payloads.push(p),
+                Err(e) => return IoCompletion { id: req.id, result: Err(e), timing },
+            }
+        }
+        let result = match req.op {
+            IoOp::Write => Ok(Payload::Simulated(0)),
+            IoOp::Read => {
+                let total = req.sectors as usize * ssz;
+                if payloads.iter().all(|p| p.bytes().is_some()) {
+                    let mut out = Vec::with_capacity(total);
+                    for p in &payloads {
+                        out.extend_from_slice(p.bytes().expect("checked above"));
+                    }
+                    Ok(Payload::Data(out))
+                } else {
+                    Ok(Payload::Simulated(total as u32))
+                }
+            }
+        };
+        IoCompletion { id: req.id, result, timing }
     }
 }
 
@@ -248,6 +477,7 @@ pub struct DiskDriver {
     inner: Rc<RefCell<DriverInner>>,
     capacity_sectors: u64,
     sector_size: u32,
+    native_depth: u32,
     wakeup: Event,
     /// Display name; also the tracer's disk-lane label.
     name: Rc<str>,
@@ -292,6 +522,7 @@ impl DiskDriver {
             inner,
             capacity_sectors: backend.capacity_sectors(),
             sector_size: backend.sector_size(),
+            native_depth: backend.native_depth(),
             wakeup: Event::new(handle),
             name: Rc::from(name),
         };
@@ -310,6 +541,16 @@ impl DiskDriver {
     /// Device sector size.
     pub fn sector_size(&self) -> u32 {
         self.sector_size
+    }
+
+    /// The back-end's native command-queue depth (the device cap).
+    ///
+    /// Engines clamp their configured `queue_depth` to this instead of
+    /// a hard-coded constant: the 1996 SCSI disks hold 2, a
+    /// multi-channel flash device absorbs 64+, and a stripe absorbs the
+    /// sum of its children's.
+    pub fn native_depth(&self) -> u32 {
+        self.native_depth
     }
 
     /// Sets the device queue depth: how many commands the dispatcher may
@@ -651,16 +892,80 @@ pub fn sim_disk_driver(
     model: Box<dyn crate::model::DiskModel>,
     sched: Box<dyn QueueScheduler>,
 ) -> DiskDriver {
-    let bus = ScsiBus::new(handle);
+    let bus = default_bus_for(handle, model.as_ref());
+    let opts = default_opts_for(model.as_ref());
     let disk = crate::disk::spawn_disk(
         handle,
         &format!("disk:{name}"),
         model,
         bus.clone(),
-        crate::disk::DiskOpts::default(),
+        opts,
         crate::disk::FaultPlan::default(),
     );
     DiskDriver::new(handle, name, Backend::Sim(SimBackend { bus, disk, host_id: 7 }), sched)
+}
+
+/// The natural [`crate::disk::DiskOpts`] for a model: mechanical disks
+/// keep the controller-cache machinery (read-ahead, immediate-report);
+/// multi-channel flash bypasses it — the parallel service path ignores
+/// the cache, and idle read-ahead would perturb the channel state.
+pub fn default_opts_for(model: &dyn crate::model::DiskModel) -> crate::disk::DiskOpts {
+    if model.channels() > 1 {
+        crate::disk::DiskOpts {
+            readahead: false,
+            immediate_report: false,
+            ..crate::disk::DiskOpts::default()
+        }
+    } else {
+        crate::disk::DiskOpts::default()
+    }
+}
+
+/// The natural host connection for a model: mechanical disks sit on the
+/// paper's 10 MB/s SCSI-2 bus; multi-channel flash gets the
+/// [`crate::bus::BusParams::flash`] link so measurements show the
+/// device, not a 1996 wire it never shipped behind.
+pub fn default_bus_for(handle: &Handle, model: &dyn crate::model::DiskModel) -> ScsiBus {
+    if model.channels() > 1 {
+        ScsiBus::with_params(handle, crate::bus::BusParams::flash())
+    } else {
+        ScsiBus::new(handle)
+    }
+}
+
+/// Builds a RAID-0 striped driver over `models` in one call: one
+/// dedicated bus + disk task per child, chunked at `chunk_sectors`.
+///
+/// Child `i` gets SCSI id 1 on its own bus (dedicated buses keep child
+/// service times independent — the stripe's parallelism is the point)
+/// and the per-model default options ([`default_opts_for`]).
+pub fn striped_sim_disk_driver(
+    handle: &Handle,
+    name: &str,
+    models: Vec<Box<dyn crate::model::DiskModel>>,
+    sched: Box<dyn QueueScheduler>,
+    chunk_sectors: u64,
+) -> DiskDriver {
+    assert!(!models.is_empty(), "striped driver needs at least one child model");
+    let children: Vec<SimBackend> = models
+        .into_iter()
+        .enumerate()
+        .map(|(i, model)| {
+            let bus = default_bus_for(handle, model.as_ref());
+            let opts = default_opts_for(model.as_ref());
+            let disk = crate::disk::spawn_disk(
+                handle,
+                &format!("disk:{name}.{i}"),
+                model,
+                bus.clone(),
+                opts,
+                crate::disk::FaultPlan::default(),
+            );
+            SimBackend { bus, disk, host_id: 7 }
+        })
+        .collect();
+    let striped = StripedDisk::new(children, chunk_sectors);
+    DiskDriver::new(handle, name, Backend::Striped(striped), sched)
 }
 
 #[cfg(test)]
@@ -921,6 +1226,133 @@ mod tests {
         });
         sim.run();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn striped_round_trip_matches_writes_across_chunks() {
+        let sim = Sim::new(9);
+        let h = sim.handle();
+        // Two HP children, 16-sector chunks: a 40-sector write spans
+        // five chunks on alternating disks.
+        let models: Vec<Box<dyn crate::model::DiskModel>> =
+            vec![Box::new(Hp97560::new()), Box::new(Hp97560::new())];
+        let driver = striped_sim_disk_driver(&h, "s0", models, Box::new(CLook), 16);
+        let d2 = driver.clone();
+        h.spawn("client", async move {
+            let data: Vec<u8> = (0..40 * 512u32).map(|i| (i % 241) as u8).collect();
+            // Start mid-chunk so the split is unaligned at both ends.
+            d2.write(5, 40, Payload::Data(data.clone())).await.unwrap();
+            let (payload, _) = d2.read(5, 40).await.unwrap();
+            assert_eq!(payload.bytes().unwrap(), &data[..]);
+            // A read overlapping unwritten sectors degrades to simulated,
+            // exactly like a single disk.
+            let (p2, _) = d2.read(0, 48).await.unwrap();
+            assert!(p2.bytes().is_none());
+            d2.shutdown();
+        });
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(100));
+        assert_eq!(driver.stats().completed, 3);
+    }
+
+    #[test]
+    fn striped_capacity_depth_and_bounds() {
+        let sim = Sim::new(9);
+        let h = sim.handle();
+        let models: Vec<Box<dyn crate::model::DiskModel>> =
+            vec![Box::new(Hp97560::new()), Box::new(Hp97560::new())];
+        let driver = striped_sim_disk_driver(&h, "s0", models, Box::new(CLook), 128);
+        use crate::model::DiskModel as _;
+        let single = Hp97560::new().geometry().capacity_sectors();
+        // Two children: capacity doubles (modulo chunk rounding)...
+        assert!(driver.capacity_sectors() > single);
+        assert_eq!(driver.capacity_sectors() % 128, 0);
+        // ...and the native depth is the sum of the children's (2 each).
+        assert_eq!(driver.native_depth(), 4);
+        let cap = driver.capacity_sectors();
+        let d2 = driver.clone();
+        h.spawn("client", async move {
+            let err = d2.read(cap - 4, 8).await.unwrap_err();
+            assert!(matches!(err, IoError::OutOfRange { capacity, .. } if capacity == cap));
+            d2.shutdown();
+        });
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn striping_overlaps_child_service() {
+        // The same far-scattered batch finishes sooner on a 4-way
+        // stripe than on one spindle: sub-requests really overlap.
+        fn total_time(n_disks: usize) -> u64 {
+            let sim = Sim::new(13);
+            let h = sim.handle();
+            let models: Vec<Box<dyn crate::model::DiskModel>> = (0..n_disks)
+                .map(|_| Box::new(Hp97560::new()) as Box<dyn crate::model::DiskModel>)
+                .collect();
+            let driver = striped_sim_disk_driver(&h, "s0", models, Box::new(Fcfs), 64);
+            driver.set_max_inflight(8);
+            for i in 0..16u64 {
+                let d = driver.clone();
+                h.spawn("c", async move {
+                    d.read(i * 100_000, 8).await.unwrap();
+                });
+            }
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(200));
+            sim.now().as_micros()
+        }
+        let one = total_time(1);
+        let four = total_time(4);
+        assert!(four < one, "4-way stripe ({four} us) should beat single ({one} us)");
+    }
+
+    #[test]
+    fn ssd_driver_advertises_native_depth_64() {
+        let sim = Sim::new(2);
+        let h = sim.handle();
+        let driver = sim_disk_driver(&h, "ssd0", Box::new(crate::ssd::Ssd::new()), Box::new(Fcfs));
+        assert_eq!(driver.native_depth(), 64);
+        // The HP keeps its 1996 cap of 2.
+        let hp = sim_disk_driver(&h, "hp0", Box::new(Hp97560::new()), Box::new(Fcfs));
+        assert_eq!(hp.native_depth(), 2);
+    }
+
+    #[test]
+    fn ssd_absorbs_deep_queues_with_overlap() {
+        let sim = Sim::new(8);
+        let h = sim.handle();
+        let driver = sim_disk_driver(&h, "ssd0", Box::new(crate::ssd::Ssd::new()), Box::new(Fcfs));
+        driver.set_max_inflight(driver.native_depth());
+        for i in 0..64u64 {
+            let d = driver.clone();
+            h.spawn("client", async move {
+                d.read(i * 4096, 8).await.unwrap();
+            });
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(100));
+        let stats = driver.stats();
+        assert_eq!(stats.completed, 64);
+        assert!(
+            stats.max_inflight_seen >= 8.0,
+            "ssd should hold many commands: {}",
+            stats.max_inflight_seen
+        );
+        assert!(stats.overlap_fraction > 0.5, "channels overlap: {}", stats.overlap_fraction);
+    }
+
+    #[test]
+    fn ssd_round_trips_real_data() {
+        let sim = Sim::new(3);
+        let h = sim.handle();
+        let driver = sim_disk_driver(&h, "ssd0", Box::new(crate::ssd::Ssd::new()), Box::new(Fcfs));
+        driver.set_max_inflight(driver.native_depth());
+        let d2 = driver.clone();
+        h.spawn("client", async move {
+            let data: Vec<u8> = (0..4096u32).map(|i| (i % 253) as u8).collect();
+            d2.write(128, 8, Payload::Data(data.clone())).await.unwrap();
+            let (payload, _) = d2.read(128, 8).await.unwrap();
+            assert_eq!(payload.bytes().unwrap(), &data[..]);
+            d2.shutdown();
+        });
+        sim.run();
     }
 
     use cnp_sim::SimTime;

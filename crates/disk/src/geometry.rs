@@ -65,10 +65,17 @@ impl DiskGeometry {
         assert!(lba < self.capacity_sectors(), "lba {lba} out of range");
         let spt = self.sectors_per_track as u64;
         let track = lba / spt;
+        // Checked narrowing: with a well-formed geometry every coordinate
+        // fits in u32, but a geometry whose cylinder count was scaled past
+        // u32::MAX (fleet-scaled disks multiply cylinders) must fail loudly
+        // here instead of silently wrapping the CHS coordinates.
         Chs {
-            cylinder: (track / self.heads as u64) as u32,
-            head: (track % self.heads as u64) as u32,
-            sector: (lba % spt) as u32,
+            cylinder: u32::try_from(track / self.heads as u64)
+                .unwrap_or_else(|_| panic!("cylinder index for lba {lba} overflows u32")),
+            head: u32::try_from(track % self.heads as u64)
+                .unwrap_or_else(|_| panic!("head index for lba {lba} overflows u32")),
+            sector: u32::try_from(lba % spt)
+                .unwrap_or_else(|_| panic!("sector index for lba {lba} overflows u32")),
         }
     }
 
@@ -101,11 +108,33 @@ impl DiskGeometry {
         let end = lba + sectors as u64;
         while cur < end {
             let track_end = (cur / spt + 1) * spt;
-            let take = (end.min(track_end) - cur) as u32;
+            let take = u32::try_from(end.min(track_end) - cur)
+                .unwrap_or_else(|_| panic!("track chunk at lba {cur} overflows u32 sectors"));
             out.push((cur, take));
             cur += take as u64;
         }
         out
+    }
+
+    /// Returns a copy of this geometry with `factor`× the cylinders.
+    ///
+    /// This is the fleet-scaling path: big client fleets multiply the
+    /// cylinder count to get a proportionally bigger disk. The multiply
+    /// is checked — a factor that would push `cylinders` past `u32::MAX`
+    /// (and thus silently wrap every CHS coordinate derived from it)
+    /// panics loudly instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cylinders * factor` overflows `u32`.
+    pub fn scale_cylinders(&self, factor: u32) -> DiskGeometry {
+        let cylinders = self.cylinders.checked_mul(factor).unwrap_or_else(|| {
+            panic!(
+                "scaling {} cylinders by {factor} overflows u32; fleet too large for this geometry",
+                self.cylinders
+            )
+        });
+        DiskGeometry { cylinders, ..self.clone() }
     }
 }
 
@@ -173,6 +202,47 @@ mod tests {
         assert_eq!(g.angular_slot(Chs { cylinder: 0, head: 1, sector: 0 }), 2);
         assert_eq!(g.angular_slot(Chs { cylinder: 1, head: 0, sector: 0 }), 5);
         assert_eq!(g.angular_slot(Chs { cylinder: 1, head: 3, sector: 15 }), (15 + 6 + 5) % 16);
+    }
+
+    #[test]
+    fn scale_cylinders_checked_at_boundary() {
+        let g = geo();
+        // In range: exact multiply.
+        assert_eq!(g.scale_cylinders(7).cylinders, 70);
+        // The largest factor that still fits.
+        let max_factor = u32::MAX / g.cylinders;
+        let scaled = g.scale_cylinders(max_factor);
+        assert_eq!(scaled.cylinders, g.cylinders * max_factor);
+        // The round trip still holds on the giant disk.
+        let last = scaled.capacity_sectors() - 1;
+        assert_eq!(scaled.chs_to_lba(scaled.lba_to_chs(last)), last);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn scale_cylinders_overflow_panics() {
+        let g = geo();
+        let max_factor = u32::MAX / g.cylinders;
+        g.scale_cylinders(max_factor + 1);
+    }
+
+    #[test]
+    fn lba_chs_round_trip_at_u32_cylinder_boundary() {
+        // A maximally tall disk: cylinder indices go right up to
+        // u32::MAX. Every coordinate must narrow without wrapping.
+        let g = DiskGeometry {
+            cylinders: u32::MAX,
+            heads: 2,
+            sectors_per_track: 4,
+            sector_size: 512,
+            rpm: 6000,
+            track_skew: 0,
+            cylinder_skew: 0,
+        };
+        let last = g.capacity_sectors() - 1;
+        let chs = g.lba_to_chs(last);
+        assert_eq!(chs.cylinder, u32::MAX - 1);
+        assert_eq!(g.chs_to_lba(chs), last);
     }
 
     #[test]

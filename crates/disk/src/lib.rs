@@ -7,6 +7,8 @@
 //! * [`geometry`] — cylinders/heads/sectors, skews, LBA ↔ CHS;
 //! * [`model`] — the mechanism abstraction (seek/rotation/transfer);
 //! * [`hp97560`] — the detailed HP 97560 model the paper simulates;
+//! * [`ssd`] — the second hardware generation: a seek-free,
+//!   multi-channel flash model with erase-before-rewrite cost;
 //! * [`simple`] — the naive fixed-cost model the paper warns about;
 //! * [`cache`] — the controller cache (immediate-report writes,
 //!   read-ahead);
@@ -14,8 +16,8 @@
 //!   disconnect/reconnect;
 //! * [`disk`] — the simulated disk task;
 //! * [`iosched`] — FCFS/SSTF/SCAN/C-SCAN/LOOK/C-LOOK queue policies;
-//! * [`driver`] — the scheduled driver over either a simulated or a
-//!   real (host-file) back-end.
+//! * [`driver`] — the scheduled driver over a simulated, real
+//!   (host-file), or RAID-0 striped multi-disk back-end.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,12 +32,16 @@ pub mod iosched;
 pub mod model;
 pub mod request;
 pub mod simple;
+pub mod ssd;
 
 pub use bus::{BusParams, ScsiBus};
 pub use disk::{
     spawn_disk, spawn_disk_with_image, DiskClient, DiskImage, DiskOpts, DiskStats, FaultPlan,
 };
-pub use driver::{sim_disk_driver, Backend, DiskDriver, DriverStats, FileBackend, SimBackend};
+pub use driver::{
+    sim_disk_driver, striped_sim_disk_driver, Backend, DiskDriver, DriverStats, FileBackend,
+    SimBackend, StripedDisk,
+};
 pub use geometry::{Chs, DiskGeometry};
 pub use hp97560::{Hp97560, Hp97560Params};
 pub use iosched::{
@@ -44,3 +50,4 @@ pub use iosched::{
 pub use model::{DiskModel, DiskPos, MediaAccess};
 pub use request::{IoCompletion, IoError, IoOp, IoRequest, IoTiming, Payload};
 pub use simple::{SimpleDisk, SimpleDiskParams};
+pub use ssd::{Ssd, SsdParams};

@@ -62,6 +62,44 @@ pub trait DiskModel {
     /// rotational waits depend on it because the platter position is a
     /// function of absolute time.
     fn media_access(&self, now: SimTime, pos: DiskPos, lba: u64, sectors: u32) -> MediaAccess;
+
+    /// Direction-aware access cost.
+    ///
+    /// Mechanical disks read and write at the same speed, so the default
+    /// forwards to [`DiskModel::media_access`]. Flash models override it:
+    /// a page program costs more than a page read, and rewriting a
+    /// programmed page charges an erase first.
+    fn media_access_rw(
+        &self,
+        now: SimTime,
+        pos: DiskPos,
+        lba: u64,
+        sectors: u32,
+        write: bool,
+    ) -> MediaAccess {
+        let _ = write;
+        self.media_access(now, pos, lba, sectors)
+    }
+
+    /// How many commands the device itself can hold outstanding.
+    ///
+    /// The driver clamps its queue depth to this: extra depth beyond the
+    /// device's native queue lives in the host-side scheduler, not on the
+    /// wire. The 1996-era SCSI disks the repo grew up on hold 2 (one in
+    /// service + one queued in the controller), so that is the default;
+    /// multi-channel flash devices override with their real depth.
+    fn native_depth(&self) -> u32 {
+        2
+    }
+
+    /// Number of independent media channels that can serve in parallel.
+    ///
+    /// Mechanical disks have one arm: 1. Flash models with per-channel
+    /// parallelism override this; the disk task switches to a parallel
+    /// service path when it is > 1.
+    fn channels(&self) -> u32 {
+        1
+    }
 }
 
 /// Detailed, geometry-faithful access computation shared by models.

@@ -1,0 +1,373 @@
+//! A seek-free, multi-channel flash (SSD/NVMe-class) disk model.
+//!
+//! The second hardware generation behind [`DiskModel`]: no seek curve,
+//! no rotational position — instead page-granular read/program
+//! latencies, several independent channels serving in parallel, and
+//! erase blocks with an erase-before-rewrite cost, so the LFS cleaner
+//! story gets interesting again. Parameters are in the neighborhood of
+//! early NVMe parts; every one is tunable through [`SsdParams`].
+//!
+//! # Address map
+//!
+//! LBAs are grouped into *pages* of [`SsdParams::page_sectors`] sectors
+//! (the program/read unit) and pages into *erase blocks* of
+//! [`SsdParams::pages_per_block`] pages. Consecutive pages round-robin
+//! across channels (`channel = page % channels`), so sequential runs
+//! stripe across every channel — the flash analogue of track
+//! interleaving.
+//!
+//! The [`DiskGeometry`] view maps channels to "heads" and erase blocks
+//! to "cylinders": the geometry exists so capacity bounds and the
+//! position-aware schedulers keep working, but no timing is derived
+//! from it — that is the point of the scheduler-tie experiment.
+//!
+//! # Determinism
+//!
+//! The model keeps per-channel free times and per-block programmed-page
+//! bitmaps behind a `RefCell`. [`DiskModel::media_access_rw`] is only
+//! ever called from the single-threaded simulation, in request arrival
+//! order, so the interior mutation is deterministic in (seed, trace).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use cnp_sim::{SimDuration, SimTime};
+
+use crate::geometry::DiskGeometry;
+use crate::model::{DiskModel, DiskPos, MediaAccess};
+
+/// Tunable flash-model parameters.
+#[derive(Debug, Clone)]
+pub struct SsdParams {
+    /// Independent channels that can program/read in parallel.
+    pub channels: u32,
+    /// Sectors per flash page (the program/read unit).
+    pub page_sectors: u32,
+    /// Pages per erase block (max 64: the programmed map is a bitmap).
+    pub pages_per_block: u32,
+    /// Erase blocks per channel.
+    pub blocks_per_channel: u32,
+    /// Bytes per sector.
+    pub sector_size: u32,
+    /// Latency of one page read.
+    pub read_page: SimDuration,
+    /// Latency of one page program.
+    pub program_page: SimDuration,
+    /// Latency of one block erase (charged before rewriting a
+    /// programmed page).
+    pub erase_block: SimDuration,
+    /// Fixed per-command controller overhead.
+    pub controller_overhead: SimDuration,
+    /// Native command-queue depth the device absorbs.
+    pub native_depth: u32,
+}
+
+impl Default for SsdParams {
+    fn default() -> Self {
+        SsdParams {
+            channels: 8,
+            // 8 × 512 B = 4 KiB pages, 64-page (256 KiB) erase blocks,
+            // 1024 blocks/channel → 8 × 1024 × 256 KiB = 2 GiB.
+            page_sectors: 8,
+            pages_per_block: 64,
+            blocks_per_channel: 1024,
+            sector_size: 512,
+            read_page: SimDuration::from_micros(60),
+            program_page: SimDuration::from_micros(250),
+            erase_block: SimDuration::from_millis(2),
+            controller_overhead: SimDuration::from_micros(25),
+            native_depth: 64,
+        }
+    }
+}
+
+impl SsdParams {
+    /// The geometry view of these parameters (see module docs).
+    pub fn geometry(&self) -> DiskGeometry {
+        DiskGeometry {
+            cylinders: self.blocks_per_channel,
+            heads: self.channels,
+            sectors_per_track: self.pages_per_block * self.page_sectors,
+            sector_size: self.sector_size,
+            // No spindle; any non-zero value keeps rotation_time finite.
+            // Timing never derives from it (seek and rotation are zero).
+            rpm: 60_000,
+            track_skew: 0,
+            cylinder_skew: 0,
+        }
+    }
+}
+
+/// Mutable flash state: channel busy times and programmed-page maps.
+#[derive(Debug, Default)]
+struct FlashState {
+    /// Absolute nanosecond at which each channel is next free.
+    channel_free_ns: Vec<u64>,
+    /// Erase-block index → bitmap of programmed pages within the block.
+    programmed: HashMap<u64, u64>,
+}
+
+/// The multi-channel flash model.
+#[derive(Debug)]
+pub struct Ssd {
+    params: SsdParams,
+    geometry: DiskGeometry,
+    state: RefCell<FlashState>,
+    erases: Cell<u64>,
+}
+
+impl Ssd {
+    /// Creates the model with default parameters.
+    pub fn new() -> Self {
+        Self::with_params(SsdParams::default())
+    }
+
+    /// Creates the model with custom parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter is zero where that would divide by zero,
+    /// or if `pages_per_block` exceeds 64 (the programmed map is a
+    /// 64-bit bitmap).
+    pub fn with_params(params: SsdParams) -> Self {
+        assert!(params.channels > 0, "ssd: channels must be > 0");
+        assert!(params.page_sectors > 0, "ssd: page_sectors must be > 0");
+        assert!(
+            (1..=64).contains(&params.pages_per_block),
+            "ssd: pages_per_block must be in 1..=64"
+        );
+        let geometry = params.geometry();
+        let state = FlashState {
+            channel_free_ns: vec![0; params.channels as usize],
+            programmed: HashMap::new(),
+        };
+        Ssd { params, geometry, state: RefCell::new(state), erases: Cell::new(0) }
+    }
+
+    /// The parameter set in use.
+    pub fn params(&self) -> &SsdParams {
+        &self.params
+    }
+
+    /// Total block erases charged so far (cleaner-cost observability).
+    pub fn erase_count(&self) -> u64 {
+        self.erases.get()
+    }
+}
+
+impl Default for Ssd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DiskModel for Ssd {
+    fn geometry(&self) -> &DiskGeometry {
+        &self.geometry
+    }
+
+    fn controller_overhead(&self) -> SimDuration {
+        self.params.controller_overhead
+    }
+
+    fn seek_time(&self, _from_cyl: u32, _to_cyl: u32) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    fn head_switch_time(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    fn media_access(&self, now: SimTime, pos: DiskPos, lba: u64, sectors: u32) -> MediaAccess {
+        self.media_access_rw(now, pos, lba, sectors, false)
+    }
+
+    fn media_access_rw(
+        &self,
+        now: SimTime,
+        pos: DiskPos,
+        lba: u64,
+        sectors: u32,
+        write: bool,
+    ) -> MediaAccess {
+        assert!(sectors > 0, "ssd: zero-sector access");
+        let p = &self.params;
+        let mut st = self.state.borrow_mut();
+        let now_ns = now.as_nanos();
+        let first_page = lba / p.page_sectors as u64;
+        let last_page = (lba + sectors as u64 - 1) / p.page_sectors as u64;
+        // Per-channel service accumulated by this command.
+        let mut service = vec![0u64; p.channels as usize];
+        for page in first_page..=last_page {
+            let ch = (page % p.channels as u64) as usize;
+            let mut cost = if write { p.program_page } else { p.read_page }.as_nanos();
+            if write {
+                let block = page / p.pages_per_block as u64;
+                let bit = 1u64 << (page % p.pages_per_block as u64);
+                let map = st.programmed.entry(block).or_insert(0);
+                if *map & bit != 0 {
+                    // Erase-before-rewrite: the whole block is cycled,
+                    // clearing every other programmed page in it.
+                    cost += p.erase_block.as_nanos();
+                    *map = bit;
+                    self.erases.set(self.erases.get() + 1);
+                } else {
+                    *map |= bit;
+                }
+            }
+            service[ch] += cost;
+        }
+        // Each touched channel starts when it is free (or now) and works
+        // for its accumulated service; the command completes when the
+        // slowest channel does. Critical channel = latest completion,
+        // lowest index on ties — deterministic.
+        let mut crit_wait = 0u64;
+        let mut crit_service = 0u64;
+        let mut crit_done = 0u64;
+        for (ch, &svc) in service.iter().enumerate() {
+            if svc == 0 {
+                continue;
+            }
+            let start = st.channel_free_ns[ch].max(now_ns);
+            let done = start + svc;
+            st.channel_free_ns[ch] = done;
+            if done > crit_done {
+                crit_done = done;
+                crit_wait = start - now_ns;
+                crit_service = svc;
+            }
+        }
+        MediaAccess {
+            seek: SimDuration::ZERO,
+            rotation: SimDuration::from_nanos(crit_wait),
+            transfer: SimDuration::from_nanos(crit_service),
+            end_pos: pos,
+        }
+    }
+
+    fn native_depth(&self) -> u32 {
+        self.params.native_depth
+    }
+
+    fn channels(&self) -> u32 {
+        self.params.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_2_gib() {
+        let d = Ssd::new();
+        assert_eq!(d.geometry().capacity_bytes(), 2 << 30);
+    }
+
+    #[test]
+    fn seek_free() {
+        let d = Ssd::new();
+        assert_eq!(d.seek_time(0, 1023), SimDuration::ZERO);
+        assert_eq!(d.head_switch_time(), SimDuration::ZERO);
+        let a = d.media_access_rw(SimTime::ZERO, DiskPos::HOME, 1 << 20, 8, false);
+        assert_eq!(a.seek, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn read_is_page_granular() {
+        let d = Ssd::new();
+        let p = d.params().clone();
+        // 1 sector and 8 sectors both touch one page.
+        let a1 = d.media_access_rw(SimTime::ZERO, DiskPos::HOME, 0, 1, false);
+        assert_eq!(a1.total(), p.read_page);
+        let d = Ssd::new();
+        let a8 = d.media_access_rw(SimTime::ZERO, DiskPos::HOME, 0, 8, false);
+        assert_eq!(a8.total(), p.read_page);
+    }
+
+    #[test]
+    fn sequential_run_stripes_across_channels() {
+        let d = Ssd::new();
+        let p = d.params().clone();
+        // 8 pages → one page per channel, all in parallel: total is one
+        // page read, not eight.
+        let sectors = p.page_sectors * p.channels;
+        let a = d.media_access_rw(SimTime::ZERO, DiskPos::HOME, 0, sectors, false);
+        assert_eq!(a.total(), p.read_page);
+        // 16 pages → two per channel.
+        let d = Ssd::new();
+        let a = d.media_access_rw(SimTime::ZERO, DiskPos::HOME, 0, 2 * sectors, false);
+        assert_eq!(a.total(), p.read_page * 2);
+    }
+
+    #[test]
+    fn same_channel_commands_serialize() {
+        let d = Ssd::new();
+        let p = d.params().clone();
+        let stride = p.page_sectors as u64 * p.channels as u64;
+        // Two commands on page 0 and page `channels` — same channel.
+        let a = d.media_access_rw(SimTime::ZERO, DiskPos::HOME, 0, 1, false);
+        let b = d.media_access_rw(SimTime::ZERO, DiskPos::HOME, stride, 1, false);
+        assert_eq!(a.total(), p.read_page);
+        // The second waits for the first: rotation carries the queue wait.
+        assert_eq!(b.rotation, p.read_page);
+        assert_eq!(b.total(), p.read_page * 2);
+        // A third on a different channel at the same time runs free.
+        let c = d.media_access_rw(SimTime::ZERO, DiskPos::HOME, p.page_sectors as u64, 1, false);
+        assert_eq!(c.total(), p.read_page);
+    }
+
+    #[test]
+    fn rewrite_charges_erase_and_resets_block() {
+        let d = Ssd::new();
+        let p = d.params().clone();
+        // First program: clean page.
+        let w1 = d.media_access_rw(SimTime::ZERO, DiskPos::HOME, 0, 1, true);
+        assert_eq!(w1.transfer, p.program_page);
+        assert_eq!(d.erase_count(), 0);
+        // Rewrite of the same page: erase + program.
+        let t1 = SimTime::from_nanos(w1.total().as_nanos());
+        let w2 = d.media_access_rw(t1, DiskPos::HOME, 0, 1, true);
+        assert_eq!(w2.transfer, p.program_page + p.erase_block);
+        assert_eq!(d.erase_count(), 1);
+        // The erase cycled the whole block: sibling pages in the block
+        // are clean again, so a *third* write to a sibling page that was
+        // never programmed still programs clean.
+        let t2 = SimTime::from_nanos(t1.as_nanos() + w2.total().as_nanos());
+        // Page `channels` is the same channel AND same block as page 0?
+        // Block = page / pages_per_block, so page 8 is in block 0 too.
+        let sib = p.channels as u64 * p.page_sectors as u64;
+        let w3 = d.media_access_rw(t2, DiskPos::HOME, sib, 1, true);
+        assert_eq!(w3.transfer, p.program_page);
+        assert_eq!(d.erase_count(), 1);
+    }
+
+    #[test]
+    fn native_depth_and_channels_advertised() {
+        let d = Ssd::new();
+        assert_eq!(d.native_depth(), 64);
+        assert_eq!(d.channels(), 8);
+        // The mechanical default stays 2.
+        let hp = crate::hp97560::Hp97560::new();
+        assert_eq!(hp.native_depth(), 2);
+        assert_eq!(hp.channels(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let run = || {
+            let d = Ssd::new();
+            let mut t = SimTime::ZERO;
+            let mut out = Vec::new();
+            for i in 0..200u64 {
+                let lba = (i * 37) % 4096;
+                let write = i % 3 == 0;
+                let a = d.media_access_rw(t, DiskPos::HOME, lba, 8, write);
+                t = SimTime::from_nanos(t.as_nanos() + a.total().as_nanos() / 2);
+                out.push(a.total().as_nanos());
+            }
+            (out, d.erase_count())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -97,6 +97,25 @@ impl DiskModel for FaultyDisk {
     fn media_access(&self, now: SimTime, pos: DiskPos, lba: u64, sectors: u32) -> MediaAccess {
         self.model.media_access(now, pos, lba, sectors)
     }
+
+    fn media_access_rw(
+        &self,
+        now: SimTime,
+        pos: DiskPos,
+        lba: u64,
+        sectors: u32,
+        write: bool,
+    ) -> MediaAccess {
+        self.model.media_access_rw(now, pos, lba, sectors, write)
+    }
+
+    fn native_depth(&self) -> u32 {
+        self.model.native_depth()
+    }
+
+    fn channels(&self) -> u32 {
+        self.model.channels()
+    }
 }
 
 #[cfg(test)]

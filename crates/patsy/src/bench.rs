@@ -2,8 +2,9 @@
 //! trajectory.
 //!
 //! Runs a canonical set of cells — the seed-42 zipf client sweep at 16
-//! and 256 clients, the bounded crash-point check at budget 500, and
-//! the queue-depth × scheduler sweep — and appends one record (headline
+//! and 256 clients, the bounded crash-point check at budget 500, the
+//! queue-depth × scheduler sweep (on the HP and on the flash
+//! generation), and a 64-client serve cell — and appends one record (headline
 //! numbers + per-phase wall-time breakdown) to a trajectory file,
 //! `BENCH_trajectory.json` by default. The headline numbers are
 //! *virtual-time* figures, so they are deterministic: two runs of the
@@ -26,7 +27,7 @@ use cnp_trace::SyntheticSprite;
 use cnp_workload::WorkloadKind;
 
 use crate::clients::{run_client_cell, ClientSweepConfig};
-use crate::qdsweep::{run_qd_sweep, SWEEP_DEPTHS};
+use crate::qdsweep::{run_depth_cell_on, run_qd_sweep, trace_footprint, SweepDisk, SWEEP_DEPTHS};
 use crate::serve::{run_serve_cell, ServeBenchConfig};
 
 /// The canonical seed every bench cell derives from.
@@ -187,6 +188,33 @@ fn run_phases() -> Vec<Phase> {
             ("serve_attr_hit_rate".to_string(), format!("{:.6}", cell.attr_hit_rate)),
         ],
     });
+
+    // Phase 6: the second hardware generation. FCFS at qd 64 is the
+    // flash headline (on flash the scheduler choice stops mattering and
+    // the queue depth starts to); the C-LOOK/FCFS makespan ratio
+    // documents the scheduler tie the generation is supposed to produce
+    // (~1.0, vs the clear win C-LOOK shows on the HP above). Keys are
+    // append-only, so the tier-1 lexical scan and gate are untouched.
+    let ssd_hw = SweepDisk { disk: "ssd".to_string(), ..SweepDisk::default() };
+    let (ssd_values, wall_ms) = timed(|| {
+        use cnp_disk::DiskModel as _;
+        let capacity = cnp_disk::Ssd::new().geometry().capacity_sectors();
+        let reqs = trace_footprint("1a", 0.05, BENCH_SEED, capacity);
+        let fcfs8 = run_depth_cell_on(&reqs, "fcfs", 8, BENCH_SEED, &ssd_hw);
+        let fcfs64 = run_depth_cell_on(&reqs, "fcfs", 64, BENCH_SEED, &ssd_hw);
+        let clook64 = run_depth_cell_on(&reqs, "c-look", 64, BENCH_SEED, &ssd_hw);
+        vec![
+            ("ssd_fcfs_qd8_makespan_ms".to_string(), format!("{:.6}", fcfs8.makespan_ms)),
+            ("ssd_fcfs_qd64_makespan_ms".to_string(), format!("{:.6}", fcfs64.makespan_ms)),
+            ("ssd_fcfs_qd64_service_ms".to_string(), format!("{:.6}", fcfs64.mean_service_ms)),
+            ("ssd_fcfs_qd64_overlap".to_string(), format!("{:.6}", fcfs64.overlap)),
+            (
+                "ssd_clook_over_fcfs_qd64".to_string(),
+                format!("{:.6}", clook64.makespan_ms / fcfs64.makespan_ms),
+            ),
+        ]
+    });
+    phases.push(Phase { name: "sweep-qd-ssd", wall_ms, values: ssd_values });
 
     phases
 }

@@ -7,6 +7,8 @@
 //!       ablate-diskcache|ablate-nvram|ablate-cleaner
 //! patsy run --trace 1a --policy ups    # one experiment, full detail
 //! patsy sweep-qd --trace 1a            # I/O schedulers x queue depths
+//! patsy sweep-qd --disk ssd            # same sweep, flash generation
+//! patsy sweep-qd --disks 4 --chunk-kib 64   # RAID-0 across 4 spindles
 //! patsy sweep-clients --workload zipf --clients 1,4,16 --qd 8
 //! patsy serve-bench --clients 256 --qd 8     # NFS clients through the
 //!                                            # full wire path
@@ -46,7 +48,14 @@ fn main() {
         "fig3" => figures::figure_cdf("1b", a.scale, a.seed, a.qd),
         "fig4" => figures::figure_cdf("5", a.scale, a.seed, a.qd),
         "fig5" => figures::figure5(a.scale, a.seed),
-        "sweep-qd" => cnp_patsy::qdsweep::sweep_queue_depth(&a.trace, a.scale, a.seed, a.json),
+        "sweep-qd" => {
+            let hw = cnp_patsy::SweepDisk {
+                disk: a.disk.clone(),
+                disks: a.disks,
+                chunk_kib: a.chunk_kib,
+            };
+            cnp_patsy::qdsweep::sweep_queue_depth(&a.trace, a.scale, a.seed, a.json, &hw);
+        }
         "sweep-clients" => {
             // Client cells are numerous and closed-loop; the default
             // full-figure scale would run minutes per cell. The sweep
@@ -103,6 +112,11 @@ fn main() {
                 );
                 std::process::exit(2);
             });
+            let hw = cnp_patsy::SweepDisk {
+                disk: a.disk.clone(),
+                disks: a.disks,
+                chunk_kib: a.chunk_kib,
+            };
             figures::run_one(
                 &a.trace,
                 p,
@@ -111,6 +125,7 @@ fn main() {
                 a.qd,
                 a.layout.as_deref(),
                 a.trace_out.as_deref(),
+                &hw,
             );
         }
         "crash" => {

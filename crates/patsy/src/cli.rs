@@ -75,6 +75,12 @@ pub struct CliArgs {
     /// `--rsize` largest single wire transfer for `serve-bench`
     /// (4096 ≤ rsize ≤ 1 MiB — NFS rsize/wsize).
     pub rsize: u64,
+    /// `--disk` hardware generation (`hp97560`|`ssd`).
+    pub disk: String,
+    /// `--disks` RAID-0 stripe width (1 ≤ disks ≤ 64; 1 = single disk).
+    pub disks: u32,
+    /// `--chunk-kib` RAID-0 chunk size (multiple of 4 KiB, ≤ 1024).
+    pub chunk_kib: u32,
 }
 
 impl Default for CliArgs {
@@ -106,6 +112,9 @@ impl Default for CliArgs {
             label: None,
             baseline: None,
             rsize: 64 * 1024,
+            disk: "hp97560".to_string(),
+            disks: 1,
+            chunk_kib: 64,
         }
     }
 }
@@ -321,6 +330,43 @@ pub fn parse_cli(args: &[String]) -> Result<CliArgs, String> {
                 out.rsize = v;
                 i += 2;
             }
+            "--disk" => {
+                let d = value(i)?.clone();
+                if d != "hp97560" && d != "ssd" {
+                    return Err(format!("bad --disk {d:?} (hp97560|ssd)"));
+                }
+                out.disk = d;
+                i += 2;
+            }
+            "--disks" => {
+                let v: u32 =
+                    value(i)?.parse().map_err(|_| format!("bad --disks {:?}", args[i + 1]))?;
+                if v == 0 {
+                    return Err("bad --disks 0: a stripe needs at least one spindle".to_string());
+                }
+                if v > 64 {
+                    return Err(format!(
+                        "bad --disks {v}: at most 64 spindles per stripe (each is a full \
+                         simulated device; beyond that the sweep measures the fan-out, \
+                         not the array)"
+                    ));
+                }
+                out.disks = v;
+                i += 2;
+            }
+            "--chunk-kib" => {
+                let v: u32 =
+                    value(i)?.parse().map_err(|_| format!("bad --chunk-kib {:?}", args[i + 1]))?;
+                if v == 0 || !v.is_multiple_of(4) || v > 1024 {
+                    return Err(format!(
+                        "bad --chunk-kib {v}: must be a multiple of 4 and at most 1024 \
+                         (a chunk below the 4 KiB block splits every block; beyond 1 MiB \
+                         it stops striping)"
+                    ));
+                }
+                out.chunk_kib = v;
+                i += 2;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -335,6 +381,7 @@ pub fn usage() -> String {
      [--trace 1a] [--policy ups] [--scale 0.05] [--seed 365] [--cuts 16] \
      [--layout lfs|ffs] [--qd 1] [--workload zipf|mail|build|scan|web] \
      [--clients 1,4,16] [--shards N] [--rsize 65536] [--budget 200] [--json] \
+     [--disk hp97560|ssd] [--disks N] [--chunk-kib 64] \
      [--threads N] [--cache-file <path>] \
      [--repro <blob>] [--repro-out <path>] [--trace-out <prof.json>] \
      [--out <trajectory.json>] [--label <tag>] [--baseline <trajectory.json>]"
@@ -521,6 +568,50 @@ mod tests {
             assert!(e.contains("--rsize"), "{e}");
         }
         assert!(parse(&["serve-bench", "--rsize"]).is_err());
+    }
+
+    #[test]
+    fn disk_flag_parses_and_validates() {
+        let a = parse(&["sweep-qd", "--disk", "ssd", "--qd", "8"]).unwrap();
+        assert_eq!(a.disk, "ssd");
+        assert_eq!(a.qd, 8, "--disk must consume exactly one value");
+        let b = parse(&["sweep-qd"]).unwrap();
+        assert_eq!(b.disk, "hp97560", "the first hardware generation stays the default");
+        assert_eq!(parse(&["sweep-qd", "--disk", "hp97560"]).unwrap().disk, "hp97560");
+        let e = parse(&["sweep-qd", "--disk", "nvme9000"]).unwrap_err();
+        assert!(e.contains("--disk"), "{e}");
+        assert!(parse(&["sweep-qd", "--disk"]).is_err());
+    }
+
+    #[test]
+    fn disks_flag_parses_and_validates() {
+        let a = parse(&["sweep-qd", "--disks", "4"]).unwrap();
+        assert_eq!(a.disks, 4);
+        assert_eq!(parse(&["sweep-qd"]).unwrap().disks, 1, "single disk is the legacy wiring");
+        // Both boundaries are accepted.
+        assert_eq!(parse(&["sweep-qd", "--disks", "1"]).unwrap().disks, 1);
+        assert_eq!(parse(&["sweep-qd", "--disks", "64"]).unwrap().disks, 64);
+        for bad in ["0", "65", "many", "-1"] {
+            let e = parse(&["sweep-qd", "--disks", bad]).unwrap_err();
+            assert!(e.contains("--disks"), "{e}");
+        }
+        assert!(parse(&["sweep-qd", "--disks"]).is_err());
+    }
+
+    #[test]
+    fn chunk_kib_flag_parses_and_validates() {
+        let a = parse(&["sweep-qd", "--chunk-kib", "128", "--disks", "2"]).unwrap();
+        assert_eq!(a.chunk_kib, 128);
+        assert_eq!(a.disks, 2, "--chunk-kib must consume exactly one value");
+        assert_eq!(parse(&["sweep-qd"]).unwrap().chunk_kib, 64, "64 KiB chunks by default");
+        // Both boundaries are accepted.
+        assert_eq!(parse(&["sweep-qd", "--chunk-kib", "4"]).unwrap().chunk_kib, 4);
+        assert_eq!(parse(&["sweep-qd", "--chunk-kib", "1024"]).unwrap().chunk_kib, 1024);
+        for bad in ["0", "6", "1028", "lots", "-4"] {
+            let e = parse(&["sweep-qd", "--chunk-kib", bad]).unwrap_err();
+            assert!(e.contains("--chunk-kib"), "{e}");
+        }
+        assert!(parse(&["sweep-qd", "--chunk-kib"]).is_err());
     }
 
     #[test]

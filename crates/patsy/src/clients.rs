@@ -134,7 +134,8 @@ pub fn run_client_cell(cfg: &ClientSweepConfig, n: u32) -> ClientCell {
     // with it their historical baselines, byte for byte). Pure
     // function of `n`, so cells stay deterministic and replayable.
     let mut disk_params = Hp97560Params::default();
-    disk_params.geometry.cylinders *= n.div_ceil(256).next_power_of_two().max(1);
+    disk_params.geometry =
+        disk_params.geometry.scale_cylinders(n.div_ceil(256).next_power_of_two().max(1));
     let disk = Hp97560::with_params(disk_params);
     let driver = sim_disk_driver(&h, &format!("mc{n}"), Box::new(disk), Box::new(CLook));
     // `build_scaled`: LFS seals segments through its background writer.

@@ -80,6 +80,7 @@ pub fn figure5(scale: f64, seed: u64) {
 /// `trace_out`, a virtual-time span tracer is installed for the run
 /// and the resulting Chrome trace_event JSON is written to that path
 /// (load it in Perfetto; one lane per client plus one per disk).
+#[allow(clippy::too_many_arguments)]
 pub fn run_one(
     trace_name: &str,
     policy: crate::Policy,
@@ -88,6 +89,7 @@ pub fn run_one(
     queue_depth: u32,
     layout: Option<&str>,
     trace_out: Option<&str>,
+    hw: &crate::SweepDisk,
 ) {
     let trace = preset(trace_name).expect("known trace");
     let mut cfg = ExperimentConfig::new(policy, trace);
@@ -97,11 +99,23 @@ pub fn run_one(
     if let Some(l) = layout {
         cfg.layout = l.to_string();
     }
+    cfg.disk = hw.disk.clone();
+    cfg.disks = hw.disks;
+    cfg.chunk_kib = hw.chunk_kib;
     let tracer = trace_out.map(|_| cnp_obs::trace::Tracer::default());
     let guard = tracer.as_ref().map(cnp_obs::trace::install);
     let r = run_experiment(&cfg);
     drop(guard);
-    println!("trace {trace_name} policy {} layout {}", policy.label(), cfg.layout);
+    if hw.is_default() {
+        println!("trace {trace_name} policy {} layout {}", policy.label(), cfg.layout);
+    } else {
+        println!(
+            "trace {trace_name} policy {} layout {} disk {}",
+            policy.label(),
+            cfg.layout,
+            hw.label()
+        );
+    }
     println!("  ops {} errors {}", r.report.ops, r.report.errors);
     for e in &r.report.error_sample {
         println!("    sample error: {e}");

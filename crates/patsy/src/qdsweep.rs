@@ -16,8 +16,11 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use cnp_disk::{scheduler_by_name, sim_disk_driver, Hp97560, IoOp, Payload};
-use cnp_sim::{Sim, SimTime};
+use cnp_disk::{
+    scheduler_by_name, sim_disk_driver, striped_sim_disk_driver, DiskDriver, DiskModel, Hp97560,
+    IoOp, Payload, Ssd,
+};
+use cnp_sim::{Handle, Sim, SimTime};
 use cnp_trace::{preset, SyntheticSprite, TraceOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,6 +33,76 @@ const SECTORS_PER_BLOCK: u32 = 8;
 
 /// Largest per-request transfer the footprint generator emits (blocks).
 const MAX_RUN_BLOCKS: u64 = 16;
+
+/// Hardware selection for a sweep: which disk generation backs the
+/// driver, how many spindles, and the RAID-0 chunk size. The default
+/// (one HP 97560) reproduces every historical sweep byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepDisk {
+    /// Disk model name: `hp97560` (mechanical) or `ssd` (flash).
+    pub disk: String,
+    /// RAID-0 stripe width (1 = single disk, the legacy wiring).
+    pub disks: u32,
+    /// RAID-0 chunk size in KiB.
+    pub chunk_kib: u32,
+}
+
+impl Default for SweepDisk {
+    fn default() -> Self {
+        SweepDisk { disk: "hp97560".to_string(), disks: 1, chunk_kib: 64 }
+    }
+}
+
+impl SweepDisk {
+    /// True for the single-HP legacy configuration whose sweep output
+    /// must stay byte-identical across versions.
+    pub fn is_default(&self) -> bool {
+        self.disk == "hp97560" && self.disks == 1
+    }
+
+    /// Human label for banners: `ssd`, `hp97560 x4 (64 KiB chunks)`, …
+    pub fn label(&self) -> String {
+        if self.disks > 1 {
+            format!("{} x{} ({} KiB chunks)", self.disk, self.disks, self.chunk_kib)
+        } else {
+            self.disk.clone()
+        }
+    }
+
+    /// The stripe chunk in sectors (512-byte sectors throughout).
+    pub fn chunk_sectors(&self) -> u64 {
+        self.chunk_kib as u64 * 1024 / 512
+    }
+
+    /// The depths this generation's sweep visits: the flash device
+    /// absorbs qd 64 in its channels, so its sweep extends there; the
+    /// mechanical generation keeps the historical depth list.
+    pub fn depths(&self) -> &'static [u32] {
+        if self.disk == "ssd" {
+            &SWEEP_DEPTHS_SSD
+        } else {
+            &SWEEP_DEPTHS
+        }
+    }
+
+    fn model(&self) -> Box<dyn DiskModel> {
+        match self.disk.as_str() {
+            "ssd" => Box::new(Ssd::new()),
+            _ => Box::new(Hp97560::new()),
+        }
+    }
+
+    /// Builds the scheduled driver for this hardware configuration.
+    pub fn build_driver(&self, h: &Handle, name: &str, sched_name: &str) -> DiskDriver {
+        let sched = scheduler_by_name(sched_name).expect("known scheduler");
+        if self.disks > 1 {
+            let models = (0..self.disks).map(|_| self.model()).collect();
+            striped_sim_disk_driver(h, name, models, sched, self.chunk_sectors())
+        } else {
+            sim_disk_driver(h, name, self.model(), sched)
+        }
+    }
+}
 
 /// Derives the block-level footprint of a trace: every read/write
 /// becomes a request at the file's sticky random home (sim-guess
@@ -86,16 +159,28 @@ pub struct QdCell {
 }
 
 /// Replays `reqs` closed-loop at `depth` outstanding requests against a
-/// driver scheduled by `sched_name`. Deterministic in (reqs, seed).
+/// single-HP driver scheduled by `sched_name`. Deterministic in
+/// (reqs, seed).
 pub fn run_depth_cell(reqs: &[BlockReq], sched_name: &str, depth: u32, seed: u64) -> QdCell {
+    run_depth_cell_on(reqs, sched_name, depth, seed, &SweepDisk::default())
+}
+
+/// [`run_depth_cell`] on an explicit hardware configuration.
+pub fn run_depth_cell_on(
+    reqs: &[BlockReq],
+    sched_name: &str,
+    depth: u32,
+    seed: u64,
+    hw: &SweepDisk,
+) -> QdCell {
     let sim = Sim::new(seed);
     let h = sim.handle();
-    let sched = scheduler_by_name(sched_name).expect("known scheduler");
-    let driver = sim_disk_driver(&h, "qd0", Box::new(Hp97560::new()), sched);
-    // Mirror the engine's wiring: the device keeps at most two commands
-    // (bus/mechanics overlap); the rest of the window waits in the
-    // scheduled driver queue.
-    driver.set_max_inflight(depth.min(2));
+    let driver = hw.build_driver(&h, "qd0", sched_name);
+    // Mirror the engine's wiring: the device keeps its native command
+    // count (two for the mechanical generation — bus/mechanics overlap —
+    // 64+ across a flash device's channels); the rest of the window
+    // waits in the scheduled driver queue.
+    driver.set_max_inflight(depth.min(driver.native_depth()));
     let queue: Rc<RefCell<std::collections::VecDeque<BlockReq>>> =
         Rc::new(RefCell::new(reqs.iter().copied().collect()));
     let latency_ns: Rc<RefCell<(u128, u64)>> = Rc::new(RefCell::new((0, 0)));
@@ -133,39 +218,54 @@ pub fn run_depth_cell(reqs: &[BlockReq], sched_name: &str, depth: u32, seed: u64
     }
 }
 
-/// The depths the sweep visits.
+/// The depths the mechanical-generation sweep visits.
 pub const SWEEP_DEPTHS: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// The depths the flash-generation sweep visits: the same list plus
+/// qd 64, the depth a multi-channel device actually absorbs.
+pub const SWEEP_DEPTHS_SSD: [u32; 6] = [1, 2, 4, 8, 16, 64];
 
 /// The schedulers the sweep visits, in reporting order.
 pub const SWEEP_SCHEDS: [&str; 4] = ["fcfs", "sstf", "scan", "c-look"];
 
-/// Runs the whole sweep: one row per scheduler, one [`QdCell`] per
-/// depth in [`SWEEP_DEPTHS`]. Deterministic in (trace, scale, seed).
+/// One throwaway sim to learn the configured disk's capacity.
+fn probe_capacity(hw: &SweepDisk) -> u64 {
+    let sim = Sim::new(0);
+    let d = hw.build_driver(&sim.handle(), "probe", "fcfs");
+    let c = d.capacity_sectors();
+    d.shutdown();
+    sim.run();
+    c
+}
+
+/// Runs the whole sweep on the default single HP 97560: one row per
+/// scheduler, one [`QdCell`] per depth in [`SWEEP_DEPTHS`].
+/// Deterministic in (trace, scale, seed).
 pub fn run_qd_sweep(trace_name: &str, scale: f64, seed: u64) -> Vec<(&'static str, Vec<QdCell>)> {
-    let capacity = {
-        // One throwaway sim to learn the disk capacity.
-        let sim = Sim::new(0);
-        let d = sim_disk_driver(
-            &sim.handle(),
-            "probe",
-            Box::new(Hp97560::new()),
-            scheduler_by_name("fcfs").expect("fcfs"),
-        );
-        let c = d.capacity_sectors();
-        d.shutdown();
-        sim.run();
-        c
-    };
-    let reqs = trace_footprint(trace_name, scale, seed, capacity);
+    run_qd_sweep_on(trace_name, scale, seed, &SweepDisk::default())
+}
+
+/// [`run_qd_sweep`] on an explicit hardware configuration; the depth
+/// list comes from [`SweepDisk::depths`].
+pub fn run_qd_sweep_on(
+    trace_name: &str,
+    scale: f64,
+    seed: u64,
+    hw: &SweepDisk,
+) -> Vec<(&'static str, Vec<QdCell>)> {
+    let reqs = trace_footprint(trace_name, scale, seed, probe_capacity(hw));
     SWEEP_SCHEDS
         .iter()
         .map(|&sched| {
-            (sched, SWEEP_DEPTHS.iter().map(|&d| run_depth_cell(&reqs, sched, d, seed)).collect())
+            (
+                sched,
+                hw.depths().iter().map(|&d| run_depth_cell_on(&reqs, sched, d, seed, hw)).collect(),
+            )
         })
         .collect()
 }
 
-/// Formats the sweep as the CLI table (stable bytes).
+/// Formats the default-hardware sweep as the CLI table (stable bytes).
 pub fn format_qd_sweep(
     trace_name: &str,
     scale: f64,
@@ -173,15 +273,36 @@ pub fn format_qd_sweep(
     requests: usize,
     rows: &[(&'static str, Vec<QdCell>)],
 ) -> String {
+    format_qd_sweep_on(trace_name, scale, seed, requests, rows, &SweepDisk::default())
+}
+
+/// [`format_qd_sweep`] for an explicit hardware configuration. The
+/// default configuration's bytes are identical to every historical
+/// sweep; a non-default one names its hardware in the banner.
+pub fn format_qd_sweep_on(
+    trace_name: &str,
+    scale: f64,
+    seed: u64,
+    requests: usize,
+    rows: &[(&'static str, Vec<QdCell>)],
+    hw: &SweepDisk,
+) -> String {
     let mut s = String::new();
-    s.push_str(&format!(
-        "== Queue-depth sweep, trace {trace_name} ({requests} requests, sim-guess placement) ==\n"
-    ));
+    if hw.is_default() {
+        s.push_str(&format!(
+            "== Queue-depth sweep, trace {trace_name} ({requests} requests, sim-guess placement) ==\n"
+        ));
+    } else {
+        s.push_str(&format!(
+            "== Queue-depth sweep, trace {trace_name} on {} ({requests} requests, sim-guess placement) ==\n",
+            hw.label()
+        ));
+    }
     s.push_str(&format!(
         "   (scale {scale}; seed {seed}; closed-loop; cells: service-mean ms / makespan s / mean queue)\n"
     ));
     s.push_str(&format!("{:<8}", "sched"));
-    for d in SWEEP_DEPTHS {
+    for &d in hw.depths() {
         s.push_str(&format!("{:>22}", format!("qd={d}")));
     }
     s.push('\n');
@@ -201,17 +322,25 @@ pub fn format_qd_sweep(
         s.push('\n');
     }
     s.push('\n');
-    s.push_str("Reading the table: within a column (fixed depth), a lower service\n");
-    s.push_str("mean / makespan is a better scheduler. At qd=1 the rows coincide —\n");
-    s.push_str("with no queue every policy serves in arrival order; the spread\n");
-    s.push_str("opens as the outstanding set deepens and the position-aware\n");
-    s.push_str("policies (SSTF/SCAN) pull ahead of FCFS.\n");
+    if hw.disk == "ssd" {
+        s.push_str("Reading the table: the flash device has no arm to position, so\n");
+        s.push_str("the rows should (near-)coincide at every depth — seek-order\n");
+        s.push_str("scheduling buys nothing when seeks are free. What deepening the\n");
+        s.push_str("queue buys instead is channel overlap: makespan keeps falling\n");
+        s.push_str("past the mechanical generation's qd-2 ceiling.\n");
+    } else {
+        s.push_str("Reading the table: within a column (fixed depth), a lower service\n");
+        s.push_str("mean / makespan is a better scheduler. At qd=1 the rows coincide —\n");
+        s.push_str("with no queue every policy serves in arrival order; the spread\n");
+        s.push_str("opens as the outstanding set deepens and the position-aware\n");
+        s.push_str("policies (SSTF/SCAN) pull ahead of FCFS.\n");
+    }
     s
 }
 
-/// Formats the sweep as a JSON document (stable bytes; hand-rolled —
-/// the repo carries no serialization dependency, and every name comes
-/// from a fixed internal vocabulary).
+/// Formats the default-hardware sweep as a JSON document (stable
+/// bytes; hand-rolled — the repo carries no serialization dependency,
+/// and every name comes from a fixed internal vocabulary).
 pub fn format_qd_sweep_json(
     trace_name: &str,
     scale: f64,
@@ -219,15 +348,35 @@ pub fn format_qd_sweep_json(
     requests: usize,
     rows: &[(&'static str, Vec<QdCell>)],
 ) -> String {
+    format_qd_sweep_json_on(trace_name, scale, seed, requests, rows, &SweepDisk::default())
+}
+
+/// [`format_qd_sweep_json`] for an explicit hardware configuration.
+/// The default configuration's bytes are identical to every historical
+/// sweep; a non-default one adds `disk`/`disks`/`chunk_kib` keys.
+pub fn format_qd_sweep_json_on(
+    trace_name: &str,
+    scale: f64,
+    seed: u64,
+    requests: usize,
+    rows: &[(&'static str, Vec<QdCell>)],
+    hw: &SweepDisk,
+) -> String {
+    let depths = hw.depths();
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"trace\": \"{trace_name}\",\n"));
     s.push_str(&format!("  \"scale\": {scale},\n"));
     s.push_str(&format!("  \"seed\": {seed},\n"));
+    if !hw.is_default() {
+        s.push_str(&format!("  \"disk\": \"{}\",\n", hw.disk));
+        s.push_str(&format!("  \"disks\": {},\n", hw.disks));
+        s.push_str(&format!("  \"chunk_kib\": {},\n", hw.chunk_kib));
+    }
     s.push_str(&format!("  \"requests\": {requests},\n"));
     s.push_str("  \"depths\": [");
-    for (i, d) in SWEEP_DEPTHS.iter().enumerate() {
-        s.push_str(&format!("{d}{}", if i + 1 < SWEEP_DEPTHS.len() { ", " } else { "" }));
+    for (i, d) in depths.iter().enumerate() {
+        s.push_str(&format!("{d}{}", if i + 1 < depths.len() { ", " } else { "" }));
     }
     s.push_str("],\n");
     s.push_str("  \"rows\": [\n");
@@ -239,7 +388,7 @@ pub fn format_qd_sweep_json(
             s.push_str(&format!(
                 "        {{\"qd\": {}, \"mean_service_ms\": {:.6}, \"mean_latency_ms\": {:.6}, \
                  \"makespan_ms\": {:.6}, \"mean_queue\": {:.6}, \"overlap\": {:.6}}}{}\n",
-                SWEEP_DEPTHS[j],
+                depths[j],
                 c.mean_service_ms,
                 c.mean_latency_ms,
                 c.makespan_ms,
@@ -255,28 +404,15 @@ pub fn format_qd_sweep_json(
     s
 }
 
-/// CLI entry: runs the sweep and prints the table (or JSON).
-pub fn sweep_queue_depth(trace_name: &str, scale: f64, seed: u64, json: bool) {
+/// CLI entry: runs the sweep on `hw` and prints the table (or JSON).
+pub fn sweep_queue_depth(trace_name: &str, scale: f64, seed: u64, json: bool, hw: &SweepDisk) {
     // The request count in the banner comes from the same deterministic
     // footprint the cells replay; regenerate it cheaply for the header.
-    let capacity = {
-        let sim = Sim::new(0);
-        let d = sim_disk_driver(
-            &sim.handle(),
-            "probe",
-            Box::new(Hp97560::new()),
-            scheduler_by_name("fcfs").expect("fcfs"),
-        );
-        let c = d.capacity_sectors();
-        d.shutdown();
-        sim.run();
-        c
-    };
-    let requests = trace_footprint(trace_name, scale, seed, capacity).len();
-    let rows = run_qd_sweep(trace_name, scale, seed);
+    let requests = trace_footprint(trace_name, scale, seed, probe_capacity(hw)).len();
+    let rows = run_qd_sweep_on(trace_name, scale, seed, hw);
     if json {
-        print!("{}", format_qd_sweep_json(trace_name, scale, seed, requests, &rows));
+        print!("{}", format_qd_sweep_json_on(trace_name, scale, seed, requests, &rows, hw));
     } else {
-        print!("{}", format_qd_sweep(trace_name, scale, seed, requests, &rows));
+        print!("{}", format_qd_sweep_on(trace_name, scale, seed, requests, &rows, hw));
     }
 }

@@ -273,6 +273,75 @@ fn queue_depth_8_differentiates_schedulers_on_trace_1a() {
 }
 
 #[test]
+fn ssd_generation_ties_the_schedulers_and_absorbs_deep_queues() {
+    use cut_and_paste::disk::{DiskModel, Ssd};
+    use cut_and_paste::patsy::{run_depth_cell_on, trace_footprint, SweepDisk};
+
+    let capacity = Ssd::new().geometry().capacity_sectors();
+    let reqs = trace_footprint("1a", 0.005, 365, capacity);
+    assert!(reqs.len() > 500, "trace footprint too small: {}", reqs.len());
+    let hw = SweepDisk { disk: "ssd".to_string(), ..SweepDisk::default() };
+
+    // The same depth-8 comparison that separates the schedulers on the
+    // HP 97560 must tie on flash: with seeks free and service dominated
+    // by per-channel page timing, arrival-order position has nothing
+    // for SSTF/SCAN to exploit. "Tie" means within 2% of FCFS — the
+    // policies still reorder, but reordering cannot pay.
+    let fcfs8 = run_depth_cell_on(&reqs, "fcfs", 8, 7, &hw);
+    let sstf8 = run_depth_cell_on(&reqs, "sstf", 8, 7, &hw);
+    let scan8 = run_depth_cell_on(&reqs, "scan", 8, 7, &hw);
+    for (name, cell) in [("sstf", &sstf8), ("scan", &scan8)] {
+        let ratio = cell.makespan_ms / fcfs8.makespan_ms;
+        assert!(
+            (0.98..=1.02).contains(&ratio),
+            "{name} makespan {:.2} ms vs fcfs {:.2} ms: schedulers must tie on flash",
+            cell.makespan_ms,
+            fcfs8.makespan_ms
+        );
+    }
+
+    // Deep queues keep paying on flash: the device natively absorbs 64
+    // commands across its channels, so makespan keeps dropping past the
+    // mechanical generation's 2-outstanding ceiling.
+    let fcfs64 = run_depth_cell_on(&reqs, "fcfs", 64, 7, &hw);
+    // At qd 8 random page placement leaves channels idle (collisions);
+    // qd 64 keeps all 8 busy. The expected gain is tempered by the
+    // serial controller/link costs, so "clearly" means >= 10%.
+    assert!(
+        fcfs64.makespan_ms < fcfs8.makespan_ms * 0.9,
+        "qd 64 ({:.2} ms) must clearly beat qd 8 ({:.2} ms) on flash",
+        fcfs64.makespan_ms,
+        fcfs8.makespan_ms
+    );
+    assert!(fcfs64.overlap > 0.5, "deep flash queues must overlap channels");
+
+    // Seeded SSD cells replay bit-identically.
+    let again = run_depth_cell_on(&reqs, "fcfs", 64, 7, &hw);
+    assert_eq!(again.mean_service_ms.to_bits(), fcfs64.mean_service_ms.to_bits());
+    assert_eq!(again.makespan_ms.to_bits(), fcfs64.makespan_ms.to_bits());
+}
+
+#[test]
+fn striped_sweep_cells_replay_bit_identically() {
+    use cut_and_paste::patsy::qdsweep::{format_qd_sweep_json_on, run_qd_sweep_on};
+    use cut_and_paste::patsy::SweepDisk;
+
+    // A 4-spindle HP stripe and a striped-SSD cell: both seeded sweeps
+    // must format to byte-identical JSON across two full runs.
+    for hw in [
+        SweepDisk { disks: 4, ..SweepDisk::default() },
+        SweepDisk { disk: "ssd".to_string(), disks: 2, ..SweepDisk::default() },
+    ] {
+        let rows = run_qd_sweep_on("1a", 0.002, 42, &hw);
+        let again = run_qd_sweep_on("1a", 0.002, 42, &hw);
+        let a = format_qd_sweep_json_on("1a", 0.002, 42, 100, &rows, &hw);
+        let b = format_qd_sweep_json_on("1a", 0.002, 42, 100, &again, &hw);
+        assert_eq!(a, b, "striped sweep must be bit-identical for the same seed ({hw:?})");
+        assert!(a.contains("\"disks\""), "non-default hardware must name itself in the JSON");
+    }
+}
+
+#[test]
 fn multi_client_sweep_is_deterministic_and_throughput_scales() {
     use cut_and_paste::patsy::{format_client_sweep, run_client_sweep, ClientSweepConfig};
     use cut_and_paste::workload::WorkloadKind;

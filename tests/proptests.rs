@@ -7,7 +7,10 @@ use std::rc::Rc;
 
 use cut_and_paste::cache::{BlockCache, BlockKey, CacheConfig, FileId, Lru, Reserve, WriteSaving};
 use cut_and_paste::core::{DataMode, FileSystem, FsConfig};
-use cut_and_paste::disk::{scheduler_by_name, CLook, FaultPlan, Hp97560, PendingMeta};
+use cut_and_paste::disk::{
+    scheduler_by_name, sim_disk_driver, striped_sim_disk_driver, CLook, DiskGeometry, DiskModel,
+    FaultPlan, Hp97560, IoOp, Payload, PendingMeta,
+};
 use cut_and_paste::fault::{recover_and_check, CrashState, FaultyDisk, LayoutKind};
 use cut_and_paste::layout::dir::{decode, encode, Dirent};
 use cut_and_paste::layout::{FileKind, Ino, Inode};
@@ -792,6 +795,153 @@ proptest! {
             let (_, image_untraced) = run_once(seed, &ops, qd, false);
             prop_assert_eq!(&image_a, &image_untraced,
                 "tracing must not perturb the platter at qd {}", qd);
+        }
+    }
+
+    /// The LBA ↔ CHS mapping round-trips for arbitrary geometries up to
+    /// the largest fleet-scaled disk: `scale_cylinders` multiplies the
+    /// cylinder count right up to the u32 ceiling, and every coordinate
+    /// of every sector — including the very last one — must narrow to
+    /// u32 without wrapping and map back to the same LBA.
+    #[test]
+    fn lba_chs_round_trip_arbitrary_geometries(
+        cylinders in 1u32..20_000,
+        heads in 1u32..20,
+        spt in 1u32..200,
+        factor_sel in 0u32..4,
+        lba_frac in 0u64..u64::MAX / 2,
+    ) {
+        let base = DiskGeometry {
+            cylinders,
+            heads,
+            sectors_per_track: spt,
+            sector_size: 512,
+            rpm: 4002,
+            track_skew: 1,
+            cylinder_skew: 2,
+        };
+        // Fleet scaling in the clients sweep caps at 16x today, but the
+        // mapping must hold for any factor the checked multiply accepts.
+        let max_factor = u32::MAX / cylinders;
+        let factor = match factor_sel {
+            0 => 1,
+            1 => 16.min(max_factor),
+            2 => (max_factor / 2).max(1),
+            _ => max_factor,
+        };
+        let g = base.scale_cylinders(factor);
+        let cap = g.capacity_sectors();
+        for lba in [lba_frac % cap, 0, cap - 1] {
+            let chs = g.lba_to_chs(lba);
+            prop_assert!(chs.cylinder < g.cylinders);
+            prop_assert!(chs.head < g.heads);
+            prop_assert!(chs.sector < g.sectors_per_track);
+            prop_assert_eq!(g.chs_to_lba(chs), lba, "round trip failed at lba {}", lba);
+        }
+    }
+
+    /// `track_chunks` — the splitter under the layout's `map_extents`
+    /// scatter-gather runs — covers any run exactly on any geometry:
+    /// chunks are contiguous, non-empty, each stays on one track, and
+    /// they sum to the requested sector count.
+    #[test]
+    fn track_chunks_cover_runs_exactly(
+        cylinders in 1u32..10_000,
+        heads in 1u32..16,
+        spt in 1u32..128,
+        start_frac in 0u64..u64::MAX / 2,
+        want in 1u32..5_000,
+    ) {
+        let g = DiskGeometry {
+            cylinders,
+            heads,
+            sectors_per_track: spt,
+            sector_size: 512,
+            rpm: 4002,
+            track_skew: 1,
+            cylinder_skew: 2,
+        };
+        let cap = g.capacity_sectors();
+        let start = start_frac % cap;
+        let sectors = (want as u64).min(cap - start) as u32;
+        let chunks = g.track_chunks(start, sectors);
+        let mut cur = start;
+        let mut total = 0u64;
+        for (lba, n) in &chunks {
+            prop_assert_eq!(*lba, cur, "chunks must be contiguous");
+            prop_assert!(*n > 0, "empty chunk");
+            let track = lba / spt as u64;
+            prop_assert_eq!(
+                (lba + *n as u64 - 1) / spt as u64, track,
+                "chunk at {} crosses a track boundary", lba
+            );
+            cur += *n as u64;
+            total += *n as u64;
+        }
+        prop_assert_eq!(total, sectors as u64, "chunks must cover the run exactly");
+    }
+
+    /// RAID-0 striping is invisible to contents: the same write/read
+    /// sequence reads back byte-identical on a plain single disk and on
+    /// stripes of 1, 2, and 8 spindles with 8 KiB chunks (small chunks
+    /// force multi-chunk scatter-gather splits on most requests).
+    #[test]
+    fn striping_is_byte_identical_to_single_disk(
+        seed in 0u64..1_000_000,
+        writes in prop::collection::vec((0u64..2_000, 1u32..40), 1..10),
+    ) {
+        fn run_once(seed: u64, writes: &[(u64, u32)], disks: Option<u32>) -> Vec<Vec<u8>> {
+            let out: Rc<std::cell::RefCell<Vec<Vec<u8>>>> =
+                Rc::new(std::cell::RefCell::new(Vec::new()));
+            let out2 = out.clone();
+            let want = writes.len();
+            let writes = writes.to_vec();
+            let sim = Sim::new(seed);
+            let h = sim.handle();
+            let driver = match disks {
+                None => sim_disk_driver(&h, "sd0", Box::new(Hp97560::new()), Box::new(CLook)),
+                Some(n) => {
+                    let models: Vec<Box<dyn DiskModel>> =
+                        (0..n).map(|_| Box::new(Hp97560::new()) as Box<dyn DiskModel>).collect();
+                    striped_sim_disk_driver(&h, "sp0", models, Box::new(CLook), 16)
+                }
+            };
+            h.spawn("stripe-prop", async move {
+                for (i, (lba, sectors)) in writes.iter().enumerate() {
+                    let tag = ((i * 17 + 3) % 251) as u8;
+                    let bytes: Vec<u8> =
+                        (0..*sectors as usize * 512).map(|j| tag ^ (j % 251) as u8).collect();
+                    driver
+                        .submit(IoOp::Write, *lba, *sectors, Payload::Data(bytes))
+                        .await
+                        .expect("write");
+                }
+                for (lba, sectors) in &writes {
+                    let (payload, _timing) = driver
+                        .submit(IoOp::Read, *lba, *sectors, Payload::Simulated(0))
+                        .await
+                        .expect("read");
+                    match payload {
+                        Payload::Data(d) => out2.borrow_mut().push(d),
+                        Payload::Simulated(_) => {
+                            panic!("data-storing disk returned simulated bytes")
+                        }
+                    }
+                }
+                driver.shutdown();
+            });
+            sim.run_until(SimTime::from_nanos(u64::MAX / 2));
+            let v = out.borrow().clone();
+            assert_eq!(v.len(), want, "stripe run did not complete");
+            v
+        }
+        let single = run_once(seed, &writes, None);
+        for n in [1u32, 2, 8] {
+            let striped = run_once(seed, &writes, Some(n));
+            prop_assert_eq!(
+                &single, &striped,
+                "stripe count {} diverged from the single disk", n
+            );
         }
     }
 
